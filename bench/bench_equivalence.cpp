@@ -1,0 +1,98 @@
+// Experiments T44 / T48 / C7: cost of the machine-checked metatheory —
+// soundness (Theorem 4.4), completeness (Theorem 4.8) and the
+// Memalloy-style coherence agreement (Theorem C.15) — per litmus program,
+// plus a size-scaling series over straight-line programs (the analogue of
+// the paper's "models up to size 7" Alloy bound).
+#include <benchmark/benchmark.h>
+
+#include "rc11/rc11.hpp"
+
+using namespace rc11;
+
+namespace {
+
+const char* kPrograms[] = {"SB", "MP_ra", "LB", "CoWW", "SwapAtomicity",
+                           "W2+2W"};
+
+void soundness(benchmark::State& state) {
+  const lang::Program p = lang::parse_litmus(
+      litmus::find_test(kPrograms[state.range(0)]).source).program;
+  std::size_t states = 0;
+  bool sound = false;
+  for (auto _ : state) {
+    const axiomatic::SoundnessResult r = axiomatic::check_soundness(p);
+    states = r.states_checked;
+    sound = r.sound;
+  }
+  state.SetLabel(kPrograms[state.range(0)]);
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["sound"] = sound ? 1 : 0;
+}
+BENCHMARK(soundness)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+void completeness(benchmark::State& state) {
+  const lang::Program p = lang::parse_litmus(
+      litmus::find_test(kPrograms[state.range(0)]).source).program;
+  std::size_t candidates = 0;
+  bool equivalent = false;
+  for (auto _ : state) {
+    const axiomatic::CompletenessResult r = axiomatic::check_completeness(p);
+    candidates = r.enumerate_stats.candidates;
+    equivalent = r.equivalent();
+  }
+  state.SetLabel(kPrograms[state.range(0)]);
+  state.counters["candidates"] = static_cast<double>(candidates);
+  state.counters["equivalent"] = equivalent ? 1 : 0;
+}
+BENCHMARK(completeness)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+void coherence_agreement(benchmark::State& state) {
+  const lang::Program p = lang::parse_litmus(
+      litmus::find_test(kPrograms[state.range(0)]).source).program;
+  std::size_t candidates = 0;
+  bool agree = false;
+  for (auto _ : state) {
+    const axiomatic::AgreementResult r =
+        axiomatic::check_coherence_agreement(p);
+    candidates = r.candidates_checked;
+    agree = r.agree;
+  }
+  state.SetLabel(kPrograms[state.range(0)]);
+  state.counters["candidates"] = static_cast<double>(candidates);
+  state.counters["agree"] = agree ? 1 : 0;
+}
+BENCHMARK(coherence_agreement)->DenseRange(0, 5)->Unit(
+    benchmark::kMillisecond);
+
+/// Size scaling: n writer threads + one reader over a single variable.
+/// Execution size grows with n (2n + 2 events), the analogue of the
+/// paper's Alloy size bound.
+lang::Program sized_program(int writers) {
+  lang::ProgramBuilder b;
+  auto x = b.var("x", 0);
+  for (int i = 0; i < writers; ++i) {
+    b.thread({lang::assign(x, i + 1)});
+  }
+  auto r = b.reg("r");
+  b.thread({lang::reg_assign(r, lang::ExprPtr(x))});
+  return std::move(b).build();
+}
+
+void completeness_vs_size(benchmark::State& state) {
+  const lang::Program p = sized_program(static_cast<int>(state.range(0)));
+  std::size_t candidates = 0;
+  bool equivalent = false;
+  for (auto _ : state) {
+    const axiomatic::CompletenessResult r = axiomatic::check_completeness(p);
+    candidates = r.enumerate_stats.candidates;
+    equivalent = r.equivalent();
+  }
+  state.counters["candidates"] = static_cast<double>(candidates);
+  state.counters["equivalent"] = equivalent ? 1 : 0;
+}
+BENCHMARK(completeness_vs_size)->DenseRange(1, 4)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

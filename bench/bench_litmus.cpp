@@ -1,0 +1,48 @@
+// Experiment L1: model-checking cost per litmus test (the paper's
+// qualitative "behaviours of the RAR model" table, regenerated with
+// timing). One benchmark per catalogue entry; counters report unique
+// states, transitions and distinct outcomes.
+#include <benchmark/benchmark.h>
+
+#include "rc11/rc11.hpp"
+
+using namespace rc11;
+
+namespace {
+
+void run_litmus(benchmark::State& state, const litmus::Test& test) {
+  const lang::ParsedLitmus parsed = lang::parse_litmus(test.source);
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  std::size_t outcomes = 0;
+  bool pass = true;
+  for (auto _ : state) {
+    const mc::ReachabilityResult r =
+        mc::check_reachable(parsed.program, parsed.condition);
+    const mc::OutcomeResult o = mc::enumerate_outcomes(parsed.program);
+    benchmark::DoNotOptimize(r.reachable);
+    states = o.stats.states;
+    transitions = o.stats.transitions;
+    outcomes = o.outcomes.size();
+    pass = r.reachable ==
+           (test.expected == litmus::Expectation::kAllowed);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["transitions"] = static_cast<double>(transitions);
+  state.counters["outcomes"] = static_cast<double>(outcomes);
+  state.counters["pass"] = pass ? 1 : 0;
+}
+
+const int register_all = [] {
+  for (const litmus::Test& t : litmus::catalog()) {
+    benchmark::RegisterBenchmark(("litmus/" + t.name).c_str(),
+                                 [&t](benchmark::State& s) {
+                                   run_litmus(s, t);
+                                 });
+  }
+  return 0;
+}();
+
+}  // namespace
+
+BENCHMARK_MAIN();

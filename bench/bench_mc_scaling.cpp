@@ -1,0 +1,88 @@
+// Experiment M1: model-checker scaling and design ablations —
+//  * state count / time vs. number of writer threads;
+//  * canonical-form deduplication ON vs OFF (DESIGN.md key decision);
+//  * tau compression ON vs OFF.
+#include <benchmark/benchmark.h>
+
+#include "rc11/rc11.hpp"
+
+using namespace rc11;
+
+namespace {
+
+lang::Program writers_and_reader(int writers) {
+  lang::ProgramBuilder b;
+  auto x = b.var("x", 0);
+  auto y = b.var("y", 0);
+  for (int i = 0; i < writers; ++i) {
+    b.thread({lang::assign(i % 2 == 0 ? x : y, i + 1)});
+  }
+  auto r0 = b.reg("r0");
+  auto r1 = b.reg("r1");
+  b.thread({lang::reg_assign(r0, lang::ExprPtr(x)),
+            lang::reg_assign(r1, lang::ExprPtr(y))});
+  return std::move(b).build();
+}
+
+void states_vs_threads(benchmark::State& state) {
+  const lang::Program p =
+      writers_and_reader(static_cast<int>(state.range(0)));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const mc::ExploreResult r = mc::explore(p, {}, {});
+    states = r.stats.states;
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(states_vs_threads)->DenseRange(1, 5)->Unit(
+    benchmark::kMillisecond);
+
+void dedup_ablation(benchmark::State& state) {
+  const bool dedup = state.range(0) != 0;
+  const lang::Program p = writers_and_reader(4);
+  mc::ExploreOptions opts;
+  opts.dedup = dedup;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const mc::ExploreResult r = mc::explore(p, opts, {});
+    states = r.stats.states;
+  }
+  state.SetLabel(dedup ? "dedup" : "no-dedup");
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(dedup_ablation)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+void tau_compression_ablation(benchmark::State& state) {
+  const bool tau = state.range(0) != 0;
+  const lang::Program p = lang::parse_litmus(
+      litmus::find_test("CoRR2").source).program;
+  mc::ExploreOptions opts;
+  opts.step.tau_compress = tau;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const mc::OutcomeResult r = mc::enumerate_outcomes(p, opts);
+    states = r.stats.states;
+  }
+  state.SetLabel(tau ? "tau-compress" : "plain");
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(tau_compression_ablation)->Arg(1)->Arg(0)->Unit(
+    benchmark::kMillisecond);
+
+void peterson_bound_scaling(benchmark::State& state) {
+  const lang::Program p = vcgen::make_peterson();
+  mc::ExploreOptions opts;
+  opts.step.loop_bound = static_cast<int>(state.range(0));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const mc::ExploreResult r = mc::explore(p, opts, {});
+    states = r.stats.states;
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(peterson_bound_scaling)->DenseRange(0, 3)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

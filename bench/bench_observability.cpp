@@ -1,0 +1,90 @@
+// Ablation F3: observability computation (EW/OW/CW, Section 3.2) —
+// per-thread cost vs. execution size, and the cost split between the
+// derived-relation bundle and the set computations themselves.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "rc11/rc11.hpp"
+
+using namespace rc11;
+
+namespace {
+
+c11::Execution growing_execution(std::size_t events, unsigned seed) {
+  c11::Execution ex = c11::Execution::initial({{0, 0}, {1, 0}});
+  std::mt19937 rng(seed);
+  for (std::size_t i = 0; i < events; ++i) {
+    const c11::ThreadId t = 1 + static_cast<c11::ThreadId>(i % 4);
+    const c11::VarId x = static_cast<c11::VarId>(rng() % 2);
+    const auto d = c11::compute_derived(ex);
+    if (i % 3 != 0) {
+      const auto opts = c11::write_options(ex, d, t, x);
+      if (!opts.empty()) {
+        ex = c11::apply_write(ex, t, x, static_cast<c11::Value>(i),
+                              i % 2 == 0, opts[rng() % opts.size()])
+                 .next;
+      }
+    } else {
+      const auto opts = c11::read_options(ex, d, t, x);
+      if (!opts.empty()) {
+        ex = c11::apply_read(ex, t, x, true, opts[rng() % opts.size()].write)
+                 .next;
+      }
+    }
+  }
+  return ex;
+}
+
+void observability_full(benchmark::State& state) {
+  // Derived relations + EW/OW/CW for every thread: what the explorer pays
+  // per expanded state.
+  const c11::Execution ex =
+      growing_execution(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    const auto d = c11::compute_derived(ex);
+    for (c11::ThreadId t = 1; t <= 4; ++t) {
+      benchmark::DoNotOptimize(c11::compute_observability(ex, d, t));
+    }
+  }
+  state.counters["events"] = static_cast<double>(ex.size());
+}
+BENCHMARK(observability_full)->RangeMultiplier(2)->Range(8, 128);
+
+void observability_sets_only(benchmark::State& state) {
+  // EW/OW/CW with the derived bundle precomputed: isolates the set
+  // computations from the closure cost.
+  const c11::Execution ex =
+      growing_execution(static_cast<std::size_t>(state.range(0)), 3);
+  const auto d = c11::compute_derived(ex);
+  for (auto _ : state) {
+    for (c11::ThreadId t = 1; t <= 4; ++t) {
+      benchmark::DoNotOptimize(c11::compute_observability(ex, d, t));
+    }
+  }
+  state.counters["events"] = static_cast<double>(ex.size());
+}
+BENCHMARK(observability_sets_only)->RangeMultiplier(2)->Range(8, 128);
+
+void encountered_only(benchmark::State& state) {
+  const c11::Execution ex =
+      growing_execution(static_cast<std::size_t>(state.range(0)), 3);
+  const auto d = c11::compute_derived(ex);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c11::encountered_writes(ex, d, 1));
+  }
+}
+BENCHMARK(encountered_only)->RangeMultiplier(2)->Range(8, 128);
+
+void covered_only(benchmark::State& state) {
+  const c11::Execution ex =
+      growing_execution(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c11::covered_writes(ex));
+  }
+}
+BENCHMARK(covered_only)->RangeMultiplier(2)->Range(8, 128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

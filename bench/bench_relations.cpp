@@ -1,0 +1,115 @@
+// Ablation M1a: the relation engine. Transitive closure, composition and
+// derived-relation computation as a function of execution size — the hot
+// path of validity checking and observability (DESIGN.md section 3).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "rc11/rc11.hpp"
+
+using namespace rc11;
+
+namespace {
+
+util::Relation random_dag(std::size_t n, double density, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::bernoulli_distribution edge(density);
+  util::Relation r(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (edge(rng)) r.add(a, b);
+    }
+  }
+  return r;
+}
+
+void transitive_closure(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const util::Relation r = random_dag(n, 0.1, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.transitive_closure());
+  }
+  state.counters["pairs"] = static_cast<double>(r.pair_count());
+}
+BENCHMARK(transitive_closure)->RangeMultiplier(2)->Range(8, 256);
+
+void composition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const util::Relation r = random_dag(n, 0.1, 1);
+  const util::Relation s = random_dag(n, 0.1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.compose(s));
+  }
+}
+BENCHMARK(composition)->RangeMultiplier(2)->Range(8, 256);
+
+void acyclicity(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const util::Relation r = random_dag(n, 0.05, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.is_acyclic());
+  }
+}
+BENCHMARK(acyclicity)->RangeMultiplier(2)->Range(8, 256);
+
+/// A growing execution: k threads alternately writing and reading one of
+/// three variables; measures compute_derived (sw/hb/fr/eco) end to end.
+c11::Execution growing_execution(std::size_t events) {
+  c11::Execution ex =
+      c11::Execution::initial({{0, 0}, {1, 0}, {2, 0}});
+  std::mt19937 rng(99);
+  for (std::size_t i = 0; i < events; ++i) {
+    const c11::ThreadId t = 1 + static_cast<c11::ThreadId>(i % 3);
+    const c11::VarId x = static_cast<c11::VarId>(rng() % 3);
+    const auto d = c11::compute_derived(ex);
+    if (i % 2 == 0) {
+      const auto opts = c11::write_options(ex, d, t, x);
+      if (!opts.empty()) {
+        ex = c11::apply_write(ex, t, x, static_cast<c11::Value>(i), i % 4 == 0,
+                              opts[rng() % opts.size()])
+                 .next;
+      }
+    } else {
+      const auto opts = c11::read_options(ex, d, t, x);
+      if (!opts.empty()) {
+        ex = c11::apply_read(ex, t, x, i % 3 == 0,
+                             opts[rng() % opts.size()].write)
+                 .next;
+      }
+    }
+  }
+  return ex;
+}
+
+void derived_relations(benchmark::State& state) {
+  const c11::Execution ex =
+      growing_execution(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c11::compute_derived(ex));
+  }
+  state.counters["events"] = static_cast<double>(ex.size());
+}
+BENCHMARK(derived_relations)->RangeMultiplier(2)->Range(8, 128);
+
+void validity_check(benchmark::State& state) {
+  const c11::Execution ex =
+      growing_execution(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c11::check_validity(ex).valid());
+  }
+  state.counters["events"] = static_cast<double>(ex.size());
+}
+BENCHMARK(validity_check)->RangeMultiplier(2)->Range(8, 128);
+
+void canonical_key(benchmark::State& state) {
+  const c11::Execution ex =
+      growing_execution(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.canonical_key());
+  }
+}
+BENCHMARK(canonical_key)->RangeMultiplier(2)->Range(8, 128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Experiment F4: proof-calculus costs — assertion evaluation, Figure-4
+// rule sweeps over reachable transitions, and fuzz-breadth sweeps over
+// generated programs (how the machine-checked Appendix-B obligations
+// scale).
+#include <benchmark/benchmark.h>
+
+#include "rc11/rc11.hpp"
+
+using namespace rc11;
+
+namespace {
+
+void assertion_evaluation(benchmark::State& state) {
+  // d =_t v and x -> y on a Peterson-reachable execution of growing size.
+  const lang::Program p = vcgen::make_peterson();
+  mc::ExploreOptions opts;
+  opts.step.loop_bound = static_cast<int>(state.range(0));
+  // Grab the deepest reachable execution.
+  c11::Execution deep;
+  mc::Visitor v;
+  v.on_state = [&](const interp::Config& c) {
+    if (c.exec.size() > deep.size()) deep = c.exec;
+    return true;
+  };
+  (void)mc::explore(p, opts, v);
+
+  const auto d = c11::compute_derived(deep);
+  for (auto _ : state) {
+    for (c11::ThreadId t = 1; t <= 2; ++t) {
+      for (c11::VarId x = 0; x < deep.var_count(); ++x) {
+        benchmark::DoNotOptimize(
+            vcgen::determinate_value_of(deep, d, t, x));
+        for (c11::VarId y = 0; y < deep.var_count(); ++y) {
+          benchmark::DoNotOptimize(vcgen::var_order(deep, d, x, y));
+        }
+      }
+    }
+  }
+  state.counters["events"] = static_cast<double>(deep.size());
+}
+BENCHMARK(assertion_evaluation)->DenseRange(0, 2);
+
+void rule_sweep_per_program(benchmark::State& state) {
+  static const char* kNames[] = {"SB", "MP_ra", "MP_swap", "SwapAtomicity",
+                                 "CoWW"};
+  const lang::Program p = lang::parse_litmus(
+      litmus::find_test(kNames[state.range(0)]).source).program;
+  std::size_t applicable = 0;
+  for (auto _ : state) {
+    const vcgen::RuleSoundnessResult r = vcgen::check_rule_soundness(p);
+    applicable = r.applicable;
+  }
+  state.SetLabel(kNames[state.range(0)]);
+  state.counters["rule_instances"] = static_cast<double>(applicable);
+}
+BENCHMARK(rule_sweep_per_program)->DenseRange(0, 4)->Unit(
+    benchmark::kMillisecond);
+
+void rule_sweep_fuzz(benchmark::State& state) {
+  // Aggregate rule-instance throughput over a family of generated
+  // programs.
+  std::vector<lang::Program> programs;
+  for (std::uint32_t seed = 0; seed < 8; ++seed) {
+    lang::GeneratorOptions o;
+    o.seed = seed;
+    o.threads = 2;
+    o.vars = 2;
+    o.stmts_per_thread = 2;
+    programs.push_back(lang::generate_program(o));
+  }
+  std::size_t total = 0;
+  for (auto _ : state) {
+    total = 0;
+    for (const lang::Program& p : programs) {
+      total += vcgen::check_rule_soundness(p).applicable;
+    }
+  }
+  state.counters["rule_instances"] = static_cast<double>(total);
+}
+BENCHMARK(rule_sweep_fuzz)->Unit(benchmark::kMillisecond);
+
+void hb_cone_cost(benchmark::State& state) {
+  vcgen::PetersonHandles h;
+  const lang::Program p = vcgen::make_peterson(&h);
+  mc::ExploreOptions opts;
+  opts.step.loop_bound = 2;
+  c11::Execution deep;
+  mc::Visitor v;
+  v.on_state = [&](const interp::Config& c) {
+    if (c.exec.size() > deep.size()) deep = c.exec;
+    return true;
+  };
+  (void)mc::explore(p, opts, v);
+  const auto d = c11::compute_derived(deep);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vcgen::hb_cone(deep, d, 1));
+    benchmark::DoNotOptimize(vcgen::hb_cone(deep, d, 2));
+  }
+  state.counters["events"] = static_cast<double>(deep.size());
+}
+BENCHMARK(hb_cone_cost);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Non-atomic accesses and data-race detection (the extension the paper
+// sketches in Section 2.1): checks a guarded and an unguarded version of
+// the message-passing idiom, plus a user-supplied litmus file if given.
+//
+//   ./data_race [--bound N] [file.litmus]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "rc11/rc11.hpp"
+
+using namespace rc11;
+
+namespace {
+
+void report(const std::string& name, const lang::Program& prog,
+            const mc::ExploreOptions& opts) {
+  const mc::RaceResult r = mc::check_race_free(prog, opts);
+  std::cout << name << ": "
+            << (r.race_free ? "race free" : "RACY (undefined behaviour)")
+            << "  [" << r.stats.to_string() << "]\n";
+  if (!r.race_free) {
+    std::cout << "  " << r.race << "\n  trace:\n"
+              << r.trace.to_string(&prog.vars());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.option("bound", "3", "loop unfolding bound");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage("data_race");
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage("data_race");
+    return 0;
+  }
+  mc::ExploreOptions opts;
+  opts.step.loop_bound = static_cast<int>(cli.get_int("bound"));
+
+  if (!cli.positional().empty()) {
+    std::ifstream in(cli.positional()[0]);
+    if (!in) {
+      std::cerr << "cannot open " << cli.positional()[0] << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const lang::ParsedLitmus parsed = lang::parse_litmus(buf.str());
+    report(parsed.name, parsed.program, opts);
+    return 0;
+  }
+
+  // Guarded: NA data published through a release/acquire flag.
+  const lang::ParsedLitmus guarded = lang::parse_litmus(R"(litmus Guarded
+var d = 0
+var f = 0
+thread 1 { d :=NA 5; f :=R 1; }
+thread 2 { while (f@A == 0) { skip; } r0 := d@NA; }
+)");
+  report("guarded publication (NA data, rel/acq flag)", guarded.program,
+         opts);
+
+  // Unguarded: the flag write is relaxed — no synchronisation, so the NA
+  // accesses to d race.
+  const lang::ParsedLitmus unguarded = lang::parse_litmus(R"(litmus Unguarded
+var d = 0
+var f = 0
+thread 1 { d :=NA 5; f := 1; }
+thread 2 { while (f@A == 0) { skip; } r0 := d@NA; }
+)");
+  report("unguarded publication (relaxed flag)", unguarded.program, opts);
+
+  // Plain racy pair.
+  const lang::ParsedLitmus racy = lang::parse_litmus(R"(litmus Plain
+var x = 0
+thread 1 { x :=NA 1; }
+thread 2 { r0 := x@NA; }
+)");
+  report("unsynchronised NA write/read", racy.program, opts);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// The Memalloy-style equivalence check (Section 4.2, Appendix C), run on
+// the litmus catalogue:
+//   * Theorem 4.4: every operationally reachable state is axiomatically
+//     valid;
+//   * Theorem 4.8: the axiomatic and operational final-execution sets
+//     coincide;
+//   * Theorem C.15: Definition-4.2 Coherence agrees with weak canonical
+//     RAR consistency on every candidate execution.
+//
+//   ./equivalence_check [--test NAME]
+#include <iomanip>
+#include <iostream>
+
+#include "rc11/rc11.hpp"
+
+using namespace rc11;
+
+namespace {
+
+int run_one(const litmus::Test& t) {
+  const lang::Program prog = lang::parse_litmus(t.source).program;
+
+  const axiomatic::SoundnessResult sound = axiomatic::check_soundness(prog);
+  const axiomatic::CompletenessResult comp =
+      axiomatic::check_completeness(prog);
+  const axiomatic::AgreementResult agree =
+      axiomatic::check_coherence_agreement(prog);
+
+  std::cout << std::left << std::setw(16) << t.name << std::setw(9)
+            << (sound.sound ? "sound" : "UNSOUND") << std::setw(12)
+            << (comp.equivalent() ? "complete" : "INCOMPLETE")
+            << std::setw(9) << (agree.agree ? "agree" : "DISAGREE")
+            << " states=" << std::setw(7) << sound.states_checked
+            << " execs=" << std::setw(5) << comp.operational_count
+            << " candidates=" << std::setw(7)
+            << agree.candidates_checked << "\n";
+  return sound.sound && comp.equivalent() && agree.agree ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.option("test", "", "check only this catalogue entry");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage("equivalence_check");
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage("equivalence_check");
+    return 0;
+  }
+
+  std::cout << std::left << std::setw(16) << "test" << std::setw(9)
+            << "Thm4.4" << std::setw(12) << "Thm4.8" << std::setw(9)
+            << "ThmC.15" << "\n";
+
+  int failures = 0;
+  if (const std::string name = cli.get("test"); !name.empty()) {
+    failures += run_one(litmus::find_test(name));
+  } else {
+    for (const litmus::Test& t : litmus::catalog()) {
+      failures += run_one(t);
+    }
+  }
+  std::cout << (failures == 0 ? "\nall checks passed\n"
+                              : "\nFAILURES FOUND\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Axiomatic enumeration of candidate executions (Section 4.1).
+//
+// The axiomatic semantics is a two-step procedure:
+//  (1) generate pre-executions of the program — event sets + sb, with reads
+//      returning arbitrary (finite-domain) values — via ==>_PE;
+//  (2) augment each with every possible rf (per read: each var/value
+//      matching write) and mo (per variable: each permutation of its
+//      writes, initialising write first), keeping candidates that satisfy
+//      the Definition-4.2 axioms.
+//
+// The enumerator exposes both the raw candidate stream (used by the
+// Memalloy-style Appendix-C agreement check) and the filtered set of valid
+// executions (used by the completeness check against the operational
+// semantics).
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+
+#include "c11/axioms.hpp"
+#include "interp/config.hpp"
+
+namespace rc11::axiomatic {
+
+struct EnumerateOptions {
+  interp::StepOptions step;
+
+  /// Cap on enumerated pre-executions (safety valve).
+  std::size_t max_pre_executions = 1'000'000;
+
+  /// Cap on candidate executions per pre-execution.
+  std::size_t max_candidates = 10'000'000;
+};
+
+struct EnumerateStats {
+  std::size_t pre_executions = 0;  ///< unique terminated pre-executions
+  std::size_t candidates = 0;      ///< (pre-execution, rf, mo) triples
+  std::size_t valid = 0;           ///< candidates passing Definition 4.2
+  bool truncated = false;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Called for each candidate execution; return false to stop.
+using CandidateCallback = std::function<bool(const c11::Execution&)>;
+
+/// Streams every candidate execution of the program (well-formed rf/mo
+/// choices over every terminated pre-execution; validity NOT yet checked
+/// beyond the structural rf/mo construction).
+EnumerateStats enumerate_candidates(const lang::Program& program,
+                                    const EnumerateOptions& options,
+                                    const CandidateCallback& callback);
+
+/// Canonical keys of all *valid* (Definition 4.2) final executions.
+struct ValidExecutions {
+  std::set<std::string> keys;
+  EnumerateStats stats;
+};
+
+[[nodiscard]] ValidExecutions enumerate_valid_executions(
+    const lang::Program& program, const EnumerateOptions& options = {});
+
+/// Canonical key of an execution, matching mc::collect_final_executions.
+[[nodiscard]] std::string execution_key(const c11::Execution& ex);
+
+}  // namespace rc11::axiomatic

@@ -1,0 +1,73 @@
+#include "c11/action.hpp"
+
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace rc11::c11 {
+
+VarId VarTable::intern(const std::string& name) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<VarId>(i);
+  }
+  names_.push_back(name);
+  return static_cast<VarId>(names_.size() - 1);
+}
+
+VarId VarTable::lookup(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<VarId>(i);
+  }
+  throw std::out_of_range(util::cat("unknown variable: ", name));
+}
+
+bool VarTable::contains(const std::string& name) const {
+  for (const auto& n : names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+const std::string& VarTable::name(VarId id) const {
+  return names_.at(id);
+}
+
+std::string to_string(ActionKind k) {
+  switch (k) {
+    case ActionKind::kRdX:
+      return "rd";
+    case ActionKind::kRdA:
+      return "rdA";
+    case ActionKind::kWrX:
+      return "wr";
+    case ActionKind::kWrR:
+      return "wrR";
+    case ActionKind::kUpdRA:
+      return "updRA";
+    case ActionKind::kRdNA:
+      return "rdNA";
+    case ActionKind::kWrNA:
+      return "wrNA";
+  }
+  return "?";
+}
+
+std::string to_string(const Action& a, const VarTable* vars) {
+  const std::string x =
+      vars != nullptr ? vars->name(a.var) : util::cat("v", a.var);
+  switch (a.kind) {
+    case ActionKind::kRdX:
+    case ActionKind::kRdA:
+    case ActionKind::kRdNA:
+      return util::cat(to_string(a.kind), "(", x, ", ", a.rval, ")");
+    case ActionKind::kWrX:
+    case ActionKind::kWrR:
+    case ActionKind::kWrNA:
+      return util::cat(to_string(a.kind), "(", x, ", ", a.wval, ")");
+    case ActionKind::kUpdRA:
+      return util::cat("updRA(", x, ", ", a.rval, ", ", a.wval, ")");
+  }
+  return "?";
+}
+
+}  // namespace rc11::c11

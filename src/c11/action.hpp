@@ -1,0 +1,132 @@
+// Actions of the RAR fragment (Section 2.2 of the paper).
+//
+//   Act = { rd(x,n), rdA(x,n), wr(x,n), wrR(x,n), updRA(x,m,n) }
+//
+// An action is what a command step produces; an Event (see event.hpp) is an
+// action placed in an execution with a tag and a thread id. Updates carry
+// both the value read (m) and the value written (n) and behave as both a
+// releasing write and an acquiring read (U is contained in WrR and RdA,
+// Section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rc11::c11 {
+
+using Value = std::int64_t;
+using VarId = std::uint32_t;
+using ThreadId = std::uint32_t;
+
+/// Thread 0 is the initialising thread (Section 3.1).
+inline constexpr ThreadId kInitThread = 0;
+
+enum class ActionKind : std::uint8_t {
+  kRdX,    ///< relaxed read rd(x,n)
+  kRdA,    ///< acquiring read rdA(x,n)
+  kWrX,    ///< relaxed write wr(x,n)
+  kWrR,    ///< releasing write wrR(x,n)
+  kUpdRA,  ///< release-acquire update updRA(x,m,n)
+  kRdNA,   ///< non-atomic read (extension; see c11/races.hpp)
+  kWrNA,   ///< non-atomic write (extension)
+};
+
+/// One memory action. For reads `rval` is the value read; for writes `wval`
+/// is the value written; updates use both (rval = m read, wval = n written).
+struct Action {
+  ActionKind kind = ActionKind::kWrX;
+  VarId var = 0;
+  Value rval = 0;
+  Value wval = 0;
+
+  static Action rd(VarId x, Value n) {
+    return {ActionKind::kRdX, x, n, 0};
+  }
+  static Action rd_acq(VarId x, Value n) {
+    return {ActionKind::kRdA, x, n, 0};
+  }
+  static Action wr(VarId x, Value n) {
+    return {ActionKind::kWrX, x, 0, n};
+  }
+  static Action wr_rel(VarId x, Value n) {
+    return {ActionKind::kWrR, x, 0, n};
+  }
+  static Action upd(VarId x, Value m, Value n) {
+    return {ActionKind::kUpdRA, x, m, n};
+  }
+  static Action rd_na(VarId x, Value n) {
+    return {ActionKind::kRdNA, x, n, 0};
+  }
+  static Action wr_na(VarId x, Value n) {
+    return {ActionKind::kWrNA, x, 0, n};
+  }
+
+  /// Membership in Rd (updates and non-atomic reads included).
+  [[nodiscard]] bool is_read() const {
+    return kind == ActionKind::kRdX || kind == ActionKind::kRdA ||
+           kind == ActionKind::kUpdRA || kind == ActionKind::kRdNA;
+  }
+
+  /// Membership in Wr (updates and non-atomic writes included).
+  [[nodiscard]] bool is_write() const {
+    return kind == ActionKind::kWrX || kind == ActionKind::kWrR ||
+           kind == ActionKind::kUpdRA || kind == ActionKind::kWrNA;
+  }
+
+  [[nodiscard]] bool is_update() const {
+    return kind == ActionKind::kUpdRA;
+  }
+
+  /// Non-atomic accesses participate in data-race detection and never
+  /// synchronise.
+  [[nodiscard]] bool is_nonatomic() const {
+    return kind == ActionKind::kRdNA || kind == ActionKind::kWrNA;
+  }
+
+  /// Membership in RdA (acquiring side of sw).
+  [[nodiscard]] bool is_acquire() const {
+    return kind == ActionKind::kRdA || kind == ActionKind::kUpdRA;
+  }
+
+  /// Membership in WrR (releasing side of sw).
+  [[nodiscard]] bool is_release() const {
+    return kind == ActionKind::kWrR || kind == ActionKind::kUpdRA;
+  }
+
+  /// rdval(a): only meaningful when is_read().
+  [[nodiscard]] Value rdval() const { return rval; }
+
+  /// wrval(a): only meaningful when is_write().
+  [[nodiscard]] Value wrval() const { return wval; }
+
+  [[nodiscard]] bool operator==(const Action&) const = default;
+};
+
+/// Interning table mapping variable names to dense VarIds, used by the
+/// language front end and the pretty printers.
+class VarTable {
+ public:
+  /// Returns the id of `name`, creating it if new.
+  VarId intern(const std::string& name);
+
+  /// Returns the id of `name`; the name must already exist.
+  [[nodiscard]] VarId lookup(const std::string& name) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  [[nodiscard]] const std::string& name(VarId id) const;
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// Renders an action like "wrR(x, 1)" or "updRA(t, 0, 2)"; variable names
+/// come from `vars` when provided, else "v<id>".
+std::string to_string(const Action& a, const VarTable* vars = nullptr);
+
+std::string to_string(ActionKind k);
+
+}  // namespace rc11::c11

@@ -1,0 +1,140 @@
+#include "c11/axioms.hpp"
+
+#include <sstream>
+
+namespace rc11::c11 {
+
+std::string to_string(Axiom a) {
+  switch (a) {
+    case Axiom::kSbTotal:
+      return "SbTotal";
+    case Axiom::kMoValid:
+      return "MoValid";
+    case Axiom::kRfComplete:
+      return "RfComplete";
+    case Axiom::kNoThinAir:
+      return "NoThinAir";
+    case Axiom::kCoherence:
+      return "Coherence";
+  }
+  return "?";
+}
+
+std::string ValidityReport::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violated.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << c11::to_string(violated[i]);
+  }
+  return os.str();
+}
+
+bool check_sb_total(const Execution& ex) {
+  const std::size_t n = ex.size();
+  for (EventId a = 0; a < n; ++a) {
+    for (EventId b = 0; b < n; ++b) {
+      const Event& ea = ex.event(a);
+      const Event& eb = ex.event(b);
+      // (a,b) in sb => tid(a) = 0 or tid(a) = tid(b).
+      if (ex.sb().contains(a, b) && ea.tid != kInitThread &&
+          ea.tid != eb.tid) {
+        return false;
+      }
+      // Initialising writes precede all non-initialising events.
+      if (ea.tid == kInitThread && eb.tid != kInitThread &&
+          !ex.sb().contains(a, b)) {
+        return false;
+      }
+      // Distinct same-thread events are sb-ordered one way or the other.
+      if (ea.tid != kInitThread && ea.tid == eb.tid && a != b &&
+          !ex.sb().contains(a, b) && !ex.sb().contains(b, a)) {
+        return false;
+      }
+      // Initialising writes are unordered amongst themselves, and nothing
+      // precedes an initialising write.
+      if (eb.tid == kInitThread && ex.sb().contains(a, b)) return false;
+    }
+  }
+  // Strict order: irreflexive + transitive. Per-thread totality plus the
+  // checks above make sb a strict order iff it is acyclic.
+  return ex.sb().is_acyclic();
+}
+
+bool check_mo_valid(const Execution& ex) {
+  const std::size_t n = ex.size();
+  // mo relates only writes on the same variable.
+  for (auto [a, b] : ex.mo().pairs()) {
+    const Event& ea = ex.event(static_cast<EventId>(a));
+    const Event& eb = ex.event(static_cast<EventId>(b));
+    if (!ea.is_write() || !eb.is_write()) return false;
+    if (ea.var() != eb.var()) return false;
+  }
+  (void)n;
+  // Per variable: strict total order with the initialising write first.
+  for (VarId x = 0; x < ex.var_count(); ++x) {
+    const util::Bitset wx = ex.writes_on(x);
+    if (wx.empty()) continue;
+    if (!ex.mo().is_strict_total_order_on(wx)) return false;
+    // Initialising write (if present) is mo-before every other write on x.
+    for (std::size_t w = wx.first(); w < wx.size(); w = wx.next(w)) {
+      if (!ex.event(static_cast<EventId>(w)).is_init()) continue;
+      for (std::size_t v = wx.first(); v < wx.size(); v = wx.next(v)) {
+        if (v == w) continue;
+        if (!ex.mo().contains(w, v)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool check_rf_complete(const Execution& ex) {
+  const std::size_t n = ex.size();
+  // Each read has exactly one incoming rf edge.
+  std::vector<int> in_deg(n, 0);
+  for (auto [w, r] : ex.rf().pairs()) {
+    const Event& ew = ex.event(static_cast<EventId>(w));
+    const Event& er = ex.event(static_cast<EventId>(r));
+    if (!ew.is_write() || !er.is_read()) return false;
+    if (ew.var() != er.var()) return false;
+    if (ew.wrval() != er.rdval()) return false;
+    ++in_deg[r];
+  }
+  for (EventId e = 0; e < n; ++e) {
+    if (ex.event(e).is_read() && in_deg[e] != 1) return false;
+  }
+  return true;
+}
+
+bool check_no_thin_air(const Execution& ex) {
+  util::Relation sbrf = ex.sb();
+  sbrf |= ex.rf();
+  return sbrf.is_acyclic();
+}
+
+bool check_coherence(const Execution& ex, const DerivedRelations& d) {
+  (void)ex;
+  // hb ; eco? irreflexive  <=>  eco?;hb irreflexive (cycle rotation);
+  // we check hb;eco? directly as written in Definition 4.2.
+  const util::Relation hb_ecoopt =
+      d.hb.compose(d.eco.reflexive_closure());
+  return hb_ecoopt.is_irreflexive() && d.eco.is_irreflexive();
+}
+
+ValidityReport check_validity(const Execution& ex) {
+  return check_validity(ex, compute_derived(ex));
+}
+
+ValidityReport check_validity(const Execution& ex,
+                              const DerivedRelations& d) {
+  ValidityReport report;
+  if (!check_sb_total(ex)) report.violated.push_back(Axiom::kSbTotal);
+  if (!check_mo_valid(ex)) report.violated.push_back(Axiom::kMoValid);
+  if (!check_rf_complete(ex)) report.violated.push_back(Axiom::kRfComplete);
+  if (!check_no_thin_air(ex)) report.violated.push_back(Axiom::kNoThinAir);
+  if (!check_coherence(ex, d)) report.violated.push_back(Axiom::kCoherence);
+  return report;
+}
+
+bool is_valid(const Execution& ex) { return check_validity(ex).valid(); }
+
+}  // namespace rc11::c11

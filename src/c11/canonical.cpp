@@ -1,0 +1,142 @@
+#include "c11/canonical.hpp"
+
+#include <sstream>
+
+namespace rc11::c11 {
+
+std::string to_string(CanonicalAxiom a) {
+  switch (a) {
+    case CanonicalAxiom::kHb:
+      return "HB";
+    case CanonicalAxiom::kCoh:
+      return "COH";
+    case CanonicalAxiom::kRf:
+      return "RF";
+    case CanonicalAxiom::kRfi:
+      return "RFI";
+    case CanonicalAxiom::kUpd:
+      return "UPD";
+  }
+  return "?";
+}
+
+std::string CanonicalReport::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violated.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << c11::to_string(violated[i]);
+  }
+  return os.str();
+}
+
+CanonicalReport check_weak_canonical(const Execution& ex) {
+  return check_weak_canonical(ex, compute_derived(ex));
+}
+
+CanonicalReport check_weak_canonical(const Execution& ex,
+                                     const DerivedRelations& d) {
+  CanonicalReport report;
+  const util::Relation& rf = ex.rf();
+  const util::Relation& mo = ex.mo();
+  const util::Relation rf_inv = rf.inverse();
+
+  if (!d.hb.is_irreflexive()) {
+    report.violated.push_back(CanonicalAxiom::kHb);
+  }
+
+  // COH: irrefl((rf^-1)? ; mo ; rf? ; hb).
+  const util::Relation coh = rf_inv.reflexive_closure()
+                                 .compose(mo)
+                                 .compose(rf.reflexive_closure())
+                                 .compose(d.hb);
+  if (!coh.is_irreflexive()) {
+    report.violated.push_back(CanonicalAxiom::kCoh);
+  }
+
+  if (!rf.compose(d.hb).is_irreflexive()) {
+    report.violated.push_back(CanonicalAxiom::kRf);
+  }
+
+  if (!rf.is_irreflexive()) {
+    report.violated.push_back(CanonicalAxiom::kRfi);
+  }
+
+  // UPD: irrefl((mo;mo;rf^-1) u (mo;rf)).
+  util::Relation upd = mo.compose(mo).compose(rf_inv);
+  upd |= mo.compose(rf);
+  if (!upd.is_irreflexive()) {
+    report.violated.push_back(CanonicalAxiom::kUpd);
+  }
+  return report;
+}
+
+bool check_def42_coherence(const Execution& ex, const DerivedRelations& d) {
+  (void)ex;
+  const util::Relation hb_ecoopt =
+      d.hb.compose(d.eco.reflexive_closure());
+  return hb_ecoopt.is_irreflexive() && d.eco.is_irreflexive();
+}
+
+bool check_upd_reformulated(const Execution& ex, const DerivedRelations& d) {
+  const util::Relation& mo = ex.mo();
+  return d.fr.compose(mo).is_irreflexive() &&
+         ex.rf().compose(mo).is_irreflexive();
+}
+
+util::Relation compute_sw_canonical(const Execution& ex) {
+  const std::size_t n = ex.size();
+  // poloc: same-variable program order.
+  util::Relation poloc(n);
+  for (auto [a, b] : ex.sb().pairs()) {
+    if (ex.event(static_cast<EventId>(a)).var() ==
+        ex.event(static_cast<EventId>(b)).var()) {
+      poloc.add(a, b);
+    }
+  }
+  // rs = poloc* ; rf*.
+  const util::Relation rs = poloc.reflexive_transitive_closure().compose(
+      ex.rf().reflexive_transitive_closure());
+  // swC = [WrR] ; rs ; rf ; [RdA].
+  const util::Relation rs_rf = rs.compose(ex.rf());
+  util::Relation sw(n);
+  for (auto [w, r] : rs_rf.pairs()) {
+    if (ex.event(static_cast<EventId>(w)).is_release() &&
+        ex.event(static_cast<EventId>(w)).is_write() &&
+        ex.event(static_cast<EventId>(r)).is_acquire() &&
+        ex.event(static_cast<EventId>(r)).is_read()) {
+      sw.add(w, r);
+    }
+  }
+  return sw;
+}
+
+util::Relation compute_hb_canonical(const Execution& ex) {
+  util::Relation base = ex.sb();
+  base |= compute_sw_canonical(ex);
+  return base.transitive_closure();
+}
+
+CanonicalReport check_canonical_with_release_sequences(const Execution& ex) {
+  CanonicalReport report;
+  const util::Relation hb = compute_hb_canonical(ex);
+  const util::Relation& rf = ex.rf();
+  const util::Relation& mo = ex.mo();
+  const util::Relation rf_inv = rf.inverse();
+
+  if (!hb.is_irreflexive()) report.violated.push_back(CanonicalAxiom::kHb);
+  const util::Relation coh = rf_inv.reflexive_closure()
+                                 .compose(mo)
+                                 .compose(rf.reflexive_closure())
+                                 .compose(hb);
+  if (!coh.is_irreflexive()) report.violated.push_back(CanonicalAxiom::kCoh);
+  if (!rf.compose(hb).is_irreflexive()) {
+    report.violated.push_back(CanonicalAxiom::kRf);
+  }
+  if (!rf.is_irreflexive()) report.violated.push_back(CanonicalAxiom::kRfi);
+  util::Relation upd = mo.compose(mo).compose(rf_inv);
+  upd |= mo.compose(rf);
+  if (!upd.is_irreflexive()) report.violated.push_back(CanonicalAxiom::kUpd);
+  return report;
+}
+
+}  // namespace rc11::c11

@@ -1,0 +1,79 @@
+// Appendix C: relationship with the canonical C11 model of Batty et al.
+//
+// Weak canonical RAR consistency (Definition C.3) of a candidate execution:
+//   HB    irrefl(hb)
+//   COH   irrefl((rf^-1)? ; mo ; rf? ; hb)
+//   RF    irrefl(rf ; hb)
+//   RFI   irrefl(rf)
+//   UPD   irrefl((mo ; mo ; rf^-1) u (mo ; rf))        (update atomicity)
+//
+// Theorem C.15: a candidate execution is weakly canonical consistent iff it
+// satisfies the Coherence condition of Definition 4.2 (irrefl(hb;eco?) and
+// irrefl(eco)). The paper mechanised this in Memalloy up to size 7;
+// test_canonical and bench_equivalence replay the check with our enumerator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "c11/derived.hpp"
+#include "c11/execution.hpp"
+
+namespace rc11::c11 {
+
+enum class CanonicalAxiom : std::uint8_t {
+  kHb,
+  kCoh,
+  kRf,
+  kRfi,
+  kUpd,
+};
+
+std::string to_string(CanonicalAxiom a);
+
+struct CanonicalReport {
+  std::vector<CanonicalAxiom> violated;
+
+  [[nodiscard]] bool consistent() const { return violated.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks Definition C.3 on a candidate execution.
+[[nodiscard]] CanonicalReport check_weak_canonical(const Execution& ex);
+[[nodiscard]] CanonicalReport check_weak_canonical(const Execution& ex,
+                                                   const DerivedRelations& d);
+
+/// The Coherence side of Theorem C.15: irrefl(hb;eco?) and irrefl(eco).
+[[nodiscard]] bool check_def42_coherence(const Execution& ex,
+                                         const DerivedRelations& d);
+
+/// Lemma C.6: UPD is equivalent to irrefl(fr;mo) and irrefl(rf;mo).
+/// Exposed so tests can confirm the reformulation.
+[[nodiscard]] bool check_upd_reformulated(const Execution& ex,
+                                          const DerivedRelations& d);
+
+// --- Release sequences (Appendix C) -------------------------------------------
+//
+// The canonical model's synchronises-with is larger than the paper's:
+//   rs  = poloc* ; rf*                      (c11_base.cat approximation)
+//   swC = [WrR] ; rs ; rf ; [RdA]
+// so a releasing write also synchronises with acquiring reads of *later*
+// writes in its release sequence (same-thread same-location successors and
+// RMW chains). The paper drops release sequences (sw = rf n (WrR x RdA)),
+// yielding a weaker model with more valid executions; these functions let
+// clients (tests, benches) quantify the difference.
+
+/// swC: canonical synchronises-with including release sequences.
+[[nodiscard]] util::Relation compute_sw_canonical(const Execution& ex);
+
+/// hbC = (sb u swC)+.
+[[nodiscard]] util::Relation compute_hb_canonical(const Execution& ex);
+
+/// Weak canonical consistency, but with hbC instead of hb — i.e. the
+/// *canonical* (Definition C.2 style) judgement. Every canonically
+/// consistent execution is weakly canonical consistent (Lemma C.4); the
+/// converse can fail when a release sequence adds synchronisation.
+[[nodiscard]] CanonicalReport check_canonical_with_release_sequences(
+    const Execution& ex);
+
+}  // namespace rc11::c11

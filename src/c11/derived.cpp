@@ -1,0 +1,67 @@
+#include "c11/derived.hpp"
+
+namespace rc11::c11 {
+
+util::Relation compute_sw(const Execution& ex) {
+  const std::size_t n = ex.size();
+  util::Relation sw(n);
+  for (auto [w, r] : ex.rf().pairs()) {
+    if (ex.event(static_cast<EventId>(w)).is_release() &&
+        ex.event(static_cast<EventId>(r)).is_acquire()) {
+      sw.add(w, r);
+    }
+  }
+  return sw;
+}
+
+util::Relation compute_hb(const Execution& ex) {
+  util::Relation base = ex.sb();
+  base |= compute_sw(ex);
+  return base.transitive_closure();
+}
+
+util::Relation compute_fr(const Execution& ex) {
+  util::Relation fr = ex.rf().inverse().compose(ex.mo());
+  fr.remove_identity();
+  return fr;
+}
+
+util::Relation compute_eco(const Execution& ex) {
+  util::Relation base = compute_fr(ex);
+  base |= ex.mo();
+  base |= ex.rf();
+  return base.transitive_closure();
+}
+
+DerivedRelations compute_derived(const Execution& ex) {
+  DerivedRelations d;
+  d.sw = compute_sw(ex);
+
+  util::Relation hb_base = ex.sb();
+  hb_base |= d.sw;
+  d.hb = hb_base.transitive_closure();
+
+  d.fr = ex.rf().inverse().compose(ex.mo());
+  d.fr.remove_identity();
+
+  util::Relation eco_base = d.fr;
+  eco_base |= ex.mo();
+  eco_base |= ex.rf();
+  d.eco = eco_base.transitive_closure();
+
+  d.eco_opt_hb_opt =
+      d.eco.reflexive_closure().compose(d.hb.reflexive_closure());
+  return d;
+}
+
+util::Relation eco_closed_form(const Execution& ex) {
+  const util::Relation fr = compute_fr(ex);
+  util::Relation out = ex.rf();
+  out |= ex.mo();
+  out |= fr;
+  out |= ex.mo().compose(ex.rf());
+  out |= fr.compose(ex.rf());
+  return out;
+}
+
+}  // namespace rc11::c11

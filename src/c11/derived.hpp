@@ -1,0 +1,50 @@
+// Derived relations of the RAR model (Section 3.1):
+//
+//   sw  = rf n (WrR x RdA)          synchronises-with (release-sequence-free,
+//                                   matching the paper's c11_base_rar.cat)
+//   hb  = (sb u sw)+                happens-before
+//   fr  = (rf^-1 ; mo) \ Id         from-read ("reads-before")
+//   eco = (fr u mo u rf)+           extended coherence order
+//
+// DerivedRelations bundles one consistent snapshot; observability and the
+// validity axioms consume it. Computing it is the hot path of the model
+// checker, so everything is bitset algebra.
+#pragma once
+
+#include "c11/execution.hpp"
+#include "util/relation.hpp"
+
+namespace rc11::c11 {
+
+struct DerivedRelations {
+  util::Relation sw;
+  util::Relation hb;
+  util::Relation fr;
+  util::Relation eco;
+
+  /// eco? ; hb? — the "extended causality past" used by encountered-writes
+  /// (Section 3.2) and the Coherence axiom.
+  util::Relation eco_opt_hb_opt;
+};
+
+/// synchronises-with: rf edges from a releasing write to an acquiring read.
+[[nodiscard]] util::Relation compute_sw(const Execution& ex);
+
+/// happens-before: (sb u sw)+.
+[[nodiscard]] util::Relation compute_hb(const Execution& ex);
+
+/// from-read: (rf^-1 ; mo) \ Id.
+[[nodiscard]] util::Relation compute_fr(const Execution& ex);
+
+/// extended coherence order: (fr u mo u rf)+.
+[[nodiscard]] util::Relation compute_eco(const Execution& ex);
+
+/// Computes all derived relations in one pass (sharing intermediates).
+[[nodiscard]] DerivedRelations compute_derived(const Execution& ex);
+
+/// The closed form of eco (Lemma C.9): under update atomicity,
+///   eco = rf u mo u fr u (mo;rf) u (fr;rf).
+/// Exposed so tests can confirm the lemma on enumerated executions.
+[[nodiscard]] util::Relation eco_closed_form(const Execution& ex);
+
+}  // namespace rc11::c11

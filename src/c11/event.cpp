@@ -1,0 +1,11 @@
+#include "c11/event.hpp"
+
+#include "util/fmt.hpp"
+
+namespace rc11::c11 {
+
+std::string to_string(const Event& e, const VarTable* vars) {
+  return util::cat("e", e.tag, ":", to_string(e.action, vars), "@", e.tid);
+}
+
+}  // namespace rc11::c11

@@ -1,0 +1,45 @@
+// Events: actions placed in an execution (Section 3.1).
+//
+//   Evt = G x Act x T
+//
+// In the paper a tag from an abstract tag set G uniquely identifies an
+// event. We use the dense index of the event inside its Execution, which
+// doubles as the row/column index of all relation matrices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "c11/action.hpp"
+
+namespace rc11::c11 {
+
+using EventId = std::uint32_t;
+
+/// Sentinel for "no event" (the bottom write in Wr_? = Wr u {bot}).
+inline constexpr EventId kNoEvent = UINT32_MAX;
+
+struct Event {
+  EventId tag = kNoEvent;
+  ThreadId tid = 0;
+  Action action;
+
+  [[nodiscard]] VarId var() const { return action.var; }
+  [[nodiscard]] Value rdval() const { return action.rdval(); }
+  [[nodiscard]] Value wrval() const { return action.wrval(); }
+  [[nodiscard]] bool is_read() const { return action.is_read(); }
+  [[nodiscard]] bool is_write() const { return action.is_write(); }
+  [[nodiscard]] bool is_update() const { return action.is_update(); }
+  [[nodiscard]] bool is_acquire() const { return action.is_acquire(); }
+  [[nodiscard]] bool is_release() const { return action.is_release(); }
+
+  /// Initialising events belong to thread 0 (IWr, Section 3.1).
+  [[nodiscard]] bool is_init() const { return tid == kInitThread; }
+
+  [[nodiscard]] bool operator==(const Event&) const = default;
+};
+
+/// Renders e.g. "e3:updRA_2(t, 0, 2)" (tag, action, thread subscript).
+std::string to_string(const Event& e, const VarTable* vars = nullptr);
+
+}  // namespace rc11::c11

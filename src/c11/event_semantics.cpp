@@ -1,0 +1,159 @@
+#include "c11/event_semantics.hpp"
+
+#include <cassert>
+
+namespace rc11::c11 {
+
+namespace {
+
+bool is_read_action(const Action& a) {
+  return a.kind == ActionKind::kRdX || a.kind == ActionKind::kRdA ||
+         a.kind == ActionKind::kRdNA;
+}
+
+bool is_write_action(const Action& a) {
+  return a.kind == ActionKind::kWrX || a.kind == ActionKind::kWrR ||
+         a.kind == ActionKind::kWrNA;
+}
+
+
+}  // namespace
+
+std::optional<RaStep> ra_step(const Execution& ex, EventId w, ThreadId tid,
+                              const Action& a) {
+  return ra_step(ex, compute_derived(ex), w, tid, a);
+}
+
+std::optional<RaStep> ra_step(const Execution& ex, const DerivedRelations& d,
+                              EventId w, ThreadId tid, const Action& a) {
+  if (w >= ex.size() || !ex.event(w).is_write()) return std::nullopt;
+  if (ex.event(w).var() != a.var) return std::nullopt;
+
+  const util::Bitset ow = observable_writes(ex, d, tid);
+  if (!ow.test(w)) return std::nullopt;
+
+  if (is_read_action(a)) {
+    // Read rule: wrval(w) = n.
+    if (ex.event(w).wrval() != a.rdval()) return std::nullopt;
+    if (a.kind == ActionKind::kRdNA) {
+      return apply_read_na(ex, tid, a.var, w);
+    }
+    return apply_read(ex, tid, a.var, a.kind == ActionKind::kRdA, w);
+  }
+
+  const util::Bitset cw = covered_writes(ex);
+  if (cw.test(w)) return std::nullopt;  // Write/RMW need w uncovered
+
+  if (is_write_action(a)) {
+    if (a.kind == ActionKind::kWrNA) {
+      return apply_write_na(ex, tid, a.var, a.wrval(), w);
+    }
+    return apply_write(ex, tid, a.var, a.wrval(),
+                       a.kind == ActionKind::kWrR, w);
+  }
+
+  assert(a.kind == ActionKind::kUpdRA);
+  // RMW rule: wrval(w) = m.
+  if (ex.event(w).wrval() != a.rdval()) return std::nullopt;
+  return apply_update(ex, tid, a.var, a.wrval(), w);
+}
+
+std::vector<ReadOption> read_options(const Execution& ex,
+                                     const DerivedRelations& d, ThreadId t,
+                                     VarId x) {
+  const util::Bitset ow = observable_writes(ex, d, t);
+  std::vector<ReadOption> out;
+  ow.for_each([&](std::size_t w) {
+    const Event& we = ex.event(static_cast<EventId>(w));
+    if (we.var() == x) {
+      out.push_back({static_cast<EventId>(w), we.wrval()});
+    }
+  });
+  return out;
+}
+
+std::vector<EventId> write_options(const Execution& ex,
+                                   const DerivedRelations& d, ThreadId t,
+                                   VarId x) {
+  util::Bitset ow = observable_writes(ex, d, t);
+  ow.subtract(covered_writes(ex));
+  std::vector<EventId> out;
+  ow.for_each([&](std::size_t w) {
+    if (ex.event(static_cast<EventId>(w)).var() == x) {
+      out.push_back(static_cast<EventId>(w));
+    }
+  });
+  return out;
+}
+
+std::vector<ReadOption> update_options(const Execution& ex,
+                                       const DerivedRelations& d, ThreadId t,
+                                       VarId x) {
+  std::vector<ReadOption> out;
+  for (EventId w : write_options(ex, d, t, x)) {
+    out.push_back({w, ex.event(w).wrval()});
+  }
+  return out;
+}
+
+RaStep apply_read(const Execution& ex, ThreadId t, VarId x, bool acquire,
+                  EventId w) {
+  assert(ex.event(w).var() == x);
+  RaStep step;
+  step.next = ex;
+  step.observed = w;
+  const Value n = ex.event(w).wrval();
+  const Action a = acquire ? Action::rd_acq(x, n) : Action::rd(x, n);
+  step.event = step.next.add_event(t, a);
+  step.next.add_rf(w, step.event);
+  return step;
+}
+
+RaStep apply_write(const Execution& ex, ThreadId t, VarId x, Value value,
+                   bool release, EventId w) {
+  assert(ex.event(w).var() == x);
+  RaStep step;
+  step.next = ex;
+  step.observed = w;
+  const Action a = release ? Action::wr_rel(x, value) : Action::wr(x, value);
+  step.event = step.next.add_event(t, a);
+  step.next.mo_insert_after(w, step.event);
+  return step;
+}
+
+RaStep apply_read_na(const Execution& ex, ThreadId t, VarId x, EventId w) {
+  assert(ex.event(w).var() == x);
+  RaStep step;
+  step.next = ex;
+  step.observed = w;
+  const Value n = ex.event(w).wrval();
+  step.event = step.next.add_event(t, Action::rd_na(x, n));
+  step.next.add_rf(w, step.event);
+  return step;
+}
+
+RaStep apply_write_na(const Execution& ex, ThreadId t, VarId x, Value value,
+                      EventId w) {
+  assert(ex.event(w).var() == x);
+  RaStep step;
+  step.next = ex;
+  step.observed = w;
+  step.event = step.next.add_event(t, Action::wr_na(x, value));
+  step.next.mo_insert_after(w, step.event);
+  return step;
+}
+
+RaStep apply_update(const Execution& ex, ThreadId t, VarId x, Value new_value,
+                    EventId w) {
+  assert(ex.event(w).var() == x);
+  RaStep step;
+  step.next = ex;
+  step.observed = w;
+  const Value m = ex.event(w).wrval();
+  step.event = step.next.add_event(t, Action::upd(x, m, new_value));
+  step.next.add_rf(w, step.event);
+  step.next.mo_insert_after(w, step.event);
+  return step;
+}
+
+}  // namespace rc11::c11

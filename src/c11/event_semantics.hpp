@@ -1,0 +1,88 @@
+// The transition rules of the operational event semantics (Figure 3).
+//
+//   Read:  a in {rd(x,n), rdA(x,n)},  w in OW_sigma(t), var(w) = x,
+//          wrval(w) = n       =>  rf' = rf u {(w,e)},  mo' = mo
+//   Write: a in {wr(x,n), wrR(x,n)},  w in OW_sigma(t) \ CW_sigma,
+//          var(w) = x         =>  rf' = rf,  mo' = mo[w,e]
+//   RMW:   a = updRA(x,m,n),  w in OW_sigma(t) \ CW_sigma, var(w) = x,
+//          wrval(w) = m       =>  rf' = rf u {(w,e)},  mo' = mo[w,e]
+//
+// Two APIs are provided:
+//  * ra_step: a literal transcription of one rule application
+//    sigma --(w,e)-->_RA sigma', checking every premise — used by tests and
+//    the proof-calculus transition hooks.
+//  * the *_options / apply_* pair: enumerate the possible observed writes w
+//    for a given thread/variable, then build the successor — used by the
+//    model checker (which wants all successors, not one).
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "c11/derived.hpp"
+#include "c11/execution.hpp"
+#include "c11/observability.hpp"
+
+namespace rc11::c11 {
+
+/// Result of one RA transition: the successor state and the tag of the
+/// event that was added (e) plus the observed write (w).
+struct RaStep {
+  Execution next;
+  EventId event = kNoEvent;
+  EventId observed = kNoEvent;
+};
+
+/// Applies one rule of Figure 3: thread `tid` performs action `a` observing
+/// write `w`. Returns std::nullopt if any premise fails (w not observable,
+/// wrong variable, wrong value, or w covered for Write/RMW).
+[[nodiscard]] std::optional<RaStep> ra_step(const Execution& ex, EventId w,
+                                            ThreadId tid, const Action& a);
+
+/// As above but with precomputed derived relations (hot path).
+[[nodiscard]] std::optional<RaStep> ra_step(const Execution& ex,
+                                            const DerivedRelations& d,
+                                            EventId w, ThreadId tid,
+                                            const Action& a);
+
+/// A candidate write a read/update may observe, with the value it returns.
+struct ReadOption {
+  EventId write = kNoEvent;
+  Value value = 0;
+};
+
+/// Writes observable to thread t on variable x (Read rule premises).
+[[nodiscard]] std::vector<ReadOption> read_options(const Execution& ex,
+                                                   const DerivedRelations& d,
+                                                   ThreadId t, VarId x);
+
+/// Writes after which thread t may insert a new write to x:
+/// OW_sigma(t) \ CW_sigma restricted to x (Write rule premises).
+[[nodiscard]] std::vector<EventId> write_options(const Execution& ex,
+                                                 const DerivedRelations& d,
+                                                 ThreadId t, VarId x);
+
+/// Update candidates: same as write_options but also yields the value read
+/// (RMW rule premises).
+[[nodiscard]] std::vector<ReadOption> update_options(
+    const Execution& ex, const DerivedRelations& d, ThreadId t, VarId x);
+
+/// Successor builders. Premises must have been established via the
+/// corresponding *_options call; they are re-asserted in debug builds.
+[[nodiscard]] RaStep apply_read(const Execution& ex, ThreadId t, VarId x,
+                                bool acquire, EventId w);
+[[nodiscard]] RaStep apply_write(const Execution& ex, ThreadId t, VarId x,
+                                 Value value, bool release, EventId w);
+[[nodiscard]] RaStep apply_update(const Execution& ex, ThreadId t, VarId x,
+                                  Value new_value, EventId w);
+
+/// Non-atomic variants (extension; see c11/races.hpp): rf/mo behave
+/// exactly as for relaxed accesses, but the events carry the NA kind so
+/// race detection can see them.
+[[nodiscard]] RaStep apply_read_na(const Execution& ex, ThreadId t, VarId x,
+                                   EventId w);
+[[nodiscard]] RaStep apply_write_na(const Execution& ex, ThreadId t, VarId x,
+                                    Value value, EventId w);
+
+}  // namespace rc11::c11

@@ -1,0 +1,229 @@
+#include "c11/execution.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hash.hpp"
+
+namespace rc11::c11 {
+
+Execution Execution::initial(
+    const std::vector<std::pair<VarId, Value>>& init) {
+  Execution ex;
+  for (auto [var, val] : init) {
+    ex.add_event(kInitThread, Action::wr(var, val));
+  }
+  return ex;
+}
+
+EventId Execution::add_event(ThreadId tid, const Action& a) {
+  const auto e = static_cast<EventId>(events_.size());
+  events_.push_back(Event{e, tid, a});
+
+  const std::size_t n = events_.size();
+  sb_.resize(n);
+  rf_.resize(n);
+  mo_.resize(n);
+  inits_.resize(n);
+  writes_.resize(n);
+  reads_.resize(n);
+  updates_.resize(n);
+
+  // sb := sb u ({e' in D | tid(e') in {tid(e), 0}} x {e}).
+  // Initialising writes are not sb-ordered amongst themselves.
+  if (tid != kInitThread) {
+    for (EventId p = 0; p < e; ++p) {
+      const ThreadId pt = events_[p].tid;
+      if (pt == tid || pt == kInitThread) sb_.add(p, e);
+    }
+  }
+
+  if (tid == kInitThread) inits_.set(e);
+  if (a.is_write()) writes_.set(e);
+  if (a.is_read()) reads_.set(e);
+  if (a.is_update()) updates_.set(e);
+  max_thread_ = std::max(max_thread_, tid);
+  var_count_ = std::max(var_count_, static_cast<std::size_t>(a.var) + 1);
+  return e;
+}
+
+void Execution::add_rf(EventId w, EventId r) {
+  assert(events_[w].is_write() && events_[r].is_read());
+  rf_.add(w, r);
+}
+
+void Execution::mo_insert_after(EventId w, EventId e) {
+  assert(events_[w].is_write() && events_[e].is_write());
+  // mo+w = {w} u mo^-1[w]: w and everything mo-before it.
+  util::Bitset before = mo_.column(w);
+  before.set(w);
+  // mo[w]: everything mo-after w (before inserting e).
+  const util::Bitset after = mo_.row(w);
+  before.for_each([&](std::size_t p) {
+    mo_.add(static_cast<EventId>(p), e);
+  });
+  after.for_each([&](std::size_t s) {
+    mo_.add(e, static_cast<EventId>(s));
+  });
+}
+
+util::Bitset Execution::writes_on(VarId x) const {
+  util::Bitset out(events_.size());
+  writes_.for_each([&](std::size_t w) {
+    if (events_[w].var() == x) out.set(w);
+  });
+  return out;
+}
+
+util::Bitset Execution::events_of(ThreadId t) const {
+  util::Bitset out(events_.size());
+  for (EventId e = 0; e < events_.size(); ++e) {
+    if (events_[e].tid == t) out.set(e);
+  }
+  return out;
+}
+
+EventId Execution::last(VarId x) const {
+  const util::Bitset wx = writes_on(x);
+  for (std::size_t w = wx.first(); w < wx.size(); w = wx.next(w)) {
+    if (mo_.row(w).disjoint(wx)) return static_cast<EventId>(w);
+  }
+  return kNoEvent;
+}
+
+EventId Execution::rf_source(EventId r) const {
+  for (EventId w = 0; w < events_.size(); ++w) {
+    if (rf_.contains(w, r)) return w;
+  }
+  return kNoEvent;
+}
+
+bool Execution::is_update_only(VarId x) const {
+  bool found = false;
+  writes_.for_each([&](std::size_t w) {
+    if (events_[w].var() == x && !events_[w].is_update() &&
+        !events_[w].is_init()) {
+      found = true;
+    }
+  });
+  return !found;
+}
+
+Execution Execution::restrict(const util::Bitset& keep) const {
+  Execution out;
+  std::vector<EventId> remap(events_.size(), kNoEvent);
+  for (EventId e = 0; e < events_.size(); ++e) {
+    if (!keep.test(e)) continue;
+    const auto ne = static_cast<EventId>(out.events_.size());
+    remap[e] = ne;
+    out.events_.push_back(Event{ne, events_[e].tid, events_[e].action});
+  }
+  const std::size_t n = out.events_.size();
+  out.sb_ = util::Relation(n);
+  out.rf_ = util::Relation(n);
+  out.mo_ = util::Relation(n);
+  out.inits_ = util::Bitset(n);
+  out.writes_ = util::Bitset(n);
+  out.reads_ = util::Bitset(n);
+  out.updates_ = util::Bitset(n);
+  for (EventId e = 0; e < events_.size(); ++e) {
+    if (remap[e] == kNoEvent) continue;
+    const Event& ev = events_[e];
+    if (ev.is_init()) out.inits_.set(remap[e]);
+    if (ev.is_write()) out.writes_.set(remap[e]);
+    if (ev.is_read()) out.reads_.set(remap[e]);
+    if (ev.is_update()) out.updates_.set(remap[e]);
+    out.max_thread_ = std::max(out.max_thread_, ev.tid);
+    out.var_count_ =
+        std::max(out.var_count_, static_cast<std::size_t>(ev.var()) + 1);
+  }
+  auto restrict_relation = [&](const util::Relation& src,
+                               util::Relation& dst) {
+    for (auto [a, b] : src.pairs()) {
+      if (remap[a] != kNoEvent && remap[b] != kNoEvent) {
+        dst.add(remap[a], remap[b]);
+      }
+    }
+  };
+  restrict_relation(sb_, out.sb_);
+  restrict_relation(rf_, out.rf_);
+  restrict_relation(mo_, out.mo_);
+  return out;
+}
+
+util::Bitset Execution::sbrf_prefix(const util::Bitset& seed) const {
+  util::Relation sbrf = sb_;
+  sbrf |= rf_;
+  const util::Relation pred = sbrf.inverse();
+  util::Bitset closed = seed;
+  closed |= inits_;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    closed.for_each([&](std::size_t e) {
+      pred.row(e).for_each([&](std::size_t p) {
+        if (!closed.test(p)) {
+          closed.set(p);
+          changed = true;
+        }
+      });
+    });
+  }
+  return closed;
+}
+
+std::vector<std::uint64_t> Execution::canonical_key() const {
+  const std::size_t n = events_.size();
+  // Canonical order: sort event ids by (tid, tag). Within a thread, tags
+  // increase along sb|t (events are appended), so this is (tid, sb-position).
+  // Initialising writes (thread 0) are additionally sorted by variable so
+  // their creation order does not matter.
+  std::vector<EventId> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<EventId>(i);
+  std::sort(order.begin(), order.end(), [&](EventId a, EventId b) {
+    const Event& ea = events_[a];
+    const Event& eb = events_[b];
+    if (ea.tid != eb.tid) return ea.tid < eb.tid;
+    if (ea.tid == kInitThread && ea.var() != eb.var()) {
+      return ea.var() < eb.var();
+    }
+    return a < b;
+  });
+  std::vector<EventId> pos(n);  // pos[tag] = canonical index
+  for (std::size_t i = 0; i < n; ++i) pos[order[i]] = static_cast<EventId>(i);
+
+  std::vector<std::uint64_t> key;
+  key.reserve(n * 3 + 8);
+  key.push_back(n);
+  for (EventId id : order) {
+    const Event& e = events_[id];
+    key.push_back((static_cast<std::uint64_t>(e.tid) << 8) |
+                  static_cast<std::uint64_t>(e.action.kind));
+    key.push_back((static_cast<std::uint64_t>(e.action.var) << 32) ^
+                  static_cast<std::uint64_t>(e.action.rval));
+    key.push_back(static_cast<std::uint64_t>(e.action.wval));
+  }
+  auto emit_relation = [&](const util::Relation& r) {
+    std::vector<std::uint64_t> cells;
+    for (auto [a, b] : r.pairs()) {
+      cells.push_back((static_cast<std::uint64_t>(pos[a]) << 32) | pos[b]);
+    }
+    std::sort(cells.begin(), cells.end());
+    key.push_back(cells.size());
+    key.insert(key.end(), cells.begin(), cells.end());
+  };
+  emit_relation(sb_);
+  emit_relation(rf_);
+  emit_relation(mo_);
+  return key;
+}
+
+std::size_t Execution::canonical_hash() const {
+  std::size_t h = 0;
+  for (std::uint64_t w : canonical_key()) {
+    util::hash_combine(h, static_cast<std::size_t>(w));
+  }
+  return h;
+}
+
+}  // namespace rc11::c11

@@ -1,0 +1,138 @@
+// C11 states (Definition 3.1): sigma = ((D, sb), rf, mo).
+//
+// An Execution owns the event list D and the three primitive relations.
+// Derived relations (sw, hb, fr, eco) are computed by derived.hpp; the
+// transition rules of Figure 3 are in event_semantics.hpp.
+//
+// Events are identified by dense indices (tags); relations are bitset
+// matrices over those indices. Executions only ever grow: the `(D, sb) + e`
+// operator appends the event and extends all relations by one row/column.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "c11/event.hpp"
+#include "util/bitset.hpp"
+#include "util/relation.hpp"
+
+namespace rc11::c11 {
+
+class Execution {
+ public:
+  Execution() = default;
+
+  /// The initial state sigma_0 = ((I, {}), {}, {}): one initialising write
+  /// per variable, executed by thread 0, unordered amongst themselves
+  /// (Section 3.1). `init` lists (variable, initial value) pairs.
+  static Execution initial(
+      const std::vector<std::pair<VarId, Value>>& init);
+
+  // --- Event access -------------------------------------------------------
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const Event& event(EventId e) const { return events_[e]; }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  /// All initialising writes I_sigma = D n IWr.
+  [[nodiscard]] const util::Bitset& init_writes() const { return inits_; }
+
+  /// Wr n D, Rd n D, U n D as index sets.
+  [[nodiscard]] const util::Bitset& writes() const { return writes_; }
+  [[nodiscard]] const util::Bitset& reads() const { return reads_; }
+  [[nodiscard]] const util::Bitset& updates() const { return updates_; }
+
+  /// Writes (including updates) on variable x.
+  [[nodiscard]] util::Bitset writes_on(VarId x) const;
+
+  /// Events of thread t.
+  [[nodiscard]] util::Bitset events_of(ThreadId t) const;
+
+  /// Largest thread id present (including thread 0).
+  [[nodiscard]] ThreadId max_thread() const { return max_thread_; }
+
+  /// Largest variable id present plus one.
+  [[nodiscard]] std::size_t var_count() const { return var_count_; }
+
+  // --- Primitive relations ------------------------------------------------
+
+  [[nodiscard]] const util::Relation& sb() const { return sb_; }
+  [[nodiscard]] const util::Relation& rf() const { return rf_; }
+  [[nodiscard]] const util::Relation& mo() const { return mo_; }
+
+  // --- State construction (used by the event semantics) --------------------
+
+  /// `(D, sb) + e` (Section 3.2): appends the event, ordering every prior
+  /// event of tid(e) and of thread 0 sb-before it. Returns the new tag.
+  EventId add_event(ThreadId tid, const Action& a);
+
+  /// Adds an rf edge w -> r. Caller guarantees var/value agreement.
+  void add_rf(EventId w, EventId r);
+
+  /// mo[w, e] (Section 3.2): inserts e immediately after w in mo, i.e.
+  ///   mo := mo  u  (mo+w x {e})  u  ({e} x mo[w])
+  /// where mo+w = {w} u mo^-1[w] and mo[w] is the set of mo-successors.
+  void mo_insert_after(EventId w, EventId e);
+
+  /// Raw relation mutation used by the axiomatic enumerator, which builds
+  /// and retracts rf/mo choices wholesale rather than incrementally.
+  void add_mo(EventId a, EventId b) { mo_.add(a, b); }
+  void remove_mo(EventId a, EventId b) { mo_.remove(a, b); }
+  void remove_rf(EventId w, EventId r) { rf_.remove(w, r); }
+  void clear_rf() { rf_ = util::Relation(events_.size()); }
+  void clear_mo() { mo_ = util::Relation(events_.size()); }
+
+  // --- Queries -------------------------------------------------------------
+
+  /// sigma.last(x): the write to x not succeeded by another write to x in
+  /// mo (Section 5.1). Unique in valid states; if several writes are
+  /// mo-maximal (invalid state) the lowest tag is returned.
+  [[nodiscard]] EventId last(VarId x) const;
+
+  /// The write event that read r reads from, or kNoEvent.
+  [[nodiscard]] EventId rf_source(EventId r) const;
+
+  /// True iff every modification of x in D is an update or initialising
+  /// write ("update-only variable", Section 5.1).
+  [[nodiscard]] bool is_update_only(VarId x) const;
+
+  /// The restriction operator of Theorem 4.8: keeps only the events in
+  /// `keep` (re-tagged densely, preserving relative order) and intersects
+  /// sb, rf and mo with keep x keep. Validity is preserved whenever `keep`
+  /// is downward closed under sb u rf and contains the initialising
+  /// writes (the completeness proof walks such prefixes).
+  [[nodiscard]] Execution restrict(const util::Bitset& keep) const;
+
+  /// Downward closure of `seed` under sb u rf (plus all initialising
+  /// writes) — the prefix sets for which `restrict` preserves validity.
+  [[nodiscard]] util::Bitset sbrf_prefix(const util::Bitset& seed) const;
+
+  // --- Canonical form (state-space deduplication) ---------------------------
+  //
+  // Tags depend on the interleaving in which events were added, but two
+  // interleavings of independent steps produce isomorphic executions
+  // (Proposition 2.3 / 4.1). The canonical key renumbers events by
+  // (tid, sb-position within the thread) and serialises events plus
+  // relation bits, so isomorphic executions compare equal.
+
+  [[nodiscard]] std::vector<std::uint64_t> canonical_key() const;
+
+  [[nodiscard]] std::size_t canonical_hash() const;
+
+  /// Structural equality on raw tags (not canonical).
+  [[nodiscard]] bool operator==(const Execution& o) const {
+    return events_ == o.events_ && sb_ == o.sb_ && rf_ == o.rf_ &&
+           mo_ == o.mo_;
+  }
+
+ private:
+  std::vector<Event> events_;
+  util::Relation sb_, rf_, mo_;
+  util::Bitset inits_, writes_, reads_, updates_;
+  ThreadId max_thread_ = 0;
+  std::size_t var_count_ = 0;
+};
+
+}  // namespace rc11::c11

@@ -1,0 +1,48 @@
+#include "c11/observability.hpp"
+
+namespace rc11::c11 {
+
+util::Bitset encountered_writes(const Execution& ex,
+                                const DerivedRelations& d, ThreadId t) {
+  const std::size_t n = ex.size();
+  util::Bitset thread_events = ex.events_of(t);
+  util::Bitset out(n);
+  if (thread_events.empty()) return out;  // EW is empty before t acts
+  ex.writes().for_each([&](std::size_t w) {
+    // (w, e) in eco?;hb? for some event e of t.
+    if (!d.eco_opt_hb_opt.row(w).disjoint(thread_events)) out.set(w);
+  });
+  return out;
+}
+
+util::Bitset observable_writes(const Execution& ex,
+                               const DerivedRelations& d, ThreadId t) {
+  const util::Bitset ew = encountered_writes(ex, d, t);
+  util::Bitset out(ex.size());
+  ex.writes().for_each([&](std::size_t w) {
+    if (ex.mo().row(w).disjoint(ew)) out.set(w);
+  });
+  return out;
+}
+
+util::Bitset covered_writes(const Execution& ex) {
+  util::Bitset out(ex.size());
+  for (auto [w, r] : ex.rf().pairs()) {
+    if (ex.event(static_cast<EventId>(r)).is_update()) out.set(w);
+  }
+  return out;
+}
+
+Observability compute_observability(const Execution& ex,
+                                    const DerivedRelations& d, ThreadId t) {
+  Observability o;
+  o.encountered = encountered_writes(ex, d, t);
+  o.covered = covered_writes(ex);
+  o.observable = util::Bitset(ex.size());
+  ex.writes().for_each([&](std::size_t w) {
+    if (ex.mo().row(w).disjoint(o.encountered)) o.observable.set(w);
+  });
+  return o;
+}
+
+}  // namespace rc11::c11

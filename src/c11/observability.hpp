@@ -1,0 +1,45 @@
+// Per-thread observability (Section 3.2).
+//
+//   EW_sigma(t) = { w in Wr n D | exists e in D. tid(e) = t and
+//                                 (w, e) in eco? ; hb? }       (encountered)
+//   OW_sigma(t) = { w in Wr n D | forall w' in EW_sigma(t).
+//                                 (w, w') not in mo }          (observable)
+//   CW_sigma    = { w in Wr n D | exists u in U. (w, u) in rf } (covered)
+//
+// Observable writes resolve reads on the fly; writes/updates may only be
+// inserted immediately after an observable, uncovered write. These sets are
+// the heart of the paper's contribution: they make every state constructed
+// by the operational semantics a valid C11 state (Theorem 4.4).
+#pragma once
+
+#include "c11/derived.hpp"
+#include "c11/execution.hpp"
+#include "util/bitset.hpp"
+
+namespace rc11::c11 {
+
+/// Encountered writes of thread t.
+[[nodiscard]] util::Bitset encountered_writes(const Execution& ex,
+                                              const DerivedRelations& d,
+                                              ThreadId t);
+
+/// Observable writes of thread t.
+[[nodiscard]] util::Bitset observable_writes(const Execution& ex,
+                                             const DerivedRelations& d,
+                                             ThreadId t);
+
+/// Covered writes (immediately followed in rf by an update).
+[[nodiscard]] util::Bitset covered_writes(const Execution& ex);
+
+/// Convenience bundle: all three sets for one thread, computed together.
+struct Observability {
+  util::Bitset encountered;
+  util::Bitset observable;
+  util::Bitset covered;
+};
+
+[[nodiscard]] Observability compute_observability(const Execution& ex,
+                                                  const DerivedRelations& d,
+                                                  ThreadId t);
+
+}  // namespace rc11::c11

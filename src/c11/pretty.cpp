@@ -1,0 +1,68 @@
+#include "c11/pretty.hpp"
+
+#include <sstream>
+
+namespace rc11::c11 {
+
+namespace {
+
+void dump_relation(std::ostringstream& os, const std::string& name,
+                   const util::Relation& r) {
+  os << "  " << name << " = {";
+  bool sep = false;
+  for (auto [a, b] : r.pairs()) {
+    if (sep) os << ", ";
+    os << "(e" << a << ",e" << b << ")";
+    sep = true;
+  }
+  os << "}\n";
+}
+
+}  // namespace
+
+std::string to_text(const Execution& ex, const VarTable* vars) {
+  std::ostringstream os;
+  os << "execution with " << ex.size() << " events:\n";
+  for (const Event& e : ex.events()) {
+    os << "  " << to_string(e, vars) << "\n";
+  }
+  dump_relation(os, "sb", ex.sb());
+  dump_relation(os, "rf", ex.rf());
+  dump_relation(os, "mo", ex.mo());
+  return os.str();
+}
+
+std::string to_text_with_derived(const Execution& ex, const VarTable* vars) {
+  std::ostringstream os;
+  os << to_text(ex, vars);
+  const DerivedRelations d = compute_derived(ex);
+  dump_relation(os, "sw", d.sw);
+  dump_relation(os, "hb", d.hb);
+  dump_relation(os, "fr", d.fr);
+  dump_relation(os, "eco", d.eco);
+  return os.str();
+}
+
+std::string to_dot(const Execution& ex, const VarTable* vars) {
+  std::ostringstream os;
+  const DerivedRelations d = compute_derived(ex);
+  os << "digraph execution {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (const Event& e : ex.events()) {
+    os << "  e" << e.tag << " [label=\"" << to_string(e.action, vars) << "@"
+       << e.tid << "\"];\n";
+  }
+  auto edges = [&](const util::Relation& r, const std::string& attrs) {
+    for (auto [a, b] : r.pairs()) {
+      os << "  e" << a << " -> e" << b << " [" << attrs << "];\n";
+    }
+  };
+  edges(ex.sb(), "color=black, label=sb");
+  edges(ex.rf(), "color=green, style=dashed, label=rf");
+  edges(ex.mo(), "color=blue, label=mo");
+  edges(d.sw, "color=red, penwidth=2, label=sw");
+  edges(d.fr, "color=orange, style=dotted, label=fr");
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rc11::c11

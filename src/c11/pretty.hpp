@@ -1,0 +1,24 @@
+// Pretty printers for executions: plain text (events + relation edges) and
+// Graphviz dot (one node per event, one styled edge set per relation),
+// mirroring the execution diagrams of Examples 3.2 / 3.6.
+#pragma once
+
+#include <string>
+
+#include "c11/derived.hpp"
+#include "c11/execution.hpp"
+
+namespace rc11::c11 {
+
+/// Multi-line textual dump: one line per event, then sb/rf/mo edge lists.
+std::string to_text(const Execution& ex, const VarTable* vars = nullptr);
+
+/// Textual dump including the derived sw/hb/fr/eco relations.
+std::string to_text_with_derived(const Execution& ex,
+                                 const VarTable* vars = nullptr);
+
+/// Graphviz digraph. sb solid black, rf green dashed, mo blue, sw bold red,
+/// fr orange dotted.
+std::string to_dot(const Execution& ex, const VarTable* vars = nullptr);
+
+}  // namespace rc11::c11

@@ -1,0 +1,231 @@
+#include "interp/config.hpp"
+
+#include <sstream>
+
+#include "c11/derived.hpp"
+#include "c11/observability.hpp"
+
+namespace rc11::interp {
+
+int Config::pc(ThreadId t) const {
+  return lang::leading_label(cont[t - 1], kDonePc);
+}
+
+bool Config::terminated() const {
+  for (const auto& c : cont) {
+    if (!lang::is_terminated(c)) return false;
+  }
+  return true;
+}
+
+std::string Config::canonical_key() const {
+  std::ostringstream os;
+  for (std::uint64_t w : exec.canonical_key()) os << w << ',';
+  os << '|';
+  for (std::size_t i = 0; i < cont.size(); ++i) {
+    os << cont[i]->to_string() << '|';
+    for (Value v : regs[i]) os << v << ',';
+    os << '|' << unfoldings[i] << '|';
+  }
+  return os.str();
+}
+
+Config initial_config(const Program& p) {
+  Config c;
+  c.program = &p;
+  c.exec = Execution::initial(p.initial_values());
+  for (ThreadId t = 1; t <= p.thread_count(); ++t) {
+    c.cont.push_back(p.thread(t));
+    c.regs.emplace_back(p.reg_count(), 0);
+    c.unfoldings.push_back(0);
+  }
+  return c;
+}
+
+namespace {
+
+/// The kind of the AST node that produces the next step of c: labels are
+/// transparent, and inside a sequence the step comes from c1 unless c1 has
+/// terminated (in which case the Seq node itself emits the skip-elimination
+/// silent step). A step is a while-unfolding iff this is kWhile.
+lang::ComKind stepping_node_kind(const lang::ComPtr& c) {
+  switch (c->kind) {
+    case lang::ComKind::kLabel:
+      return stepping_node_kind(c->c1);
+    case lang::ComKind::kSeq:
+      if (lang::is_terminated(c->c1)) return lang::ComKind::kSeq;
+      return stepping_node_kind(c->c1);
+    default:
+      return c->kind;
+  }
+}
+
+/// Applies the thread-local (non-memory) part of a step to a copy of c.
+Config advance_thread(const Config& c, ThreadId t, ComPtr next) {
+  Config out = c;
+  out.cont[t - 1] = std::move(next);
+  return out;
+}
+
+void write_register(RegFile& file, lang::RegId r, Value v) {
+  if (r >= file.size()) file.resize(r + 1, 0);
+  file[r] = v;
+}
+
+/// Greedily applies deterministic silent / register steps of every thread.
+/// Loop unfoldings are NOT compressed: they are bounded and branch the
+/// search, so they must remain visible transitions. Everything else that is
+/// silent commutes with all other threads' steps because it touches no
+/// shared state.
+void apply_tau_compression(Config& c) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ThreadId t = 1; t <= c.thread_count(); ++t) {
+      if (stepping_node_kind(c.cont[t - 1]) == lang::ComKind::kWhile) {
+        continue;
+      }
+      auto s = lang::step(c.cont[t - 1], c.regs[t - 1]);
+      if (!s) continue;
+      if (auto* sil = std::get_if<lang::SilentStep>(&*s)) {
+        c.cont[t - 1] = sil->next;
+        changed = true;
+      } else if (auto* rw = std::get_if<lang::RegWriteStep>(&*s)) {
+        write_register(c.regs[t - 1], rw->reg, rw->value);
+        c.cont[t - 1] = rw->next;
+        changed = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ConfigStep> successors(const Config& c, const StepOptions& opts) {
+  std::vector<ConfigStep> out;
+  const c11::DerivedRelations derived = c11::compute_derived(c.exec);
+
+  for (ThreadId t = 1; t <= c.thread_count(); ++t) {
+    auto s = lang::step(c.cont[t - 1], c.regs[t - 1]);
+    if (!s) continue;
+
+    auto finish = [&](ConfigStep step) {
+      if (opts.tau_compress) apply_tau_compression(step.next);
+      out.push_back(std::move(step));
+    };
+
+    if (auto* sil = std::get_if<lang::SilentStep>(&*s)) {
+      const bool is_unfold =
+          stepping_node_kind(c.cont[t - 1]) == lang::ComKind::kWhile;
+      if (is_unfold && opts.loop_bound >= 0 &&
+          c.unfoldings[t - 1] >= opts.loop_bound) {
+        continue;  // bounded out
+      }
+      ConfigStep step;
+      step.next = advance_thread(c, t, sil->next);
+      if (is_unfold) {
+        ++step.next.unfoldings[t - 1];
+        step.loop_unfold = true;
+      }
+      step.thread = t;
+      finish(std::move(step));
+      continue;
+    }
+
+    if (auto* rw = std::get_if<lang::RegWriteStep>(&*s)) {
+      ConfigStep step;
+      step.next = advance_thread(c, t, rw->next);
+      write_register(step.next.regs[t - 1], rw->reg, rw->value);
+      step.thread = t;
+      finish(std::move(step));
+      continue;
+    }
+
+    if (auto* rd = std::get_if<lang::ReadStep>(&*s)) {
+      for (const c11::ReadOption& opt :
+           c11::read_options(c.exec, derived, t, rd->var)) {
+        c11::RaStep ra =
+            rd->nonatomic
+                ? c11::apply_read_na(c.exec, t, rd->var, opt.write)
+                : c11::apply_read(c.exec, t, rd->var, rd->acquire,
+                                  opt.write);
+        ConfigStep step;
+        step.next = advance_thread(c, t, rd->next(opt.value));
+        step.next.exec = std::move(ra.next);
+        step.thread = t;
+        step.silent = false;
+        step.event = ra.event;
+        step.observed = ra.observed;
+        step.action = step.next.exec.event(ra.event).action;
+        finish(std::move(step));
+      }
+      continue;
+    }
+
+    if (auto* wr = std::get_if<lang::WriteStep>(&*s)) {
+      for (EventId w : c11::write_options(c.exec, derived, t, wr->var)) {
+        c11::RaStep ra =
+            wr->nonatomic
+                ? c11::apply_write_na(c.exec, t, wr->var, wr->value, w)
+                : c11::apply_write(c.exec, t, wr->var, wr->value,
+                                   wr->release, w);
+        ConfigStep step;
+        step.next = advance_thread(c, t, wr->next);
+        step.next.exec = std::move(ra.next);
+        step.thread = t;
+        step.silent = false;
+        step.event = ra.event;
+        step.observed = ra.observed;
+        step.action = step.next.exec.event(ra.event).action;
+        finish(std::move(step));
+      }
+      continue;
+    }
+
+    auto* up = std::get_if<lang::UpdateStep>(&*s);
+    for (const c11::ReadOption& opt :
+         c11::update_options(c.exec, derived, t, up->var)) {
+      c11::RaStep ra =
+          c11::apply_update(c.exec, t, up->var, up->new_value, opt.write);
+      ConfigStep step;
+      step.next = advance_thread(c, t, up->next);
+      step.next.exec = std::move(ra.next);
+      if (up->captures) {
+        write_register(step.next.regs[t - 1], up->capture_reg, opt.value);
+      }
+      step.thread = t;
+      step.silent = false;
+      step.event = ra.event;
+      step.observed = ra.observed;
+      step.action = step.next.exec.event(ra.event).action;
+      finish(std::move(step));
+    }
+  }
+  return out;
+}
+
+bool eval_cond(const lang::CondPtr& cond, const Config& c) {
+  switch (cond->kind) {
+    case lang::CondKind::kTrue:
+      return true;
+    case lang::CondKind::kRegCmp: {
+      const auto& file = c.regs[cond->thread - 1];
+      const Value v = cond->reg < file.size() ? file[cond->reg] : 0;
+      return lang::apply_bin_op(cond->op, v, cond->value) != 0;
+    }
+    case lang::CondKind::kVarCmp: {
+      const EventId w = c.exec.last(cond->var);
+      const Value v = w == c11::kNoEvent ? 0 : c.exec.event(w).wrval();
+      return lang::apply_bin_op(cond->op, v, cond->value) != 0;
+    }
+    case lang::CondKind::kNot:
+      return !eval_cond(cond->lhs, c);
+    case lang::CondKind::kAnd:
+      return eval_cond(cond->lhs, c) && eval_cond(cond->rhs, c);
+    case lang::CondKind::kOr:
+      return eval_cond(cond->lhs, c) || eval_cond(cond->rhs, c);
+  }
+  return false;
+}
+
+}  // namespace rc11::interp

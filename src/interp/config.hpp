@@ -1,0 +1,103 @@
+// Interpreted semantics (Section 3.3): configurations (P, sigma) and the
+// combined step relation  (P, sigma) ==(w,e)==>_RA (P', sigma').
+//
+// A Config holds, per thread: the remaining command (continuation), the
+// register file (extension), the pc (leading label), and the count of loop
+// unfoldings taken (used for bounded exploration of busy-wait loops).
+// The memory side is a c11::Execution.
+//
+// successors() enumerates every enabled transition:
+//  * silent / register steps (lambda transitions, first rule of Sec. 3.3);
+//  * for a ReadStep, one successor per observable write (Read rule);
+//  * for a WriteStep, one successor per insertion point in OW \ CW
+//    (Write rule);
+//  * for an UpdateStep, one successor per uncovered observable write
+//    (RMW rule).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "c11/event_semantics.hpp"
+#include "c11/execution.hpp"
+#include "lang/program.hpp"
+
+namespace rc11::interp {
+
+using c11::EventId;
+using c11::Execution;
+using c11::ThreadId;
+using lang::ComPtr;
+using lang::Program;
+using lang::RegFile;
+using lang::Value;
+
+/// pc value reported for a terminated / unlabeled continuation.
+inline constexpr int kDonePc = 0;
+
+struct Config {
+  const Program* program = nullptr;
+  std::vector<ComPtr> cont;       ///< continuation of thread t at [t-1]
+  std::vector<RegFile> regs;      ///< register file of thread t at [t-1]
+  std::vector<int> unfoldings;    ///< while-unfold count of thread t
+  Execution exec;
+
+  [[nodiscard]] std::size_t thread_count() const { return cont.size(); }
+
+  [[nodiscard]] const ComPtr& continuation(ThreadId t) const {
+    return cont[t - 1];
+  }
+  [[nodiscard]] const RegFile& registers(ThreadId t) const {
+    return regs[t - 1];
+  }
+
+  /// Auxiliary pc function of Section 5.2: leading label of the thread's
+  /// continuation (kDonePc when none).
+  [[nodiscard]] int pc(ThreadId t) const;
+
+  /// All threads terminated (continuations are skip modulo labels).
+  [[nodiscard]] bool terminated() const;
+
+  /// Canonical serialisation for state-space deduplication: canonical
+  /// execution key + per-thread continuation/regs/unfold counts.
+  [[nodiscard]] std::string canonical_key() const;
+};
+
+/// (P_0, sigma_0): program at its entry points, memory holding one
+/// initialising write per declared variable.
+[[nodiscard]] Config initial_config(const Program& p);
+
+/// One transition of the interpreted semantics.
+struct ConfigStep {
+  Config next;
+  ThreadId thread = 0;
+  bool silent = true;            ///< lambda transition (no memory event)
+  EventId event = c11::kNoEvent;     ///< e, when not silent
+  EventId observed = c11::kNoEvent;  ///< w, when not silent
+  c11::Action action;            ///< act(e), when not silent
+  bool loop_unfold = false;      ///< the step was a while unfolding
+};
+
+struct StepOptions {
+  /// Maximum while-unfoldings per thread; further unfoldings are disabled
+  /// (bounded exploration). Negative = unbounded.
+  int loop_bound = -1;
+
+  /// Fast-forward deterministic silent/register steps after each visible
+  /// step (tau compression). Sound for reachability of memory-visible
+  /// states; disable when intermediate pcs matter (invariant checking).
+  bool tau_compress = false;
+};
+
+/// All enabled transitions from c under the RA event semantics.
+[[nodiscard]] std::vector<ConfigStep> successors(const Config& c,
+                                                 const StepOptions& opts = {});
+
+/// Evaluates a litmus final-state condition on a configuration:
+/// register atoms read the thread's register file; variable atoms read
+/// wrval(sigma.last(x)).
+[[nodiscard]] bool eval_cond(const lang::CondPtr& cond, const Config& c);
+
+}  // namespace rc11::interp

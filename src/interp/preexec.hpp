@@ -1,0 +1,42 @@
+// Pre-execution semantics ==>_PE (Section 4.1).
+//
+// Pre-executions are candidates for valid C11 executions: they carry only
+// the event set and sequenced-before, and reads may return *any* value
+// (Proposition 2.2). New events are added with the same `(D, sb) + e`
+// operator as the RA semantics; rf and mo stay empty and are chosen
+// post-hoc by the axiomatic justification step (axiomatic/enumerate.hpp).
+//
+// Because "any value" is infinite, exploration restricts read results to a
+// finite value domain: every constant syntactically present in the program
+// plus every initial value. This is an over-approximation of the values any
+// write can produce in litmus-scale programs (writes are constants or
+// copies); reads of impossible values are filtered later by RfComplete.
+// Programs whose writes compute genuinely new values (e.g. x := y + 1 in a
+// loop) need a caller-supplied domain.
+#pragma once
+
+#include <vector>
+
+#include "interp/config.hpp"
+
+namespace rc11::interp {
+
+/// Constants appearing anywhere in the program, its initial values, and
+/// 0/1 (booleans), deduplicated and sorted.
+[[nodiscard]] std::vector<Value> value_domain(const Program& p);
+
+/// Extra values to close the domain under the program's arithmetic: for
+/// each +,-,* node, the results of applying it to all domain pairs, iterated
+/// `rounds` times. Rarely needed; exposed for programs that compute values.
+[[nodiscard]] std::vector<Value> widen_domain(const Program& p,
+                                              std::vector<Value> domain,
+                                              int rounds);
+
+/// All enabled ==>_PE transitions. Reads (and the read component of
+/// updates) branch over `domain`; writes have a single successor (no mo
+/// choice in pre-executions). ConfigStep::observed is always kNoEvent.
+[[nodiscard]] std::vector<ConfigStep> pe_successors(
+    const Config& c, const std::vector<Value>& domain,
+    const StepOptions& opts = {});
+
+}  // namespace rc11::interp

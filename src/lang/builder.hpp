@@ -1,0 +1,127 @@
+// A small embedded DSL for building programs in C++ (used by tests,
+// examples and the litmus catalogue).
+//
+//   ProgramBuilder b;
+//   auto x = b.var("x", 0);
+//   auto r0 = b.reg("r0");
+//   b.thread(seq({assign(x, 1), reg_assign(r0, x.acq())}));
+//
+// SharedVar/Register handles convert implicitly to (relaxed-read)
+// expressions; `.acq()` yields an acquiring read. Expression operators
+// (+, ==, &&, ...) are provided on ExprPtr.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/program.hpp"
+
+namespace rc11::lang {
+
+// --- Expression operator sugar ----------------------------------------------
+
+inline ExprPtr operator+(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr operator-(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr operator*(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr operator==(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr operator!=(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::kNe, std::move(a), std::move(b));
+}
+inline ExprPtr operator<(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr operator<=(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr operator>(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr operator>=(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::kGe, std::move(a), std::move(b));
+}
+inline ExprPtr operator&&(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::kAnd, std::move(a), std::move(b));
+}
+inline ExprPtr operator||(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::kOr, std::move(a), std::move(b));
+}
+inline ExprPtr operator!(ExprPtr a) { return unary(UnOp::kNot, std::move(a)); }
+
+// --- Handles ----------------------------------------------------------------
+
+/// Handle to a declared shared variable; converts to a relaxed read.
+struct SharedVar {
+  VarId id = 0;
+
+  operator ExprPtr() const { return shared(id); }          // NOLINT
+  operator VarId() const { return id; }                    // NOLINT
+  [[nodiscard]] ExprPtr acq() const { return shared_acq(id); }
+  [[nodiscard]] ExprPtr na() const { return shared_na(id); }
+};
+
+/// Handle to a declared register; converts to a register read.
+struct Register {
+  RegId id = 0;
+
+  operator ExprPtr() const { return reg(id); }  // NOLINT
+  operator RegId() const { return id; }         // NOLINT
+};
+
+// Command factory overloads taking handles and integer literals.
+inline ComPtr assign(SharedVar x, Value n) { return assign(x.id, constant(n)); }
+inline ComPtr assign(SharedVar x, ExprPtr e) {
+  return assign(x.id, std::move(e));
+}
+inline ComPtr assign_rel(SharedVar x, Value n) {
+  return assign_rel(x.id, constant(n));
+}
+inline ComPtr assign_rel(SharedVar x, ExprPtr e) {
+  return assign_rel(x.id, std::move(e));
+}
+inline ComPtr assign_na(SharedVar x, Value n) {
+  return assign_na(x.id, constant(n));
+}
+inline ComPtr assign_na(SharedVar x, ExprPtr e) {
+  return assign_na(x.id, std::move(e));
+}
+inline ComPtr reg_assign(Register r, ExprPtr e) {
+  return reg_assign(r.id, std::move(e));
+}
+inline ComPtr swap(SharedVar x, Value n) { return swap(x.id, constant(n)); }
+inline ComPtr swap_into(Register r, SharedVar x, Value n) {
+  return swap_into(r.id, x.id, constant(n));
+}
+
+/// Builder around Program with handle-returning declarations.
+class ProgramBuilder {
+ public:
+  SharedVar var(const std::string& name, Value initial) {
+    return SharedVar{prog_.declare_var(name, initial)};
+  }
+
+  Register reg(const std::string& name) {
+    return Register{prog_.declare_reg(name)};
+  }
+
+  ThreadId thread(ComPtr body) { return prog_.add_thread(std::move(body)); }
+
+  ThreadId thread(const std::vector<ComPtr>& body) {
+    return prog_.add_thread(seq(body));
+  }
+
+  [[nodiscard]] Program build() && { return std::move(prog_); }
+  [[nodiscard]] const Program& program() const { return prog_; }
+
+ private:
+  Program prog_;
+};
+
+}  // namespace rc11::lang

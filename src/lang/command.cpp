@@ -1,0 +1,323 @@
+#include "lang/command.hpp"
+
+#include <cassert>
+#include <climits>
+
+#include "util/fmt.hpp"
+
+namespace rc11::lang {
+
+namespace {
+
+ComPtr make(Com c) { return std::make_shared<const Com>(std::move(c)); }
+
+// Sentinel for "no label found" when threading leading_label through seq.
+constexpr int kNoLabel = INT_MIN;
+
+}  // namespace
+
+ComPtr skip() {
+  static const ComPtr instance = make(Com{});
+  return instance;
+}
+
+ComPtr assign(VarId x, ExprPtr e) {
+  Com c;
+  c.kind = ComKind::kAssign;
+  c.var = x;
+  c.release = false;
+  c.expr = std::move(e);
+  return make(std::move(c));
+}
+
+ComPtr assign_rel(VarId x, ExprPtr e) {
+  Com c;
+  c.kind = ComKind::kAssign;
+  c.var = x;
+  c.release = true;
+  c.expr = std::move(e);
+  return make(std::move(c));
+}
+
+ComPtr assign_na(VarId x, ExprPtr e) {
+  Com c;
+  c.kind = ComKind::kAssign;
+  c.var = x;
+  c.nonatomic = true;
+  c.expr = std::move(e);
+  return make(std::move(c));
+}
+
+ComPtr reg_assign(RegId r, ExprPtr e) {
+  Com c;
+  c.kind = ComKind::kRegAssign;
+  c.reg = r;
+  c.expr = std::move(e);
+  return make(std::move(c));
+}
+
+ComPtr swap(VarId x, ExprPtr n) {
+  Com c;
+  c.kind = ComKind::kSwap;
+  c.var = x;
+  c.expr = std::move(n);
+  return make(std::move(c));
+}
+
+ComPtr swap_into(RegId r, VarId x, ExprPtr n) {
+  Com c;
+  c.kind = ComKind::kSwap;
+  c.var = x;
+  c.reg = r;
+  c.captures = true;
+  c.expr = std::move(n);
+  return make(std::move(c));
+}
+
+ComPtr seq(ComPtr c1, ComPtr c2) {
+  Com c;
+  c.kind = ComKind::kSeq;
+  c.c1 = std::move(c1);
+  c.c2 = std::move(c2);
+  return make(std::move(c));
+}
+
+ComPtr seq(const std::vector<ComPtr>& cs) {
+  if (cs.empty()) return skip();
+  ComPtr out = cs.back();
+  for (std::size_t i = cs.size() - 1; i-- > 0;) {
+    out = seq(cs[i], out);
+  }
+  return out;
+}
+
+ComPtr if_then_else(ExprPtr b, ComPtr c1, ComPtr c2) {
+  Com c;
+  c.kind = ComKind::kIf;
+  c.expr = std::move(b);
+  c.c1 = std::move(c1);
+  c.c2 = std::move(c2);
+  return make(std::move(c));
+}
+
+ComPtr while_do(ExprPtr b, ComPtr body) {
+  Com c;
+  c.kind = ComKind::kWhile;
+  c.expr = std::move(b);
+  c.c1 = std::move(body);
+  return make(std::move(c));
+}
+
+ComPtr labeled(int label, ComPtr body) {
+  Com c;
+  c.kind = ComKind::kLabel;
+  c.label = label;
+  c.c1 = std::move(body);
+  return make(std::move(c));
+}
+
+bool is_terminated(const ComPtr& c) {
+  switch (c->kind) {
+    case ComKind::kSkip:
+      return true;
+    case ComKind::kLabel:
+      return is_terminated(c->c1);
+    case ComKind::kSeq:
+      return is_terminated(c->c1) && is_terminated(c->c2);
+    default:
+      return false;
+  }
+}
+
+int leading_label(const ComPtr& c, int done_pc) {
+  switch (c->kind) {
+    case ComKind::kLabel:
+      return c->label;
+    case ComKind::kSeq: {
+      const int l = leading_label(c->c1, kNoLabel);
+      if (l != kNoLabel) return l;
+      return leading_label(c->c2, done_pc);
+    }
+    default:
+      return done_pc;
+  }
+}
+
+bool has_leading_label(const ComPtr& c) {
+  return leading_label(c, kNoLabel) != kNoLabel;
+}
+
+namespace {
+
+// Wraps a step's continuation(s) with `; c2` (the Seq congruence rule).
+Step seq_wrap(Step s, const ComPtr& c2) {
+  if (auto* sil = std::get_if<SilentStep>(&s)) {
+    sil->next = seq(sil->next, c2);
+  } else if (auto* wr = std::get_if<WriteStep>(&s)) {
+    wr->next = seq(wr->next, c2);
+  } else if (auto* rd = std::get_if<ReadStep>(&s)) {
+    auto inner = std::move(rd->next);
+    rd->next = [inner = std::move(inner), c2](Value v) {
+      return seq(inner(v), c2);
+    };
+  } else if (auto* up = std::get_if<UpdateStep>(&s)) {
+    up->next = seq(up->next, c2);
+  } else if (auto* rw = std::get_if<RegWriteStep>(&s)) {
+    rw->next = seq(rw->next, c2);
+  }
+  return s;
+}
+
+// Re-wraps a continuation with the sticky label l, unless the labeled
+// statement has completed or control has reached a newly labeled statement.
+ComPtr label_rewrap(int l, ComPtr k) {
+  if (is_terminated(k) || has_leading_label(k)) return k;
+  return labeled(l, std::move(k));
+}
+
+// Applies label_rewrap to every continuation of a step.
+Step label_wrap(Step s, int l) {
+  if (auto* sil = std::get_if<SilentStep>(&s)) {
+    sil->next = label_rewrap(l, sil->next);
+  } else if (auto* wr = std::get_if<WriteStep>(&s)) {
+    wr->next = label_rewrap(l, wr->next);
+  } else if (auto* rd = std::get_if<ReadStep>(&s)) {
+    auto inner = std::move(rd->next);
+    rd->next = [inner = std::move(inner), l](Value v) {
+      return label_rewrap(l, inner(v));
+    };
+  } else if (auto* up = std::get_if<UpdateStep>(&s)) {
+    up->next = label_rewrap(l, up->next);
+  } else if (auto* rw = std::get_if<RegWriteStep>(&s)) {
+    rw->next = label_rewrap(l, rw->next);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<Step> step(const ComPtr& c, const RegFile& regs) {
+  switch (c->kind) {
+    case ComKind::kSkip:
+      return std::nullopt;
+
+    case ComKind::kLabel: {
+      // `l: C` steps as C; the label stays on the continuation while the
+      // statement is still executing (see header).
+      auto s = step(c->c1, regs);
+      if (!s) return std::nullopt;
+      return label_wrap(std::move(*s), c->label);
+    }
+
+    case ComKind::kAssign: {
+      const ExprPtr e = fold(resolve_registers(c->expr, regs));
+      if (auto pending = next_read(e)) {
+        // Figure 2 first rule: x := E --a--> x := E' via eval(E, a, E').
+        const Com& node = *c;
+        return ReadStep{pending->var, pending->acquire, pending->nonatomic,
+                        [e, node](Value v) {
+                          Com c2 = node;
+                          c2.expr = substitute_leftmost(e, v);
+                          return std::make_shared<const Com>(std::move(c2));
+                        }};
+      }
+      // fv(E) = {}: emit wr(x,[[E]]) or wrR(x,[[E]]).
+      return WriteStep{c->var, eval_closed(e), c->release, c->nonatomic,
+                       skip()};
+    }
+
+    case ComKind::kRegAssign: {
+      const ExprPtr e = fold(resolve_registers(c->expr, regs));
+      if (auto pending = next_read(e)) {
+        const RegId r = c->reg;
+        return ReadStep{pending->var, pending->acquire,
+                        pending->nonatomic, [e, r](Value v) {
+                          return reg_assign(r, substitute_leftmost(e, v));
+                        }};
+      }
+      return RegWriteStep{c->reg, eval_closed(e), skip()};
+    }
+
+    case ComKind::kSwap: {
+      // The paper's swap takes a literal value; we additionally permit an
+      // expression argument, whose shared reads are evaluated (left to
+      // right) before the update is issued.
+      const ExprPtr e = fold(resolve_registers(c->expr, regs));
+      if (auto pending = next_read(e)) {
+        const Com& node = *c;
+        return ReadStep{pending->var, pending->acquire,
+                        pending->nonatomic, [e, node](Value v) {
+                          Com c2 = node;
+                          c2.expr = substitute_leftmost(e, v);
+                          return std::make_shared<const Com>(std::move(c2));
+                        }};
+      }
+      return UpdateStep{c->var, eval_closed(e), c->captures, c->reg, skip()};
+    }
+
+    case ComKind::kSeq: {
+      // skip ; C --lambda--> C.
+      if (is_terminated(c->c1)) return SilentStep{c->c2};
+      auto s = step(c->c1, regs);
+      assert(s.has_value());
+      return seq_wrap(std::move(*s), c->c2);
+    }
+
+    case ComKind::kIf: {
+      const ExprPtr b = fold(resolve_registers(c->expr, regs));
+      if (auto pending = next_read(b)) {
+        const ComPtr c1 = c->c1;
+        const ComPtr c2 = c->c2;
+        return ReadStep{pending->var, pending->acquire,
+                        pending->nonatomic, [b, c1, c2](Value v) {
+                          return if_then_else(substitute_leftmost(b, v), c1,
+                                              c2);
+                        }};
+      }
+      return SilentStep{eval_closed(b) != 0 ? c->c1 : c->c2};
+    }
+
+    case ComKind::kWhile:
+      // Guard-preserving unfolding (see header comment):
+      // while B do C --lambda--> if B then (C ; while B do C) else skip.
+      return SilentStep{
+          if_then_else(c->expr, seq(c->c1, make(Com{*c})), skip())};
+  }
+  return std::nullopt;
+}
+
+std::string Com::to_string(const c11::VarTable* vars) const {
+  switch (kind) {
+    case ComKind::kSkip:
+      return "skip";
+    case ComKind::kAssign: {
+      const std::string x =
+          vars != nullptr ? vars->name(var) : util::cat("v", var);
+      const char* op = release ? " :=R " : nonatomic ? " :=NA " : " := ";
+      return util::cat(x, op, expr->to_string(vars));
+    }
+    case ComKind::kRegAssign:
+      return util::cat("r", reg, " := ", expr->to_string(vars));
+    case ComKind::kSwap: {
+      const std::string x =
+          vars != nullptr ? vars->name(var) : util::cat("v", var);
+      const std::string call =
+          util::cat(x, ".swap(", expr->to_string(vars), ")RA");
+      return captures ? util::cat("r", reg, " := ", call) : call;
+    }
+    case ComKind::kSeq:
+      return util::cat(c1->to_string(vars), "; ", c2->to_string(vars));
+    case ComKind::kIf:
+      return util::cat("if ", expr->to_string(vars), " then {",
+                       c1->to_string(vars), "} else {", c2->to_string(vars),
+                       "}");
+    case ComKind::kWhile:
+      return util::cat("while ", expr->to_string(vars), " do {",
+                       c1->to_string(vars), "}");
+    case ComKind::kLabel:
+      return util::cat(label, ": ", c1->to_string(vars));
+  }
+  return "?";
+}
+
+}  // namespace rc11::lang

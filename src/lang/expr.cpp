@@ -1,0 +1,344 @@
+#include "lang/expr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace rc11::lang {
+
+namespace {
+
+ExprPtr make(Expr e) { return std::make_shared<const Expr>(std::move(e)); }
+
+}  // namespace
+
+ExprPtr constant(Value n) {
+  Expr e;
+  e.kind = ExprKind::kConst;
+  e.value = n;
+  return make(std::move(e));
+}
+
+ExprPtr truth(bool b) { return constant(b ? 1 : 0); }
+
+ExprPtr shared(VarId x) {
+  Expr e;
+  e.kind = ExprKind::kVar;
+  e.var = x;
+  e.acquire = false;
+  return make(std::move(e));
+}
+
+ExprPtr shared_acq(VarId x) {
+  Expr e;
+  e.kind = ExprKind::kVar;
+  e.var = x;
+  e.acquire = true;
+  return make(std::move(e));
+}
+
+ExprPtr shared_na(VarId x) {
+  Expr e;
+  e.kind = ExprKind::kVar;
+  e.var = x;
+  e.nonatomic = true;
+  return make(std::move(e));
+}
+
+ExprPtr reg(RegId r) {
+  Expr e;
+  e.kind = ExprKind::kReg;
+  e.reg = r;
+  return make(std::move(e));
+}
+
+ExprPtr unary(UnOp op, ExprPtr operand) {
+  Expr e;
+  e.kind = ExprKind::kUnary;
+  e.un_op = op;
+  e.lhs = std::move(operand);
+  return make(std::move(e));
+}
+
+ExprPtr binary(BinOp op, ExprPtr l, ExprPtr r) {
+  Expr e;
+  e.kind = ExprKind::kBinary;
+  e.bin_op = op;
+  e.lhs = std::move(l);
+  e.rhs = std::move(r);
+  return make(std::move(e));
+}
+
+bool has_shared(const ExprPtr& e) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+    case ExprKind::kReg:
+      return false;
+    case ExprKind::kVar:
+      return true;
+    case ExprKind::kUnary:
+      return has_shared(e->lhs);
+    case ExprKind::kBinary:
+      return has_shared(e->lhs) || has_shared(e->rhs);
+  }
+  return false;
+}
+
+bool has_reg(const ExprPtr& e) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+    case ExprKind::kVar:
+      return false;
+    case ExprKind::kReg:
+      return true;
+    case ExprKind::kUnary:
+      return has_reg(e->lhs);
+    case ExprKind::kBinary:
+      return has_reg(e->lhs) || has_reg(e->rhs);
+  }
+  return false;
+}
+
+namespace {
+void collect_shared(const ExprPtr& e, std::vector<VarId>& out) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+    case ExprKind::kReg:
+      return;
+    case ExprKind::kVar:
+      out.push_back(e->var);
+      return;
+    case ExprKind::kUnary:
+      collect_shared(e->lhs, out);
+      return;
+    case ExprKind::kBinary:
+      collect_shared(e->lhs, out);
+      collect_shared(e->rhs, out);
+      return;
+  }
+}
+}  // namespace
+
+std::vector<VarId> shared_vars(const ExprPtr& e) {
+  std::vector<VarId> out;
+  collect_shared(e, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Value apply_un_op(UnOp op, Value v) {
+  switch (op) {
+    case UnOp::kNot:
+      return v == 0 ? 1 : 0;
+    case UnOp::kMinus:
+      return -v;
+  }
+  return 0;
+}
+
+Value apply_bin_op(BinOp op, Value l, Value r) {
+  switch (op) {
+    case BinOp::kAdd:
+      return l + r;
+    case BinOp::kSub:
+      return l - r;
+    case BinOp::kMul:
+      return l * r;
+    case BinOp::kEq:
+      return l == r ? 1 : 0;
+    case BinOp::kNe:
+      return l != r ? 1 : 0;
+    case BinOp::kLt:
+      return l < r ? 1 : 0;
+    case BinOp::kLe:
+      return l <= r ? 1 : 0;
+    case BinOp::kGt:
+      return l > r ? 1 : 0;
+    case BinOp::kGe:
+      return l >= r ? 1 : 0;
+    case BinOp::kAnd:
+      return (l != 0 && r != 0) ? 1 : 0;
+    case BinOp::kOr:
+      return (l != 0 || r != 0) ? 1 : 0;
+  }
+  return 0;
+}
+
+Value eval_closed(const ExprPtr& e) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return e->value;
+    case ExprKind::kVar:
+      throw std::logic_error("eval_closed: expression has a shared read");
+    case ExprKind::kReg:
+      throw std::logic_error("eval_closed: expression has a register");
+    case ExprKind::kUnary:
+      return apply_un_op(e->un_op, eval_closed(e->lhs));
+    case ExprKind::kBinary:
+      return apply_bin_op(e->bin_op, eval_closed(e->lhs),
+                          eval_closed(e->rhs));
+  }
+  return 0;
+}
+
+ExprPtr resolve_registers(const ExprPtr& e, const std::vector<Value>& regs) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+    case ExprKind::kVar:
+      return e;
+    case ExprKind::kReg:
+      return constant(e->reg < regs.size() ? regs[e->reg] : 0);
+    case ExprKind::kUnary: {
+      ExprPtr l = resolve_registers(e->lhs, regs);
+      return l == e->lhs ? e : unary(e->un_op, std::move(l));
+    }
+    case ExprKind::kBinary: {
+      ExprPtr l = resolve_registers(e->lhs, regs);
+      ExprPtr r = resolve_registers(e->rhs, regs);
+      return (l == e->lhs && r == e->rhs)
+                 ? e
+                 : binary(e->bin_op, std::move(l), std::move(r));
+    }
+  }
+  return e;
+}
+
+std::optional<PendingRead> next_read(const ExprPtr& e) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+    case ExprKind::kReg:
+      return std::nullopt;
+    case ExprKind::kVar:
+      return PendingRead{e->var, e->acquire, e->nonatomic};
+    case ExprKind::kUnary:
+      return next_read(e->lhs);
+    case ExprKind::kBinary:
+      // Figure 1: evaluate E1 first while fv(E1) != {}.
+      if (auto l = next_read(e->lhs)) return l;
+      return next_read(e->rhs);
+  }
+  return std::nullopt;
+}
+
+ExprPtr substitute_leftmost(const ExprPtr& e, Value n) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+    case ExprKind::kReg:
+      assert(false && "substitute_leftmost: no pending read");
+      return e;
+    case ExprKind::kVar:
+      return constant(n);
+    case ExprKind::kUnary:
+      return unary(e->un_op, substitute_leftmost(e->lhs, n));
+    case ExprKind::kBinary:
+      if (has_shared(e->lhs)) {
+        return binary(e->bin_op, substitute_leftmost(e->lhs, n), e->rhs);
+      }
+      return binary(e->bin_op, e->lhs, substitute_leftmost(e->rhs, n));
+  }
+  return e;
+}
+
+namespace {
+
+bool is_const(const ExprPtr& e) { return e->kind == ExprKind::kConst; }
+
+}  // namespace
+
+ExprPtr fold(const ExprPtr& e) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+    case ExprKind::kVar:
+    case ExprKind::kReg:
+      return e;
+    case ExprKind::kUnary: {
+      ExprPtr l = fold(e->lhs);
+      if (is_const(l)) return constant(apply_un_op(e->un_op, l->value));
+      return l == e->lhs ? e : unary(e->un_op, std::move(l));
+    }
+    case ExprKind::kBinary: {
+      ExprPtr l = fold(e->lhs);
+      if (e->bin_op == BinOp::kAnd && is_const(l)) {
+        return l->value == 0 ? constant(0) : fold(e->rhs);
+      }
+      if (e->bin_op == BinOp::kOr && is_const(l)) {
+        return l->value != 0 ? constant(1) : fold(e->rhs);
+      }
+      ExprPtr r = fold(e->rhs);
+      if (is_const(l) && is_const(r)) {
+        return constant(apply_bin_op(e->bin_op, l->value, r->value));
+      }
+      return (l == e->lhs && r == e->rhs)
+                 ? e
+                 : binary(e->bin_op, std::move(l), std::move(r));
+    }
+  }
+  return e;
+}
+
+std::string to_string(UnOp op) {
+  switch (op) {
+    case UnOp::kNot:
+      return "!";
+    case UnOp::kMinus:
+      return "-";
+  }
+  return "?";
+}
+
+std::string to_string(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kEq:
+      return "==";
+    case BinOp::kNe:
+      return "!=";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAnd:
+      return "&&";
+    case BinOp::kOr:
+      return "||";
+  }
+  return "?";
+}
+
+std::string Expr::to_string(const c11::VarTable* vars) const {
+  switch (kind) {
+    case ExprKind::kConst:
+      return util::cat(value);
+    case ExprKind::kVar: {
+      std::string name =
+          vars != nullptr ? vars->name(var) : util::cat("v", var);
+      if (acquire) return util::cat(name, "^A");
+      if (nonatomic) return util::cat(name, "^NA");
+      return name;
+    }
+    case ExprKind::kReg:
+      return util::cat("r", reg);
+    case ExprKind::kUnary:
+      return util::cat(lang::to_string(un_op), "(", lhs->to_string(vars),
+                       ")");
+    case ExprKind::kBinary:
+      return util::cat("(", lhs->to_string(vars), " ",
+                       lang::to_string(bin_op), " ", rhs->to_string(vars),
+                       ")");
+  }
+  return "?";
+}
+
+}  // namespace rc11::lang

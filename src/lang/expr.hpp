@@ -1,0 +1,145 @@
+// Expressions of the command language (Section 2.1) and their evaluation
+// relation eval(E, a, E') (Figure 1).
+//
+//   Exp ::= Val | Exp^A | ~Exp | Exp (x) Exp
+//
+// Extensions over the paper, documented in DESIGN.md:
+//  * thread-local registers (kReg). The paper's language has only shared
+//    variables; litmus observations need per-thread registers. Register
+//    reads are resolved silently against the thread's register file and
+//    generate no memory events.
+//  * a richer operator set (the paper leaves the unary/binary operator
+//    alphabets abstract).
+//
+// Evaluation is left-to-right: the leftmost shared-variable occurrence is
+// read first, generating rd(x,n) or rdA(x,n); each occurrence generates its
+// own read action (essential under weak memory, where two reads of x may
+// return different values).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "c11/action.hpp"
+
+namespace rc11::lang {
+
+using c11::Value;
+using c11::VarId;
+
+using RegId = std::uint32_t;
+
+enum class ExprKind : std::uint8_t {
+  kConst,   ///< n in Val
+  kVar,     ///< shared variable x (relaxed) or x^A (acquire)
+  kReg,     ///< thread-local register (extension)
+  kUnary,   ///< ~E
+  kBinary,  ///< E1 (x) E2
+};
+
+enum class UnOp : std::uint8_t { kNot, kMinus };
+
+enum class BinOp : std::uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable expression node. Build via the factory functions below; shared
+/// structure is safe because nodes are never mutated.
+class Expr {
+ public:
+  ExprKind kind = ExprKind::kConst;
+  Value value = 0;        // kConst
+  VarId var = 0;           // kVar
+  bool acquire = false;    // kVar: x^A
+  bool nonatomic = false;  // kVar: x^NA (extension; see c11/races.hpp)
+  RegId reg = 0;          // kReg
+  UnOp un_op = UnOp::kNot;
+  BinOp bin_op = BinOp::kAdd;
+  ExprPtr lhs;  // kUnary operand / kBinary left
+  ExprPtr rhs;  // kBinary right
+
+  [[nodiscard]] std::string to_string(
+      const c11::VarTable* vars = nullptr) const;
+};
+
+// --- Factories --------------------------------------------------------------
+
+[[nodiscard]] ExprPtr constant(Value n);
+[[nodiscard]] ExprPtr truth(bool b);
+[[nodiscard]] ExprPtr shared(VarId x);      ///< relaxed read of x
+[[nodiscard]] ExprPtr shared_acq(VarId x);  ///< acquiring read of x
+[[nodiscard]] ExprPtr shared_na(VarId x);   ///< non-atomic read of x
+[[nodiscard]] ExprPtr reg(RegId r);
+[[nodiscard]] ExprPtr unary(UnOp op, ExprPtr e);
+[[nodiscard]] ExprPtr binary(BinOp op, ExprPtr l, ExprPtr r);
+
+// --- Queries ------------------------------------------------------------------
+
+/// fv(E) != {} restricted to shared variables.
+[[nodiscard]] bool has_shared(const ExprPtr& e);
+
+/// True iff E mentions a register.
+[[nodiscard]] bool has_reg(const ExprPtr& e);
+
+/// All shared variables mentioned (deduplicated, ascending).
+[[nodiscard]] std::vector<VarId> shared_vars(const ExprPtr& e);
+
+/// [[E]]: value of a closed expression (no shared vars, no registers).
+/// Booleans are 0/1; `and`/`or` are logical on (value != 0).
+[[nodiscard]] Value eval_closed(const ExprPtr& e);
+
+/// Replaces every register occurrence with its value from `regs`.
+[[nodiscard]] ExprPtr resolve_registers(const ExprPtr& e,
+                                        const std::vector<Value>& regs);
+
+/// The pending read of Figure 1: the leftmost shared-variable occurrence.
+struct PendingRead {
+  VarId var = 0;
+  bool acquire = false;
+  bool nonatomic = false;
+};
+
+/// Leftmost shared read of E, or nullopt when E is register/constant-only.
+[[nodiscard]] std::optional<PendingRead> next_read(const ExprPtr& e);
+
+/// eval(E, rd(x,n), E'): replaces the leftmost shared-variable occurrence
+/// with the constant n. Precondition: next_read(e) exists.
+[[nodiscard]] ExprPtr substitute_leftmost(const ExprPtr& e, Value n);
+
+/// Applies a unary / binary operator to constants (shared by eval_closed
+/// and the constant folder).
+[[nodiscard]] Value apply_un_op(UnOp op, Value v);
+[[nodiscard]] Value apply_bin_op(BinOp op, Value l, Value r);
+
+/// Short-circuit folding: `0 && E` folds to 0 and `1 && E` to E without
+/// evaluating E (dually for ||); fully closed subtrees fold to constants.
+///
+/// The command semantics normalises every expression with this before
+/// looking for the next read, giving `&&`/`||` short-circuit behaviour:
+/// in `while (flag^A == 1 && turn == 2)`, a read of flag returning 0 exits
+/// the loop without reading turn. This matches the case analysis of the
+/// paper's Peterson proof (Appendix D treats the two conjuncts of the
+/// line-4 guard as sequential tests, the second only reached if the first
+/// passes). Operands of && and || are treated as booleans (0/1).
+[[nodiscard]] ExprPtr fold(const ExprPtr& e);
+
+std::string to_string(UnOp op);
+std::string to_string(BinOp op);
+
+}  // namespace rc11::lang

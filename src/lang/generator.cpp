@@ -1,0 +1,110 @@
+#include "lang/generator.hpp"
+
+#include <random>
+#include <vector>
+
+#include "util/fmt.hpp"
+
+namespace rc11::lang {
+
+namespace {
+
+class Generator {
+ public:
+  explicit Generator(const GeneratorOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  Program run() {
+    for (int v = 0; v < options_.vars; ++v) {
+      program_.declare_var(util::cat("x", v), pick_value());
+    }
+    for (int t = 0; t < options_.threads; ++t) {
+      std::vector<ComPtr> body;
+      const int stmts = 1 + pick(options_.stmts_per_thread);
+      body.reserve(static_cast<std::size_t>(stmts));
+      for (int s = 0; s < stmts; ++s) {
+        body.push_back(statement(t, /*depth=*/0));
+      }
+      program_.add_thread(seq(body));
+    }
+    return std::move(program_);
+  }
+
+ private:
+  int pick(int n) {  // uniform in [0, n)
+    return n <= 1 ? 0 : static_cast<int>(rng_() % static_cast<unsigned>(n));
+  }
+
+  Value pick_value() { return pick(options_.max_value + 1); }
+
+  VarId pick_var() { return static_cast<VarId>(pick(options_.vars)); }
+
+  ExprPtr read_expr(VarId x) {
+    const int mode = pick(4);
+    if (options_.allow_acquire && mode == 0) return shared_acq(x);
+    if (options_.allow_nonatomic && mode == 1) return shared_na(x);
+    return shared(x);
+  }
+
+  ComPtr write_stmt() {
+    const VarId x = pick_var();
+    const Value v = pick_value();
+    const int mode = pick(4);
+    if (options_.allow_release && mode == 0) return assign_rel(x, constant(v));
+    if (options_.allow_nonatomic && mode == 1) return assign_na(x, constant(v));
+    return assign(x, constant(v));
+  }
+
+  ComPtr read_stmt(int thread) {
+    const RegId r = program_.declare_reg(
+        util::cat("t", thread + 1, "r", reg_counter_++));
+    return reg_assign(r, read_expr(pick_var()));
+  }
+
+  ComPtr swap_stmt(int thread) {
+    const VarId x = pick_var();
+    const Value v = pick_value();
+    if (pick(2) == 0) {
+      const RegId r = program_.declare_reg(
+          util::cat("t", thread + 1, "r", reg_counter_++));
+      return swap_into(r, x, constant(v));
+    }
+    return swap(x, constant(v));
+  }
+
+  ComPtr if_stmt(int thread, int depth) {
+    ExprPtr guard = binary(pick(2) == 0 ? BinOp::kEq : BinOp::kNe,
+                           read_expr(pick_var()), constant(pick_value()));
+    return if_then_else(std::move(guard), statement(thread, depth + 1),
+                        statement(thread, depth + 1));
+  }
+
+  ComPtr statement(int thread, int depth) {
+    const int choices = 2 + (options_.allow_swap ? 1 : 0) +
+                        (options_.allow_if && depth < 1 ? 1 : 0);
+    switch (pick(choices)) {
+      case 0:
+        return write_stmt();
+      case 1:
+        return read_stmt(thread);
+      case 2:
+        if (options_.allow_swap) return swap_stmt(thread);
+        [[fallthrough]];
+      default:
+        return if_stmt(thread, depth);
+    }
+  }
+
+  GeneratorOptions options_;
+  std::mt19937 rng_;
+  Program program_;
+  int reg_counter_ = 0;
+};
+
+}  // namespace
+
+Program generate_program(const GeneratorOptions& options) {
+  return Generator(options).run();
+}
+
+}  // namespace rc11::lang

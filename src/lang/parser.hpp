@@ -1,0 +1,59 @@
+// Text-format parser for litmus-style programs.
+//
+// Grammar (comments start with '#' or '//', whitespace free-form):
+//
+//   test      ::= "litmus" IDENT decl* thread+ cond?
+//   decl      ::= "var" IDENT "=" INT
+//   thread    ::= "thread" INT "{" stmt* "}"
+//   stmt      ::= "skip" ";"
+//               | INT ":" stmt                          (pc label)
+//               | IDENT ":=" expr ";"                   (shared or register)
+//               | IDENT ":=R" expr ";"                  (releasing write)
+//               | IDENT ".swap(" expr ")" ";"           (RA update)
+//               | IDENT ":=" IDENT ".swap(" expr ")" ";"  (capturing update)
+//               | "if" "(" expr ")" block ("else" block)?
+//               | "while" "(" expr ")" block
+//   block     ::= "{" stmt* "}"
+//   expr      ::= ||- / &&- / comparison / additive / multiplicative /
+//                 unary / atom precedence chain
+//   atom      ::= INT | "(" expr ")" | IDENT ("@A")?    (@A = acquire read)
+//   cond      ::= ("exists" | "forbidden") "(" cexpr ")"
+//   cexpr     ::= condition over "T:reg OP INT" and "var OP INT" atoms,
+//                 combined with !, &&, ||, parentheses
+//
+// Identifiers on the left of ":=" that were declared with "var" are shared
+// assignments; all others become (auto-declared) registers. Reads of
+// registers inside expressions are silent; reads of shared variables
+// generate memory events, with "@A" marking an acquiring read.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "lang/program.hpp"
+
+namespace rc11::lang {
+
+/// Thrown on syntax errors, with line/column in what().
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class CondMode : std::uint8_t {
+  kNone,       ///< no condition clause
+  kExists,     ///< outcome is *allowed*: some execution satisfies it
+  kForbidden,  ///< outcome must be unreachable
+};
+
+struct ParsedLitmus {
+  std::string name;
+  Program program;
+  CondPtr condition;  // cond_true() when absent
+  CondMode mode = CondMode::kNone;
+};
+
+/// Parses the textual format described above. Throws ParseError.
+[[nodiscard]] ParsedLitmus parse_litmus(const std::string& source);
+
+}  // namespace rc11::lang

@@ -1,0 +1,121 @@
+#include "lang/program.hpp"
+
+#include <sstream>
+
+#include "util/fmt.hpp"
+
+namespace rc11::lang {
+
+VarId Program::declare_var(const std::string& name, Value initial) {
+  const VarId id = vars_.intern(name);
+  inits_.emplace_back(id, initial);
+  return id;
+}
+
+RegId Program::declare_reg(const std::string& name) {
+  for (std::size_t i = 0; i < reg_names_.size(); ++i) {
+    if (reg_names_[i] == name) return static_cast<RegId>(i);
+  }
+  reg_names_.push_back(name);
+  return static_cast<RegId>(reg_names_.size() - 1);
+}
+
+ThreadId Program::add_thread(ComPtr body) {
+  threads_.push_back(std::move(body));
+  return static_cast<ThreadId>(threads_.size());
+}
+
+std::optional<RegId> Program::find_reg(const std::string& name) const {
+  for (std::size_t i = 0; i < reg_names_.size(); ++i) {
+    if (reg_names_[i] == name) return static_cast<RegId>(i);
+  }
+  return std::nullopt;
+}
+
+std::string Program::to_string() const {
+  std::ostringstream os;
+  for (auto [var, val] : inits_) {
+    os << "var " << vars_.name(var) << " = " << val << "\n";
+  }
+  for (std::size_t t = 0; t < threads_.size(); ++t) {
+    os << "thread " << (t + 1) << " { " << threads_[t]->to_string(&vars_)
+       << " }\n";
+  }
+  return os.str();
+}
+
+namespace {
+CondPtr make(Cond c) { return std::make_shared<const Cond>(std::move(c)); }
+}  // namespace
+
+CondPtr cond_true() { return make(Cond{}); }
+
+CondPtr cond_reg(ThreadId t, RegId r, BinOp op, Value v) {
+  Cond c;
+  c.kind = CondKind::kRegCmp;
+  c.thread = t;
+  c.reg = r;
+  c.op = op;
+  c.value = v;
+  return make(std::move(c));
+}
+
+CondPtr cond_var(VarId x, BinOp op, Value v) {
+  Cond c;
+  c.kind = CondKind::kVarCmp;
+  c.var = x;
+  c.op = op;
+  c.value = v;
+  return make(std::move(c));
+}
+
+CondPtr cond_not(CondPtr inner) {
+  Cond c;
+  c.kind = CondKind::kNot;
+  c.lhs = std::move(inner);
+  return make(std::move(c));
+}
+
+CondPtr cond_and(CondPtr a, CondPtr b) {
+  Cond c;
+  c.kind = CondKind::kAnd;
+  c.lhs = std::move(a);
+  c.rhs = std::move(b);
+  return make(std::move(c));
+}
+
+CondPtr cond_or(CondPtr a, CondPtr b) {
+  Cond c;
+  c.kind = CondKind::kOr;
+  c.lhs = std::move(a);
+  c.rhs = std::move(b);
+  return make(std::move(c));
+}
+
+std::string Cond::to_string(const Program* p) const {
+  switch (kind) {
+    case CondKind::kTrue:
+      return "true";
+    case CondKind::kRegCmp: {
+      const std::string r =
+          p != nullptr ? p->reg_name(reg) : util::cat("r", reg);
+      return util::cat(thread, ":", r, " ", lang::to_string(op), " ", value);
+    }
+    case CondKind::kVarCmp: {
+      const std::string x =
+          p != nullptr ? p->vars().name(var) : util::cat("v", var);
+      return util::cat(x, " ", lang::to_string(op), " ", value);
+    }
+    case CondKind::kNot:
+      return util::cat("!(", lhs->to_string(p), ")");
+    case CondKind::kAnd:
+      return util::cat("(", lhs->to_string(p), " && ", rhs->to_string(p),
+                       ")");
+    case CondKind::kOr:
+      return util::cat("(", lhs->to_string(p), " || ", rhs->to_string(p),
+                       ")");
+  }
+  return "?";
+}
+
+}  // namespace rc11::lang

@@ -1,0 +1,251 @@
+#include "litmus/catalog.hpp"
+
+#include <stdexcept>
+
+namespace rc11::litmus {
+
+namespace {
+
+std::vector<Test> build_catalog() {
+  std::vector<Test> tests;
+
+  tests.push_back({"SB", "store buffering, relaxed",
+                   R"(litmus SB
+var x = 0
+var y = 0
+thread 1 { x := 1; r0 := y; }
+thread 2 { y := 1; r1 := x; }
+exists (1:r0 == 0 && 2:r1 == 0))",
+                   Expectation::kAllowed,
+                   "the RAR fragment has no SC axis; both reads may miss"});
+
+  tests.push_back({"SB_ra", "store buffering, release/acquire",
+                   R"(litmus SB_ra
+var x = 0
+var y = 0
+thread 1 { x :=R 1; r0 := y@A; }
+thread 2 { y :=R 1; r1 := x@A; }
+exists (1:r0 == 0 && 2:r1 == 0))",
+                   Expectation::kAllowed,
+                   "release/acquire does not forbid SB; SC fences would"});
+
+  tests.push_back({"MP", "message passing, relaxed",
+                   R"(litmus MP
+var d = 0
+var f = 0
+thread 1 { d := 5; f := 1; }
+thread 2 { r0 := f; r1 := d; }
+exists (2:r0 == 1 && 2:r1 == 0))",
+                   Expectation::kAllowed,
+                   "relaxed accesses create no synchronises-with edge"});
+
+  tests.push_back({"MP_ra", "message passing, rel write + acq read",
+                   R"(litmus MP_ra
+var d = 0
+var f = 0
+thread 1 { d := 5; f :=R 1; }
+thread 2 { r0 := f@A; r1 := d; }
+exists (2:r0 == 1 && 2:r1 == 0))",
+                   Expectation::kForbidden,
+                   "rf on f is sw, so d := 5 happens-before the read of d"});
+
+  tests.push_back({"MP_rel_rlx", "message passing, rel write + rlx read",
+                   R"(litmus MP_rel_rlx
+var d = 0
+var f = 0
+thread 1 { d := 5; f :=R 1; }
+thread 2 { r0 := f; r1 := d; }
+exists (2:r0 == 1 && 2:r1 == 0))",
+                   Expectation::kAllowed,
+                   "a relaxed read of a releasing write is not sw"});
+
+  tests.push_back({"MP_rlx_acq", "message passing, rlx write + acq read",
+                   R"(litmus MP_rlx_acq
+var d = 0
+var f = 0
+thread 1 { d := 5; f := 1; }
+thread 2 { r0 := f@A; r1 := d; }
+exists (2:r0 == 1 && 2:r1 == 0))",
+                   Expectation::kAllowed,
+                   "an acquiring read of a relaxed write is not sw"});
+
+  tests.push_back({"MP_swap", "message passing via rel-acq update",
+                   R"(litmus MP_swap
+var d = 0
+var f = 0
+thread 1 { d := 5; f.swap(1); }
+thread 2 { r0 := f@A; r1 := d; }
+exists (2:r0 == 1 && 2:r1 == 0))",
+                   Expectation::kForbidden,
+                   "updates are releasing writes; reading 1 synchronises"});
+
+  tests.push_back({"LB", "load buffering, relaxed",
+                   R"(litmus LB
+var x = 0
+var y = 0
+thread 1 { r0 := x; y := 1; }
+thread 2 { r1 := y; x := 1; }
+exists (1:r0 == 1 && 2:r1 == 1))",
+                   Expectation::kForbidden,
+                   "NoThinAir: sb u rf must be acyclic in the RAR fragment"});
+
+  tests.push_back({"CoWW", "coherence of same-thread writes",
+                   R"(litmus CoWW
+var x = 0
+thread 1 { x := 1; x := 2; }
+thread 2 { r0 := x; r1 := x; }
+exists (2:r0 == 2 && 2:r1 == 1))",
+                   Expectation::kForbidden,
+                   "mo follows sb per variable; reads cannot run backwards"});
+
+  tests.push_back({"CoRR2", "coherence: two readers agree on write order",
+                   R"(litmus CoRR2
+var x = 0
+thread 1 { x := 1; }
+thread 2 { x := 2; }
+thread 3 { r0 := x; r1 := x; }
+thread 4 { r2 := x; r3 := x; }
+exists (3:r0 == 1 && 3:r1 == 2 && 4:r2 == 2 && 4:r3 == 1))",
+                   Expectation::kForbidden,
+                   "mo|x is total; the readers would impose opposite orders"});
+
+  tests.push_back({"IRIW_ra", "independent reads of independent writes",
+                   R"(litmus IRIW_ra
+var x = 0
+var y = 0
+thread 1 { x :=R 1; }
+thread 2 { y :=R 1; }
+thread 3 { r0 := x@A; r1 := y@A; }
+thread 4 { r2 := y@A; r3 := x@A; }
+exists (3:r0 == 1 && 3:r1 == 0 && 4:r2 == 1 && 4:r3 == 0))",
+                   Expectation::kAllowed,
+                   "release/acquire is not multi-copy atomic; needs SC"});
+
+  tests.push_back({"W2+2W", "2+2W, relaxed",
+                   R"(litmus W22W
+var x = 0
+var y = 0
+thread 1 { x := 1; y := 2; }
+thread 2 { y := 1; x := 2; }
+exists (x == 1 && y == 1))",
+                   Expectation::kAllowed,
+                   "the mo;sb cycle is not excluded by irrefl(hb;eco?)"});
+
+  tests.push_back({"SwapAtomicity", "competing RMWs cannot both read 0",
+                   R"(litmus SwapAtomicity
+var x = 0
+thread 1 { r0 := x.swap(1); }
+thread 2 { r1 := x.swap(2); }
+exists (1:r0 == 0 && 2:r1 == 0))",
+                   Expectation::kForbidden,
+                   "covered writes: one update must read from the other"});
+
+  tests.push_back({"WRC_ra", "write-read causality, release/acquire",
+                   R"(litmus WRC_ra
+var x = 0
+var y = 0
+thread 1 { x :=R 1; }
+thread 2 { r0 := x@A; y :=R 1; }
+thread 3 { r1 := y@A; r2 := x; }
+exists (2:r0 == 1 && 3:r1 == 1 && 3:r2 == 0))",
+                   Expectation::kForbidden,
+                   "sw chains compose through hb; the stale read violates "
+                   "coherence"});
+
+  tests.push_back({"S", "write-subsumption, release/acquire",
+                   R"(litmus S
+var x = 0
+var y = 0
+thread 1 { x := 2; y :=R 1; }
+thread 2 { r0 := y@A; x := 1; }
+exists (2:r0 == 1 && x == 2))",
+                   Expectation::kForbidden,
+                   "x := 2 happens-before x := 1 via sw, so mo must agree "
+                   "and x ends 1"});
+
+  tests.push_back({"CoRW1", "read from a po-later write",
+                   R"(litmus CoRW1
+var x = 0
+thread 1 { r0 := x; x := 1; }
+exists (1:r0 == 1))",
+                   Expectation::kForbidden,
+                   "reading the own future write is an sb u rf cycle"});
+
+  tests.push_back({"CoWR", "read own write, not an older one",
+                   R"(litmus CoWR
+var x = 0
+thread 1 { x := 1; r0 := x; }
+thread 2 { x := 2; }
+exists (1:r0 == 0))",
+                   Expectation::kForbidden,
+                   "after writing, the initial value is no longer "
+                   "observable to the writer"});
+
+  tests.push_back({"ISA2", "three-thread rel/acq transitivity chain",
+                   R"(litmus ISA2
+var d = 0
+var x = 0
+var y = 0
+thread 1 { d := 1; x :=R 1; }
+thread 2 { r0 := x@A; y :=R 1; }
+thread 3 { r1 := y@A; r2 := d; }
+exists (2:r0 == 1 && 3:r1 == 1 && 3:r2 == 0))",
+                   Expectation::kForbidden,
+                   "hb composes across the two sw edges and the sb in "
+                   "thread 2"});
+
+  tests.push_back({"SB_rmw", "store buffering with RMWs",
+                   R"(litmus SB_rmw
+var x = 0
+var y = 0
+thread 1 { r0 := x.swap(1); r1 := y; }
+thread 2 { r2 := y.swap(1); r3 := x; }
+exists (1:r1 == 0 && 2:r3 == 0))",
+                   Expectation::kAllowed,
+                   "RMWs on different variables do not order each other; "
+                   "no SC axis"});
+
+  tests.push_back({"W2+2W_ra", "2+2W with releasing writes",
+                   R"(litmus W22W_ra
+var x = 0
+var y = 0
+thread 1 { x :=R 1; y :=R 2; }
+thread 2 { y :=R 1; x :=R 2; }
+exists (x == 1 && y == 1))",
+                   Expectation::kAllowed,
+                   "release annotations without acquiring readers create "
+                   "no sw edges at all"});
+
+  tests.push_back({"WRC_rlx", "write-read causality, relaxed",
+                   R"(litmus WRC_rlx
+var x = 0
+var y = 0
+thread 1 { x := 1; }
+thread 2 { r0 := x; y := 1; }
+thread 3 { r1 := y; r2 := x; }
+exists (2:r0 == 1 && 3:r1 == 1 && 3:r2 == 0))",
+                   Expectation::kAllowed,
+                   "no sw edges, so no causality chain to violate"});
+
+  return tests;
+}
+
+}  // namespace
+
+const std::vector<Test>& catalog() {
+  static const std::vector<Test> tests = build_catalog();
+  return tests;
+}
+
+const Test& find_test(const std::string& name) {
+  for (const Test& t : catalog()) {
+    if (t.name == name) return t;
+  }
+  throw std::out_of_range("unknown litmus test: " + name);
+}
+
+std::string to_string(Expectation e) {
+  return e == Expectation::kAllowed ? "allowed" : "forbidden";
+}
+
+}  // namespace rc11::litmus

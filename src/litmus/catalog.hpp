@@ -1,0 +1,57 @@
+// Catalogue of classic litmus tests with their expected outcomes under the
+// RAR fragment (Definition 4.2 / the operational semantics).
+//
+// Each entry's program is written in the textual litmus format and parsed
+// at registration time (dog-fooding lang/parser). The expectation states
+// whether the `exists` condition is reachable under the model:
+//
+//   name          synchronisation           expected   why
+//   SB            relaxed                   allowed    no SC axis in RAR
+//   SB_ra         release/acquire           allowed    ditto
+//   MP            relaxed                   allowed    no synchronisation
+//   MP_ra         rel write / acq read      forbidden  sw => hb => coherence
+//   MP_rel_rlx    rel write / rlx read      allowed    no sw without acquire
+//   MP_rlx_acq    rlx write / acq read      allowed    no sw without release
+//   MP_swap       rel-acq update as flag    forbidden  updates synchronise
+//   LB            relaxed                   forbidden  NoThinAir (sb u rf)
+//   CoWW          relaxed                   forbidden  per-variable coherence
+//   CoRR2         relaxed                   forbidden  readers agree with mo
+//   IRIW_ra       release/acquire           allowed    RA is not multi-copy-SC
+//   W2+2W         relaxed                   allowed    weak coherence only
+//   SwapAtomicity competing RMWs            forbidden  update atomicity
+//   WRC_ra        release/acquire chain     forbidden  hb transitivity
+//   WRC_rlx       relaxed                   allowed    no causality chain
+//   S             rel write / acq read      forbidden  hb constrains mo
+//   CoRW1         single thread             forbidden  sb u rf acyclic
+//   CoWR          writer re-reads           forbidden  own write encountered
+//   ISA2          3-thread rel/acq chain    forbidden  hb transitivity
+//   SB_rmw        RMWs on both variables    allowed    no SC axis
+//   W2+2W_ra      releasing writes, no rds  allowed    sw needs a reader
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/parser.hpp"
+
+namespace rc11::litmus {
+
+enum class Expectation : std::uint8_t { kAllowed, kForbidden };
+
+struct Test {
+  std::string name;
+  std::string description;
+  std::string source;       ///< textual litmus program
+  Expectation expected = Expectation::kAllowed;
+  std::string rationale;    ///< one-line why
+};
+
+/// The full built-in catalogue (order stable across runs).
+[[nodiscard]] const std::vector<Test>& catalog();
+
+/// Looks up a test by name; throws std::out_of_range if absent.
+[[nodiscard]] const Test& find_test(const std::string& name);
+
+std::string to_string(Expectation e);
+
+}  // namespace rc11::litmus

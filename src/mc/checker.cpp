@@ -1,0 +1,126 @@
+#include "mc/checker.hpp"
+
+#include <sstream>
+
+#include "c11/races.hpp"
+
+namespace rc11::mc {
+
+InvariantResult check_invariant(const lang::Program& program,
+                                const ConfigPredicate& invariant,
+                                ExploreOptions options) {
+  options.step.tau_compress = false;  // intermediate pcs must be visible
+  InvariantResult result;
+  Visitor visitor;
+  visitor.on_state = [&](const interp::Config& c) {
+    if (!invariant(c)) {
+      result.holds = false;
+      return false;
+    }
+    return true;
+  };
+  ExploreResult er = explore(program, options, visitor);
+  result.stats = er.stats;
+  if (!result.holds) result.counterexample = std::move(er.abort_trace);
+  return result;
+}
+
+ReachabilityResult check_reachable(const lang::Program& program,
+                                   const lang::CondPtr& cond,
+                                   ExploreOptions options) {
+  ReachabilityResult result;
+  Visitor visitor;
+  visitor.on_final = [&](const interp::Config& c) {
+    if (interp::eval_cond(cond, c)) {
+      result.reachable = true;
+      return false;  // stop at the first witness
+    }
+    return true;
+  };
+  ExploreResult er = explore(program, options, visitor);
+  result.stats = er.stats;
+  if (result.reachable) result.witness = std::move(er.abort_trace);
+  return result;
+}
+
+std::string Outcome::to_string(const lang::Program& p) const {
+  std::ostringstream os;
+  bool sep = false;
+  for (std::size_t t = 0; t < regs.size(); ++t) {
+    for (std::size_t r = 0; r < regs[t].size(); ++r) {
+      if (sep) os << " ";
+      os << (t + 1) << ":" << p.reg_name(static_cast<lang::RegId>(r)) << "="
+         << regs[t][r];
+      sep = true;
+    }
+  }
+  for (std::size_t v = 0; v < final_vars.size(); ++v) {
+    if (sep) os << " ";
+    os << p.vars().name(static_cast<c11::VarId>(v)) << "=" << final_vars[v];
+    sep = true;
+  }
+  return os.str();
+}
+
+OutcomeResult enumerate_outcomes(const lang::Program& program,
+                                 ExploreOptions options) {
+  OutcomeResult result;
+  Visitor visitor;
+  visitor.on_final = [&](const interp::Config& c) {
+    Outcome o;
+    o.regs.reserve(c.thread_count());
+    for (const auto& file : c.regs) {
+      auto padded = file;
+      padded.resize(program.reg_count(), 0);
+      o.regs.push_back(std::move(padded));
+    }
+    for (c11::VarId x = 0; x < c.exec.var_count(); ++x) {
+      const c11::EventId w = c.exec.last(x);
+      o.final_vars.push_back(w == c11::kNoEvent ? 0
+                                                : c.exec.event(w).wrval());
+    }
+    result.outcomes.insert(std::move(o));
+    return true;
+  };
+  result.stats = explore(program, options, visitor).stats;
+  return result;
+}
+
+RaceResult check_race_free(const lang::Program& program,
+                           ExploreOptions options) {
+  RaceResult result;
+  Visitor visitor;
+  visitor.on_transition = [&](const interp::Config&,
+                              const interp::ConfigStep& step) {
+    if (step.silent) return true;
+    // A race's later event is the one just added, so checking each new
+    // event against the existing ones covers every race exactly once.
+    const c11::DerivedRelations d = c11::compute_derived(step.next.exec);
+    if (auto race = c11::race_with(step.next.exec, d, step.event)) {
+      result.race_free = false;
+      result.race = race->to_string(step.next.exec, &program.vars());
+      return false;
+    }
+    return true;
+  };
+  ExploreResult er = explore(program, options, visitor);
+  result.stats = er.stats;
+  if (!result.race_free) result.trace = std::move(er.abort_trace);
+  return result;
+}
+
+std::set<std::string> collect_final_executions(const lang::Program& program,
+                                               ExploreOptions options) {
+  std::set<std::string> keys;
+  Visitor visitor;
+  visitor.on_final = [&](const interp::Config& c) {
+    std::ostringstream os;
+    for (std::uint64_t w : c.exec.canonical_key()) os << w << ',';
+    keys.insert(os.str());
+    return true;
+  };
+  (void)explore(program, options, visitor);
+  return keys;
+}
+
+}  // namespace rc11::mc

@@ -1,0 +1,113 @@
+#include "mc/explorer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rc11::mc {
+
+namespace {
+
+struct Frame {
+  interp::Config config;
+  std::vector<interp::ConfigStep> steps;
+  std::size_t next_step = 0;
+  TraceEntry incoming;  // transition that entered this frame
+};
+
+std::vector<interp::ConfigStep> expand(const interp::Config& c,
+                                       const ExploreOptions& options) {
+  if (options.pre_execution) {
+    return interp::pe_successors(c, interp::value_domain(*c.program),
+                                 options.step);
+  }
+  return interp::successors(c, options.step);
+}
+
+}  // namespace
+
+ExploreResult explore(const lang::Program& program,
+                      const ExploreOptions& options, const Visitor& visitor) {
+  return explore_from(interp::initial_config(program), options, visitor);
+}
+
+ExploreResult explore_from(const interp::Config& start,
+                           const ExploreOptions& options,
+                           const Visitor& visitor) {
+  ExploreResult result;
+  SeenSet seen;
+
+  auto build_trace = [](const std::vector<Frame>& stack) {
+    Trace t;
+    // Frame 0 is the initial configuration; its incoming entry is empty.
+    for (std::size_t i = 1; i < stack.size(); ++i) {
+      t.entries.push_back(stack[i].incoming);
+    }
+    return t;
+  };
+
+  auto visit_state = [&](const interp::Config& c) -> bool {
+    ++result.stats.states;
+    if (visitor.on_state && !visitor.on_state(c)) return false;
+    if (c.terminated()) {
+      ++result.stats.finals;
+      if (visitor.on_final && !visitor.on_final(c)) return false;
+    }
+    return true;
+  };
+
+  std::vector<Frame> stack;
+  {
+    Frame root;
+    root.config = start;
+    if (options.dedup) seen.insert(root.config.canonical_key());
+    if (!visit_state(root.config)) {
+      result.aborted = true;
+      return result;
+    }
+    root.steps = expand(root.config, options);
+    stack.push_back(std::move(root));
+  }
+
+  while (!stack.empty()) {
+    result.stats.max_depth = std::max(result.stats.max_depth, stack.size());
+    Frame& top = stack.back();
+    if (top.next_step >= top.steps.size()) {
+      stack.pop_back();
+      continue;
+    }
+    interp::ConfigStep step = std::move(top.steps[top.next_step++]);
+    ++result.stats.transitions;
+
+    if (visitor.on_transition && !visitor.on_transition(top.config, step)) {
+      result.aborted = true;
+      result.abort_trace = build_trace(stack);
+      result.abort_trace.entries.push_back(make_entry(step));
+      return result;
+    }
+
+    if (options.dedup && !seen.insert(step.next.canonical_key())) {
+      ++result.stats.merged;
+      continue;
+    }
+
+    if (result.stats.states >= options.max_states) {
+      result.stats.truncated = true;
+      return result;
+    }
+
+    Frame frame;
+    frame.incoming = make_entry(step);
+    frame.config = std::move(step.next);
+    if (!visit_state(frame.config)) {
+      result.aborted = true;
+      result.abort_trace = build_trace(stack);
+      result.abort_trace.entries.push_back(frame.incoming);
+      return result;
+    }
+    frame.steps = expand(frame.config, options);
+    stack.push_back(std::move(frame));
+  }
+  return result;
+}
+
+}  // namespace rc11::mc

@@ -1,0 +1,66 @@
+// Exhaustive exploration of the interpreted RA semantics.
+//
+// The explorer performs DFS over configurations, deduplicating by canonical
+// key, with visitor callbacks for states, transitions and terminated
+// configurations. On top of it, checker.hpp provides the user-facing
+// verification queries (invariants, reachability, outcome enumeration).
+#pragma once
+
+#include <functional>
+
+#include "interp/config.hpp"
+#include "interp/preexec.hpp"
+#include "mc/statespace.hpp"
+#include "mc/trace.hpp"
+
+namespace rc11::mc {
+
+struct ExploreOptions {
+  interp::StepOptions step;
+
+  /// Abort after visiting this many unique states (sets stats.truncated).
+  std::size_t max_states = 5'000'000;
+
+  /// Merge isomorphic configurations. Disable to traverse the raw
+  /// transition tree (used by ablation benches).
+  bool dedup = true;
+
+  /// Explore with the pre-execution semantics ==>_PE instead of ==>_RA
+  /// (reads branch over the value domain; rf/mo stay empty).
+  bool pre_execution = false;
+};
+
+/// Visitor callbacks. Any callback returning false aborts the search with
+/// `aborted = true` (used to stop at the first violation/witness).
+struct Visitor {
+  /// Called once per unique configuration (including the initial one).
+  std::function<bool(const interp::Config&)> on_state;
+
+  /// Called for every generated transition, before dedup of the target.
+  std::function<bool(const interp::Config&, const interp::ConfigStep&)>
+      on_transition;
+
+  /// Called for every unique terminated configuration.
+  std::function<bool(const interp::Config&)> on_final;
+};
+
+struct ExploreResult {
+  ExploreStats stats;
+  bool aborted = false;
+  /// DFS path to the configuration that aborted the search (the last entry
+  /// is the transition *into* that configuration). Empty if not aborted or
+  /// aborted at the initial state.
+  Trace abort_trace;
+};
+
+/// Runs the search from the program's initial configuration.
+[[nodiscard]] ExploreResult explore(const lang::Program& program,
+                                    const ExploreOptions& options,
+                                    const Visitor& visitor);
+
+/// Runs the search from an explicit starting configuration.
+[[nodiscard]] ExploreResult explore_from(const interp::Config& start,
+                                         const ExploreOptions& options,
+                                         const Visitor& visitor);
+
+}  // namespace rc11::mc

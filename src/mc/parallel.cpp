@@ -1,0 +1,122 @@
+#include "mc/parallel.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace rc11::mc {
+
+namespace {
+
+/// Shared context of one parallel run.
+struct ParallelRun {
+  explicit ParallelRun(const ExploreOptions& opts) : options(opts) {}
+
+  ExploreOptions options;
+  ConcurrentSeenSet seen;
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> states{0};
+  std::atomic<std::size_t> transitions{0};
+  std::atomic<std::size_t> merged{0};
+  std::atomic<std::size_t> finals{0};
+  std::atomic<bool> truncated{false};
+
+  // Visitor returning false sets stop.
+  std::function<bool(const interp::Config&)> on_state;
+  std::function<bool(const interp::Config&)> on_final;
+};
+
+void process(const std::shared_ptr<ParallelRun>& run,
+             util::ThreadPool& pool, interp::Config config) {
+  if (run->stop.load(std::memory_order_relaxed)) return;
+  if (run->states.fetch_add(1) >= run->options.max_states) {
+    run->truncated.store(true);
+    run->stop.store(true);
+    return;
+  }
+  if (run->on_state && !run->on_state(config)) {
+    run->stop.store(true);
+    return;
+  }
+  if (config.terminated()) {
+    run->finals.fetch_add(1, std::memory_order_relaxed);
+    if (run->on_final && !run->on_final(config)) {
+      run->stop.store(true);
+      return;
+    }
+  }
+  for (auto& step : interp::successors(config, run->options.step)) {
+    run->transitions.fetch_add(1, std::memory_order_relaxed);
+    if (run->options.dedup && !run->seen.insert(step.next.canonical_key())) {
+      run->merged.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    pool.submit([run, &pool, next = std::move(step.next)]() mutable {
+      process(run, pool, std::move(next));
+    });
+  }
+}
+
+ExploreStats run_parallel(const lang::Program& program,
+                          const ParallelOptions& options,
+                          const std::shared_ptr<ParallelRun>& run) {
+  util::ThreadPool pool(options.workers);
+  interp::Config start = interp::initial_config(program);
+  run->seen.insert(start.canonical_key());
+  pool.submit([run, &pool, start = std::move(start)]() mutable {
+    process(run, pool, std::move(start));
+  });
+  pool.wait_idle();
+
+  ExploreStats stats;
+  stats.states = run->states.load();
+  stats.transitions = run->transitions.load();
+  stats.merged = run->merged.load();
+  stats.finals = run->finals.load();
+  stats.truncated = run->truncated.load();
+  return stats;
+}
+
+}  // namespace
+
+InvariantResult check_invariant_parallel(const lang::Program& program,
+                                         const ConfigPredicate& invariant,
+                                         const ParallelOptions& options) {
+  auto opts = options;
+  opts.explore.step.tau_compress = false;
+  auto run = std::make_shared<ParallelRun>(opts.explore);
+  std::atomic<bool> violated{false};
+  run->on_state = [&](const interp::Config& c) {
+    if (!invariant(c)) {
+      violated.store(true);
+      return false;
+    }
+    return true;
+  };
+  InvariantResult result;
+  result.stats = run_parallel(program, opts, run);
+  result.holds = !violated.load();
+  return result;
+}
+
+ReachabilityResult check_reachable_parallel(const lang::Program& program,
+                                            const lang::CondPtr& cond,
+                                            const ParallelOptions& options) {
+  auto run = std::make_shared<ParallelRun>(options.explore);
+  std::atomic<bool> found{false};
+  run->on_final = [&](const interp::Config& c) {
+    if (interp::eval_cond(cond, c)) {
+      found.store(true);
+      return false;
+    }
+    return true;
+  };
+  ReachabilityResult result;
+  result.stats = run_parallel(program, options, run);
+  result.reachable = found.load();
+  return result;
+}
+
+}  // namespace rc11::mc

@@ -1,0 +1,35 @@
+// Parallel state-space exploration.
+//
+// A breadth-first frontier is processed by a thread pool; the seen set is
+// sharded (ConcurrentSeenSet) so insertion contention is low. Visitors must
+// be thread-safe; the convenience queries here only use atomic flags and
+// per-shard accumulation, so they are safe out of the box.
+//
+// On a single-core host this demonstrates correctness rather than speedup;
+// bench_parallel reports the scaling measured on the build machine.
+#pragma once
+
+#include <cstddef>
+
+#include "mc/checker.hpp"
+
+namespace rc11::mc {
+
+struct ParallelOptions {
+  ExploreOptions explore;
+  std::size_t workers = 4;
+};
+
+/// Parallel version of check_invariant (no counterexample trace: recording
+/// paths across workers would serialise them; rerun the sequential checker
+/// to obtain a trace once a violation is known to exist).
+[[nodiscard]] InvariantResult check_invariant_parallel(
+    const lang::Program& program, const ConfigPredicate& invariant,
+    const ParallelOptions& options = {});
+
+/// Parallel version of check_reachable (witness-free, see above).
+[[nodiscard]] ReachabilityResult check_reachable_parallel(
+    const lang::Program& program, const lang::CondPtr& cond,
+    const ParallelOptions& options = {});
+
+}  // namespace rc11::mc

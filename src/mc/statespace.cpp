@@ -1,0 +1,16 @@
+#include "mc/statespace.hpp"
+
+#include <sstream>
+
+namespace rc11::mc {
+
+std::string ExploreStats::to_string() const {
+  std::ostringstream os;
+  os << "states=" << states << " transitions=" << transitions
+     << " merged=" << merged << " finals=" << finals
+     << " max_depth=" << max_depth;
+  if (truncated) os << " (TRUNCATED)";
+  return os.str();
+}
+
+}  // namespace rc11::mc

@@ -1,0 +1,67 @@
+// State-space bookkeeping: canonical-key deduplication and statistics.
+//
+// Two interleavings of independent steps reach isomorphic configurations
+// (Propositions 2.3 / 4.1); the canonical key (Config::canonical_key)
+// identifies them, so the explorer visits each configuration once. The
+// sharded variant is safe for concurrent insertion from the parallel
+// explorer.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+namespace rc11::mc {
+
+struct ExploreStats {
+  std::size_t states = 0;       ///< unique configurations visited
+  std::size_t transitions = 0;  ///< transitions generated
+  std::size_t merged = 0;       ///< successors deduplicated away
+  std::size_t finals = 0;       ///< terminated configurations
+  std::size_t max_depth = 0;    ///< deepest DFS path
+  bool truncated = false;       ///< hit max_states
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Insert-only set of canonical keys.
+class SeenSet {
+ public:
+  /// Returns true iff the key was newly inserted.
+  bool insert(const std::string& key) { return set_.insert(key).second; }
+
+  [[nodiscard]] std::size_t size() const { return set_.size(); }
+
+ private:
+  std::unordered_set<std::string> set_;
+};
+
+/// Sharded, mutex-guarded variant for the parallel explorer.
+class ConcurrentSeenSet {
+ public:
+  bool insert(const std::string& key) {
+    const std::size_t shard =
+        std::hash<std::string>{}(key) % kShards;
+    std::lock_guard lock(mutexes_[shard]);
+    return sets_[shard].insert(key).second;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kShards; ++i) {
+      std::lock_guard lock(mutexes_[i]);
+      n += sets_[i].size();
+    }
+    return n;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  mutable std::array<std::mutex, kShards> mutexes_;
+  std::array<std::unordered_set<std::string>, kShards> sets_;
+};
+
+}  // namespace rc11::mc

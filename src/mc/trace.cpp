@@ -1,0 +1,37 @@
+#include "mc/trace.hpp"
+
+#include <sstream>
+
+#include "util/fmt.hpp"
+
+namespace rc11::mc {
+
+std::string Trace::to_string(const c11::VarTable* vars) const {
+  std::ostringstream os;
+  for (const TraceEntry& e : entries) {
+    os << "  t" << e.thread << ": ";
+    if (e.silent) {
+      os << "(silent)";
+    } else {
+      os << c11::to_string(e.action, vars);
+    }
+    if (!e.note.empty()) os << "  [" << e.note << "]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+TraceEntry make_entry(const interp::ConfigStep& step) {
+  TraceEntry e;
+  e.thread = step.thread;
+  e.silent = step.silent;
+  if (!step.silent) {
+    e.action = step.action;
+    e.note = util::cat("observed e", step.observed);
+  } else if (step.loop_unfold) {
+    e.note = "loop unfold";
+  }
+  return e;
+}
+
+}  // namespace rc11::mc

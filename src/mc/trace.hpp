@@ -1,0 +1,33 @@
+// Counterexample / witness traces produced by the explorer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "c11/action.hpp"
+#include "interp/config.hpp"
+
+namespace rc11::mc {
+
+struct TraceEntry {
+  c11::ThreadId thread = 0;
+  bool silent = true;
+  c11::Action action;  ///< meaningful when !silent
+  std::string note;    ///< e.g. "loop unfold", "observed e3"
+};
+
+struct Trace {
+  std::vector<TraceEntry> entries;
+
+  [[nodiscard]] bool empty() const { return entries.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries.size(); }
+
+  /// One line per entry: "t2: wrR(f, 1) (observed e0)".
+  [[nodiscard]] std::string to_string(
+      const c11::VarTable* vars = nullptr) const;
+};
+
+/// Builds a trace entry from an interpreted step.
+[[nodiscard]] TraceEntry make_entry(const interp::ConfigStep& step);
+
+}  // namespace rc11::mc

@@ -1,0 +1,47 @@
+// Umbrella header for the rc11-operational library.
+//
+// Reproduction of "Verifying C11 Programs Operationally" (Doherty, Dongol,
+// Wehrheim, Derrick — PPoPP 2019). Layers, bottom-up:
+//
+//   util       bitsets, relations, thread pool
+//   c11        the RAR memory model: events, executions, derived
+//              relations, observability, Figure-3 event semantics,
+//              Definition-4.2 axioms, Appendix-C canonical model
+//   lang       the command language of Section 2 (+ registers, labels)
+//   interp     configurations; the ==>_RA and ==>_PE step relations
+//   mc         exhaustive model checking over the operational semantics
+//   axiomatic  candidate enumeration; soundness/completeness checking
+//   vcgen      the proof calculus of Section 5; Peterson's algorithm
+//   litmus     classic litmus tests with expected RAR outcomes
+#pragma once
+
+#include "axiomatic/enumerate.hpp"      // IWYU pragma: export
+#include "axiomatic/equivalence.hpp"    // IWYU pragma: export
+#include "c11/action.hpp"               // IWYU pragma: export
+#include "c11/axioms.hpp"               // IWYU pragma: export
+#include "c11/canonical.hpp"            // IWYU pragma: export
+#include "c11/derived.hpp"              // IWYU pragma: export
+#include "c11/event.hpp"                // IWYU pragma: export
+#include "c11/event_semantics.hpp"      // IWYU pragma: export
+#include "c11/execution.hpp"            // IWYU pragma: export
+#include "c11/observability.hpp"        // IWYU pragma: export
+#include "c11/pretty.hpp"               // IWYU pragma: export
+#include "c11/races.hpp"                // IWYU pragma: export
+#include "interp/config.hpp"            // IWYU pragma: export
+#include "interp/preexec.hpp"           // IWYU pragma: export
+#include "lang/builder.hpp"             // IWYU pragma: export
+#include "lang/command.hpp"             // IWYU pragma: export
+#include "lang/expr.hpp"                // IWYU pragma: export
+#include "lang/generator.hpp"           // IWYU pragma: export
+#include "lang/parser.hpp"              // IWYU pragma: export
+#include "lang/program.hpp"             // IWYU pragma: export
+#include "litmus/catalog.hpp"           // IWYU pragma: export
+#include "litmus/runner.hpp"            // IWYU pragma: export
+#include "mc/checker.hpp"               // IWYU pragma: export
+#include "mc/explorer.hpp"              // IWYU pragma: export
+#include "mc/parallel.hpp"              // IWYU pragma: export
+#include "util/cli.hpp"                 // IWYU pragma: export
+#include "vcgen/assertions.hpp"         // IWYU pragma: export
+#include "vcgen/invariant.hpp"          // IWYU pragma: export
+#include "vcgen/peterson.hpp"           // IWYU pragma: export
+#include "vcgen/rules.hpp"              // IWYU pragma: export

@@ -1,0 +1,65 @@
+#include "util/bitset.hpp"
+
+#include <sstream>
+
+namespace rc11::util {
+
+std::size_t Bitset::count() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+std::size_t Bitset::first() const {
+  for (std::size_t k = 0; k < words_.size(); ++k) {
+    if (words_[k] != 0) {
+      return k * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[k]));
+    }
+  }
+  return size_;
+}
+
+std::size_t Bitset::next(std::size_t i) const {
+  ++i;
+  if (i >= size_) return size_;
+  std::size_t k = i >> 6;
+  std::uint64_t w = words_[k] & (~std::uint64_t{0} << (i & 63));
+  while (true) {
+    if (w != 0) {
+      return k * 64 + static_cast<std::size_t>(__builtin_ctzll(w));
+    }
+    if (++k == words_.size()) return size_;
+    w = words_[k];
+  }
+}
+
+std::vector<std::size_t> Bitset::elements() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::size_t Bitset::hash() const {
+  std::size_t h = 1469598103934665603ull ^ size_;
+  for (auto w : words_) {
+    h ^= static_cast<std::size_t>(w);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string Bitset::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool sep = false;
+  for_each([&](std::size_t i) {
+    if (sep) os << ", ";
+    os << i;
+    sep = true;
+  });
+  os << '}';
+  return os.str();
+}
+
+}  // namespace rc11::util

@@ -1,0 +1,177 @@
+// Dense dynamic bitset used as the backbone of event sets and relation rows.
+//
+// The model checker manipulates sets of events (encountered writes,
+// observable writes, relation rows) thousands of times per explored state,
+// so the representation is a flat vector of 64-bit words with word-level
+// set algebra. All operations that combine two bitsets require equal size;
+// this is asserted in debug builds.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rc11::util {
+
+/// A fixed-universe set of small integers backed by 64-bit words.
+class Bitset {
+ public:
+  Bitset() = default;
+
+  /// Constructs an empty set over the universe {0, ..., n-1}.
+  explicit Bitset(std::size_t n) : size_(n), words_((n + 63) / 64, 0) {}
+
+  /// Number of elements in the universe (not the population count).
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Grows the universe to n elements, preserving membership.
+  void resize(std::size_t n) {
+    size_ = n;
+    words_.resize((n + 63) / 64, 0);
+    trim();
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    assert(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(std::size_t i) {
+    assert(i < size_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void reset(std::size_t i) {
+    assert(i < size_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  void assign(std::size_t i, bool value) {
+    if (value) {
+      set(i);
+    } else {
+      reset(i);
+    }
+  }
+
+  /// Removes all elements.
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Adds all elements of the universe.
+  void fill() {
+    for (auto& w : words_) w = ~std::uint64_t{0};
+    trim();
+  }
+
+  [[nodiscard]] bool empty() const {
+    for (auto w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Population count.
+  [[nodiscard]] std::size_t count() const;
+
+  /// Index of the lowest set bit, or size() if empty.
+  [[nodiscard]] std::size_t first() const;
+
+  /// Index of the lowest set bit strictly greater than i, or size() if none.
+  [[nodiscard]] std::size_t next(std::size_t i) const;
+
+  Bitset& operator|=(const Bitset& o) {
+    assert(size_ == o.size_);
+    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] |= o.words_[k];
+    return *this;
+  }
+
+  Bitset& operator&=(const Bitset& o) {
+    assert(size_ == o.size_);
+    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] &= o.words_[k];
+    return *this;
+  }
+
+  Bitset& operator^=(const Bitset& o) {
+    assert(size_ == o.size_);
+    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] ^= o.words_[k];
+    return *this;
+  }
+
+  /// Set difference: removes every element of o from this set.
+  Bitset& subtract(const Bitset& o) {
+    assert(size_ == o.size_);
+    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] &= ~o.words_[k];
+    return *this;
+  }
+
+  friend Bitset operator|(Bitset a, const Bitset& b) { return a |= b; }
+  friend Bitset operator&(Bitset a, const Bitset& b) { return a &= b; }
+
+  [[nodiscard]] bool operator==(const Bitset& o) const {
+    return size_ == o.size_ && words_ == o.words_;
+  }
+
+  /// True iff this set and o share no element.
+  [[nodiscard]] bool disjoint(const Bitset& o) const {
+    assert(size_ == o.size_);
+    for (std::size_t k = 0; k < words_.size(); ++k) {
+      if ((words_[k] & o.words_[k]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// True iff every element of this set is in o.
+  [[nodiscard]] bool subset_of(const Bitset& o) const {
+    assert(size_ == o.size_);
+    for (std::size_t k = 0; k < words_.size(); ++k) {
+      if ((words_[k] & ~o.words_[k]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// Members in increasing order.
+  [[nodiscard]] std::vector<std::size_t> elements() const;
+
+  /// Calls f(i) for each member i in increasing order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t k = 0; k < words_.size(); ++k) {
+      std::uint64_t w = words_[k];
+      while (w != 0) {
+        const int b = __builtin_ctzll(w);
+        f(k * 64 + static_cast<std::size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// FNV-style hash of the contents (size-sensitive).
+  [[nodiscard]] std::size_t hash() const;
+
+  /// Renders e.g. "{0, 3, 17}".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Raw word access for bulk algorithms (transitive closure).
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+  [[nodiscard]] std::vector<std::uint64_t>& words() { return words_; }
+
+ private:
+  // Zeroes bits beyond size_ in the last word so equality/hash are canonical.
+  void trim() {
+    const std::size_t rem = size_ & 63;
+    if (rem != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << rem) - 1;
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rc11::util

@@ -1,0 +1,87 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/fmt.hpp"
+
+namespace rc11::util {
+
+Cli& Cli::option(const std::string& name, const std::string& default_value,
+                 const std::string& help) {
+  opts_[name] = Opt{default_value, help, /*is_flag=*/false};
+  return *this;
+}
+
+Cli& Cli::flag(const std::string& name, const std::string& help) {
+  opts_[name] = Opt{"false", help, /*is_flag=*/true};
+  return *this;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = opts_.find(name);
+    if (it == opts_.end()) {
+      error_ = cat("unknown option --", name);
+      return false;
+    }
+    if (it->second.is_flag) {
+      values_[name] = has_value ? value : "true";
+    } else if (has_value) {
+      values_[name] = value;
+    } else if (i + 1 < argc) {
+      values_[name] = argv[++i];
+    } else {
+      error_ = cat("option --", name, " requires a value");
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  if (auto it = values_.find(name); it != values_.end()) return it->second;
+  if (auto it = opts_.find(name); it != opts_.end()) {
+    return it->second.default_value;
+  }
+  return {};
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string Cli::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n";
+  for (const auto& [name, opt] : opts_) {
+    os << "  --" << name;
+    if (!opt.is_flag) os << " <value> (default: " << opt.default_value << ")";
+    os << "\n      " << opt.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rc11::util

@@ -1,0 +1,56 @@
+// A tiny command-line option parser for the example binaries.
+//
+// Supports "--name value", "--name=value" and boolean "--flag" options plus
+// positional arguments. Unknown options are reported as errors so that
+// examples fail loudly on typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rc11::util {
+
+class Cli {
+ public:
+  /// Registers a valued option with a default; returns *this for chaining.
+  Cli& option(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Registers a boolean flag (default false).
+  Cli& flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. On error (unknown option, missing value) fills error().
+  /// Recognises --help and sets help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+
+  /// Usage text listing all registered options.
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  struct Opt {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::map<std::string, Opt> opts_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+  bool help_requested_ = false;
+};
+
+}  // namespace rc11::util

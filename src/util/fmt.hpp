@@ -1,0 +1,47 @@
+// Minimal string formatting helpers (GCC 12 lacks <format>).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rc11::util {
+
+namespace detail {
+inline void cat_one(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void cat_one(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  cat_one(os, rest...);
+}
+}  // namespace detail
+
+/// Streams all arguments into one string: cat("x=", 3, "!") == "x=3!".
+template <typename... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream os;
+  detail::cat_one(os, args...);
+  return os.str();
+}
+
+/// Joins the string renderings of a range with a separator.
+template <typename Range>
+std::string join(const Range& range, const std::string& sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& v : range) {
+    if (!first) os << sep;
+    os << v;
+    first = false;
+  }
+  return os.str();
+}
+
+/// Splits s on the given delimiter character; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string trim(const std::string& s);
+
+}  // namespace rc11::util

@@ -1,0 +1,20 @@
+// Hash combinators used by the state-space deduplication layer.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace rc11::util {
+
+/// Boost-style hash combiner.
+inline void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes a value with std::hash and mixes it into seed.
+template <typename T>
+void hash_mix(std::size_t& seed, const T& v) {
+  hash_combine(seed, std::hash<T>{}(v));
+}
+
+}  // namespace rc11::util

@@ -1,0 +1,219 @@
+#include "util/relation.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rc11::util {
+
+void Relation::resize(std::size_t n) {
+  n_ = n;
+  for (auto& r : rows_) r.resize(n);
+  rows_.resize(n, Bitset(n));
+}
+
+Bitset Relation::column(std::size_t b) const {
+  Bitset out(n_);
+  for (std::size_t a = 0; a < n_; ++a) {
+    if (rows_[a].test(b)) out.set(a);
+  }
+  return out;
+}
+
+std::size_t Relation::pair_count() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_) n += r.count();
+  return n;
+}
+
+bool Relation::empty() const {
+  for (const auto& r : rows_) {
+    if (!r.empty()) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Relation::pairs() const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t a = 0; a < n_; ++a) {
+    rows_[a].for_each([&](std::size_t b) { out.emplace_back(a, b); });
+  }
+  return out;
+}
+
+Relation& Relation::operator|=(const Relation& o) {
+  for (std::size_t a = 0; a < n_; ++a) rows_[a] |= o.rows_[a];
+  return *this;
+}
+
+Relation& Relation::operator&=(const Relation& o) {
+  for (std::size_t a = 0; a < n_; ++a) rows_[a] &= o.rows_[a];
+  return *this;
+}
+
+Relation& Relation::subtract(const Relation& o) {
+  for (std::size_t a = 0; a < n_; ++a) rows_[a].subtract(o.rows_[a]);
+  return *this;
+}
+
+Relation Relation::compose(const Relation& o) const {
+  Relation out(n_);
+  for (std::size_t a = 0; a < n_; ++a) {
+    rows_[a].for_each([&](std::size_t b) { out.rows_[a] |= o.rows_[b]; });
+  }
+  return out;
+}
+
+Relation Relation::inverse() const {
+  Relation out(n_);
+  for (std::size_t a = 0; a < n_; ++a) {
+    rows_[a].for_each([&](std::size_t b) { out.rows_[b].set(a); });
+  }
+  return out;
+}
+
+Relation Relation::restrict_to(const Bitset& s) const {
+  Relation out(n_);
+  s.for_each([&](std::size_t a) {
+    out.rows_[a] = rows_[a];
+    out.rows_[a] &= s;
+  });
+  return out;
+}
+
+Relation Relation::transitive_closure() const {
+  // Worklist propagation: repeatedly OR successor rows into each row until
+  // a fixpoint. For the small, dense graphs arising from executions this
+  // outperforms Floyd-Warshall by operating on whole 64-bit words.
+  Relation out = *this;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t a = 0; a < n_; ++a) {
+      Bitset next = out.rows_[a];
+      out.rows_[a].for_each([&](std::size_t b) { next |= out.rows_[b]; });
+      if (!(next == out.rows_[a])) {
+        out.rows_[a] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+  return out;
+}
+
+Relation Relation::reflexive_transitive_closure() const {
+  Relation out = transitive_closure();
+  out.add_identity();
+  return out;
+}
+
+Relation Relation::reflexive_closure() const {
+  Relation out = *this;
+  out.add_identity();
+  return out;
+}
+
+void Relation::add_identity() {
+  for (std::size_t a = 0; a < n_; ++a) rows_[a].set(a);
+}
+
+void Relation::remove_identity() {
+  for (std::size_t a = 0; a < n_; ++a) rows_[a].reset(a);
+}
+
+bool Relation::is_irreflexive() const {
+  for (std::size_t a = 0; a < n_; ++a) {
+    if (rows_[a].test(a)) return false;
+  }
+  return true;
+}
+
+bool Relation::is_acyclic() const {
+  return transitive_closure().is_irreflexive();
+}
+
+bool Relation::is_strict_total_order_on(const Bitset& s) const {
+  const Relation r = restrict_to(s);
+  if (!r.is_irreflexive()) return false;
+  // Transitivity: r;r must be contained in r.
+  const Relation rr = r.compose(r);
+  for (std::size_t a = 0; a < n_; ++a) {
+    if (!rr.rows_[a].subset_of(r.rows_[a])) return false;
+  }
+  // Totality on s.
+  std::vector<std::size_t> elems = s.elements();
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    for (std::size_t j = i + 1; j < elems.size(); ++j) {
+      if (!r.contains(elems[i], elems[j]) && !r.contains(elems[j], elems[i])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<std::size_t>> Relation::topological_order() const {
+  std::vector<std::size_t> indeg(n_, 0);
+  for (std::size_t a = 0; a < n_; ++a) {
+    rows_[a].for_each([&](std::size_t b) { ++indeg[b]; });
+  }
+  std::vector<std::size_t> ready;
+  for (std::size_t a = 0; a < n_; ++a) {
+    if (indeg[a] == 0) ready.push_back(a);
+  }
+  std::vector<std::size_t> out;
+  out.reserve(n_);
+  while (!ready.empty()) {
+    const std::size_t a = ready.back();
+    ready.pop_back();
+    out.push_back(a);
+    rows_[a].for_each([&](std::size_t b) {
+      if (--indeg[b] == 0) ready.push_back(b);
+    });
+  }
+  if (out.size() != n_) return std::nullopt;
+  return out;
+}
+
+Bitset Relation::reachable_from(std::size_t a) const {
+  Bitset seen(n_);
+  std::vector<std::size_t> stack;
+  rows_[a].for_each([&](std::size_t b) {
+    seen.set(b);
+    stack.push_back(b);
+  });
+  while (!stack.empty()) {
+    const std::size_t b = stack.back();
+    stack.pop_back();
+    rows_[b].for_each([&](std::size_t c) {
+      if (!seen.test(c)) {
+        seen.set(c);
+        stack.push_back(c);
+      }
+    });
+  }
+  return seen;
+}
+
+std::size_t Relation::hash() const {
+  std::size_t h = 14695981039346656037ull ^ n_;
+  for (const auto& r : rows_) {
+    h ^= r.hash();
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string Relation::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool sep = false;
+  for (auto [a, b] : pairs()) {
+    if (sep) os << ", ";
+    os << '(' << a << ',' << b << ')';
+    sep = true;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace rc11::util

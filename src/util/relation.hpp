@@ -1,0 +1,119 @@
+// Binary relations over a dense universe {0, ..., n-1}.
+//
+// A Relation is an adjacency-matrix of Bitset rows. This is the workhorse of
+// the C11 semantics: sb, rf, mo and all derived relations (sw, hb, fr, eco)
+// are Relations, and validity checking reduces to closure / irreflexivity /
+// totality queries on them.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bitset.hpp"
+
+namespace rc11::util {
+
+/// A binary relation R over {0..n-1}; row i is the set { j | (i,j) in R }.
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Empty relation over an n-element universe.
+  explicit Relation(std::size_t n) : n_(n), rows_(n, Bitset(n)) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Grows the universe to n elements, preserving all pairs.
+  void resize(std::size_t n);
+
+  [[nodiscard]] bool contains(std::size_t a, std::size_t b) const {
+    return rows_[a].test(b);
+  }
+
+  void add(std::size_t a, std::size_t b) { rows_[a].set(b); }
+  void remove(std::size_t a, std::size_t b) { rows_[a].reset(b); }
+
+  /// Row a: successors of a.
+  [[nodiscard]] const Bitset& row(std::size_t a) const { return rows_[a]; }
+  [[nodiscard]] Bitset& row(std::size_t a) { return rows_[a]; }
+
+  /// Column b: predecessors of b (computed, O(n)).
+  [[nodiscard]] Bitset column(std::size_t b) const;
+
+  /// Number of pairs.
+  [[nodiscard]] std::size_t pair_count() const;
+
+  [[nodiscard]] bool empty() const;
+
+  /// All pairs (a, b) in lexicographic order.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> pairs() const;
+
+  /// Union, intersection, difference, composition, inverse.
+  Relation& operator|=(const Relation& o);
+  Relation& operator&=(const Relation& o);
+  Relation& subtract(const Relation& o);
+  friend Relation operator|(Relation a, const Relation& b) { return a |= b; }
+  friend Relation operator&(Relation a, const Relation& b) { return a &= b; }
+
+  /// Relational composition this ; o = { (a,c) | ex b. aRb and bOc }.
+  [[nodiscard]] Relation compose(const Relation& o) const;
+
+  [[nodiscard]] Relation inverse() const;
+
+  /// Restriction to a subset S of the universe (same universe size;
+  /// pairs with an endpoint outside S are dropped).
+  [[nodiscard]] Relation restrict_to(const Bitset& s) const;
+
+  /// Transitive closure R+ (iterated squaring over bitset rows).
+  [[nodiscard]] Relation transitive_closure() const;
+
+  /// Reflexive-transitive closure R*.
+  [[nodiscard]] Relation reflexive_transitive_closure() const;
+
+  /// Reflexive closure R?.
+  [[nodiscard]] Relation reflexive_closure() const;
+
+  /// Adds the identity pairs in place.
+  void add_identity();
+
+  /// Removes the identity pairs in place.
+  void remove_identity();
+
+  [[nodiscard]] bool is_irreflexive() const;
+
+  /// True iff there is no cycle (checked via closure irreflexivity).
+  [[nodiscard]] bool is_acyclic() const;
+
+  /// True iff the restriction of R to S is a strict total order on S,
+  /// i.e. irreflexive, transitive, and any two distinct elements of S
+  /// are related one way or the other.
+  [[nodiscard]] bool is_strict_total_order_on(const Bitset& s) const;
+
+  /// A topological ordering of the universe consistent with R, or
+  /// std::nullopt if R is cyclic. Only elements related by R constrain the
+  /// order; all universe elements appear in the result.
+  [[nodiscard]] std::optional<std::vector<std::size_t>> topological_order()
+      const;
+
+  /// Successors of a under the transitive closure, computed by BFS from a
+  /// without building the full closure (used for reachability queries).
+  [[nodiscard]] Bitset reachable_from(std::size_t a) const;
+
+  [[nodiscard]] bool operator==(const Relation& o) const {
+    return n_ == o.n_ && rows_ == o.rows_;
+  }
+
+  [[nodiscard]] std::size_t hash() const;
+
+  /// Renders e.g. "{(0,1), (2,3)}".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Bitset> rows_;
+};
+
+}  // namespace rc11::util

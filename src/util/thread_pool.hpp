@@ -1,0 +1,50 @@
+// A small fixed-size thread pool used by the parallel state-space explorer.
+//
+// Work items are type-erased closures. The pool supports waiting for
+// quiescence (all submitted tasks done, including tasks submitted by tasks),
+// which is the termination condition of parallel DFS: exploration finishes
+// when the global frontier is empty and all workers are idle.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rc11::util {
+
+class ThreadPool {
+ public:
+  /// Spawns n worker threads (n >= 1).
+  explicit ThreadPool(std::size_t n);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues a task. Safe to call from within a task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (transitively) has completed.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rc11::util

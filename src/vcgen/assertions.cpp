@@ -1,0 +1,66 @@
+#include "vcgen/assertions.hpp"
+
+namespace rc11::vcgen {
+
+util::Bitset hb_cone(const Execution& ex, const DerivedRelations& d,
+                     ThreadId t) {
+  const std::size_t n = ex.size();
+  util::Bitset cone = ex.init_writes();
+  const util::Bitset thread_events = ex.events_of(t);
+  const util::Relation hb_opt = d.hb.reflexive_closure();
+  for (EventId e = 0; e < n; ++e) {
+    if (!hb_opt.row(e).disjoint(thread_events)) cone.set(e);
+  }
+  return cone;
+}
+
+bool determinate_value(const Execution& ex, const DerivedRelations& d,
+                       ThreadId t, VarId x, Value v) {
+  const EventId last = ex.last(x);
+  if (last == c11::kNoEvent) return false;
+  if (ex.event(last).wrval() != v) return false;  // condition (1)
+  return hb_cone(ex, d, t).test(last);            // condition (2)
+}
+
+std::optional<Value> determinate_value_of(const Execution& ex,
+                                          const DerivedRelations& d,
+                                          ThreadId t, VarId x) {
+  const EventId last = ex.last(x);
+  if (last == c11::kNoEvent) return std::nullopt;
+  const Value v = ex.event(last).wrval();
+  if (determinate_value(ex, d, t, x, v)) return v;
+  return std::nullopt;
+}
+
+bool observes_only_last(const Execution& ex, const DerivedRelations& d,
+                        ThreadId t, VarId x) {
+  const EventId last = ex.last(x);
+  if (last == c11::kNoEvent) return false;
+  const util::Bitset ow = c11::observable_writes(ex, d, t);
+  bool only_last = true;
+  ow.for_each([&](std::size_t w) {
+    if (ex.event(static_cast<EventId>(w)).var() == x &&
+        static_cast<EventId>(w) != last) {
+      only_last = false;
+    }
+  });
+  return only_last && ow.test(last);
+}
+
+bool var_order(const Execution& ex, const DerivedRelations& d, VarId x,
+               VarId y) {
+  const EventId lx = ex.last(x);
+  const EventId ly = ex.last(y);
+  if (lx == c11::kNoEvent || ly == c11::kNoEvent) return false;
+  return d.hb.contains(lx, ly);
+}
+
+bool determinate_value(const Execution& ex, ThreadId t, VarId x, Value v) {
+  return determinate_value(ex, c11::compute_derived(ex), t, x, v);
+}
+
+bool var_order(const Execution& ex, VarId x, VarId y) {
+  return var_order(ex, c11::compute_derived(ex), x, y);
+}
+
+}  // namespace rc11::vcgen

@@ -1,0 +1,47 @@
+// Peterson's mutual-exclusion algorithm with release-acquire annotations
+// (Algorithm 1) and its verification artifacts (Section 5.2, Appendix D).
+//
+//   Init: flag1 = false /\ flag2 = false /\ turn = 1
+//   thread t (other thread t^):
+//     2:  flag_t := true                      (relaxed write)
+//     3:  turn.swap(t^)^RA                    (release-acquire update)
+//     4:  while (flag_t^ = true)^A && turn = t^  do skip
+//     5:  critical section
+//     6:  flag_t :=^R false                   (releasing write)
+//
+// peterson_invariants() returns machine-checkable renditions of the
+// paper's invariants (4)-(10); mutual_exclusion() is Theorem 5.8.
+#pragma once
+
+#include "lang/builder.hpp"
+#include "vcgen/invariant.hpp"
+
+namespace rc11::vcgen {
+
+struct PetersonHandles {
+  lang::SharedVar flag1, flag2, turn;
+};
+
+/// One-shot Algorithm 1 (each thread runs lines 2-6 once).
+[[nodiscard]] lang::Program make_peterson(PetersonHandles* handles = nullptr);
+
+/// Algorithm 1 wrapped in an outer loop of `rounds` acquisitions per
+/// thread (the Appendix-D formulation, where line 6 returns to line 2).
+[[nodiscard]] lang::Program make_peterson_rounds(
+    int rounds, PetersonHandles* handles = nullptr);
+
+/// The paper's invariants, numbered as in Section 5.2:
+///   inv4  turn is an update-only variable
+///   inv5  turn =_1 2  \/  turn =_2 1
+///   inv6  pc_t in {3,4,5,6}  =>  flag_t =_t true
+///   inv7  pc_t in {4,5,6}    =>  flag_t -> turn
+///   inv8  pc_t, pc_t^ in {4,5,6}  =>  flag_t^ =_t true \/ turn =_t^ t
+///   inv9  pc_t = 5 /\ pc_t^ in {4,5,6}  =>  turn =_t^ t
+///   inv10 pc_t = 2  =>  flag_t =_t false
+[[nodiscard]] std::vector<NamedInvariant> peterson_invariants(
+    const PetersonHandles& h);
+
+/// Theorem 5.8: not (pc_1 = 5 /\ pc_2 = 5).
+[[nodiscard]] mc::ConfigPredicate mutual_exclusion();
+
+}  // namespace rc11::vcgen

@@ -1,0 +1,177 @@
+#include "vcgen/rules.hpp"
+
+#include "util/fmt.hpp"
+
+namespace rc11::vcgen {
+
+namespace {
+
+RuleStatus conclude(bool conclusion) {
+  return conclusion ? RuleStatus::kSound : RuleStatus::kUnsound;
+}
+
+}  // namespace
+
+RuleStatus check_init(const Execution& initial, ThreadId t, VarId x) {
+  // Premise: the state is initial — only initialising writes, no relations.
+  if (initial.size() != initial.init_writes().count()) {
+    return RuleStatus::kNotApplicable;
+  }
+  const EventId last = initial.last(x);
+  if (last == c11::kNoEvent) return RuleStatus::kNotApplicable;
+  const DerivedRelations d = c11::compute_derived(initial);
+  return conclude(
+      determinate_value(initial, d, t, x, initial.event(last).wrval()));
+}
+
+RuleStatus check_mod_last(const TransitionCtx& ctx, VarId x) {
+  const c11::Event& e = ctx.post.event(ctx.event);
+  if (!e.is_write() || e.var() != x) return RuleStatus::kNotApplicable;
+  if (ctx.observed == c11::kNoEvent || ctx.pre.last(x) != ctx.observed) {
+    return RuleStatus::kNotApplicable;
+  }
+  return conclude(
+      determinate_value(ctx.post, ctx.dpost, e.tid, x, e.wrval()));
+}
+
+RuleStatus check_transfer(const TransitionCtx& ctx, ThreadId t, VarId x,
+                          Value v) {
+  const c11::Event& e = ctx.post.event(ctx.event);
+  const VarId y = e.var();
+  if (!var_order(ctx.pre, ctx.dpre, x, y)) return RuleStatus::kNotApplicable;
+  if (!determinate_value(ctx.pre, ctx.dpre, t, x, v)) {
+    return RuleStatus::kNotApplicable;
+  }
+  if (ctx.observed == c11::kNoEvent ||
+      !ctx.dpost.sw.contains(ctx.observed, ctx.event)) {
+    return RuleStatus::kNotApplicable;
+  }
+  if (ctx.pre.last(y) != ctx.observed) return RuleStatus::kNotApplicable;
+  return conclude(determinate_value(ctx.post, ctx.dpost, e.tid, x, v));
+}
+
+RuleStatus check_u_ord(const TransitionCtx& ctx, VarId x, VarId y) {
+  const c11::Event& e = ctx.post.event(ctx.event);
+  if (ctx.observed == c11::kNoEvent) return RuleStatus::kNotApplicable;
+  const c11::Event& m = ctx.pre.event(ctx.observed);
+  if (!(m.is_release() && m.is_write() && m.var() == y)) {
+    return RuleStatus::kNotApplicable;
+  }
+  if (!(e.is_update() && e.var() == y)) return RuleStatus::kNotApplicable;
+  if (!var_order(ctx.pre, ctx.dpre, x, y)) return RuleStatus::kNotApplicable;
+  return conclude(var_order(ctx.post, ctx.dpost, x, y));
+}
+
+RuleStatus check_no_mod(const TransitionCtx& ctx, ThreadId t, VarId x,
+                        Value v) {
+  const c11::Event& e = ctx.post.event(ctx.event);
+  if (e.is_write() && e.var() == x) return RuleStatus::kNotApplicable;
+  if (!determinate_value(ctx.pre, ctx.dpre, t, x, v)) {
+    return RuleStatus::kNotApplicable;
+  }
+  return conclude(determinate_value(ctx.post, ctx.dpost, t, x, v));
+}
+
+RuleStatus check_acq_rd(const TransitionCtx& ctx, VarId x) {
+  const c11::Event& e = ctx.post.event(ctx.event);
+  // e in RdA|x. Updates are excluded although U is a subset of RdA: the
+  // Appendix-B soundness proof of AcqRd relies on sigma'.mo|x = sigma.mo|x,
+  // which only holds for pure reads. For an update the conclusion is
+  // ModLast's (x =_{tid(e)} wrval(e)), not rdval(e).
+  if (!(e.is_acquire() && e.is_read() && !e.is_update() && e.var() == x)) {
+    return RuleStatus::kNotApplicable;
+  }
+  if (ctx.observed == c11::kNoEvent) return RuleStatus::kNotApplicable;
+  const c11::Event& m = ctx.pre.event(ctx.observed);
+  if (!(m.is_release() && m.is_write() && m.var() == x)) {
+    return RuleStatus::kNotApplicable;
+  }
+  if (ctx.pre.last(x) != ctx.observed) return RuleStatus::kNotApplicable;
+  return conclude(
+      determinate_value(ctx.post, ctx.dpost, e.tid, x, e.rdval()));
+}
+
+RuleStatus check_w_ord(const TransitionCtx& ctx, VarId x, VarId y) {
+  const c11::Event& e = ctx.post.event(ctx.event);
+  if (x == y) return RuleStatus::kNotApplicable;
+  if (!(e.is_write() && e.var() == y)) return RuleStatus::kNotApplicable;
+  if (!determinate_value_of(ctx.pre, ctx.dpre, e.tid, x).has_value()) {
+    return RuleStatus::kNotApplicable;
+  }
+  if (ctx.observed == c11::kNoEvent || ctx.pre.last(y) != ctx.observed) {
+    return RuleStatus::kNotApplicable;
+  }
+  return conclude(var_order(ctx.post, ctx.dpost, x, y));
+}
+
+RuleStatus check_no_mod_ord(const TransitionCtx& ctx, VarId x, VarId y) {
+  const c11::Event& e = ctx.post.event(ctx.event);
+  if (e.is_write() && (e.var() == x || e.var() == y)) {
+    return RuleStatus::kNotApplicable;
+  }
+  if (!var_order(ctx.pre, ctx.dpre, x, y)) return RuleStatus::kNotApplicable;
+  return conclude(var_order(ctx.post, ctx.dpost, x, y));
+}
+
+RuleStatus check_last_modification(const TransitionCtx& ctx) {
+  const c11::Event& e = ctx.post.event(ctx.event);
+  if (ctx.observed == c11::kNoEvent) return RuleStatus::kNotApplicable;
+  const VarId x = e.var();
+  const bool dv =
+      determinate_value_of(ctx.pre, ctx.dpre, e.tid, x).has_value();
+  const bool update_only = ctx.pre.is_update_only(x);
+  // The update-only hypothesis applies to modification transitions (Write
+  // and RMW require the observed write to be uncovered, and on an
+  // update-only variable every modification but the last is covered). A
+  // plain read may still observe an older covered write, so the hypothesis
+  // does not constrain reads.
+  const bool hyp = dv || (update_only && e.is_write());
+  if (!hyp) return RuleStatus::kNotApplicable;
+  return conclude(ctx.pre.last(x) == ctx.observed);
+}
+
+void SweepResult::merge(const SweepResult& o) {
+  applicable += o.applicable;
+  unsound += o.unsound;
+  if (first_unsound.empty()) first_unsound = o.first_unsound;
+}
+
+SweepResult sweep_rules(const TransitionCtx& ctx) {
+  SweepResult result;
+  auto record = [&](RuleStatus s, const char* rule, VarId x, VarId y,
+                    ThreadId t) {
+    if (s == RuleStatus::kNotApplicable) return;
+    ++result.applicable;
+    if (s == RuleStatus::kUnsound) {
+      ++result.unsound;
+      if (result.first_unsound.empty()) {
+        result.first_unsound =
+            util::cat(rule, " x=", x, " y=", y, " t=", t);
+      }
+    }
+  };
+
+  const std::size_t vars = ctx.post.var_count();
+  const ThreadId threads = ctx.post.max_thread();
+
+  for (VarId x = 0; x < vars; ++x) {
+    record(check_mod_last(ctx, x), "ModLast", x, 0, 0);
+    record(check_acq_rd(ctx, x), "AcqRd", x, 0, 0);
+    for (ThreadId t = 1; t <= threads; ++t) {
+      if (auto v = determinate_value_of(ctx.pre, ctx.dpre, t, x)) {
+        record(check_transfer(ctx, t, x, *v), "Transfer", x, 0, t);
+        record(check_no_mod(ctx, t, x, *v), "NoMod", x, 0, t);
+      }
+    }
+    for (VarId y = 0; y < vars; ++y) {
+      if (x == y) continue;
+      record(check_u_ord(ctx, x, y), "UOrd", x, y, 0);
+      record(check_w_ord(ctx, x, y), "WOrd", x, y, 0);
+      record(check_no_mod_ord(ctx, x, y), "NoModOrd", x, y, 0);
+    }
+  }
+  record(check_last_modification(ctx), "LastModification", 0, 0, 0);
+  return result;
+}
+
+}  // namespace rc11::vcgen

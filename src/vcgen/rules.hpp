@@ -1,0 +1,92 @@
+// The inference rules of Figure 4 and their soundness checking
+// (Appendix B).
+//
+// Every rule is of the form
+//       premises over (sigma, m, e)
+//   --------------------------------      where (_, sigma) ==(m,e)==>_RA (_, sigma')
+//       assertion holds in sigma'
+//
+// For each rule we provide a checker over a concrete transition: given
+// (sigma, m, e, sigma') and the rule's parameters (thread, variables,
+// value), it reports
+//   kNotApplicable — some premise fails,
+//   kSound         — premises hold and the conclusion holds in sigma',
+//   kUnsound       — premises hold but the conclusion FAILS in sigma'.
+// The paper proves no rule can return kUnsound (Lemmas B.1-B.3);
+// test_rules sweeps all rules over all reachable transitions of a family
+// of programs and asserts exactly that.
+#pragma once
+
+#include <string>
+
+#include "vcgen/assertions.hpp"
+
+namespace rc11::vcgen {
+
+enum class RuleStatus : std::uint8_t { kNotApplicable, kSound, kUnsound };
+
+/// One RA transition sigma --(m,e)--> sigma' with derived relations on both
+/// sides. `event` is e's tag in `post`; `observed` is m's tag (valid in
+/// both, since post extends pre).
+struct TransitionCtx {
+  const Execution& pre;
+  const DerivedRelations& dpre;
+  const Execution& post;
+  const DerivedRelations& dpost;
+  EventId observed = c11::kNoEvent;
+  EventId event = c11::kNoEvent;
+};
+
+/// Init (not transition-based): in an initial state sigma_0,
+/// x =_t wrval(sigma_0.last(x)) holds for every thread and variable.
+[[nodiscard]] RuleStatus check_init(const Execution& initial, ThreadId t,
+                                    VarId x);
+
+/// ModLast: x = var(e), e in Wr|x, m = sigma.last(x)
+///   =>  x =_{tid(e)} wrval(e) in sigma'.
+[[nodiscard]] RuleStatus check_mod_last(const TransitionCtx& ctx, VarId x);
+
+/// Transfer: y = var(e), x -> y, x =_t v, (m,e) in sw, m = sigma.last(y)
+///   =>  x =_{tid(e)} v in sigma'.
+[[nodiscard]] RuleStatus check_transfer(const TransitionCtx& ctx, ThreadId t,
+                                        VarId x, Value v);
+
+/// UOrd: m in WrR|y, e in U|y, x -> y  =>  x -> y in sigma'.
+[[nodiscard]] RuleStatus check_u_ord(const TransitionCtx& ctx, VarId x,
+                                     VarId y);
+
+/// NoMod: e not in Wr|x, x =_t v  =>  x =_t v in sigma'.
+[[nodiscard]] RuleStatus check_no_mod(const TransitionCtx& ctx, ThreadId t,
+                                      VarId x, Value v);
+
+/// AcqRd: x = var(e), e in RdA|x, m in WrR|x, m = sigma.last(x)
+///   =>  x =_{tid(e)} rdval(e) in sigma'.
+[[nodiscard]] RuleStatus check_acq_rd(const TransitionCtx& ctx, VarId x);
+
+/// WOrd: x != y, e in Wr|y, x =_{tid(e)} v, m = sigma.last(y)
+///   =>  x -> y in sigma'.
+[[nodiscard]] RuleStatus check_w_ord(const TransitionCtx& ctx, VarId x,
+                                     VarId y);
+
+/// NoModOrd: e not in Wr|{x,y}, x -> y  =>  x -> y in sigma'.
+[[nodiscard]] RuleStatus check_no_mod_ord(const TransitionCtx& ctx, VarId x,
+                                          VarId y);
+
+/// Lemma 5.6 (last-modification): if x =_{tid(e)} v for some v, or x is
+/// update-only in sigma, then the observed write m is sigma.last(var(e)).
+/// Returns kNotApplicable when neither hypothesis holds for var(e).
+[[nodiscard]] RuleStatus check_last_modification(const TransitionCtx& ctx);
+
+/// Sweeps every rule instantiation (all variables, threads, and the
+/// determinate values available in `pre`) over one transition.
+struct SweepResult {
+  std::size_t applicable = 0;
+  std::size_t unsound = 0;
+  std::string first_unsound;  ///< rule name + parameters
+
+  void merge(const SweepResult& o);
+};
+
+[[nodiscard]] SweepResult sweep_rules(const TransitionCtx& ctx);
+
+}  // namespace rc11::vcgen

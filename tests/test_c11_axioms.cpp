@@ -1,0 +1,254 @@
+// Tests for the Definition-4.2 validity axioms and the Appendix-C weak
+// canonical consistency model, including accept/reject cases per axiom and
+// the Lemma C.6 reformulation.
+#include <gtest/gtest.h>
+
+#include "c11/axioms.hpp"
+#include "c11/canonical.hpp"
+#include "helpers.hpp"
+
+namespace rc11::c11 {
+namespace {
+
+using rc11::testing::make_example_32;
+
+// --- Accepting cases ---------------------------------------------------------
+
+TEST(Axioms, InitialStateIsValid) {
+  const Execution ex = Execution::initial({{0, 0}, {1, 1}});
+  const ValidityReport r = check_validity(ex);
+  EXPECT_TRUE(r.valid()) << r.to_string();
+}
+
+TEST(Axioms, Example32IsValid) {
+  const ValidityReport r = check_validity(make_example_32().ex);
+  EXPECT_TRUE(r.valid()) << r.to_string();
+}
+
+// --- SbTotal -----------------------------------------------------------------
+
+TEST(Axioms, SbTotalRejectsUnorderedSameThreadEvents) {
+  Execution ex = Execution::initial({{0, 0}});
+  // Forge two thread-1 events with the sb edge removed by building a state
+  // manually: add both events, then check — add_event creates the edge, so
+  // we instead put them in *different* threads and relabel via a raw
+  // construction. Simplest: craft an execution where an event of thread 1
+  // precedes an initialising write, violating "nothing precedes inits".
+  // That is impossible through add_event, so here we check the positive
+  // behaviour instead: add_event maintains SbTotal.
+  const EventId a = ex.add_event(1, Action::wr(0, 1));
+  ex.mo_insert_after(0, a);
+  EXPECT_TRUE(check_sb_total(ex));
+}
+
+TEST(Axioms, SbTotalRejectsMissingInitEdge) {
+  // Build an execution whose init write is added *after* a thread event:
+  // add_event does not order later inits before earlier events, so the
+  // init-before-everything clause fails.
+  Execution ex;
+  ex.add_event(1, Action::wr(0, 1));
+  ex.add_event(kInitThread, Action::wr(0, 0));
+  EXPECT_FALSE(check_sb_total(ex));
+  const ValidityReport r = check_validity(ex);
+  EXPECT_FALSE(r.valid());
+}
+
+// --- MoValid ------------------------------------------------------------------
+
+TEST(Axioms, MoValidRejectsCrossVariableEdges) {
+  Execution ex = Execution::initial({{0, 0}, {1, 0}});
+  const EventId w = ex.add_event(1, Action::wr(0, 1));
+  ex.add_mo(0, w);
+  ex.add_mo(1, w);  // init write of variable 1 mo-ordered to a write of 0
+  EXPECT_FALSE(check_mo_valid(ex));
+}
+
+TEST(Axioms, MoValidRejectsPartialOrderPerVariable) {
+  Execution ex = Execution::initial({{0, 0}});
+  const EventId a = ex.add_event(1, Action::wr(0, 1));
+  const EventId b = ex.add_event(2, Action::wr(0, 2));
+  ex.add_mo(0, a);
+  ex.add_mo(0, b);
+  // a and b unordered: totality fails.
+  EXPECT_FALSE(check_mo_valid(ex));
+  ex.add_mo(a, b);
+  EXPECT_TRUE(check_mo_valid(ex));
+}
+
+TEST(Axioms, MoValidRejectsNonInitFirst) {
+  Execution ex = Execution::initial({{0, 0}});
+  const EventId a = ex.add_event(1, Action::wr(0, 1));
+  ex.add_mo(a, 0);  // write ordered before the initialising write
+  EXPECT_FALSE(check_mo_valid(ex));
+}
+
+TEST(Axioms, MoValidRejectsReadInMo) {
+  Execution ex = Execution::initial({{0, 0}});
+  const EventId r = ex.add_event(1, Action::rd(0, 0));
+  ex.add_rf(0, r);
+  ex.add_mo(0, r);
+  EXPECT_FALSE(check_mo_valid(ex));
+}
+
+// --- RfComplete ----------------------------------------------------------------
+
+TEST(Axioms, RfCompleteRejectsUnjustifiedRead) {
+  Execution ex = Execution::initial({{0, 0}});
+  ex.add_event(1, Action::rd(0, 0));  // no rf edge
+  EXPECT_FALSE(check_rf_complete(ex));
+}
+
+TEST(Axioms, RfCompleteRejectsValueMismatch) {
+  Execution ex = Execution::initial({{0, 0}});
+  const EventId r = ex.add_event(1, Action::rd(0, 7));
+  ex.add_rf(0, r);  // init writes 0, read returns 7
+  EXPECT_FALSE(check_rf_complete(ex));
+}
+
+TEST(Axioms, RfCompleteRejectsVariableMismatch) {
+  Execution ex = Execution::initial({{0, 0}, {1, 0}});
+  const EventId r = ex.add_event(1, Action::rd(1, 0));
+  ex.add_rf(0, r);  // writer writes variable 0, reader reads variable 1
+  EXPECT_FALSE(check_rf_complete(ex));
+}
+
+TEST(Axioms, RfCompleteRejectsTwoWriters) {
+  Execution ex = Execution::initial({{0, 0}});
+  const EventId w = ex.add_event(1, Action::wr(0, 0));
+  ex.mo_insert_after(0, w);
+  const EventId r = ex.add_event(2, Action::rd(0, 0));
+  ex.add_rf(0, r);
+  ex.add_rf(w, r);
+  EXPECT_FALSE(check_rf_complete(ex));
+}
+
+TEST(Axioms, RfCompleteAcceptsJustifiedReads) {
+  Execution ex = Execution::initial({{0, 5}});
+  const EventId r = ex.add_event(1, Action::rd(0, 5));
+  ex.add_rf(0, r);
+  EXPECT_TRUE(check_rf_complete(ex));
+}
+
+// --- NoThinAir -------------------------------------------------------------------
+
+TEST(Axioms, NoThinAirRejectsSbRfCycle) {
+  // Load-buffering shape: r1 := x; y := 1  ||  r2 := y; x := 1 with both
+  // reads observing the future writes.
+  Execution ex = Execution::initial({{0, 0}, {1, 0}});
+  const EventId r1 = ex.add_event(1, Action::rd(0, 1));
+  const EventId w1 = ex.add_event(1, Action::wr(1, 1));
+  const EventId r2 = ex.add_event(2, Action::rd(1, 1));
+  const EventId w2 = ex.add_event(2, Action::wr(0, 1));
+  ex.add_rf(w2, r1);
+  ex.add_rf(w1, r2);
+  ex.add_mo(0, w2);
+  ex.add_mo(1, w1);
+  EXPECT_FALSE(check_no_thin_air(ex));
+  EXPECT_FALSE(is_valid(ex));
+}
+
+// --- Coherence --------------------------------------------------------------------
+
+TEST(Axioms, CoherenceRejectsStaleReadAfterSync) {
+  // Message passing violation: d := 5; f :=R 1 || rdA(f,1); rd(d,0).
+  Execution ex = Execution::initial({{0, 0}, {1, 0}});  // d=var0, f=var1
+  const EventId wd = ex.add_event(1, Action::wr(0, 5));
+  ex.mo_insert_after(0, wd);
+  const EventId wf = ex.add_event(1, Action::wr_rel(1, 1));
+  ex.mo_insert_after(1, wf);
+  const EventId rf_ = ex.add_event(2, Action::rd_acq(1, 1));
+  ex.add_rf(wf, rf_);
+  const EventId rd_ = ex.add_event(2, Action::rd(0, 0));
+  ex.add_rf(0, rd_);  // stale read of d = 0 from the initialising write
+  const DerivedRelations d = compute_derived(ex);
+  EXPECT_FALSE(check_coherence(ex, d));
+  EXPECT_FALSE(is_valid(ex));
+}
+
+TEST(Axioms, CoherenceRejectsEcoCycleFromBadMo) {
+  // Same-thread writes with mo opposing sb: w(x,1); w(x,2) but
+  // mo(second, first).
+  Execution ex = Execution::initial({{0, 0}});
+  const EventId a = ex.add_event(1, Action::wr(0, 1));
+  const EventId b = ex.add_event(1, Action::wr(0, 2));
+  ex.add_mo(0, a);
+  ex.add_mo(0, b);
+  ex.add_mo(b, a);  // against sb
+  const DerivedRelations d = compute_derived(ex);
+  EXPECT_FALSE(check_coherence(ex, d));
+}
+
+// --- Appendix C: weak canonical consistency -----------------------------------------
+
+TEST(Canonical, ValidExecutionIsCanonicallyConsistent) {
+  const auto e = make_example_32();
+  const CanonicalReport r = check_weak_canonical(e.ex);
+  EXPECT_TRUE(r.consistent()) << r.to_string();
+}
+
+TEST(Canonical, UpdViolationDetected) {
+  // An update that does not read its immediate mo-predecessor:
+  // init -> w -> u in mo but u reads init.
+  Execution ex = Execution::initial({{0, 0}});
+  const EventId w = ex.add_event(1, Action::wr(0, 0));
+  ex.mo_insert_after(0, w);
+  const EventId u = ex.add_event(2, Action::upd(0, 0, 1));
+  ex.add_rf(0, u);  // reads init, but w sits between them in mo
+  ex.add_mo(0, u);
+  ex.add_mo(w, u);
+  const CanonicalReport r = check_weak_canonical(ex);
+  EXPECT_FALSE(r.consistent());
+  bool has_upd = false;
+  for (CanonicalAxiom a : r.violated) {
+    if (a == CanonicalAxiom::kUpd) has_upd = true;
+  }
+  EXPECT_TRUE(has_upd) << r.to_string();
+  // Theorem C.15: Definition 4.2's Coherence must reject it too.
+  const DerivedRelations d = compute_derived(ex);
+  EXPECT_FALSE(check_def42_coherence(ex, d));
+}
+
+TEST(Canonical, UpdReformulationAgreesWithUpd) {
+  // Lemma C.6: irrefl((mo;mo;rf^-1) u (mo;rf)) iff irrefl(fr;mo) and
+  // irrefl(rf;mo) — checked on both a consistent and an inconsistent state.
+  const auto good = make_example_32();
+  const DerivedRelations dg = compute_derived(good.ex);
+  EXPECT_TRUE(check_upd_reformulated(good.ex, dg));
+
+  Execution bad = Execution::initial({{0, 0}});
+  const EventId w = bad.add_event(1, Action::wr(0, 0));
+  bad.mo_insert_after(0, w);
+  const EventId u = bad.add_event(2, Action::upd(0, 0, 1));
+  bad.add_rf(0, u);
+  bad.add_mo(0, u);
+  bad.add_mo(w, u);
+  const DerivedRelations db = compute_derived(bad);
+  EXPECT_FALSE(check_upd_reformulated(bad, db));
+}
+
+TEST(Canonical, RfHbViolationDetected) {
+  // A read that happens-before its writer: r sb-before w in one thread,
+  // reading from w (also an sb u rf cycle).
+  Execution ex = Execution::initial({{0, 0}});
+  const EventId r = ex.add_event(1, Action::rd(0, 1));
+  const EventId w = ex.add_event(1, Action::wr(0, 1));
+  ex.add_rf(w, r);
+  ex.add_mo(0, w);
+  const CanonicalReport rep = check_weak_canonical(ex);
+  EXPECT_FALSE(rep.consistent());
+  const DerivedRelations d = compute_derived(ex);
+  EXPECT_FALSE(check_def42_coherence(ex, d));
+}
+
+TEST(Canonical, ReportNamesViolatedAxioms) {
+  Execution ex = Execution::initial({{0, 0}});
+  const EventId r = ex.add_event(1, Action::rd(0, 1));
+  const EventId w = ex.add_event(1, Action::wr(0, 1));
+  ex.add_rf(w, r);
+  ex.add_mo(0, w);
+  const CanonicalReport rep = check_weak_canonical(ex);
+  EXPECT_NE(rep.to_string().find("RF"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rc11::c11

@@ -1,0 +1,164 @@
+// Tests for the derived relations sw, hb, fr, eco (Section 3.1), checked
+// against the worked Examples 3.2 and 3.3 of the paper, plus the eco
+// closed form of Lemma C.9.
+#include <gtest/gtest.h>
+
+#include "c11/axioms.hpp"
+#include "c11/derived.hpp"
+#include "helpers.hpp"
+
+namespace rc11::c11 {
+namespace {
+
+using rc11::testing::Example32;
+using rc11::testing::make_example_32;
+
+class Example32Test : public ::testing::Test {
+ protected:
+  Example32 e = make_example_32();
+  DerivedRelations d = compute_derived(e.ex);
+};
+
+// --- Example 3.2: sw edges -------------------------------------------------
+
+TEST_F(Example32Test, SwHoldsExactlyForReleaseAcquirePairs) {
+  // wrR_2(x,2) synchronises with both the acquiring read of thread 3 and
+  // the update of thread 1 (updates are acquiring).
+  EXPECT_TRUE(d.sw.contains(e.wr2_x, e.rd3_x));
+  EXPECT_TRUE(d.sw.contains(e.wr2_x, e.upd1_x));
+  // The relaxed rf edges are not sw: wr3(z,3) -> rd4(z,3) (relaxed read),
+  // wr0(y,0) -> updRA4 (initialising write is relaxed).
+  EXPECT_FALSE(d.sw.contains(e.wr3_z, e.rd4_z));
+  EXPECT_FALSE(d.sw.contains(e.init_y, e.upd4_y));
+  EXPECT_EQ(d.sw.pair_count(), 2u);
+}
+
+// --- Example 3.2: fr edges --------------------------------------------------
+
+TEST_F(Example32Test, FrRelatesReadsToLaterWrites) {
+  // rdA_3(x,2) reads wrR_2(x,2); updRA_1(x,2,4) is mo-after it.
+  EXPECT_TRUE(d.fr.contains(e.rd3_x, e.upd1_x));
+  // updRA_4(y,0,5) reads wr0(y,0); wr2(y,1) is mo-after it.
+  EXPECT_TRUE(d.fr.contains(e.upd4_y, e.wr2_y));
+  // Updates never fr to themselves (Id subtracted).
+  EXPECT_FALSE(d.fr.contains(e.upd1_x, e.upd1_x));
+  EXPECT_FALSE(d.fr.contains(e.upd4_y, e.upd4_y));
+  EXPECT_EQ(d.fr.pair_count(), 2u);
+}
+
+// --- Example 3.2: hb ----------------------------------------------------------
+
+TEST_F(Example32Test, HbContainsSbAndSwCompositions) {
+  // Thread 2's data write happens-before thread 3's acquiring read
+  // (wr2_y sb wr2_x sw rd3_x).
+  EXPECT_TRUE(d.hb.contains(e.wr2_y, e.rd3_x));
+  // ... and transitively before thread 3's own write.
+  EXPECT_TRUE(d.hb.contains(e.wr2_y, e.wr3_z));
+  // Inits happen-before everything.
+  EXPECT_TRUE(d.hb.contains(e.init_x, e.rd4_z));
+  // No hb between independent threads' unsynchronised events.
+  EXPECT_FALSE(d.hb.contains(e.upd1_x, e.rd3_x));
+  EXPECT_FALSE(d.hb.contains(e.wr3_z, e.upd4_y));
+  // hb is irreflexive here (valid execution).
+  EXPECT_TRUE(d.hb.is_irreflexive());
+}
+
+// --- Example 3.2: eco ----------------------------------------------------------
+
+TEST_F(Example32Test, EcoOrdersPerVariableHistory) {
+  // x chain: init_x -> wr2_x -> {rd3_x, upd1_x}.
+  EXPECT_TRUE(d.eco.contains(e.init_x, e.wr2_x));
+  EXPECT_TRUE(d.eco.contains(e.wr2_x, e.rd3_x));
+  EXPECT_TRUE(d.eco.contains(e.wr2_x, e.upd1_x));
+  EXPECT_TRUE(d.eco.contains(e.rd3_x, e.upd1_x));   // fr
+  EXPECT_TRUE(d.eco.contains(e.init_x, e.upd1_x));  // transitive
+  // y chain: init_y -> upd4_y -> wr2_y.
+  EXPECT_TRUE(d.eco.contains(e.init_y, e.upd4_y));
+  EXPECT_TRUE(d.eco.contains(e.upd4_y, e.wr2_y));
+  EXPECT_TRUE(d.eco.contains(e.init_y, e.wr2_y));
+  // eco never crosses variables.
+  EXPECT_FALSE(d.eco.contains(e.wr2_x, e.wr2_y));
+  EXPECT_FALSE(d.eco.contains(e.init_x, e.wr3_z));
+  // Valid executions have irreflexive eco.
+  EXPECT_TRUE(d.eco.is_irreflexive());
+}
+
+TEST_F(Example32Test, StateIsValid) {
+  EXPECT_TRUE(is_valid(e.ex));
+}
+
+// --- Example 3.3: the shape of eco over one variable ---------------------------
+
+TEST(EcoShape, Example33SingleVariableChain) {
+  // w1 -> w2 -> w3 -> u -> w4 in mo; r1, r1' read w1; r2 reads w3;
+  // u reads w3; r4 reads w4.
+  Execution ex;
+  const EventId w1 = ex.add_event(1, Action::wr(0, 1));
+  const EventId w2 = ex.add_event(1, Action::wr(0, 2));
+  const EventId w3 = ex.add_event(1, Action::wr(0, 3));
+  const EventId r1 = ex.add_event(2, Action::rd(0, 1));
+  const EventId r1b = ex.add_event(3, Action::rd(0, 1));
+  const EventId r2 = ex.add_event(2, Action::rd(0, 3));
+  const EventId u = ex.add_event(4, Action::upd(0, 3, 4));
+  const EventId w4 = ex.add_event(5, Action::wr(0, 5));
+  ex.add_mo(w1, w2);
+  ex.add_mo(w2, w3);
+  ex.add_mo(w3, u);
+  ex.add_mo(u, w4);
+  ex.add_mo(w1, w3);
+  ex.add_mo(w1, u);
+  ex.add_mo(w1, w4);
+  ex.add_mo(w2, u);
+  ex.add_mo(w2, w4);
+  ex.add_mo(w3, w4);
+  ex.add_rf(w1, r1);
+  ex.add_rf(w1, r1b);
+  ex.add_rf(w3, r2);
+  ex.add_rf(w3, u);
+
+  const DerivedRelations d = compute_derived(ex);
+  // Reads of w1 are fr-before w2 (the next write), hence eco-before
+  // everything later.
+  EXPECT_TRUE(d.fr.contains(r1, w2));
+  EXPECT_TRUE(d.eco.contains(r1, w4));
+  EXPECT_TRUE(d.eco.contains(r1b, u));
+  // The update u is eco-after its source w3 and eco-before w4.
+  EXPECT_TRUE(d.eco.contains(w3, u));
+  EXPECT_TRUE(d.fr.contains(u, w4));
+  // r2 (reading w3) is fr-before u but not before w3.
+  EXPECT_TRUE(d.fr.contains(r2, u));
+  EXPECT_FALSE(d.eco.contains(r2, w3));
+  EXPECT_TRUE(d.eco.is_irreflexive());
+}
+
+// --- Lemma C.9: closed form of eco ---------------------------------------------
+
+TEST_F(Example32Test, EcoClosedFormMatchesTransitiveClosure) {
+  EXPECT_EQ(eco_closed_form(e.ex), d.eco);
+}
+
+TEST(EcoClosedForm, HoldsOnUpdateChains) {
+  // A chain of updates: init -> u1 -> u2 -> u3; the closed form must equal
+  // the transitive closure (exercises the rf;rf and fr;rf cases).
+  Execution ex = Execution::initial({{0, 0}});
+  EventId prev = 0;
+  for (int i = 1; i <= 3; ++i) {
+    const EventId u = ex.add_event(1, Action::upd(0, i - 1, i));
+    ex.add_rf(prev, u);
+    ex.mo_insert_after(prev, u);
+    prev = u;
+  }
+  EXPECT_EQ(eco_closed_form(ex), compute_eco(ex));
+}
+
+// --- Individual relation helpers ------------------------------------------------
+
+TEST_F(Example32Test, IndividualComputationsAgreeWithBundle) {
+  EXPECT_EQ(compute_sw(e.ex), d.sw);
+  EXPECT_EQ(compute_hb(e.ex), d.hb);
+  EXPECT_EQ(compute_fr(e.ex), d.fr);
+  EXPECT_EQ(compute_eco(e.ex), d.eco);
+}
+
+}  // namespace
+}  // namespace rc11::c11

@@ -1,0 +1,241 @@
+// Tests for the Figure-3 transition rules: premise checking in ra_step,
+// successor enumeration, mo insertion behaviour, and the Example 3.6
+// Peterson scenario.
+#include <gtest/gtest.h>
+
+#include "c11/axioms.hpp"
+#include "c11/event_semantics.hpp"
+#include "helpers.hpp"
+
+namespace rc11::c11 {
+namespace {
+
+using rc11::testing::make_example_32;
+
+// --- Read rule -----------------------------------------------------------------
+
+TEST(ReadRule, ReadsObservableWriteAndAddsRf) {
+  Execution ex = Execution::initial({{0, 7}});
+  const auto step = ra_step(ex, 0, 1, Action::rd(0, 7));
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(step->next.size(), 2u);
+  EXPECT_TRUE(step->next.rf().contains(0, step->event));
+  EXPECT_TRUE(step->next.mo().empty());  // Read leaves mo unchanged
+  EXPECT_TRUE(is_valid(step->next));
+}
+
+TEST(ReadRule, RejectsWrongValue) {
+  Execution ex = Execution::initial({{0, 7}});
+  EXPECT_FALSE(ra_step(ex, 0, 1, Action::rd(0, 8)).has_value());
+}
+
+TEST(ReadRule, RejectsWrongVariable) {
+  Execution ex = Execution::initial({{0, 7}, {1, 7}});
+  EXPECT_FALSE(ra_step(ex, 0, 1, Action::rd(1, 7)).has_value());
+}
+
+TEST(ReadRule, RejectsUnobservableWrite) {
+  // Thread 2 reads the new write, after which the init write is no longer
+  // observable to it.
+  Execution ex = Execution::initial({{0, 0}});
+  const EventId w = ex.add_event(1, Action::wr(0, 1));
+  ex.mo_insert_after(0, w);
+  const EventId r = ex.add_event(2, Action::rd(0, 1));
+  ex.add_rf(w, r);
+  EXPECT_FALSE(ra_step(ex, 0, 2, Action::rd(0, 0)).has_value());
+  // But a fresh thread may still read the old value.
+  EXPECT_TRUE(ra_step(ex, 0, 3, Action::rd(0, 0)).has_value());
+}
+
+TEST(ReadRule, CoveredWriteCanStillBeRead) {
+  // Covered writes block Write/RMW insertion but not reads.
+  Execution ex = Execution::initial({{0, 0}});
+  const EventId u = ex.add_event(1, Action::upd(0, 0, 1));
+  ex.add_rf(0, u);
+  ex.mo_insert_after(0, u);
+  EXPECT_TRUE(ra_step(ex, 0, 2, Action::rd(0, 0)).has_value());
+}
+
+// --- Write rule -----------------------------------------------------------------
+
+TEST(WriteRule, AppendsAfterObservedWrite) {
+  Execution ex = Execution::initial({{0, 0}});
+  const auto step = ra_step(ex, 0, 1, Action::wr(0, 5));
+  ASSERT_TRUE(step.has_value());
+  EXPECT_TRUE(step->next.mo().contains(0, step->event));
+  EXPECT_TRUE(step->next.rf().empty());
+  EXPECT_TRUE(is_valid(step->next));
+}
+
+TEST(WriteRule, RejectsCoveredWrite) {
+  Execution ex = Execution::initial({{0, 0}});
+  const EventId u = ex.add_event(1, Action::upd(0, 0, 1));
+  ex.add_rf(0, u);
+  ex.mo_insert_after(0, u);
+  // Inserting after the covered init write is forbidden (Example 3.5)...
+  EXPECT_FALSE(ra_step(ex, 0, 2, Action::wr(0, 9)).has_value());
+  // ... but inserting after the update is fine.
+  EXPECT_TRUE(ra_step(ex, u, 2, Action::wr(0, 9)).has_value());
+}
+
+TEST(WriteRule, MiddleInsertionProducesValidState) {
+  // Two writers; a third thread inserts between them (it has encountered
+  // neither, so both are observable).
+  Execution ex = Execution::initial({{0, 0}});
+  const EventId a = ex.add_event(1, Action::wr(0, 1));
+  ex.mo_insert_after(0, a);
+  // Thread 2 inserts after the init write - i.e. mo-before a.
+  const auto step = ra_step(ex, 0, 2, Action::wr(0, 2));
+  ASSERT_TRUE(step.has_value());
+  EXPECT_TRUE(step->next.mo().contains(0, step->event));
+  EXPECT_TRUE(step->next.mo().contains(step->event, a));
+  EXPECT_TRUE(is_valid(step->next));
+}
+
+TEST(WriteRule, CannotInsertAfterEncounteredOverwrittenWrite) {
+  // After thread 2 reads the newer write a, inserting after init (mo-prior
+  // to a) is no longer allowed for thread 2.
+  Execution ex = Execution::initial({{0, 0}});
+  const EventId a = ex.add_event(1, Action::wr(0, 1));
+  ex.mo_insert_after(0, a);
+  const EventId r = ex.add_event(2, Action::rd(0, 1));
+  ex.add_rf(a, r);
+  EXPECT_FALSE(ra_step(ex, 0, 2, Action::wr(0, 2)).has_value());
+  EXPECT_TRUE(ra_step(ex, a, 2, Action::wr(0, 2)).has_value());
+}
+
+// --- RMW rule -------------------------------------------------------------------
+
+TEST(RmwRule, ReadsAndWritesAtomically) {
+  Execution ex = Execution::initial({{0, 3}});
+  const auto step = ra_step(ex, 0, 1, Action::upd(0, 3, 4));
+  ASSERT_TRUE(step.has_value());
+  EXPECT_TRUE(step->next.rf().contains(0, step->event));
+  EXPECT_TRUE(step->next.mo().contains(0, step->event));
+  EXPECT_TRUE(is_valid(step->next));
+}
+
+TEST(RmwRule, RejectsValueMismatch) {
+  Execution ex = Execution::initial({{0, 3}});
+  EXPECT_FALSE(ra_step(ex, 0, 1, Action::upd(0, 9, 4)).has_value());
+}
+
+TEST(RmwRule, RejectsCoveredSource) {
+  // Example 3.6's key step: once an update covers a write, a second update
+  // must read from the first update, not the covered write.
+  Execution ex = Execution::initial({{0, 1}});  // turn = 1
+  const auto first = ra_step(ex, 0, 1, Action::upd(0, 1, 2));
+  ASSERT_TRUE(first.has_value());
+  const Execution& ex2 = first->next;
+  // Thread 2 cannot update from the covered init write...
+  EXPECT_FALSE(ra_step(ex2, 0, 2, Action::upd(0, 1, 1)).has_value());
+  // ... but can update from the first update (reading 2, writing 1).
+  const auto second = ra_step(ex2, first->event, 2, Action::upd(0, 2, 1));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(is_valid(second->next));
+  // The two updates synchronise (release-acquire).
+  const DerivedRelations d = compute_derived(second->next);
+  EXPECT_TRUE(d.sw.contains(first->event, second->event));
+}
+
+// --- Option enumeration ------------------------------------------------------------
+
+TEST(Options, ReadOptionsListObservableWritesOfVariable) {
+  const auto e = make_example_32();
+  const DerivedRelations d = compute_derived(e.ex);
+  // Thread 4 can read x from any of: init_x, wr2_x, upd1_x (all in OW(4)).
+  const auto opts = read_options(e.ex, d, 4, e.x);
+  ASSERT_EQ(opts.size(), 3u);
+  EXPECT_EQ(opts[0].write, e.init_x);
+  EXPECT_EQ(opts[0].value, 0);
+  EXPECT_EQ(opts[1].write, e.wr2_x);
+  EXPECT_EQ(opts[1].value, 2);
+  EXPECT_EQ(opts[2].write, e.upd1_x);
+  EXPECT_EQ(opts[2].value, 4);
+}
+
+TEST(Options, WriteOptionsExcludeCovered) {
+  const auto e = make_example_32();
+  const DerivedRelations d = compute_derived(e.ex);
+  // On x, thread 4 observes init_x, wr2_x, upd1_x; wr2_x is covered.
+  const auto opts = write_options(e.ex, d, 4, e.x);
+  ASSERT_EQ(opts.size(), 2u);
+  EXPECT_EQ(opts[0], e.init_x);
+  EXPECT_EQ(opts[1], e.upd1_x);
+}
+
+TEST(Options, UpdateOptionsCarryReadValues) {
+  const auto e = make_example_32();
+  const DerivedRelations d = compute_derived(e.ex);
+  const auto opts = update_options(e.ex, d, 4, e.x);
+  ASSERT_EQ(opts.size(), 2u);
+  EXPECT_EQ(opts[0].value, 0);
+  EXPECT_EQ(opts[1].value, 4);
+}
+
+TEST(Options, EverySuccessorIsValid) {
+  // Theorem 4.4 in miniature: every enumerated successor of Example 3.2 is
+  // a valid C11 state.
+  const auto e = make_example_32();
+  const DerivedRelations d = compute_derived(e.ex);
+  for (ThreadId t = 1; t <= 4; ++t) {
+    for (VarId x = 0; x < 3; ++x) {
+      for (const ReadOption& o : read_options(e.ex, d, t, x)) {
+        EXPECT_TRUE(is_valid(apply_read(e.ex, t, x, false, o.write).next));
+        EXPECT_TRUE(is_valid(apply_read(e.ex, t, x, true, o.write).next));
+      }
+      for (EventId w : write_options(e.ex, d, t, x)) {
+        EXPECT_TRUE(is_valid(apply_write(e.ex, t, x, 42, false, w).next));
+        EXPECT_TRUE(is_valid(apply_write(e.ex, t, x, 42, true, w).next));
+      }
+      for (const ReadOption& o : update_options(e.ex, d, t, x)) {
+        EXPECT_TRUE(is_valid(apply_update(e.ex, t, x, 42, o.write).next));
+      }
+    }
+  }
+}
+
+// --- Example 3.6: Peterson's turn variable --------------------------------------
+
+TEST(Example36, TurnUpdateSequence) {
+  // State: flag1 := true; turn.swap(2) by thread 1; flag2 := true by
+  // thread 2; thread 2 about to swap turn.
+  Execution ex =
+      Execution::initial({{0, 0}, {1, 0}, {2, 1}});  // flag1, flag2, turn
+  const EventId wf1 = ex.add_event(1, Action::wr(0, 1));
+  ex.mo_insert_after(0, wf1);
+  const auto u1 = ra_step(ex, 2, 1, Action::upd(2, 1, 2));
+  ASSERT_TRUE(u1.has_value());
+  Execution ex2 = u1->next;
+  const EventId wf2 = ex2.add_event(2, Action::wr(1, 1));
+  ex2.mo_insert_after(1, wf2);
+
+  // Thread 2 can read turn from the initial write...
+  EXPECT_TRUE(ra_step(ex2, 2, 2, Action::rd(2, 1)).has_value());
+  // ... but cannot update from it (covered by thread 1's update).
+  EXPECT_FALSE(ra_step(ex2, 2, 2, Action::upd(2, 1, 1)).has_value());
+  // The boxed event: thread 2 updates turn from 2 to 1.
+  const auto u2 = ra_step(ex2, u1->event, 2, Action::upd(2, 2, 1));
+  ASSERT_TRUE(u2.has_value());
+  const Execution& ex3 = u2->next;
+  const DerivedRelations d3 = compute_derived(ex3);
+
+  // "Thread 2 has encountered wr1(flag1, true), hence can no longer
+  // observe wr0(flag1, false)."
+  const util::Bitset ow2 = observable_writes(ex3, d3, 2);
+  EXPECT_FALSE(ow2.test(0));    // init flag1
+  EXPECT_TRUE(ow2.test(wf1));   // wr1(flag1, true)
+  // "Similarly it can no longer observe wr0(turn,1) or upd1(turn,1,2)."
+  EXPECT_FALSE(ow2.test(2));          // init turn
+  EXPECT_FALSE(ow2.test(u1->event));  // thread 1's update
+  // "Thread 1 can read from either flag2 write..."
+  const util::Bitset ow1 = observable_writes(ex3, d3, 1);
+  EXPECT_TRUE(ow1.test(1));    // init flag2
+  EXPECT_TRUE(ow1.test(wf2));  // wr2(flag2, true)
+  // "... and from both updates on turn."
+  EXPECT_TRUE(ow1.test(u1->event));
+  EXPECT_TRUE(ow1.test(u2->event));
+}
+
+}  // namespace
+}  // namespace rc11::c11

@@ -1,0 +1,65 @@
+// Tests for the execution pretty printers (text and Graphviz).
+#include <gtest/gtest.h>
+
+#include "c11/pretty.hpp"
+#include "helpers.hpp"
+
+namespace rc11::c11 {
+namespace {
+
+TEST(Pretty, TextListsEventsAndRelations) {
+  const auto e = rc11::testing::make_example_32();
+  const std::string s = to_text(e.ex);
+  EXPECT_NE(s.find("10 events"), std::string::npos);
+  EXPECT_NE(s.find("sb = {"), std::string::npos);
+  EXPECT_NE(s.find("rf = {"), std::string::npos);
+  EXPECT_NE(s.find("mo = {"), std::string::npos);
+  EXPECT_NE(s.find("updRA"), std::string::npos);
+}
+
+TEST(Pretty, TextWithDerivedIncludesSwHbFrEco) {
+  const auto e = rc11::testing::make_example_32();
+  const std::string s = to_text_with_derived(e.ex);
+  for (const char* rel : {"sw = {", "hb = {", "fr = {", "eco = {"}) {
+    EXPECT_NE(s.find(rel), std::string::npos) << rel;
+  }
+}
+
+TEST(Pretty, VariableNamesUsedWhenProvided) {
+  VarTable vars;
+  vars.intern("x");
+  Execution ex = Execution::initial({{0, 7}});
+  const std::string s = to_text(ex, &vars);
+  EXPECT_NE(s.find("wr(x, 7)"), std::string::npos);
+  // Without a table, synthetic names are used.
+  EXPECT_NE(to_text(ex).find("wr(v0, 7)"), std::string::npos);
+}
+
+TEST(Pretty, DotIsWellFormed) {
+  const auto e = rc11::testing::make_example_32();
+  const std::string s = to_dot(e.ex);
+  EXPECT_EQ(s.rfind("digraph execution {", 0), 0u);
+  EXPECT_NE(s.find("}"), std::string::npos);
+  EXPECT_NE(s.find("label=sb"), std::string::npos);
+  EXPECT_NE(s.find("label=rf"), std::string::npos);
+  EXPECT_NE(s.find("label=mo"), std::string::npos);
+  EXPECT_NE(s.find("label=sw"), std::string::npos);
+  EXPECT_NE(s.find("label=fr"), std::string::npos);
+  // One node per event.
+  std::size_t nodes = 0;
+  for (std::size_t pos = s.find("[label=\""); pos != std::string::npos;
+       pos = s.find("[label=\"", pos + 1)) {
+    ++nodes;
+  }
+  EXPECT_EQ(nodes, e.ex.size());
+}
+
+TEST(Pretty, EventToStringFormat) {
+  VarTable vars;
+  vars.intern("turn");
+  const Event e{3, 2, Action::upd(0, 1, 2)};
+  EXPECT_EQ(to_string(e, &vars), "e3:updRA(turn, 1, 2)@2");
+}
+
+}  // namespace
+}  // namespace rc11::c11
