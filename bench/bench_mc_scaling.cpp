@@ -1,7 +1,10 @@
 // Experiment M1: model-checker scaling and design ablations —
 //  * state count / time vs. number of writer threads;
 //  * canonical-form deduplication ON vs OFF (DESIGN.md key decision);
-//  * tau compression ON vs OFF.
+//  * tau compression ON vs OFF;
+//  * seen-set footprint: 128-bit fingerprint tables vs. std::string
+//    canonical keys (bytes per state);
+//  * sleep-set partial-order reduction ON vs OFF over the litmus catalogue.
 #include <benchmark/benchmark.h>
 
 #include "rc11/rc11.hpp"
@@ -68,6 +71,68 @@ void tau_compression_ablation(benchmark::State& state) {
 }
 BENCHMARK(tau_compression_ablation)->Arg(1)->Arg(0)->Unit(
     benchmark::kMillisecond);
+
+void seen_set_footprint(benchmark::State& state) {
+  // Deduplicate the same state space once through the fingerprint table
+  // and once through string canonical keys; report bytes per unique state.
+  const bool fingerprints = state.range(0) != 0;
+  const lang::Program p = writers_and_reader(4);
+  std::size_t bytes = 0;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    if (fingerprints) {
+      mc::SeenSet seen;
+      mc::Visitor v;
+      v.on_state = [&seen](const interp::Config& c) {
+        (void)seen.insert(c.fingerprint());
+        return true;
+      };
+      (void)mc::explore(p, {}, v);
+      bytes = seen.bytes();
+      states = seen.size();
+    } else {
+      mc::StringSeenSet seen;
+      mc::Visitor v;
+      v.on_state = [&seen](const interp::Config& c) {
+        (void)seen.insert(c.canonical_key());
+        return true;
+      };
+      (void)mc::explore(p, {}, v);
+      bytes = seen.bytes();
+      states = seen.size();
+    }
+  }
+  state.SetLabel(fingerprints ? "fingerprint-seen-set" : "string-seen-set");
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["seen_bytes"] = static_cast<double>(bytes);
+  state.counters["bytes_per_state"] =
+      static_cast<double>(bytes) / static_cast<double>(states);
+}
+BENCHMARK(seen_set_footprint)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+void por_litmus_catalog(benchmark::State& state) {
+  // Full exploration (no early abort) of every catalogue program with and
+  // without sleep sets; the counters expose the transition reduction.
+  const bool por = state.range(0) != 0;
+  mc::ExploreOptions opts;
+  opts.por = por;
+  std::size_t states = 0, transitions = 0, pruned = 0;
+  for (auto _ : state) {
+    states = transitions = pruned = 0;
+    for (const auto& test : litmus::catalog()) {
+      const auto parsed = lang::parse_litmus(test.source);
+      const mc::ExploreResult r = mc::explore(parsed.program, opts, {});
+      states += r.stats.states;
+      transitions += r.stats.transitions;
+      pruned += r.stats.por_pruned;
+    }
+  }
+  state.SetLabel(por ? "sleep-sets" : "plain");
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["transitions"] = static_cast<double>(transitions);
+  state.counters["por_pruned"] = static_cast<double>(pruned);
+}
+BENCHMARK(por_litmus_catalog)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void peterson_bound_scaling(benchmark::State& state) {
   const lang::Program p = vcgen::make_peterson();

@@ -1,7 +1,8 @@
-// Experiment M1b: parallel exploration — the parallel checker vs. the
-// sequential one on Peterson and on a wide independent-writer program.
+// Experiment M1b: parallel exploration — the work-stealing parallel
+// checker vs. the sequential one on Peterson and on litmus programs.
 // On a single-core host this measures overhead rather than speedup; the
-// counters confirm both explorers visit the same number of states.
+// counters confirm both explorers visit the same number of states and
+// report how much work moved between workers (steals).
 #include <benchmark/benchmark.h>
 
 #include "rc11/rc11.hpp"
@@ -31,14 +32,19 @@ void parallel_peterson(benchmark::State& state) {
   opts.explore.step.loop_bound = 2;
   opts.workers = static_cast<std::size_t>(state.range(0));
   std::size_t states = 0;
+  std::size_t steals = 0;
   bool holds = false;
   for (auto _ : state) {
-    const mc::InvariantResult r =
-        mc::check_invariant_parallel(p, vcgen::mutual_exclusion(), opts);
+    mc::ParallelRunInfo info;
+    const mc::InvariantResult r = mc::check_invariant_parallel(
+        p, vcgen::mutual_exclusion(), opts, &info);
     states = r.stats.states;
     holds = r.holds;
+    steals = 0;
+    for (const auto& w : info.workers) steals += w.steals;
   }
   state.counters["states"] = static_cast<double>(states);
+  state.counters["steals"] = static_cast<double>(steals);
   state.counters["holds"] = holds ? 1 : 0;
 }
 BENCHMARK(parallel_peterson)->Arg(1)->Arg(2)->Arg(4)->Unit(

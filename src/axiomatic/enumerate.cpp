@@ -16,10 +16,8 @@ std::string EnumerateStats::to_string() const {
   return os.str();
 }
 
-std::string execution_key(const c11::Execution& ex) {
-  std::ostringstream os;
-  for (std::uint64_t w : ex.canonical_key()) os << w << ',';
-  return os.str();
+util::Fingerprint execution_key(const c11::Execution& ex) {
+  return ex.fingerprint();
 }
 
 namespace {

@@ -20,6 +20,7 @@
 
 #include "c11/axioms.hpp"
 #include "interp/config.hpp"
+#include "util/fingerprint.hpp"
 
 namespace rc11::axiomatic {
 
@@ -52,16 +53,17 @@ EnumerateStats enumerate_candidates(const lang::Program& program,
                                     const EnumerateOptions& options,
                                     const CandidateCallback& callback);
 
-/// Canonical keys of all *valid* (Definition 4.2) final executions.
+/// Canonical fingerprints of all *valid* (Definition 4.2) final executions.
 struct ValidExecutions {
-  std::set<std::string> keys;
+  std::set<util::Fingerprint> keys;
   EnumerateStats stats;
 };
 
 [[nodiscard]] ValidExecutions enumerate_valid_executions(
     const lang::Program& program, const EnumerateOptions& options = {});
 
-/// Canonical key of an execution, matching mc::collect_final_executions.
-[[nodiscard]] std::string execution_key(const c11::Execution& ex);
+/// Canonical fingerprint of an execution, matching
+/// mc::collect_final_executions (both digest the same canonical words).
+[[nodiscard]] util::Fingerprint execution_key(const c11::Execution& ex);
 
 }  // namespace rc11::axiomatic

@@ -32,7 +32,7 @@ CompletenessResult check_completeness(const lang::Program& program,
   CompletenessResult result;
   enum_options.step = options.step;
 
-  const std::set<std::string> operational =
+  const std::set<util::Fingerprint> operational =
       mc::collect_final_executions(program, options);
   ValidExecutions axiomatic = enumerate_valid_executions(program, enum_options);
 
@@ -40,12 +40,19 @@ CompletenessResult check_completeness(const lang::Program& program,
   result.axiomatic_count = axiomatic.keys.size();
   result.enumerate_stats = axiomatic.stats;
 
+  std::vector<util::Fingerprint> only_op, only_ax;
   std::set_difference(operational.begin(), operational.end(),
                       axiomatic.keys.begin(), axiomatic.keys.end(),
-                      std::back_inserter(result.only_operational));
+                      std::back_inserter(only_op));
   std::set_difference(axiomatic.keys.begin(), axiomatic.keys.end(),
                       operational.begin(), operational.end(),
-                      std::back_inserter(result.only_axiomatic));
+                      std::back_inserter(only_ax));
+  for (const auto& fp : only_op) {
+    result.only_operational.push_back(fp.to_string());
+  }
+  for (const auto& fp : only_ax) {
+    result.only_axiomatic.push_back(fp.to_string());
+  }
   result.sound = result.only_operational.empty();
   result.complete = result.only_axiomatic.empty();
   return result;

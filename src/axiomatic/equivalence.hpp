@@ -39,7 +39,8 @@ struct CompletenessResult {
   std::size_t operational_count = 0;
   std::size_t axiomatic_count = 0;
   EnumerateStats enumerate_stats;
-  /// Keys present on one side only (diagnostics; empty when equivalent).
+  /// Fingerprints (as hex strings) present on one side only (diagnostics;
+  /// empty when equivalent).
   std::vector<std::string> only_operational;
   std::vector<std::string> only_axiomatic;
 

@@ -172,50 +172,83 @@ util::Bitset Execution::sbrf_prefix(const util::Bitset& seed) const {
   return closed;
 }
 
-std::vector<std::uint64_t> Execution::canonical_key() const {
-  const std::size_t n = events_.size();
-  // Canonical order: sort event ids by (tid, tag). Within a thread, tags
-  // increase along sb|t (events are appended), so this is (tid, sb-position).
-  // Initialising writes (thread 0) are additionally sorted by variable so
-  // their creation order does not matter.
+namespace {
+
+/// Canonical order: sort event ids by (tid, tag). Within a thread, tags
+/// increase along sb|t (events are appended), so this is (tid, sb-position).
+/// Initialising writes (thread 0) are additionally sorted by variable so
+/// their creation order does not matter.
+std::vector<EventId> canonical_order(const std::vector<Event>& events) {
+  const std::size_t n = events.size();
   std::vector<EventId> order(n);
   for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<EventId>(i);
   std::sort(order.begin(), order.end(), [&](EventId a, EventId b) {
-    const Event& ea = events_[a];
-    const Event& eb = events_[b];
+    const Event& ea = events[a];
+    const Event& eb = events[b];
     if (ea.tid != eb.tid) return ea.tid < eb.tid;
     if (ea.tid == kInitThread && ea.var() != eb.var()) {
       return ea.var() < eb.var();
     }
     return a < b;
   });
+  return order;
+}
+
+/// Walks the canonical word sequence, emitting each word. Shared between
+/// canonical_key() (materializes the vector) and fingerprint_into()
+/// (streams into a hasher without allocating per-state storage).
+template <typename Emit>
+void canonical_words(const std::vector<Event>& events,
+                     const util::Relation& sb, const util::Relation& rf,
+                     const util::Relation& mo, Emit&& emit) {
+  const std::size_t n = events.size();
+  const std::vector<EventId> order = canonical_order(events);
   std::vector<EventId> pos(n);  // pos[tag] = canonical index
   for (std::size_t i = 0; i < n; ++i) pos[order[i]] = static_cast<EventId>(i);
 
-  std::vector<std::uint64_t> key;
-  key.reserve(n * 3 + 8);
-  key.push_back(n);
+  emit(n);
   for (EventId id : order) {
-    const Event& e = events_[id];
-    key.push_back((static_cast<std::uint64_t>(e.tid) << 8) |
-                  static_cast<std::uint64_t>(e.action.kind));
-    key.push_back((static_cast<std::uint64_t>(e.action.var) << 32) ^
-                  static_cast<std::uint64_t>(e.action.rval));
-    key.push_back(static_cast<std::uint64_t>(e.action.wval));
+    const Event& e = events[id];
+    emit((static_cast<std::uint64_t>(e.tid) << 8) |
+         static_cast<std::uint64_t>(e.action.kind));
+    emit((static_cast<std::uint64_t>(e.action.var) << 32) ^
+         static_cast<std::uint64_t>(e.action.rval));
+    emit(static_cast<std::uint64_t>(e.action.wval));
   }
+  std::vector<std::uint64_t> cells;
   auto emit_relation = [&](const util::Relation& r) {
-    std::vector<std::uint64_t> cells;
+    cells.clear();
     for (auto [a, b] : r.pairs()) {
       cells.push_back((static_cast<std::uint64_t>(pos[a]) << 32) | pos[b]);
     }
     std::sort(cells.begin(), cells.end());
-    key.push_back(cells.size());
-    key.insert(key.end(), cells.begin(), cells.end());
+    emit(cells.size());
+    for (std::uint64_t c : cells) emit(c);
   };
-  emit_relation(sb_);
-  emit_relation(rf_);
-  emit_relation(mo_);
+  emit_relation(sb);
+  emit_relation(rf);
+  emit_relation(mo);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> Execution::canonical_key() const {
+  std::vector<std::uint64_t> key;
+  key.reserve(events_.size() * 3 + 8);
+  canonical_words(events_, sb_, rf_, mo_,
+                  [&](std::uint64_t w) { key.push_back(w); });
   return key;
+}
+
+void Execution::fingerprint_into(util::FingerprintHasher& h) const {
+  canonical_words(events_, sb_, rf_, mo_,
+                  [&](std::uint64_t w) { h.mix(w); });
+}
+
+util::Fingerprint Execution::fingerprint() const {
+  util::FingerprintHasher h;
+  fingerprint_into(h);
+  return h.finish();
 }
 
 std::size_t Execution::canonical_hash() const {

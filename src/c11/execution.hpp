@@ -16,6 +16,7 @@
 
 #include "c11/event.hpp"
 #include "util/bitset.hpp"
+#include "util/fingerprint.hpp"
 #include "util/relation.hpp"
 
 namespace rc11::c11 {
@@ -120,6 +121,15 @@ class Execution {
   [[nodiscard]] std::vector<std::uint64_t> canonical_key() const;
 
   [[nodiscard]] std::size_t canonical_hash() const;
+
+  /// 128-bit digest of the canonical word sequence, streamed — no vector or
+  /// string is materialized. Isomorphic executions (same canonical form)
+  /// have equal fingerprints; the digest is deterministic across runs.
+  [[nodiscard]] util::Fingerprint fingerprint() const;
+
+  /// Streams the canonical words into an existing hasher; Config layers its
+  /// thread-local state (continuations, registers, unfold counts) on top.
+  void fingerprint_into(util::FingerprintHasher& h) const;
 
   /// Structural equality on raw tags (not canonical).
   [[nodiscard]] bool operator==(const Execution& o) const {

@@ -30,6 +30,19 @@ std::string Config::canonical_key() const {
   return os.str();
 }
 
+util::Fingerprint Config::fingerprint() const {
+  util::FingerprintHasher h;
+  exec.fingerprint_into(h);
+  h.mix(cont.size());
+  for (std::size_t i = 0; i < cont.size(); ++i) {
+    h.mix(lang::structural_hash(cont[i]));
+    h.mix(regs[i].size());
+    for (Value v : regs[i]) h.mix_signed(v);
+    h.mix(static_cast<std::uint64_t>(unfoldings[i]));
+  }
+  return h.finish();
+}
+
 Config initial_config(const Program& p) {
   Config c;
   c.program = &p;

@@ -23,6 +23,7 @@
 #include "c11/event_semantics.hpp"
 #include "c11/execution.hpp"
 #include "lang/program.hpp"
+#include "util/fingerprint.hpp"
 
 namespace rc11::interp {
 
@@ -61,8 +62,15 @@ struct Config {
   [[nodiscard]] bool terminated() const;
 
   /// Canonical serialisation for state-space deduplication: canonical
-  /// execution key + per-thread continuation/regs/unfold counts.
+  /// execution key + per-thread continuation/regs/unfold counts. Kept for
+  /// diagnostics and collision tests; the explorers deduplicate on
+  /// fingerprint(), which hashes the same data without materializing it.
   [[nodiscard]] std::string canonical_key() const;
+
+  /// 128-bit digest of the canonical form: streaming hash of the execution's
+  /// canonical words plus per-thread continuation / register / unfold state.
+  /// Two configs with equal canonical_key() have equal fingerprints.
+  [[nodiscard]] util::Fingerprint fingerprint() const;
 };
 
 /// (P_0, sigma_0): program at its entry points, memory holding one

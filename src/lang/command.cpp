@@ -3,6 +3,7 @@
 #include <cassert>
 #include <climits>
 
+#include "util/fingerprint.hpp"
 #include "util/fmt.hpp"
 
 namespace rc11::lang {
@@ -318,6 +319,48 @@ std::string Com::to_string(const c11::VarTable* vars) const {
       return util::cat(label, ": ", c1->to_string(vars));
   }
   return "?";
+}
+
+std::uint64_t structural_hash(const ComPtr& c) {
+  std::uint64_t h = util::mix64(static_cast<std::uint64_t>(c->kind) + 17);
+  switch (c->kind) {
+    case ComKind::kSkip:
+      break;
+    case ComKind::kAssign:
+      h = util::mix64(h ^ (static_cast<std::uint64_t>(c->var) << 2 |
+                           (c->release ? 2u : 0u) |
+                           (c->nonatomic ? 1u : 0u)));
+      h = util::mix64(h + structural_hash(c->expr));
+      break;
+    case ComKind::kRegAssign:
+      h = util::mix64(h ^ c->reg);
+      h = util::mix64(h + structural_hash(c->expr));
+      break;
+    case ComKind::kSwap:
+      h = util::mix64(h ^ (static_cast<std::uint64_t>(c->var) << 2 |
+                           (c->captures ? 1u : 0u)));
+      h = util::mix64(h ^ c->reg);
+      h = util::mix64(h + structural_hash(c->expr));
+      break;
+    case ComKind::kSeq:
+      h = util::mix64(h + 0x9e3779b97f4a7c15ull * structural_hash(c->c1));
+      h = util::mix64(h + 0xc2b2ae3d27d4eb4full * structural_hash(c->c2));
+      break;
+    case ComKind::kIf:
+      h = util::mix64(h + structural_hash(c->expr));
+      h = util::mix64(h + 0x9e3779b97f4a7c15ull * structural_hash(c->c1));
+      h = util::mix64(h + 0xc2b2ae3d27d4eb4full * structural_hash(c->c2));
+      break;
+    case ComKind::kWhile:
+      h = util::mix64(h + structural_hash(c->expr));
+      h = util::mix64(h + 0x9e3779b97f4a7c15ull * structural_hash(c->c1));
+      break;
+    case ComKind::kLabel:
+      h = util::mix64(h ^ static_cast<std::uint64_t>(c->label));
+      h = util::mix64(h + structural_hash(c->c1));
+      break;
+  }
+  return h;
 }
 
 }  // namespace rc11::lang

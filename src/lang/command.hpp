@@ -159,4 +159,9 @@ using Step =
 /// True iff the command's continuation spine starts with a label.
 [[nodiscard]] bool has_leading_label(const ComPtr& c);
 
+/// Deterministic structural hash of the continuation: equal ASTs hash
+/// equal, without building the to_string serialisation (used by
+/// interp::Config::fingerprint for state-space deduplication).
+[[nodiscard]] std::uint64_t structural_hash(const ComPtr& c);
+
 }  // namespace rc11::lang

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/fingerprint.hpp"
 #include "util/fmt.hpp"
 
 namespace rc11::lang {
@@ -339,6 +340,33 @@ std::string Expr::to_string(const c11::VarTable* vars) const {
                        ")");
   }
   return "?";
+}
+
+std::uint64_t structural_hash(const ExprPtr& e) {
+  std::uint64_t h = util::mix64(static_cast<std::uint64_t>(e->kind) + 1);
+  switch (e->kind) {
+    case ExprKind::kConst:
+      h = util::mix64(h ^ static_cast<std::uint64_t>(e->value));
+      break;
+    case ExprKind::kVar:
+      h = util::mix64(h ^ (static_cast<std::uint64_t>(e->var) << 2 |
+                           (e->acquire ? 2u : 0u) |
+                           (e->nonatomic ? 1u : 0u)));
+      break;
+    case ExprKind::kReg:
+      h = util::mix64(h ^ e->reg);
+      break;
+    case ExprKind::kUnary:
+      h = util::mix64(h ^ static_cast<std::uint64_t>(e->un_op) ^
+                      structural_hash(e->lhs));
+      break;
+    case ExprKind::kBinary:
+      h = util::mix64(h ^ static_cast<std::uint64_t>(e->bin_op));
+      h = util::mix64(h + 0x9e3779b97f4a7c15ull * structural_hash(e->lhs));
+      h = util::mix64(h + 0xc2b2ae3d27d4eb4full * structural_hash(e->rhs));
+      break;
+  }
+  return h;
 }
 
 }  // namespace rc11::lang

@@ -127,6 +127,10 @@ struct PendingRead {
 [[nodiscard]] Value apply_un_op(UnOp op, Value v);
 [[nodiscard]] Value apply_bin_op(BinOp op, Value l, Value r);
 
+/// Deterministic structural hash: equal ASTs hash equal, without building
+/// the to_string serialisation (state fingerprinting; util/fingerprint.hpp).
+[[nodiscard]] std::uint64_t structural_hash(const ExprPtr& e);
+
 /// Short-circuit folding: `0 && E` folds to 0 and `1 && E` to E without
 /// evaluating E (dually for ||); fully closed subtrees fold to constants.
 ///

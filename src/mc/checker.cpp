@@ -62,24 +62,27 @@ std::string Outcome::to_string(const lang::Program& p) const {
   return os.str();
 }
 
+Outcome outcome_of(const interp::Config& c, const lang::Program& program) {
+  Outcome o;
+  o.regs.reserve(c.thread_count());
+  for (const auto& file : c.regs) {
+    auto padded = file;
+    padded.resize(program.reg_count(), 0);
+    o.regs.push_back(std::move(padded));
+  }
+  for (c11::VarId x = 0; x < c.exec.var_count(); ++x) {
+    const c11::EventId w = c.exec.last(x);
+    o.final_vars.push_back(w == c11::kNoEvent ? 0 : c.exec.event(w).wrval());
+  }
+  return o;
+}
+
 OutcomeResult enumerate_outcomes(const lang::Program& program,
                                  ExploreOptions options) {
   OutcomeResult result;
   Visitor visitor;
   visitor.on_final = [&](const interp::Config& c) {
-    Outcome o;
-    o.regs.reserve(c.thread_count());
-    for (const auto& file : c.regs) {
-      auto padded = file;
-      padded.resize(program.reg_count(), 0);
-      o.regs.push_back(std::move(padded));
-    }
-    for (c11::VarId x = 0; x < c.exec.var_count(); ++x) {
-      const c11::EventId w = c.exec.last(x);
-      o.final_vars.push_back(w == c11::kNoEvent ? 0
-                                                : c.exec.event(w).wrval());
-    }
-    result.outcomes.insert(std::move(o));
+    result.outcomes.insert(outcome_of(c, program));
     return true;
   };
   result.stats = explore(program, options, visitor).stats;
@@ -109,14 +112,12 @@ RaceResult check_race_free(const lang::Program& program,
   return result;
 }
 
-std::set<std::string> collect_final_executions(const lang::Program& program,
-                                               ExploreOptions options) {
-  std::set<std::string> keys;
+std::set<util::Fingerprint> collect_final_executions(
+    const lang::Program& program, ExploreOptions options) {
+  std::set<util::Fingerprint> keys;
   Visitor visitor;
   visitor.on_final = [&](const interp::Config& c) {
-    std::ostringstream os;
-    for (std::uint64_t w : c.exec.canonical_key()) os << w << ',';
-    keys.insert(os.str());
+    keys.insert(c.exec.fingerprint());
     return true;
   };
   (void)explore(program, options, visitor);

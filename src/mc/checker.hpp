@@ -6,8 +6,8 @@
 //  * check_reachable — can some terminated configuration satisfy a litmus
 //    condition? (exists-clauses)
 //  * enumerate_outcomes — all final register/variable valuations.
-//  * collect_final_executions — canonical keys of all final executions
-//    (consumed by the axiomatic equivalence checker).
+//  * collect_final_executions — canonical fingerprints of all final
+//    executions (consumed by the axiomatic equivalence checker).
 #pragma once
 
 #include <map>
@@ -60,13 +60,19 @@ struct OutcomeResult {
   ExploreStats stats;
 };
 
+/// The final observation of one terminated configuration (shared by the
+/// sequential and parallel outcome enumerators).
+[[nodiscard]] Outcome outcome_of(const interp::Config& c,
+                                 const lang::Program& program);
+
 /// All distinct final observations of the program.
 [[nodiscard]] OutcomeResult enumerate_outcomes(const lang::Program& program,
                                                ExploreOptions options = {});
 
-/// Canonical execution keys of every reachable terminated configuration.
-/// With `pre_execution`, keys of the ==>_PE semantics instead.
-[[nodiscard]] std::set<std::string> collect_final_executions(
+/// Canonical-form fingerprints of every reachable terminated
+/// configuration's execution. With `pre_execution`, fingerprints of the
+/// ==>_PE semantics instead.
+[[nodiscard]] std::set<util::Fingerprint> collect_final_executions(
     const lang::Program& program, ExploreOptions options = {});
 
 /// Data-race freedom (extension; c11/races.hpp): explores all executions

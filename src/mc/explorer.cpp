@@ -1,17 +1,89 @@
 #include "mc/explorer.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 #include <vector>
 
 namespace rc11::mc {
 
 namespace {
 
+// --- Sleep-set partial-order reduction ---------------------------------------
+//
+// A transition is identified across neighbouring states by its signature:
+// the acting thread, whether it is silent, and (for memory steps) the
+// action kind / variable / values and the observed write (the read source,
+// or the mo insertion point for writes). The new event's own tag is
+// deliberately excluded — it shifts when an independent step of another
+// thread is appended first, while the signature stays stable.
+struct StepSig {
+  c11::ThreadId thread = 0;
+  bool silent = true;
+  c11::ActionKind kind = c11::ActionKind::kWrX;
+  c11::VarId var = 0;
+  c11::Value rval = 0;
+  c11::Value wval = 0;
+  c11::EventId observed = c11::kNoEvent;
+
+  auto operator<=>(const StepSig&) const = default;
+};
+
+StepSig sig_of(const interp::ConfigStep& s) {
+  StepSig sig;
+  sig.thread = s.thread;
+  sig.silent = s.silent;
+  if (!s.silent) {
+    sig.kind = s.action.kind;
+    sig.var = s.action.var;
+    sig.rval = s.action.rval;
+    sig.wval = s.action.wval;
+    sig.observed = s.observed;
+  }
+  return sig;
+}
+
+bool is_read_kind(c11::ActionKind k) {
+  return k == c11::ActionKind::kRdX || k == c11::ActionKind::kRdA ||
+         k == c11::ActionKind::kRdNA;
+}
+
+/// Syntactic independence (sufficient for commutation in the RA semantics):
+/// steps of distinct threads commute when at least one is silent (silent
+/// steps touch only thread-local state), when they access different
+/// locations, or when both only read the same location.
+bool independent(const StepSig& a, const StepSig& b) {
+  if (a.thread == b.thread) return false;
+  if (a.silent || b.silent) return true;
+  if (a.var != b.var) return true;
+  return is_read_kind(a.kind) && is_read_kind(b.kind);
+}
+
+/// Sorted signature vector; subset/intersection use the ordering.
+using SleepSet = std::vector<StepSig>;
+
+bool sleep_contains(const SleepSet& sleep, const StepSig& sig) {
+  return std::binary_search(sleep.begin(), sleep.end(), sig);
+}
+
+bool is_subset(const SleepSet& a, const SleepSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+SleepSet intersection(const SleepSet& a, const SleepSet& b) {
+  SleepSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
 struct Frame {
   interp::Config config;
   std::vector<interp::ConfigStep> steps;
+  std::vector<StepSig> sigs;  ///< sig per step (only filled when por is on)
   std::size_t next_step = 0;
   TraceEntry incoming;  // transition that entered this frame
+  StateId id = kNoState;
+  SleepSet sleep;
 };
 
 std::vector<interp::ConfigStep> expand(const interp::Config& c,
@@ -35,6 +107,12 @@ ExploreResult explore_from(const interp::Config& start,
                            const Visitor& visitor) {
   ExploreResult result;
   SeenSet seen;
+  // Sleep set each visited state was last explored with (por only). A
+  // revisit with a sleep set that is NOT a superset of the stored one may
+  // enable transitions pruned before, so the state is re-expanded with the
+  // intersection (Godefroid's state-caching rule); the stored set shrinks
+  // strictly on every re-expansion, so the search terminates.
+  std::unordered_map<StateId, SleepSet> sleep_store;
 
   auto build_trace = [](const std::vector<Frame>& stack) {
     Trace t;
@@ -55,16 +133,38 @@ ExploreResult explore_from(const interp::Config& start,
     return true;
   };
 
+  auto finish_stats = [&] {
+    result.stats.peak_seen_bytes = options.dedup ? seen.bytes() : 0;
+    // With POR the per-state stored sleep sets are part of the dedup
+    // footprint; count them so the memory report stays honest.
+    for (const auto& [id, sleep] : sleep_store) {
+      (void)id;
+      result.stats.peak_seen_bytes +=
+          sizeof(std::pair<const StateId, SleepSet>) + 2 * sizeof(void*) +
+          sleep.capacity() * sizeof(StepSig);
+    }
+  };
+
+  auto prepare_frame = [&](Frame& f) {
+    f.steps = expand(f.config, options);
+    if (options.por) {
+      f.sigs.reserve(f.steps.size());
+      for (const auto& s : f.steps) f.sigs.push_back(sig_of(s));
+    }
+  };
+
   std::vector<Frame> stack;
   {
     Frame root;
     root.config = start;
-    if (options.dedup) seen.insert(root.config.canonical_key());
+    if (options.dedup) root.id = seen.insert(root.config.fingerprint()).id;
     if (!visit_state(root.config)) {
       result.aborted = true;
+      finish_stats();
       return result;
     }
-    root.steps = expand(root.config, options);
+    prepare_frame(root);
+    if (options.por) sleep_store[root.id] = {};
     stack.push_back(std::move(root));
   }
 
@@ -75,38 +175,89 @@ ExploreResult explore_from(const interp::Config& start,
       stack.pop_back();
       continue;
     }
-    interp::ConfigStep step = std::move(top.steps[top.next_step++]);
+    const std::size_t step_index = top.next_step++;
+    if (options.por && sleep_contains(top.sleep, top.sigs[step_index])) {
+      ++result.stats.por_pruned;
+      continue;
+    }
+    interp::ConfigStep step = std::move(top.steps[step_index]);
     ++result.stats.transitions;
 
     if (visitor.on_transition && !visitor.on_transition(top.config, step)) {
       result.aborted = true;
       result.abort_trace = build_trace(stack);
       result.abort_trace.entries.push_back(make_entry(step));
+      finish_stats();
       return result;
     }
 
-    if (options.dedup && !seen.insert(step.next.canonical_key())) {
-      ++result.stats.merged;
-      continue;
-    }
-
-    if (result.stats.states >= options.max_states) {
-      result.stats.truncated = true;
-      return result;
+    // Successor sleep set: everything slept on here, plus the earlier
+    // sibling transitions, filtered down to what commutes with this step.
+    SleepSet succ_sleep;
+    if (options.por) {
+      const StepSig& taken = top.sigs[step_index];
+      for (const StepSig& s : top.sleep) {
+        if (independent(s, taken)) succ_sleep.push_back(s);
+      }
+      for (std::size_t j = 0; j < step_index; ++j) {
+        if (!sleep_contains(top.sleep, top.sigs[j]) &&
+            independent(top.sigs[j], taken)) {
+          succ_sleep.push_back(top.sigs[j]);
+        }
+      }
+      std::sort(succ_sleep.begin(), succ_sleep.end());
+      succ_sleep.erase(std::unique(succ_sleep.begin(), succ_sleep.end()),
+                       succ_sleep.end());
     }
 
     Frame frame;
+    frame.sleep = std::move(succ_sleep);
+    bool revisit = false;
+    if (options.dedup) {
+      const InsertResult ins =
+          seen.insert(step.next.fingerprint(), top.id,
+                      static_cast<std::uint32_t>(step_index));
+      frame.id = ins.id;
+      if (!ins.inserted) {
+        if (!options.por) {
+          ++result.stats.merged;
+          continue;
+        }
+        SleepSet& stored = sleep_store[ins.id];
+        if (is_subset(stored, frame.sleep)) {
+          // Already explored at least this much: safe to merge.
+          ++result.stats.merged;
+          continue;
+        }
+        // Previously pruned transitions may now be required: re-expand
+        // with the (strictly smaller) intersection.
+        stored = intersection(stored, frame.sleep);
+        frame.sleep = stored;
+        revisit = true;
+      } else if (options.por) {
+        sleep_store[ins.id] = frame.sleep;
+      }
+    }
+
+    if (!revisit && result.stats.states >= options.max_states) {
+      result.stats.truncated = true;
+      finish_stats();
+      return result;
+    }
+
     frame.incoming = make_entry(step);
     frame.config = std::move(step.next);
-    if (!visit_state(frame.config)) {
+    if (!revisit && !visit_state(frame.config)) {
       result.aborted = true;
       result.abort_trace = build_trace(stack);
       result.abort_trace.entries.push_back(frame.incoming);
+      finish_stats();
       return result;
     }
-    frame.steps = expand(frame.config, options);
+    prepare_frame(frame);
     stack.push_back(std::move(frame));
   }
+  finish_stats();
   return result;
 }
 

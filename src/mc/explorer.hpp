@@ -28,6 +28,15 @@ struct ExploreOptions {
   /// Explore with the pre-execution semantics ==>_PE instead of ==>_RA
   /// (reads branch over the value domain; rf/mo stay empty).
   bool pre_execution = false;
+
+  /// Sleep-set partial-order reduction (sequential explorer only; the
+  /// parallel explorer ignores it). Prunes transitions that only commute
+  /// with already-explored independent ones — steps of different threads
+  /// touching different locations, or two reads of the same location.
+  /// Preserves the set of reachable states (sleep sets prune transitions,
+  /// not states), hence all invariant / reachability verdicts; pruned
+  /// transitions are counted in stats.por_pruned and skip on_transition.
+  bool por = false;
 };
 
 /// Visitor callbacks. Any callback returning false aborts the search with

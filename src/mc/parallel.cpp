@@ -1,21 +1,53 @@
 #include "mc/parallel.hpp"
 
 #include <atomic>
-#include <memory>
+#include <chrono>
+#include <deque>
+#include <functional>
 #include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <utility>
 
 #include "util/thread_pool.hpp"
 
 namespace rc11::mc {
 
+std::string WorkerStats::to_string() const {
+  std::ostringstream os;
+  os << "processed=" << processed << " enqueued=" << enqueued
+     << " steals=" << steals << " merged=" << merged;
+  return os.str();
+}
+
 namespace {
 
-/// Shared context of one parallel run.
+struct WorkItem {
+  interp::Config config;
+  StateId id = kNoState;
+};
+
+/// One worker's deque: owner pops from the back, thieves pop from the
+/// front. A plain mutex per deque is enough — the critical sections are a
+/// couple of pointer moves, and contention concentrates on distinct deques.
+struct WorkDeque {
+  std::mutex mutex;
+  std::deque<WorkItem> items;
+};
+
+/// Shared context of one work-stealing run.
 struct ParallelRun {
-  explicit ParallelRun(const ExploreOptions& opts) : options(opts) {}
+  ParallelRun(const ExploreOptions& opts, std::size_t workers)
+      : options(opts), deques(workers), worker_stats(workers) {}
 
   ExploreOptions options;
   ConcurrentSeenSet seen;
+  std::vector<WorkDeque> deques;
+  std::vector<WorkerStats> worker_stats;
+
+  /// Items pushed but not yet fully expanded; 0 <=> exploration finished.
+  std::atomic<std::size_t> pending{0};
   std::atomic<bool> stop{false};
   std::atomic<std::size_t> states{0};
   std::atomic<std::size_t> transitions{0};
@@ -23,99 +55,231 @@ struct ParallelRun {
   std::atomic<std::size_t> finals{0};
   std::atomic<bool> truncated{false};
 
-  // Visitor returning false sets stop.
+  /// First violating / witnessing state, for trace reconstruction.
+  std::mutex hit_mutex;
+  StateId hit_state = kNoState;
+  bool hit_found = false;
+
+  // Callbacks returning false record the state as the hit and set stop.
   std::function<bool(const interp::Config&)> on_state;
   std::function<bool(const interp::Config&)> on_final;
+
+  void record_hit(StateId id) {
+    std::lock_guard lock(hit_mutex);
+    if (!hit_found) {
+      hit_found = true;
+      hit_state = id;
+    }
+    stop.store(true, std::memory_order_release);
+  }
 };
 
-void process(const std::shared_ptr<ParallelRun>& run,
-             util::ThreadPool& pool, interp::Config config) {
-  if (run->stop.load(std::memory_order_relaxed)) return;
-  if (run->states.fetch_add(1) >= run->options.max_states) {
-    run->truncated.store(true);
-    run->stop.store(true);
+void push_local(ParallelRun& run, std::size_t me, WorkItem item) {
+  run.pending.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard lock(run.deques[me].mutex);
+  run.deques[me].items.push_back(std::move(item));
+}
+
+std::optional<WorkItem> pop_local(ParallelRun& run, std::size_t me) {
+  std::lock_guard lock(run.deques[me].mutex);
+  auto& q = run.deques[me].items;
+  if (q.empty()) return std::nullopt;
+  WorkItem item = std::move(q.back());
+  q.pop_back();
+  return item;
+}
+
+std::optional<WorkItem> steal(ParallelRun& run, std::size_t me) {
+  const std::size_t n = run.deques.size();
+  for (std::size_t d = 1; d < n; ++d) {
+    const std::size_t victim = (me + d) % n;
+    std::lock_guard lock(run.deques[victim].mutex);
+    auto& q = run.deques[victim].items;
+    if (q.empty()) continue;
+    WorkItem item = std::move(q.front());
+    q.pop_front();
+    return item;
+  }
+  return std::nullopt;
+}
+
+/// Expands one configuration: callbacks, then dedup-insert every successor
+/// (recording its parent edge) and push the fresh ones locally.
+void process(ParallelRun& run, std::size_t me, WorkItem item) {
+  WorkerStats& ws = run.worker_stats[me];
+  ++ws.processed;
+  if (run.states.fetch_add(1, std::memory_order_relaxed) >=
+      run.options.max_states) {
+    run.truncated.store(true);
+    run.stop.store(true);
     return;
   }
-  if (run->on_state && !run->on_state(config)) {
-    run->stop.store(true);
+  if (run.on_state && !run.on_state(item.config)) {
+    run.record_hit(item.id);
     return;
   }
-  if (config.terminated()) {
-    run->finals.fetch_add(1, std::memory_order_relaxed);
-    if (run->on_final && !run->on_final(config)) {
-      run->stop.store(true);
+  if (item.config.terminated()) {
+    run.finals.fetch_add(1, std::memory_order_relaxed);
+    if (run.on_final && !run.on_final(item.config)) {
+      run.record_hit(item.id);
       return;
     }
   }
-  for (auto& step : interp::successors(config, run->options.step)) {
-    run->transitions.fetch_add(1, std::memory_order_relaxed);
-    if (run->options.dedup && !run->seen.insert(step.next.canonical_key())) {
-      run->merged.fetch_add(1, std::memory_order_relaxed);
+  auto steps = interp::successors(item.config, run.options.step);
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    run.transitions.fetch_add(1, std::memory_order_relaxed);
+    const InsertResult ins =
+        run.seen.insert(steps[i].next.fingerprint(), item.id,
+                        static_cast<std::uint32_t>(i));
+    if (!ins.inserted) {
+      run.merged.fetch_add(1, std::memory_order_relaxed);
+      ++ws.merged;
       continue;
     }
-    pool.submit([run, &pool, next = std::move(step.next)]() mutable {
-      process(run, pool, std::move(next));
-    });
+    ++ws.enqueued;
+    push_local(run, me, WorkItem{std::move(steps[i].next), ins.id});
   }
 }
 
-ExploreStats run_parallel(const lang::Program& program,
-                          const ParallelOptions& options,
-                          const std::shared_ptr<ParallelRun>& run) {
-  util::ThreadPool pool(options.workers);
+void worker_loop(ParallelRun& run, std::size_t me) {
+  constexpr int kYieldRounds = 64;
+  int idle_rounds = 0;
+  while (true) {
+    if (run.stop.load(std::memory_order_acquire)) return;
+    std::optional<WorkItem> item = pop_local(run, me);
+    if (!item) {
+      item = steal(run, me);
+      if (item) ++run.worker_stats[me].steals;
+    }
+    if (!item) {
+      if (run.pending.load(std::memory_order_acquire) == 0) return;
+      // Back off while other workers drain a narrow frontier: a few
+      // yields, then short sleeps, so idle workers do not burn cores.
+      if (++idle_rounds <= kYieldRounds) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      continue;
+    }
+    idle_rounds = 0;
+    process(run, me, *std::move(item));
+    run.pending.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+ExploreStats run_parallel(const lang::Program& program, ParallelRun& run) {
+  const std::size_t workers = run.deques.size();
   interp::Config start = interp::initial_config(program);
-  run->seen.insert(start.canonical_key());
-  pool.submit([run, &pool, start = std::move(start)]() mutable {
-    process(run, pool, std::move(start));
-  });
-  pool.wait_idle();
+  const InsertResult root = run.seen.insert(start.fingerprint());
+  push_local(run, 0, WorkItem{std::move(start), root.id});
+
+  {
+    util::ThreadPool pool(workers);
+    for (std::size_t k = 0; k < workers; ++k) {
+      pool.submit([&run, k] { worker_loop(run, k); });
+    }
+    pool.wait_idle();
+  }
 
   ExploreStats stats;
-  stats.states = run->states.load();
-  stats.transitions = run->transitions.load();
-  stats.merged = run->merged.load();
-  stats.finals = run->finals.load();
-  stats.truncated = run->truncated.load();
+  stats.states = run.states.load();
+  stats.transitions = run.transitions.load();
+  stats.merged = run.merged.load();
+  stats.finals = run.finals.load();
+  stats.truncated = run.truncated.load();
+  stats.peak_seen_bytes = run.seen.bytes();
   return stats;
+}
+
+/// Rebuilds the path root -> `leaf` from the parent records and replays it
+/// through successors(), which enumerates steps deterministically — the
+/// recorded step indices select the same transitions the explorer took.
+Trace reconstruct_trace(const ParallelRun& run, const lang::Program& program,
+                        StateId leaf) {
+  if (leaf == kNoState) return {};
+  std::vector<std::uint32_t> step_indices;
+  for (StateId id = leaf;;) {
+    const StateRecord rec = run.seen.record(id);
+    if (rec.parent == kNoState) break;
+    step_indices.push_back(rec.step);
+    id = rec.parent;
+  }
+  std::reverse(step_indices.begin(), step_indices.end());
+
+  Trace trace;
+  interp::Config c = interp::initial_config(program);
+  for (std::uint32_t i : step_indices) {
+    auto steps = interp::successors(c, run.options.step);
+    if (i >= steps.size()) break;  // defensive; cannot happen on a real run
+    trace.entries.push_back(make_entry(steps[i]));
+    c = std::move(steps[i].next);
+  }
+  return trace;
+}
+
+std::size_t worker_count(const ParallelOptions& options) {
+  return options.workers == 0 ? 1 : options.workers;
+}
+
+void export_info(const ParallelRun& run, ParallelRunInfo* info) {
+  if (info != nullptr) info->workers = run.worker_stats;
 }
 
 }  // namespace
 
 InvariantResult check_invariant_parallel(const lang::Program& program,
                                          const ConfigPredicate& invariant,
-                                         const ParallelOptions& options) {
-  auto opts = options;
-  opts.explore.step.tau_compress = false;
-  auto run = std::make_shared<ParallelRun>(opts.explore);
-  std::atomic<bool> violated{false};
-  run->on_state = [&](const interp::Config& c) {
-    if (!invariant(c)) {
-      violated.store(true);
-      return false;
-    }
-    return true;
-  };
+                                         const ParallelOptions& options,
+                                         ParallelRunInfo* info) {
+  ExploreOptions eopts = options.explore;
+  eopts.step.tau_compress = false;  // intermediate pcs must be visible
+  ParallelRun run(eopts, worker_count(options));
+  run.on_state = [&](const interp::Config& c) { return invariant(c); };
+
   InvariantResult result;
-  result.stats = run_parallel(program, opts, run);
-  result.holds = !violated.load();
+  result.stats = run_parallel(program, run);
+  result.holds = !run.hit_found;
+  if (run.hit_found) {
+    result.counterexample = reconstruct_trace(run, program, run.hit_state);
+  }
+  export_info(run, info);
   return result;
 }
 
 ReachabilityResult check_reachable_parallel(const lang::Program& program,
                                             const lang::CondPtr& cond,
-                                            const ParallelOptions& options) {
-  auto run = std::make_shared<ParallelRun>(options.explore);
-  std::atomic<bool> found{false};
-  run->on_final = [&](const interp::Config& c) {
-    if (interp::eval_cond(cond, c)) {
-      found.store(true);
-      return false;
-    }
+                                            const ParallelOptions& options,
+                                            ParallelRunInfo* info) {
+  ParallelRun run(options.explore, worker_count(options));
+  run.on_final = [&](const interp::Config& c) {
+    return !interp::eval_cond(cond, c);
+  };
+
+  ReachabilityResult result;
+  result.stats = run_parallel(program, run);
+  result.reachable = run.hit_found;
+  if (run.hit_found) {
+    result.witness = reconstruct_trace(run, program, run.hit_state);
+  }
+  export_info(run, info);
+  return result;
+}
+
+OutcomeResult enumerate_outcomes_parallel(const lang::Program& program,
+                                          const ParallelOptions& options,
+                                          ParallelRunInfo* info) {
+  ParallelRun run(options.explore, worker_count(options));
+  OutcomeResult result;
+  std::mutex outcomes_mutex;
+  run.on_final = [&](const interp::Config& c) {
+    Outcome o = outcome_of(c, program);
+    std::lock_guard lock(outcomes_mutex);
+    result.outcomes.insert(std::move(o));
     return true;
   };
-  ReachabilityResult result;
-  result.stats = run_parallel(program, options, run);
-  result.reachable = found.load();
+  result.stats = run_parallel(program, run);
+  export_info(run, info);
   return result;
 }
 

@@ -1,35 +1,70 @@
 // Parallel state-space exploration.
 //
-// A breadth-first frontier is processed by a thread pool; the seen set is
-// sharded (ConcurrentSeenSet) so insertion contention is low. Visitors must
-// be thread-safe; the convenience queries here only use atomic flags and
-// per-shard accumulation, so they are safe out of the box.
+// A work-stealing explorer runs one long-lived task per worker on
+// util::ThreadPool. Each worker owns a deque of pending configurations,
+// pops from its own back (depth-first, cache-friendly) and steals from
+// other workers' fronts (breadth-ish, good load spread) when empty. All
+// workers share one fingerprint table (ConcurrentSeenSet) whose
+// parent-pointer records — (parent StateId, successor index) per state —
+// let the checkers reconstruct a real counterexample / witness trace after
+// the fact by deterministically replaying successors() along the parent
+// chain. Per-worker statistics (states processed, steals, enqueues) are
+// reported through ParallelRunInfo.
 //
 // On a single-core host this demonstrates correctness rather than speedup;
 // bench_parallel reports the scaling measured on the build machine.
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "mc/checker.hpp"
 
 namespace rc11::mc {
 
 struct ParallelOptions {
+  /// Note: the parallel explorer always deduplicates (the parent-pointer
+  /// records require unique states), does not implement sleep sets, and
+  /// only runs the ==>_RA semantics, so explore.dedup, explore.por and
+  /// explore.pre_execution are ignored; use the sequential explorer for
+  /// those ablations.
   ExploreOptions explore;
   std::size_t workers = 4;
 };
 
-/// Parallel version of check_invariant (no counterexample trace: recording
-/// paths across workers would serialise them; rerun the sequential checker
-/// to obtain a trace once a violation is known to exist).
+/// Per-worker counters of one parallel run.
+struct WorkerStats {
+  std::size_t processed = 0;  ///< states expanded by this worker
+  std::size_t enqueued = 0;   ///< fresh successors pushed to its own deque
+  std::size_t steals = 0;     ///< items taken from another worker's deque
+  std::size_t merged = 0;     ///< successors deduplicated away
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ParallelRunInfo {
+  std::vector<WorkerStats> workers;
+};
+
+/// Parallel version of check_invariant. Returns a real counterexample
+/// trace, reconstructed from the seen set's parent pointers (violating
+/// state -> root) and replayed through successors(); when several workers
+/// race to a violation, the first one reported wins.
 [[nodiscard]] InvariantResult check_invariant_parallel(
     const lang::Program& program, const ConfigPredicate& invariant,
-    const ParallelOptions& options = {});
+    const ParallelOptions& options = {}, ParallelRunInfo* info = nullptr);
 
-/// Parallel version of check_reachable (witness-free, see above).
+/// Parallel version of check_reachable; the witness trace is reconstructed
+/// the same way.
 [[nodiscard]] ReachabilityResult check_reachable_parallel(
     const lang::Program& program, const lang::CondPtr& cond,
-    const ParallelOptions& options = {});
+    const ParallelOptions& options = {}, ParallelRunInfo* info = nullptr);
+
+/// Parallel outcome enumeration: all distinct final observations, collected
+/// from every worker. Agrees with enumerate_outcomes on the same options.
+[[nodiscard]] OutcomeResult enumerate_outcomes_parallel(
+    const lang::Program& program, const ParallelOptions& options = {},
+    ParallelRunInfo* info = nullptr);
 
 }  // namespace rc11::mc

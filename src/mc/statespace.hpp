@@ -1,18 +1,33 @@
-// State-space bookkeeping: canonical-key deduplication and statistics.
+// State-space bookkeeping: fingerprint deduplication, parent-pointer
+// records, and statistics.
 //
 // Two interleavings of independent steps reach isomorphic configurations
-// (Propositions 2.3 / 4.1); the canonical key (Config::canonical_key)
-// identifies them, so the explorer visits each configuration once. The
-// sharded variant is safe for concurrent insertion from the parallel
-// explorer.
+// (Propositions 2.3 / 4.1); the 128-bit fingerprint of the canonical form
+// (Config::fingerprint) identifies them, so the explorer visits each
+// configuration once. Each visited state gets a compact StateId and a
+// StateRecord carrying its fingerprint plus a parent pointer (predecessor
+// StateId and the index of the successor step that produced it), from which
+// both the sequential and the work-stealing parallel explorer reconstruct
+// counterexample traces by deterministic replay (successors() enumerates
+// steps in a fixed order).
+//
+// SeenSet is a single-threaded open-addressing table; ConcurrentSeenSet
+// shards the same layout 16 ways with per-shard locks for the parallel
+// explorer. Both cost ~24 bytes per state in records plus ~8 bytes per
+// state of index slots — versus the hundreds of bytes per state of the
+// std::string canonical keys they replaced (StringSeenSet, kept for the
+// bench_mc_scaling footprint ablation).
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <unordered_set>
+#include <vector>
+
+#include "util/fingerprint.hpp"
 
 namespace rc11::mc {
 
@@ -22,46 +37,153 @@ struct ExploreStats {
   std::size_t merged = 0;       ///< successors deduplicated away
   std::size_t finals = 0;       ///< terminated configurations
   std::size_t max_depth = 0;    ///< deepest DFS path
+  std::size_t peak_seen_bytes = 0;  ///< seen-set footprint at peak
+  std::size_t por_pruned = 0;   ///< transitions pruned by sleep sets
   bool truncated = false;       ///< hit max_states
 
   [[nodiscard]] std::string to_string() const;
 };
 
-/// Insert-only set of canonical keys.
-class SeenSet {
- public:
-  /// Returns true iff the key was newly inserted.
-  bool insert(const std::string& key) { return set_.insert(key).second; }
+/// Dense index of a visited state within a (Concurrent)SeenSet.
+using StateId = std::uint32_t;
+inline constexpr StateId kNoState = 0xffffffffu;
 
-  [[nodiscard]] std::size_t size() const { return set_.size(); }
-
- private:
-  std::unordered_set<std::string> set_;
+/// Per-state record: identity plus the incoming edge used for trace
+/// reconstruction (`step` indexes into successors(parent)).
+struct StateRecord {
+  util::Fingerprint fp;
+  StateId parent = kNoState;
+  std::uint32_t step = 0;
 };
 
-/// Sharded, mutex-guarded variant for the parallel explorer.
+struct InsertResult {
+  StateId id = kNoState;
+  bool inserted = false;  ///< true iff the fingerprint was new
+};
+
+/// Insert-only open-addressing table over fingerprints (single-threaded).
+class SeenSet {
+ public:
+  SeenSet() { rehash(kInitialSlots); }
+
+  /// Inserts fp with its incoming edge; on a duplicate returns the existing
+  /// state's id (the first-discovered parent wins, keeping traces acyclic).
+  InsertResult insert(const util::Fingerprint& fp, StateId parent = kNoState,
+                      std::uint32_t step = 0);
+
+  [[nodiscard]] const StateRecord& record(StateId id) const {
+    return records_[id];
+  }
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Current footprint: records plus index slots.
+  [[nodiscard]] std::size_t bytes() const {
+    return records_.capacity() * sizeof(StateRecord) +
+           slots_.capacity() * sizeof(std::uint32_t);
+  }
+
+  /// Caps the number of records; insert() throws std::length_error past it
+  /// instead of wrapping StateIds (ConcurrentSeenSet lowers it per shard to
+  /// keep room for its shard bits).
+  void set_max_states(std::size_t n) { max_states_ = n; }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 1024;  // power of two
+
+  void rehash(std::size_t new_slot_count);
+
+  std::vector<StateRecord> records_;
+  std::vector<std::uint32_t> slots_;  ///< record index + 1; 0 = empty
+  std::size_t mask_ = 0;
+  std::size_t max_states_ = kNoState;  ///< ids stay below the sentinel
+};
+
+/// Sharded, mutex-guarded variant for the work-stealing parallel explorer.
+/// StateIds encode the shard in the low bits, so records can be resolved
+/// without a global lock. Insertion contention is one short critical
+/// section on 1 of 16 shards.
 class ConcurrentSeenSet {
  public:
-  bool insert(const std::string& key) {
-    const std::size_t shard =
-        std::hash<std::string>{}(key) % kShards;
+  ConcurrentSeenSet() {
+    for (auto& s : shards_) s.set_max_states(kNoState >> kShardBits);
+  }
+
+  InsertResult insert(const util::Fingerprint& fp, StateId parent = kNoState,
+                      std::uint32_t step = 0) {
+    const std::size_t shard = fp.shard_bits() & (kShards - 1);
     std::lock_guard lock(mutexes_[shard]);
-    return sets_[shard].insert(key).second;
+    InsertResult r = shards_[shard].insert(fp, parent, step);
+    r.id = encode(r.id, shard);
+    return r;
+  }
+
+  /// Copy of the record for `id` (copied because other threads may grow the
+  /// shard's record vector concurrently).
+  [[nodiscard]] StateRecord record(StateId id) const {
+    const std::size_t shard = id & (kShards - 1);
+    std::lock_guard lock(mutexes_[shard]);
+    return shards_[shard].record(id >> kShardBits);
   }
 
   [[nodiscard]] std::size_t size() const {
     std::size_t n = 0;
     for (std::size_t i = 0; i < kShards; ++i) {
       std::lock_guard lock(mutexes_[i]);
-      n += sets_[i].size();
+      n += shards_[i].size();
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kShards; ++i) {
+      std::lock_guard lock(mutexes_[i]);
+      n += shards_[i].bytes();
     }
     return n;
   }
 
  private:
-  static constexpr std::size_t kShards = 16;
+  static constexpr std::size_t kShardBits = 4;
+  static constexpr std::size_t kShards = 1 << kShardBits;
+
+  static StateId encode(StateId local, std::size_t shard) {
+    return static_cast<StateId>((local << kShardBits) |
+                                static_cast<StateId>(shard));
+  }
+
   mutable std::array<std::mutex, kShards> mutexes_;
-  std::array<std::unordered_set<std::string>, kShards> sets_;
+  std::array<SeenSet, kShards> shards_;
+};
+
+/// The pre-fingerprint design: canonical keys as std::strings in a node-based
+/// hash set. Kept only so bench_mc_scaling can measure the bytes-per-state
+/// reduction of the fingerprint tables against it.
+class StringSeenSet {
+ public:
+  bool insert(const std::string& key) {
+    const bool added = set_.insert(key).second;
+    if (added) key_bytes_ += key.capacity() + kNodeOverhead;
+    return added;
+  }
+
+  [[nodiscard]] std::size_t size() const { return set_.size(); }
+
+  /// Footprint estimate: key payloads + per-node allocation overhead +
+  /// bucket array.
+  [[nodiscard]] std::size_t bytes() const {
+    return key_bytes_ + set_.bucket_count() * sizeof(void*);
+  }
+
+ private:
+  // std::string header + hash-node header (next pointer, cached hash);
+  // a conservative estimate of libstdc++'s per-element cost.
+  static constexpr std::size_t kNodeOverhead =
+      sizeof(std::string) + 2 * sizeof(void*);
+
+  std::unordered_set<std::string> set_;
+  std::size_t key_bytes_ = 0;
 };
 
 }  // namespace rc11::mc

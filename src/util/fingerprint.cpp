@@ -1,0 +1,15 @@
+#include "util/fingerprint.hpp"
+
+namespace rc11::util {
+
+std::string Fingerprint::to_string() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string s(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    s[15 - i] = kHex[(hi >> (4 * i)) & 0xf];
+    s[31 - i] = kHex[(lo >> (4 * i)) & 0xf];
+  }
+  return s;
+}
+
+}  // namespace rc11::util

@@ -1,0 +1,77 @@
+// 128-bit state fingerprints for the model checker's seen sets.
+//
+// The state-space layer deduplicates configurations by identity of their
+// canonical form (Propositions 2.3 / 4.1). Serialising that form into a
+// std::string allocates and copies per generated transition; a Fingerprint
+// is a fixed-size 128-bit digest of the same word sequence, computed by
+// streaming the words through FingerprintHasher. 128 bits make accidental
+// collisions negligible at any state count this checker can reach
+// (birthday bound ~2^64 states), and the digest doubles as the hash for
+// the open-addressing seen sets (statespace.hpp).
+//
+// The hash is deterministic across runs and platforms: fixed seeds, no
+// address-dependent input. Tests rely on this (fingerprints of a program's
+// final executions are stable run to run).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rc11::util {
+
+/// Finalising 64-bit mixer (murmur3 fmix64): full avalanche, bijective.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  auto operator<=>(const Fingerprint&) const = default;
+
+  /// Bits used by open-addressing tables: slot probe / shard selection use
+  /// disjoint halves so the two choices are independent.
+  [[nodiscard]] std::uint64_t slot_bits() const { return lo; }
+  [[nodiscard]] std::uint64_t shard_bits() const { return hi; }
+
+  /// 32 lowercase hex digits (hi then lo).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Streaming 128-bit hasher: two multiply-rotate lanes fed with every word,
+/// cross-mixed at finish(). Words are combined order-sensitively.
+class FingerprintHasher {
+ public:
+  void mix(std::uint64_t w) {
+    ++length_;
+    a_ = rotl(a_ ^ (w * 0x9e3779b97f4a7c15ull), 27) * 0xbf58476d1ce4e5b9ull;
+    b_ = rotl(b_ + (w ^ 0xc2b2ae3d27d4eb4full), 31) * 0x94d049bb133111ebull;
+  }
+
+  /// Convenience for signed inputs (register values etc.).
+  void mix_signed(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+
+  [[nodiscard]] Fingerprint finish() const {
+    Fingerprint fp;
+    fp.hi = mix64(a_ + rotl(b_, 23) + length_);
+    fp.lo = mix64(b_ ^ rotl(a_, 41) ^ (length_ * 0x9e3779b97f4a7c15ull));
+    return fp;
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int r) {
+    return (x << r) | (x >> (64 - r));
+  }
+
+  std::uint64_t a_ = 0x243f6a8885a308d3ull;  // pi digits: fixed seeds
+  std::uint64_t b_ = 0x13198a2e03707344ull;
+  std::uint64_t length_ = 0;
+};
+
+}  // namespace rc11::util

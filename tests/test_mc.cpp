@@ -185,6 +185,9 @@ TEST(Parallel, DetectsViolation) {
         return c.exec.event(c.exec.last(xid)).wrval() != 2;
       });
   EXPECT_FALSE(r.holds);
+  // The parent-pointer records give a real counterexample trace.
+  ASSERT_FALSE(r.counterexample.empty());
+  EXPECT_EQ(r.counterexample.entries.back().thread, 1u);
 }
 
 TEST(Parallel, ReachabilityAgrees) {
@@ -199,6 +202,7 @@ exists (1:r0 == 2)
       check_reachable_parallel(parsed.program, parsed.condition);
   EXPECT_EQ(seq_r.reachable, par_r.reachable);
   EXPECT_TRUE(seq_r.reachable);
+  EXPECT_FALSE(par_r.witness.empty());
 }
 
 TEST(Trace, FormatsEntries) {
