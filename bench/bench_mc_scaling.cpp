@@ -111,28 +111,38 @@ void seen_set_footprint(benchmark::State& state) {
 BENCHMARK(seen_set_footprint)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void por_litmus_catalog(benchmark::State& state) {
-  // Full exploration (no early abort) of every catalogue program with and
-  // without sleep sets; the counters expose the transition reduction.
-  const bool por = state.range(0) != 0;
+  // Full exploration (no early abort) of every catalogue program under
+  // each POR mode; the counters expose the state/transition reduction.
+  // Arg: 0 = plain, 1 = sleep sets, 2 = source-set DPOR, 3 = DPOR+sleep.
+  static constexpr mc::PorMode kModes[] = {
+      mc::PorMode::kNone, mc::PorMode::kSleepSets, mc::PorMode::kSourceSets,
+      mc::PorMode::kSourceSetsSleep};
+  static constexpr const char* kLabels[] = {"plain", "sleep-sets",
+                                            "source-dpor",
+                                            "source-dpor+sleep"};
+  const auto mode = static_cast<std::size_t>(state.range(0));
   mc::ExploreOptions opts;
-  opts.por = por;
-  std::size_t states = 0, transitions = 0, pruned = 0;
+  opts.por = kModes[mode];
+  std::size_t states = 0, transitions = 0, pruned = 0, backtracks = 0;
   for (auto _ : state) {
-    states = transitions = pruned = 0;
+    states = transitions = pruned = backtracks = 0;
     for (const auto& test : litmus::catalog()) {
       const auto parsed = lang::parse_litmus(test.source);
       const mc::ExploreResult r = mc::explore(parsed.program, opts, {});
       states += r.stats.states;
       transitions += r.stats.transitions;
       pruned += r.stats.por_pruned;
+      backtracks += r.stats.backtracks;
     }
   }
-  state.SetLabel(por ? "sleep-sets" : "plain");
+  state.SetLabel(kLabels[mode]);
   state.counters["states"] = static_cast<double>(states);
   state.counters["transitions"] = static_cast<double>(transitions);
   state.counters["por_pruned"] = static_cast<double>(pruned);
+  state.counters["backtracks"] = static_cast<double>(backtracks);
 }
-BENCHMARK(por_litmus_catalog)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(por_litmus_catalog)->DenseRange(0, 3)->Unit(
+    benchmark::kMillisecond);
 
 void peterson_bound_scaling(benchmark::State& state) {
   const lang::Program p = vcgen::make_peterson();

@@ -10,6 +10,10 @@ InvariantResult check_invariant(const lang::Program& program,
                                 const ConfigPredicate& invariant,
                                 ExploreOptions options) {
   options.step.tau_compress = false;  // intermediate pcs must be visible
+  // DPOR preserves terminated states and race reports but may skip
+  // intermediate global states, which an arbitrary invariant can observe;
+  // downgrade to the state-preserving sleep-set reduction.
+  if (is_dpor(options.por)) options.por = PorMode::kSleepSets;
   InvariantResult result;
   Visitor visitor;
   visitor.on_state = [&](const interp::Config& c) {

@@ -1,0 +1,506 @@
+#include "mc/dpor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "mc/independence.hpp"
+#include "util/thread_pool.hpp"
+#include "util/work_deque.hpp"
+
+namespace rc11::mc {
+
+namespace {
+
+/// One node of the exploration tree. The spine (parent chain) is the trace
+/// E the node was reached by; scheduling state is guarded by `mu` because
+/// race reversals discovered in stolen subtrees insert backtrack points
+/// into ancestors owned by other workers. Nodes stay alive exactly while
+/// some in-flight descendant holds the spine's shared_ptr chain — an
+/// insertion into a node whose owner finished it long ago simply enqueues
+/// a fresh work item for it.
+struct Node {
+  std::shared_ptr<Node> parent;
+  std::uint32_t depth = 0;
+  StepSig in_sig{};      ///< signature of the incoming step (depth > 0)
+  TraceEntry in_entry{};  ///< trace entry of the incoming step (depth > 0)
+
+  interp::Config config;
+  std::vector<interp::ConfigStep> steps;  ///< all successors, by thread asc
+  std::vector<StepSig> sigs;              ///< sig per step
+  std::vector<c11::ThreadId> enabled;     ///< threads with >= 1 step
+
+  /// hb_row[i] = 1 iff spine event e_i happens-before this node's incoming
+  /// event e_depth (a chain of pairwise-dependent trace steps leads from i
+  /// to depth). Computed once when the incoming step executes, so race
+  /// detection only builds the one new row per transition instead of the
+  /// whole closure. Immutable after construction.
+  std::vector<char> hb_row;
+
+  std::mutex mu;  ///< guards `scheduled` and `executed`
+  /// Threads scheduled at this node, in insertion order.
+  std::vector<c11::ThreadId> scheduled;
+  /// Signatures of the steps already executed from this node, in execution
+  /// order (kSourceSetsSleep). The order is the sleep-set order: a
+  /// later-executed step's subtree may put an earlier-executed sibling
+  /// transition to sleep, never the reverse.
+  std::vector<StepSig> executed;
+  /// Transition signatures asleep on arrival (kSourceSetsSleep): their
+  /// executions from here are covered by an earlier sibling subtree.
+  /// Immutable after construction.
+  SleepSet sleep;
+};
+
+using NodePtr = std::shared_ptr<Node>;
+
+struct Item {
+  NodePtr node;
+  c11::ThreadId thread = 0;  ///< the scheduled thread to expand
+};
+
+bool contains(const std::vector<c11::ThreadId>& v, c11::ThreadId t) {
+  return std::find(v.begin(), v.end(), t) != v.end();
+}
+
+struct Engine {
+  Engine(const ExploreOptions& opts, const Visitor& vis, std::size_t workers)
+      : options(opts),
+        visitor(vis),
+        sleep_filter(opts.por == PorMode::kSourceSetsSleep),
+        deques(workers),
+        worker_stats(workers) {}
+
+  ExploreOptions options;
+  const Visitor& visitor;
+  bool sleep_filter;
+  util::WorkDeques<Item> deques;
+  std::vector<WorkerStats> worker_stats;
+
+  ConcurrentSeenSet seen;  ///< unique-state accounting only (tree search)
+
+  std::atomic<std::size_t> pending{0};
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> states{0};
+  std::atomic<std::size_t> transitions{0};
+  std::atomic<std::size_t> merged{0};
+  std::atomic<std::size_t> finals{0};
+  std::atomic<std::size_t> por_pruned{0};
+  std::atomic<std::size_t> backtracks{0};
+  std::atomic<std::size_t> max_depth{1};
+  std::atomic<bool> truncated{false};
+
+  std::mutex abort_mutex;
+  bool aborted = false;
+  Trace abort_trace;
+
+  void record_abort(Trace trace) {
+    {
+      std::lock_guard lock(abort_mutex);
+      if (!aborted) {
+        aborted = true;
+        abort_trace = std::move(trace);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  }
+};
+
+std::vector<interp::ConfigStep> expand(const interp::Config& c,
+                                       const ExploreOptions& options) {
+  if (options.pre_execution) {
+    return interp::pe_successors(c, interp::value_domain(*c.program),
+                                 options.step);
+  }
+  return interp::successors(c, options.step);
+}
+
+void max_update(std::atomic<std::size_t>& a, std::size_t v) {
+  std::size_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Fills steps/sigs/enabled of a freshly built node.
+void prepare_node(Node& n, const ExploreOptions& options) {
+  n.steps = expand(n.config, options);
+  n.sigs.reserve(n.steps.size());
+  for (const auto& s : n.steps) n.sigs.push_back(sig_of(s));
+  for (const auto& s : n.steps) {
+    if (n.enabled.empty() || n.enabled.back() != s.thread) {
+      n.enabled.push_back(s.thread);  // successors() enumerates threads asc
+    }
+  }
+}
+
+/// The trace from the root to `n` (the path the spine encodes).
+Trace spine_trace(const Node* n) {
+  Trace t;
+  for (const Node* p = n; p->depth > 0; p = p->parent.get()) {
+    t.entries.push_back(p->in_entry);
+  }
+  std::reverse(t.entries.begin(), t.entries.end());
+  return t;
+}
+
+/// True iff thread q has at least one transition at n not slept on.
+bool has_awake_step(const Node& n, c11::ThreadId q) {
+  for (std::size_t i = 0; i < n.steps.size(); ++i) {
+    if (n.steps[i].thread == q && !sleep_contains(n.sleep, n.sigs[i])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// First thread to schedule at a node: a thread whose every step is silent
+/// if one exists (silent steps are independent with everything, so the
+/// node will never receive a backtrack point — the branch-deferring
+/// "invisible transition first" heuristic; with tau compression these are
+/// only loop unfoldings), else the lowest-id enabled thread with an awake
+/// transition. Returns 0 when nothing is schedulable (a leaf, or a
+/// sleep-set-blocked node whose executions are covered elsewhere).
+c11::ThreadId pick_first(const Node& n) {
+  c11::ThreadId best = 0;
+  for (c11::ThreadId q : n.enabled) {
+    if (!has_awake_step(n, q)) continue;
+    bool all_silent = true;
+    for (std::size_t i = 0; i < n.steps.size(); ++i) {
+      if (n.steps[i].thread == q && !n.steps[i].silent) {
+        all_silent = false;
+        break;
+      }
+    }
+    if (all_silent) return q;
+    if (best == 0) best = q;
+  }
+  return best;
+}
+
+void push_item(Engine& eng, std::size_t me, Item item) {
+  eng.pending.fetch_add(1, std::memory_order_acq_rel);
+  eng.deques.push_local(me, std::move(item));
+}
+
+/// Source-set backtrack insertion: unless some initial is already
+/// scheduled at `target`, schedule one — preferring a thread with an
+/// awake transition. When every initial is fully asleep, the race's
+/// reversal is covered by the sibling subtree that put it to sleep; the
+/// first initial is still marked scheduled so later races don't
+/// reconsider the node.
+void insert_backtrack(Engine& eng, std::size_t me, const NodePtr& target,
+                      const std::vector<c11::ThreadId>& initials) {
+  std::lock_guard lock(target->mu);
+  for (c11::ThreadId q : initials) {
+    if (contains(target->scheduled, q)) return;
+  }
+  for (c11::ThreadId q : initials) {
+    if (has_awake_step(*target, q)) {
+      target->scheduled.push_back(q);
+      eng.backtracks.fetch_add(1, std::memory_order_relaxed);
+      push_item(eng, me, Item{target, q});
+      return;
+    }
+  }
+  target->scheduled.push_back(initials.front());
+}
+
+/// Detects every reversible race between the step about to be taken from
+/// `n` (signature `t_sig`) and the spine E, and inserts the source-set
+/// backtrack points. `self` is the shared_ptr of `n`. Returns t's
+/// happens-before row (hb_row for the child node the step creates), so
+/// each transition costs one O(depth^2) row build — the rows of the spine
+/// events are cached in their nodes.
+std::vector<char> race_reversals(Engine& eng, std::size_t me,
+                                 const NodePtr& self, const StepSig& t_sig) {
+  Node& n = *self;
+  const std::size_t d = n.depth;
+  if (d == 0) return {};
+
+  // nodes[k] = spine node at depth k; its in_sig is trace event e_k and
+  // its hb_row[i] says whether e_i happens-before e_k.
+  std::vector<Node*> nodes(d + 1);
+  {
+    Node* p = &n;
+    for (std::size_t k = d;; --k) {
+      nodes[k] = p;
+      if (k == 0) break;
+      p = p->parent.get();
+    }
+  }
+  const std::size_t m = d + 1;  // index of t itself
+  auto sig_at = [&](std::size_t k) -> const StepSig& {
+    return k <= d ? nodes[k]->in_sig : t_sig;
+  };
+  // hb(i, k) for spine events i < k <= d, from the cached rows.
+  auto hb = [&](std::size_t i, std::size_t k) {
+    return nodes[k]->hb_row[i] != 0;
+  };
+
+  // t's own row: e_i ->hb t iff a chain of pairwise-dependent trace steps
+  // leads from i to t. First-hop recurrence, i descending: hb(i, t) =
+  // dep(i, t) or exists k in (i, m) with dep(i, k) and hb(k, t).
+  std::vector<char> row(m, 0);
+  for (std::size_t i = d; i >= 1; --i) {
+    char r = dependent(sig_at(i), t_sig) ? 1 : 0;
+    for (std::size_t k = i + 1; r == 0 && k <= d; ++k) {
+      if (row[k] && dependent(sig_at(i), sig_at(k))) r = 1;
+    }
+    row[i] = r;
+  }
+
+  for (std::size_t i = 1; i <= d; ++i) {
+    const StepSig& e = sig_at(i);
+    if (e.thread == t_sig.thread || independent(e, t_sig)) continue;
+    // Reversible race: no intermediate k with e_i ->hb e_k ->hb t.
+    bool direct = true;
+    for (std::size_t k = i + 1; k <= d && direct; ++k) {
+      if (hb(i, k) && row[k]) direct = false;
+    }
+    if (!direct) continue;
+
+    // v = notdep(e_i, E).t: the steps after e_i not happening-after it,
+    // then t. Initials: threads whose first step in v has no dependent
+    // predecessor in v.
+    std::vector<std::size_t> v;
+    for (std::size_t k = i + 1; k <= d; ++k) {
+      if (!hb(i, k)) v.push_back(k);
+    }
+    v.push_back(m);
+    std::vector<c11::ThreadId> seen_threads;
+    std::vector<c11::ThreadId> initials;
+    for (std::size_t a = 0; a < v.size(); ++a) {
+      const StepSig& s = sig_at(v[a]);
+      if (contains(seen_threads, s.thread)) continue;
+      seen_threads.push_back(s.thread);
+      bool initial = true;
+      for (std::size_t b = 0; b < a && initial; ++b) {
+        if (dependent(sig_at(v[b]), s)) initial = false;
+      }
+      if (initial) initials.push_back(s.thread);
+    }
+    if (initials.empty()) continue;  // unreachable: v's head is initial
+
+    insert_backtrack(eng, me, nodes[i]->parent, initials);
+  }
+  return row;
+}
+
+/// Expands one scheduled (node, thread) pair: runs every enabled
+/// transition of the thread, detecting races, accounting unique states,
+/// and scheduling each child's first thread.
+void expand_item(Engine& eng, std::size_t me, const Item& item) {
+  Node& n = *item.node;
+  ++eng.worker_stats[me].processed;
+
+  for (std::size_t i = 0; i < n.steps.size(); ++i) {
+    if (n.steps[i].thread != item.thread) continue;
+    if (eng.stop.load(std::memory_order_acquire)) return;
+
+    interp::ConfigStep& step = n.steps[i];
+    const StepSig& sig = n.sigs[i];
+    if (eng.sleep_filter && sleep_contains(n.sleep, sig)) {
+      continue;  // covered by an earlier sibling subtree (counted below)
+    }
+
+    // Sleep-order prefix: the sibling transitions executed from n before
+    // this one (their subtrees cover what this child may sleep on). The
+    // snapshot-and-append is one critical section so concurrent executors
+    // at the same node order themselves consistently.
+    SleepSet prefix;
+    if (eng.sleep_filter) {
+      std::lock_guard lock(n.mu);
+      prefix.assign(n.executed.begin(), n.executed.end());
+      n.executed.push_back(sig);
+    }
+
+    eng.transitions.fetch_add(1, std::memory_order_relaxed);
+
+    if (eng.visitor.on_transition &&
+        !eng.visitor.on_transition(n.config, step)) {
+      Trace t = spine_trace(&n);
+      t.entries.push_back(make_entry(step));
+      eng.record_abort(std::move(t));
+      return;
+    }
+
+    std::vector<char> hb_row = race_reversals(eng, me, item.node, sig);
+
+    auto child = std::make_shared<Node>();
+    child->parent = item.node;
+    child->depth = n.depth + 1;
+    child->in_sig = sig;
+    child->in_entry = make_entry(step);
+    child->hb_row = std::move(hb_row);
+    // Each (node, thread) pair is scheduled at most once, so this step is
+    // executed exactly once and its successor config can be stolen.
+    child->config = std::move(step.next);
+    max_update(eng.max_depth, child->depth + 1);
+
+    const InsertResult ins = eng.seen.insert(child->config.fingerprint());
+    if (ins.inserted) {
+      const std::size_t states =
+          eng.states.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (states >= eng.options.max_states) {
+        eng.truncated.store(true);
+        eng.stop.store(true);
+        return;
+      }
+      if (eng.visitor.on_state && !eng.visitor.on_state(child->config)) {
+        eng.record_abort(spine_trace(child.get()));
+        return;
+      }
+      if (child->config.terminated()) {
+        eng.finals.fetch_add(1, std::memory_order_relaxed);
+        if (eng.visitor.on_final && !eng.visitor.on_final(child->config)) {
+          eng.record_abort(spine_trace(child.get()));
+          return;
+        }
+      }
+    } else {
+      eng.merged.fetch_add(1, std::memory_order_relaxed);
+      ++eng.worker_stats[me].merged;
+    }
+
+    prepare_node(*child, eng.options);
+
+    if (eng.sleep_filter) {
+      // Godefroid's sleep rule at transition granularity: a sibling
+      // transition stays asleep in the child iff it commutes with the
+      // taken step — inherited sleep plus the earlier-executed siblings.
+      child->sleep.reserve(n.sleep.size() + prefix.size());
+      for (const StepSig& s : n.sleep) {
+        if (independent(s, sig)) child->sleep.push_back(s);
+      }
+      for (const StepSig& s : prefix) {
+        if (independent(s, sig)) child->sleep.push_back(s);
+      }
+      std::sort(child->sleep.begin(), child->sleep.end());
+      child->sleep.erase(
+          std::unique(child->sleep.begin(), child->sleep.end()),
+          child->sleep.end());
+      // The child's transitions already covered elsewhere are what the
+      // sleep filter refuses to run (whether or not their thread ever
+      // gets scheduled there).
+      std::size_t pruned = 0;
+      for (const StepSig& s : child->sigs) {
+        if (sleep_contains(child->sleep, s)) ++pruned;
+      }
+      if (pruned > 0) {
+        eng.por_pruned.fetch_add(pruned, std::memory_order_relaxed);
+      }
+    }
+
+    const c11::ThreadId first = pick_first(*child);
+    if (first != 0) {
+      {
+        std::lock_guard lock(child->mu);
+        child->scheduled.push_back(first);
+      }
+      ++eng.worker_stats[me].enqueued;
+      push_item(eng, me, Item{std::move(child), first});
+    }
+  }
+}
+
+void worker_loop(Engine& eng, std::size_t me) {
+  constexpr int kYieldRounds = 64;
+  int idle_rounds = 0;
+  while (true) {
+    if (eng.stop.load(std::memory_order_acquire)) return;
+    std::optional<Item> item = eng.deques.pop_local(me);
+    if (!item && eng.deques.worker_count() > 1) {
+      item = eng.deques.steal(me);
+      if (item) ++eng.worker_stats[me].steals;
+    }
+    if (!item) {
+      if (eng.pending.load(std::memory_order_acquire) == 0) return;
+      // Sequential: nothing can appear while we hold the only deque.
+      if (eng.deques.worker_count() == 1) return;
+      if (++idle_rounds <= kYieldRounds) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      continue;
+    }
+    idle_rounds = 0;
+    expand_item(eng, me, *item);
+    eng.pending.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace
+
+ExploreResult explore_dpor(const interp::Config& start,
+                           const ExploreOptions& options,
+                           const Visitor& visitor, std::size_t workers,
+                           std::vector<WorkerStats>* worker_stats) {
+  if (workers == 0) workers = 1;
+  Engine eng(options, visitor, workers);
+  // Scheduling points are visible (memory) steps only: deterministic
+  // silent/register steps never branch the search and are fused into the
+  // preceding transition (loop unfoldings stay visible — they are bounded
+  // and must branch). Invisible transitions are never scheduling points in
+  // DPOR; this is what makes the reduction bite on register-heavy litmus
+  // programs. Returned traces therefore replay under tau_compress = true.
+  eng.options.step.tau_compress = true;
+
+  auto finish = [&](bool root_aborted = false) {
+    ExploreResult res;
+    res.stats.states = eng.states.load();
+    res.stats.transitions = eng.transitions.load();
+    res.stats.merged = eng.merged.load();
+    res.stats.finals = eng.finals.load();
+    res.stats.max_depth = eng.max_depth.load();
+    res.stats.por_pruned = eng.por_pruned.load();
+    res.stats.backtracks = eng.backtracks.load();
+    res.stats.truncated = eng.truncated.load();
+    res.stats.peak_seen_bytes = eng.seen.bytes();
+    {
+      std::lock_guard lock(eng.abort_mutex);
+      res.aborted = eng.aborted || root_aborted;
+      res.abort_trace = std::move(eng.abort_trace);
+    }
+    if (worker_stats != nullptr) *worker_stats = eng.worker_stats;
+    return res;
+  };
+
+  auto root = std::make_shared<Node>();
+  root->config = start;
+  (void)eng.seen.insert(root->config.fingerprint());
+  eng.states.store(1);
+  if (visitor.on_state && !visitor.on_state(root->config)) {
+    return finish(/*root_aborted=*/true);
+  }
+  if (root->config.terminated()) {
+    eng.finals.store(1);
+    if (visitor.on_final && !visitor.on_final(root->config)) {
+      return finish(/*root_aborted=*/true);
+    }
+  }
+  prepare_node(*root, eng.options);
+  const c11::ThreadId first = pick_first(*root);
+  if (first != 0) {
+    root->scheduled.push_back(first);
+    push_item(eng, 0, Item{root, first});
+  }
+
+  if (workers == 1) {
+    worker_loop(eng, 0);
+  } else {
+    util::ThreadPool pool(workers);
+    for (std::size_t k = 0; k < workers; ++k) {
+      pool.submit([&eng, k] { worker_loop(eng, k); });
+    }
+    pool.wait_idle();
+  }
+  return finish();
+}
+
+}  // namespace rc11::mc

@@ -4,77 +4,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mc/dpor.hpp"
+#include "mc/independence.hpp"
+
 namespace rc11::mc {
 
 namespace {
-
-// --- Sleep-set partial-order reduction ---------------------------------------
-//
-// A transition is identified across neighbouring states by its signature:
-// the acting thread, whether it is silent, and (for memory steps) the
-// action kind / variable / values and the observed write (the read source,
-// or the mo insertion point for writes). The new event's own tag is
-// deliberately excluded — it shifts when an independent step of another
-// thread is appended first, while the signature stays stable.
-struct StepSig {
-  c11::ThreadId thread = 0;
-  bool silent = true;
-  c11::ActionKind kind = c11::ActionKind::kWrX;
-  c11::VarId var = 0;
-  c11::Value rval = 0;
-  c11::Value wval = 0;
-  c11::EventId observed = c11::kNoEvent;
-
-  auto operator<=>(const StepSig&) const = default;
-};
-
-StepSig sig_of(const interp::ConfigStep& s) {
-  StepSig sig;
-  sig.thread = s.thread;
-  sig.silent = s.silent;
-  if (!s.silent) {
-    sig.kind = s.action.kind;
-    sig.var = s.action.var;
-    sig.rval = s.action.rval;
-    sig.wval = s.action.wval;
-    sig.observed = s.observed;
-  }
-  return sig;
-}
-
-bool is_read_kind(c11::ActionKind k) {
-  return k == c11::ActionKind::kRdX || k == c11::ActionKind::kRdA ||
-         k == c11::ActionKind::kRdNA;
-}
-
-/// Syntactic independence (sufficient for commutation in the RA semantics):
-/// steps of distinct threads commute when at least one is silent (silent
-/// steps touch only thread-local state), when they access different
-/// locations, or when both only read the same location.
-bool independent(const StepSig& a, const StepSig& b) {
-  if (a.thread == b.thread) return false;
-  if (a.silent || b.silent) return true;
-  if (a.var != b.var) return true;
-  return is_read_kind(a.kind) && is_read_kind(b.kind);
-}
-
-/// Sorted signature vector; subset/intersection use the ordering.
-using SleepSet = std::vector<StepSig>;
-
-bool sleep_contains(const SleepSet& sleep, const StepSig& sig) {
-  return std::binary_search(sleep.begin(), sleep.end(), sig);
-}
-
-bool is_subset(const SleepSet& a, const SleepSet& b) {
-  return std::includes(b.begin(), b.end(), a.begin(), a.end());
-}
-
-SleepSet intersection(const SleepSet& a, const SleepSet& b) {
-  SleepSet out;
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
-}
 
 struct Frame {
   interp::Config config;
@@ -105,6 +40,12 @@ ExploreResult explore(const lang::Program& program,
 ExploreResult explore_from(const interp::Config& start,
                            const ExploreOptions& options,
                            const Visitor& visitor) {
+  // The DPOR modes run tree-shaped with their own engine (dpor.cpp).
+  if (is_dpor(options.por)) {
+    return explore_dpor(start, options, visitor, /*workers=*/1);
+  }
+  const bool por = options.por == PorMode::kSleepSets;
+
   ExploreResult result;
   SeenSet seen;
   // Sleep set each visited state was last explored with (por only). A
@@ -147,7 +88,7 @@ ExploreResult explore_from(const interp::Config& start,
 
   auto prepare_frame = [&](Frame& f) {
     f.steps = expand(f.config, options);
-    if (options.por) {
+    if (por) {
       f.sigs.reserve(f.steps.size());
       for (const auto& s : f.steps) f.sigs.push_back(sig_of(s));
     }
@@ -164,7 +105,7 @@ ExploreResult explore_from(const interp::Config& start,
       return result;
     }
     prepare_frame(root);
-    if (options.por) sleep_store[root.id] = {};
+    if (por) sleep_store[root.id] = {};
     stack.push_back(std::move(root));
   }
 
@@ -176,7 +117,7 @@ ExploreResult explore_from(const interp::Config& start,
       continue;
     }
     const std::size_t step_index = top.next_step++;
-    if (options.por && sleep_contains(top.sleep, top.sigs[step_index])) {
+    if (por && sleep_contains(top.sleep, top.sigs[step_index])) {
       ++result.stats.por_pruned;
       continue;
     }
@@ -191,27 +132,8 @@ ExploreResult explore_from(const interp::Config& start,
       return result;
     }
 
-    // Successor sleep set: everything slept on here, plus the earlier
-    // sibling transitions, filtered down to what commutes with this step.
-    SleepSet succ_sleep;
-    if (options.por) {
-      const StepSig& taken = top.sigs[step_index];
-      for (const StepSig& s : top.sleep) {
-        if (independent(s, taken)) succ_sleep.push_back(s);
-      }
-      for (std::size_t j = 0; j < step_index; ++j) {
-        if (!sleep_contains(top.sleep, top.sigs[j]) &&
-            independent(top.sigs[j], taken)) {
-          succ_sleep.push_back(top.sigs[j]);
-        }
-      }
-      std::sort(succ_sleep.begin(), succ_sleep.end());
-      succ_sleep.erase(std::unique(succ_sleep.begin(), succ_sleep.end()),
-                       succ_sleep.end());
-    }
-
     Frame frame;
-    frame.sleep = std::move(succ_sleep);
+    if (por) frame.sleep = successor_sleep(top.sleep, top.sigs, step_index);
     bool revisit = false;
     if (options.dedup) {
       const InsertResult ins =
@@ -219,7 +141,7 @@ ExploreResult explore_from(const interp::Config& start,
                       static_cast<std::uint32_t>(step_index));
       frame.id = ins.id;
       if (!ins.inserted) {
-        if (!options.por) {
+        if (!por) {
           ++result.stats.merged;
           continue;
         }
@@ -234,7 +156,7 @@ ExploreResult explore_from(const interp::Config& start,
         stored = intersection(stored, frame.sleep);
         frame.sleep = stored;
         revisit = true;
-      } else if (options.por) {
+      } else if (por) {
         sleep_store[ins.id] = frame.sleep;
       }
     }

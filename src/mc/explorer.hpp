@@ -4,6 +4,12 @@
 // key, with visitor callbacks for states, transitions and terminated
 // configurations. On top of it, checker.hpp provides the user-facing
 // verification queries (invariants, reachability, outcome enumeration).
+//
+// Partial-order reduction is selected by ExploreOptions::por: sleep sets
+// (state-preserving transition pruning) or source-set DPOR (dpor.hpp; the
+// default reduction when one is wanted — prunes redundant interleavings
+// wholesale, preserving verdicts, final-state fingerprints and race
+// reports but not every intermediate global state).
 #pragma once
 
 #include <functional>
@@ -15,6 +21,44 @@
 
 namespace rc11::mc {
 
+/// Which partial-order reduction the explorers apply.
+enum class PorMode : std::uint8_t {
+  /// Full exploration, no reduction.
+  kNone,
+
+  /// Sleep sets over the syntactic independence relation
+  /// (mc/independence.hpp). Prunes transitions, never states: the set of
+  /// reachable configurations — hence every invariant / reachability
+  /// verdict — is preserved exactly. Honoured by the sequential explorer
+  /// and the work-stealing parallel explorer (per-item sleep sets).
+  kSleepSets,
+
+  /// Source-set dynamic partial-order reduction (mc/dpor.hpp): race
+  /// detection on the explored trace inserts backtrack points per
+  /// source-set DPOR, so only a source set of threads is scheduled at
+  /// each node. Explores at least one interleaving per Mazurkiewicz trace
+  /// of every maximal execution: preserves reachability verdicts on
+  /// terminated states, final-state fingerprints, outcome sets and race
+  /// reports — but may skip intermediate global states, so
+  /// check_invariant downgrades this mode to kSleepSets.
+  kSourceSets,
+
+  /// kSourceSets with sleep sets composed on top as a second filter
+  /// (threads whose executions a sibling subtree already covers are put
+  /// to sleep). The default reduction: strictly stronger pruning than
+  /// either alone.
+  kSourceSetsSleep,
+};
+
+/// The reduction to use when a caller just asks for "POR": source-set DPOR
+/// with the sleep-set filter.
+inline constexpr PorMode kDefaultPor = PorMode::kSourceSetsSleep;
+
+/// True iff the mode runs the source-set DPOR engine (dpor.hpp).
+[[nodiscard]] constexpr bool is_dpor(PorMode m) {
+  return m == PorMode::kSourceSets || m == PorMode::kSourceSetsSleep;
+}
+
 struct ExploreOptions {
   interp::StepOptions step;
 
@@ -22,25 +66,25 @@ struct ExploreOptions {
   std::size_t max_states = 5'000'000;
 
   /// Merge isomorphic configurations. Disable to traverse the raw
-  /// transition tree (used by ablation benches).
+  /// transition tree (used by ablation benches). Ignored by the DPOR
+  /// modes, which always run tree-shaped and use the seen set only to
+  /// count unique states.
   bool dedup = true;
 
   /// Explore with the pre-execution semantics ==>_PE instead of ==>_RA
   /// (reads branch over the value domain; rf/mo stay empty).
   bool pre_execution = false;
 
-  /// Sleep-set partial-order reduction (sequential explorer only; the
-  /// parallel explorer ignores it). Prunes transitions that only commute
-  /// with already-explored independent ones — steps of different threads
-  /// touching different locations, or two reads of the same location.
-  /// Preserves the set of reachable states (sleep sets prune transitions,
-  /// not states), hence all invariant / reachability verdicts; pruned
-  /// transitions are counted in stats.por_pruned and skip on_transition.
-  bool por = false;
+  /// Partial-order reduction mode; see PorMode. All modes preserve
+  /// reachability verdicts, final-state fingerprints and race reports
+  /// (differentially asserted in tests/test_dpor.cpp); pruned transitions
+  /// are counted in stats.por_pruned and skip on_transition.
+  PorMode por = PorMode::kNone;
 };
 
 /// Visitor callbacks. Any callback returning false aborts the search with
-/// `aborted = true` (used to stop at the first violation/witness).
+/// `aborted = true` (used to stop at the first violation/witness). Under
+/// the parallel explorers the callbacks must be thread-safe.
 struct Visitor {
   /// Called once per unique configuration (including the initial one).
   std::function<bool(const interp::Config&)> on_state;

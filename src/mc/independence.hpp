@@ -1,0 +1,138 @@
+// The independence relation over interpreter transitions, shared by every
+// reduction layer (sleep sets in the sequential and parallel explorers,
+// source-set DPOR in dpor.cpp).
+//
+// A transition is identified across neighbouring states by its *signature*:
+// the acting thread, whether it is silent, and (for memory steps) the
+// action kind / variable / values and the observed write (the read source,
+// or the mo insertion point for writes). The new event's own tag is
+// deliberately excluded — it shifts when an independent step of another
+// thread is appended first, while the signature stays stable.
+//
+// Two signatures are independent iff executing them in either order from
+// any state where both are enabled yields isomorphic configurations
+// (Proposition 2.3 / 4.1 quotient). The relation is *syntactic* and
+// derived from the action footprints of c11/action.hpp plus the
+// observability semantics (Section 3.2):
+//
+//   * same thread            -> dependent (program order);
+//   * either step silent     -> independent (silent steps touch only
+//                               thread-local continuation/registers/
+//                               unfold counters);
+//   * different variables    -> independent (EW/OW/CW are per-variable:
+//                               a write to x never changes another
+//                               thread's observable writes of y, and a
+//                               read adds no hb edge into other threads);
+//   * both plain reads       -> independent (reads add only an rf edge
+//                               ending at the new event; they cannot
+//                               cover writes or extend another thread's
+//                               encountered set);
+//   * otherwise              -> dependent (same-location conflicting
+//                               accesses; updRA counts as both read and
+//                               write, so RMWs conflict with every
+//                               same-variable access — this is the
+//                               RMW-ordering clause; the RAR fragment has
+//                               no fences, so there is no fence clause).
+//
+// Dependence is an over-approximation of true conflict, which is the safe
+// direction for every reduction built on it. tests/test_dpor.cpp
+// differentially validates the relation: every POR mode must agree with
+// full enumeration on verdicts, final-state fingerprints and race reports.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "c11/action.hpp"
+#include "interp/config.hpp"
+
+namespace rc11::mc {
+
+/// Stable cross-state identity of a transition (see file comment).
+struct StepSig {
+  c11::ThreadId thread = 0;
+  bool silent = true;
+  c11::ActionKind kind = c11::ActionKind::kWrX;
+  c11::VarId var = 0;
+  c11::Value rval = 0;
+  c11::Value wval = 0;
+  c11::EventId observed = c11::kNoEvent;
+
+  auto operator<=>(const StepSig&) const = default;
+};
+
+[[nodiscard]] inline StepSig sig_of(const interp::ConfigStep& s) {
+  StepSig sig;
+  sig.thread = s.thread;
+  sig.silent = s.silent;
+  if (!s.silent) {
+    sig.kind = s.action.kind;
+    sig.var = s.action.var;
+    sig.rval = s.action.rval;
+    sig.wval = s.action.wval;
+    sig.observed = s.observed;
+  }
+  return sig;
+}
+
+[[nodiscard]] inline bool is_read_kind(c11::ActionKind k) {
+  return k == c11::ActionKind::kRdX || k == c11::ActionKind::kRdA ||
+         k == c11::ActionKind::kRdNA;
+}
+
+/// Syntactic independence (sufficient for commutation in the RA semantics).
+[[nodiscard]] inline bool independent(const StepSig& a, const StepSig& b) {
+  if (a.thread == b.thread) return false;
+  if (a.silent || b.silent) return true;
+  if (a.var != b.var) return true;
+  return is_read_kind(a.kind) && is_read_kind(b.kind);
+}
+
+[[nodiscard]] inline bool dependent(const StepSig& a, const StepSig& b) {
+  return !independent(a, b);
+}
+
+/// Sorted signature vector; subset/intersection use the ordering.
+using SleepSet = std::vector<StepSig>;
+
+[[nodiscard]] inline bool sleep_contains(const SleepSet& sleep,
+                                         const StepSig& sig) {
+  return std::binary_search(sleep.begin(), sleep.end(), sig);
+}
+
+[[nodiscard]] inline bool is_subset(const SleepSet& a, const SleepSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+[[nodiscard]] inline SleepSet intersection(const SleepSet& a,
+                                           const SleepSet& b) {
+  SleepSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Successor sleep set after taking `taken` from a state explored with
+/// `sleep`, where `sigs` are all transition signatures of the state and
+/// `taken_index` the index of the taken one: everything slept on here plus
+/// the earlier sibling transitions, filtered down to what commutes with the
+/// taken step (Godefroid's sleep-set rule).
+[[nodiscard]] inline SleepSet successor_sleep(
+    const SleepSet& sleep, const std::vector<StepSig>& sigs,
+    std::size_t taken_index) {
+  const StepSig& taken = sigs[taken_index];
+  SleepSet out;
+  for (const StepSig& s : sleep) {
+    if (independent(s, taken)) out.push_back(s);
+  }
+  for (std::size_t j = 0; j < taken_index; ++j) {
+    if (!sleep_contains(sleep, sigs[j]) && independent(sigs[j], taken)) {
+      out.push_back(sigs[j]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace rc11::mc

@@ -1,50 +1,55 @@
 #include "mc/parallel.hpp"
 
+#include <array>
 #include <atomic>
 #include <chrono>
-#include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
-#include <sstream>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
+#include "c11/races.hpp"
+#include "mc/dpor.hpp"
+#include "mc/independence.hpp"
 #include "util/thread_pool.hpp"
+#include "util/work_deque.hpp"
 
 namespace rc11::mc {
-
-std::string WorkerStats::to_string() const {
-  std::ostringstream os;
-  os << "processed=" << processed << " enqueued=" << enqueued
-     << " steals=" << steals << " merged=" << merged;
-  return os.str();
-}
 
 namespace {
 
 struct WorkItem {
   interp::Config config;
   StateId id = kNoState;
-};
-
-/// One worker's deque: owner pops from the back, thieves pop from the
-/// front. A plain mutex per deque is enough — the critical sections are a
-/// couple of pointer moves, and contention concentrates on distinct deques.
-struct WorkDeque {
-  std::mutex mutex;
-  std::deque<WorkItem> items;
+  SleepSet sleep;        ///< kSleepSets mode only
+  bool revisit = false;  ///< re-expansion after a sleep-set intersection
 };
 
 /// Shared context of one work-stealing run.
 struct ParallelRun {
   ParallelRun(const ExploreOptions& opts, std::size_t workers)
-      : options(opts), deques(workers), worker_stats(workers) {}
+      : options(opts),
+        por_sleep(opts.por == PorMode::kSleepSets),
+        deques(workers),
+        worker_stats(workers) {}
 
   ExploreOptions options;
+  bool por_sleep;
   ConcurrentSeenSet seen;
-  std::vector<WorkDeque> deques;
+  util::WorkDeques<WorkItem> deques;
   std::vector<WorkerStats> worker_stats;
+
+  /// Per-state sleep sets (Godefroid's state-caching rule), sharded by the
+  /// fingerprint's shard bits. The shard mutex is taken as an outer lock
+  /// around seen.insert for the same fingerprint, so "insert the state"
+  /// and "publish / compare its stored sleep set" are one atomic step —
+  /// without it a racing duplicate insert could read an absent entry as an
+  /// empty (fully explored) sleep set and merge unsoundly.
+  static constexpr std::size_t kSleepShards = 16;
+  std::array<std::mutex, kSleepShards> sleep_mutexes;
+  std::array<std::unordered_map<StateId, SleepSet>, kSleepShards> sleep_store;
 
   /// Items pushed but not yet fully expanded; 0 <=> exploration finished.
   std::atomic<std::size_t> pending{0};
@@ -53,22 +58,29 @@ struct ParallelRun {
   std::atomic<std::size_t> transitions{0};
   std::atomic<std::size_t> merged{0};
   std::atomic<std::size_t> finals{0};
+  std::atomic<std::size_t> por_pruned{0};
   std::atomic<bool> truncated{false};
 
-  /// First violating / witnessing state, for trace reconstruction.
+  /// First violating / witnessing state, for trace reconstruction. When
+  /// the hit is a transition (race checking), hit_step is the successor
+  /// index to append to the path ending at hit_state.
   std::mutex hit_mutex;
   StateId hit_state = kNoState;
+  std::int64_t hit_step = -1;
   bool hit_found = false;
 
-  // Callbacks returning false record the state as the hit and set stop.
+  // Callbacks returning false record the hit and set stop.
   std::function<bool(const interp::Config&)> on_state;
   std::function<bool(const interp::Config&)> on_final;
+  std::function<bool(const interp::Config&, const interp::ConfigStep&)>
+      on_transition;
 
-  void record_hit(StateId id) {
+  void record_hit(StateId id, std::int64_t step = -1) {
     std::lock_guard lock(hit_mutex);
     if (!hit_found) {
       hit_found = true;
       hit_state = id;
+      hit_step = step;
     }
     stop.store(true, std::memory_order_release);
   }
@@ -76,68 +88,92 @@ struct ParallelRun {
 
 void push_local(ParallelRun& run, std::size_t me, WorkItem item) {
   run.pending.fetch_add(1, std::memory_order_acq_rel);
-  std::lock_guard lock(run.deques[me].mutex);
-  run.deques[me].items.push_back(std::move(item));
-}
-
-std::optional<WorkItem> pop_local(ParallelRun& run, std::size_t me) {
-  std::lock_guard lock(run.deques[me].mutex);
-  auto& q = run.deques[me].items;
-  if (q.empty()) return std::nullopt;
-  WorkItem item = std::move(q.back());
-  q.pop_back();
-  return item;
-}
-
-std::optional<WorkItem> steal(ParallelRun& run, std::size_t me) {
-  const std::size_t n = run.deques.size();
-  for (std::size_t d = 1; d < n; ++d) {
-    const std::size_t victim = (me + d) % n;
-    std::lock_guard lock(run.deques[victim].mutex);
-    auto& q = run.deques[victim].items;
-    if (q.empty()) continue;
-    WorkItem item = std::move(q.front());
-    q.pop_front();
-    return item;
-  }
-  return std::nullopt;
+  run.deques.push_local(me, std::move(item));
 }
 
 /// Expands one configuration: callbacks, then dedup-insert every successor
-/// (recording its parent edge) and push the fresh ones locally.
+/// (recording its parent edge) and push the fresh ones locally. In sleep
+/// mode, transitions slept on are pruned and each pushed item carries its
+/// successor sleep set.
 void process(ParallelRun& run, std::size_t me, WorkItem item) {
   WorkerStats& ws = run.worker_stats[me];
   ++ws.processed;
-  if (run.states.fetch_add(1, std::memory_order_relaxed) >=
-      run.options.max_states) {
-    run.truncated.store(true);
-    run.stop.store(true);
-    return;
-  }
-  if (run.on_state && !run.on_state(item.config)) {
-    run.record_hit(item.id);
-    return;
-  }
-  if (item.config.terminated()) {
-    run.finals.fetch_add(1, std::memory_order_relaxed);
-    if (run.on_final && !run.on_final(item.config)) {
+  if (!item.revisit) {
+    if (run.states.fetch_add(1, std::memory_order_relaxed) >=
+        run.options.max_states) {
+      run.truncated.store(true);
+      run.stop.store(true);
+      return;
+    }
+    if (run.on_state && !run.on_state(item.config)) {
       run.record_hit(item.id);
       return;
     }
+    if (item.config.terminated()) {
+      run.finals.fetch_add(1, std::memory_order_relaxed);
+      if (run.on_final && !run.on_final(item.config)) {
+        run.record_hit(item.id);
+        return;
+      }
+    }
   }
   auto steps = interp::successors(item.config, run.options.step);
+  std::vector<StepSig> sigs;
+  if (run.por_sleep) {
+    sigs.reserve(steps.size());
+    for (const auto& s : steps) sigs.push_back(sig_of(s));
+  }
   for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (run.por_sleep && sleep_contains(item.sleep, sigs[i])) {
+      run.por_pruned.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     run.transitions.fetch_add(1, std::memory_order_relaxed);
+    if (run.on_transition && !run.on_transition(item.config, steps[i])) {
+      run.record_hit(item.id, static_cast<std::int64_t>(i));
+      return;
+    }
+    const util::Fingerprint fp = steps[i].next.fingerprint();
+    if (!run.por_sleep) {
+      const InsertResult ins =
+          run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
+      if (!ins.inserted) {
+        run.merged.fetch_add(1, std::memory_order_relaxed);
+        ++ws.merged;
+        continue;
+      }
+      ++ws.enqueued;
+      push_local(run, me, WorkItem{std::move(steps[i].next), ins.id});
+      continue;
+    }
+
+    SleepSet succ_sleep = successor_sleep(item.sleep, sigs, i);
+    const std::size_t shard =
+        fp.shard_bits() & (ParallelRun::kSleepShards - 1);
+    std::lock_guard sleep_lock(run.sleep_mutexes[shard]);
     const InsertResult ins =
-        run.seen.insert(steps[i].next.fingerprint(), item.id,
-                        static_cast<std::uint32_t>(i));
-    if (!ins.inserted) {
+        run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
+    if (ins.inserted) {
+      run.sleep_store[shard][ins.id] = succ_sleep;
+      ++ws.enqueued;
+      push_local(run, me, WorkItem{std::move(steps[i].next), ins.id,
+                                   std::move(succ_sleep)});
+      continue;
+    }
+    SleepSet& stored = run.sleep_store[shard][ins.id];
+    if (is_subset(stored, succ_sleep)) {
+      // Already explored at least this much: safe to merge.
       run.merged.fetch_add(1, std::memory_order_relaxed);
       ++ws.merged;
       continue;
     }
+    // Previously pruned transitions may now be required: re-expand with
+    // the (strictly smaller) intersection. The stored set shrinks on
+    // every re-expansion, so the run terminates.
+    stored = intersection(stored, succ_sleep);
     ++ws.enqueued;
-    push_local(run, me, WorkItem{std::move(steps[i].next), ins.id});
+    push_local(run, me, WorkItem{std::move(steps[i].next), ins.id, stored,
+                                 /*revisit=*/true});
   }
 }
 
@@ -146,9 +182,9 @@ void worker_loop(ParallelRun& run, std::size_t me) {
   int idle_rounds = 0;
   while (true) {
     if (run.stop.load(std::memory_order_acquire)) return;
-    std::optional<WorkItem> item = pop_local(run, me);
+    std::optional<WorkItem> item = run.deques.pop_local(me);
     if (!item) {
-      item = steal(run, me);
+      item = run.deques.steal(me);
       if (item) ++run.worker_stats[me].steals;
     }
     if (!item) {
@@ -169,9 +205,15 @@ void worker_loop(ParallelRun& run, std::size_t me) {
 }
 
 ExploreStats run_parallel(const lang::Program& program, ParallelRun& run) {
-  const std::size_t workers = run.deques.size();
+  const std::size_t workers = run.deques.worker_count();
   interp::Config start = interp::initial_config(program);
-  const InsertResult root = run.seen.insert(start.fingerprint());
+  const util::Fingerprint root_fp = start.fingerprint();
+  const InsertResult root = run.seen.insert(root_fp);
+  if (run.por_sleep) {
+    const std::size_t shard =
+        root_fp.shard_bits() & (ParallelRun::kSleepShards - 1);
+    run.sleep_store[shard][root.id] = {};
+  }
   push_local(run, 0, WorkItem{std::move(start), root.id});
 
   {
@@ -187,18 +229,26 @@ ExploreStats run_parallel(const lang::Program& program, ParallelRun& run) {
   stats.transitions = run.transitions.load();
   stats.merged = run.merged.load();
   stats.finals = run.finals.load();
+  stats.por_pruned = run.por_pruned.load();
   stats.truncated = run.truncated.load();
   stats.peak_seen_bytes = run.seen.bytes();
   return stats;
 }
 
-/// Rebuilds the path root -> `leaf` from the parent records and replays it
+/// Rebuilds the path root -> `leaf` (plus the recorded extra step, when
+/// the hit was a transition) from the parent records and replays it
 /// through successors(), which enumerates steps deterministically — the
 /// recorded step indices select the same transitions the explorer took.
+/// `final_config`, when non-null, receives the configuration the trace
+/// leads to.
 Trace reconstruct_trace(const ParallelRun& run, const lang::Program& program,
-                        StateId leaf) {
+                        StateId leaf, std::int64_t extra_step = -1,
+                        interp::Config* final_config = nullptr) {
   if (leaf == kNoState) return {};
   std::vector<std::uint32_t> step_indices;
+  if (extra_step >= 0) {
+    step_indices.push_back(static_cast<std::uint32_t>(extra_step));
+  }
   for (StateId id = leaf;;) {
     const StateRecord rec = run.seen.record(id);
     if (rec.parent == kNoState) break;
@@ -215,6 +265,7 @@ Trace reconstruct_trace(const ParallelRun& run, const lang::Program& program,
     trace.entries.push_back(make_entry(steps[i]));
     c = std::move(steps[i].next);
   }
+  if (final_config != nullptr) *final_config = std::move(c);
   return trace;
 }
 
@@ -226,6 +277,29 @@ void export_info(const ParallelRun& run, ParallelRunInfo* info) {
   if (info != nullptr) info->workers = run.worker_stats;
 }
 
+/// Runs the work-stealing DPOR engine for the parallel checkers.
+ExploreResult run_dpor(const lang::Program& program,
+                       const ParallelOptions& options, const Visitor& visitor,
+                       ParallelRunInfo* info) {
+  std::vector<WorkerStats> ws;
+  ExploreResult r = explore_dpor(
+      interp::initial_config(program), options.explore, visitor,
+      worker_count(options), info != nullptr ? &ws : nullptr);
+  if (info != nullptr) info->workers = std::move(ws);
+  return r;
+}
+
+/// A race of the execution the reported trace leads to (the checker
+/// aborts on the transition that completed a race, so one exists).
+std::string race_of_trace(const lang::Program& program, const Trace& trace,
+                          interp::StepOptions sopts) {
+  const auto final_config = replay_trace(program, trace, sopts);
+  if (!final_config) return "<race trace failed to replay>";
+  const auto race = c11::find_race(final_config->exec);
+  if (!race) return "<race not found on replay>";
+  return race->to_string(final_config->exec, &program.vars());
+}
+
 }  // namespace
 
 InvariantResult check_invariant_parallel(const lang::Program& program,
@@ -234,6 +308,9 @@ InvariantResult check_invariant_parallel(const lang::Program& program,
                                          ParallelRunInfo* info) {
   ExploreOptions eopts = options.explore;
   eopts.step.tau_compress = false;  // intermediate pcs must be visible
+  // DPOR may skip intermediate global states; invariants need the
+  // state-preserving reduction (same downgrade as check_invariant).
+  if (is_dpor(eopts.por)) eopts.por = PorMode::kSleepSets;
   ParallelRun run(eopts, worker_count(options));
   run.on_state = [&](const interp::Config& c) { return invariant(c); };
 
@@ -251,12 +328,23 @@ ReachabilityResult check_reachable_parallel(const lang::Program& program,
                                             const lang::CondPtr& cond,
                                             const ParallelOptions& options,
                                             ParallelRunInfo* info) {
+  ReachabilityResult result;
+  if (is_dpor(options.explore.por)) {
+    Visitor visitor;
+    visitor.on_final = [&](const interp::Config& c) {
+      return !interp::eval_cond(cond, c);
+    };
+    ExploreResult er = run_dpor(program, options, visitor, info);
+    result.stats = er.stats;
+    result.reachable = er.aborted;
+    if (er.aborted) result.witness = std::move(er.abort_trace);
+    return result;
+  }
+
   ParallelRun run(options.explore, worker_count(options));
   run.on_final = [&](const interp::Config& c) {
     return !interp::eval_cond(cond, c);
   };
-
-  ReachabilityResult result;
   result.stats = run_parallel(program, run);
   result.reachable = run.hit_found;
   if (run.hit_found) {
@@ -269,18 +357,91 @@ ReachabilityResult check_reachable_parallel(const lang::Program& program,
 OutcomeResult enumerate_outcomes_parallel(const lang::Program& program,
                                           const ParallelOptions& options,
                                           ParallelRunInfo* info) {
-  ParallelRun run(options.explore, worker_count(options));
   OutcomeResult result;
   std::mutex outcomes_mutex;
-  run.on_final = [&](const interp::Config& c) {
+  const auto collect = [&](const interp::Config& c) {
     Outcome o = outcome_of(c, program);
     std::lock_guard lock(outcomes_mutex);
     result.outcomes.insert(std::move(o));
     return true;
   };
+  if (is_dpor(options.explore.por)) {
+    Visitor visitor;
+    visitor.on_final = collect;
+    result.stats = run_dpor(program, options, visitor, info).stats;
+    return result;
+  }
+  ParallelRun run(options.explore, worker_count(options));
+  run.on_final = collect;
   result.stats = run_parallel(program, run);
   export_info(run, info);
   return result;
+}
+
+RaceResult check_race_free_parallel(const lang::Program& program,
+                                    const ParallelOptions& options,
+                                    ParallelRunInfo* info) {
+  RaceResult result;
+  const auto race_step = [](const interp::Config&,
+                            const interp::ConfigStep& step) {
+    if (step.silent) return true;
+    // A race's later event is the one just added, so checking each new
+    // event against the existing ones covers every race exactly once.
+    const c11::DerivedRelations d = c11::compute_derived(step.next.exec);
+    return !c11::race_with(step.next.exec, d, step.event).has_value();
+  };
+
+  if (is_dpor(options.explore.por)) {
+    Visitor visitor;
+    visitor.on_transition = race_step;
+    ExploreResult er = run_dpor(program, options, visitor, info);
+    result.stats = er.stats;
+    result.race_free = !er.aborted;
+    if (er.aborted) {
+      result.trace = std::move(er.abort_trace);
+      // The DPOR engine runs (and its traces replay) with tau compression.
+      interp::StepOptions sopts = options.explore.step;
+      sopts.tau_compress = true;
+      result.race = race_of_trace(program, result.trace, sopts);
+    }
+    return result;
+  }
+
+  ParallelRun run(options.explore, worker_count(options));
+  run.on_transition = race_step;
+  result.stats = run_parallel(program, run);
+  result.race_free = !run.hit_found;
+  if (run.hit_found) {
+    result.trace =
+        reconstruct_trace(run, program, run.hit_state, run.hit_step);
+    result.race = race_of_trace(program, result.trace, run.options.step);
+  }
+  export_info(run, info);
+  return result;
+}
+
+std::set<util::Fingerprint> collect_final_executions_parallel(
+    const lang::Program& program, const ParallelOptions& options,
+    ParallelRunInfo* info) {
+  std::set<util::Fingerprint> keys;
+  std::mutex keys_mutex;
+  const auto collect = [&](const interp::Config& c) {
+    const util::Fingerprint fp = c.exec.fingerprint();
+    std::lock_guard lock(keys_mutex);
+    keys.insert(fp);
+    return true;
+  };
+  if (is_dpor(options.explore.por)) {
+    Visitor visitor;
+    visitor.on_final = collect;
+    (void)run_dpor(program, options, visitor, info);
+    return keys;
+  }
+  ParallelRun run(options.explore, worker_count(options));
+  run.on_final = collect;
+  (void)run_parallel(program, run);
+  export_info(run, info);
+  return keys;
 }
 
 }  // namespace rc11::mc

@@ -11,11 +11,28 @@
 // chain. Per-worker statistics (states processed, steals, enqueues) are
 // reported through ParallelRunInfo.
 //
+// The explorer is POR-aware (ExploreOptions::por):
+//
+//   * kSleepSets — every deque entry carries its own sleep set, so stolen
+//     items stay sound; the per-state stored sets (Godefroid's
+//     state-caching rule) live in a sharded map keyed like the seen set,
+//     and a revisit with an incomparable sleep set re-enqueues the state
+//     for re-expansion with the intersection. State-preserving: sequential
+//     and parallel sleep-set runs visit identical state sets.
+//   * kSourceSets / kSourceSetsSleep — the queries below delegate to the
+//     work-stealing source-set DPOR engine (dpor.hpp), whose work items
+//     carry their tree node; per-node backtrack/sleep state lives in the
+//     shared node objects, so race reversals discovered in stolen subtrees
+//     insert backtrack points into ancestors soundly.
+//     check_invariant_parallel downgrades DPOR to kSleepSets (invariants
+//     observe intermediate states).
+//
 // On a single-core host this demonstrates correctness rather than speedup;
 // bench_parallel reports the scaling measured on the build machine.
 #pragma once
 
 #include <cstddef>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -24,23 +41,13 @@
 namespace rc11::mc {
 
 struct ParallelOptions {
-  /// Note: the parallel explorer always deduplicates (the parent-pointer
-  /// records require unique states), does not implement sleep sets, and
-  /// only runs the ==>_RA semantics, so explore.dedup, explore.por and
-  /// explore.pre_execution are ignored; use the sequential explorer for
-  /// those ablations.
+  /// Note: the parallel explorer always deduplicates in the non-DPOR modes
+  /// (the parent-pointer records require unique states) and only runs the
+  /// ==>_RA semantics, so explore.dedup and explore.pre_execution are
+  /// ignored; use the sequential explorer for those ablations.
+  /// explore.por is honoured — see the file comment.
   ExploreOptions explore;
   std::size_t workers = 4;
-};
-
-/// Per-worker counters of one parallel run.
-struct WorkerStats {
-  std::size_t processed = 0;  ///< states expanded by this worker
-  std::size_t enqueued = 0;   ///< fresh successors pushed to its own deque
-  std::size_t steals = 0;     ///< items taken from another worker's deque
-  std::size_t merged = 0;     ///< successors deduplicated away
-
-  [[nodiscard]] std::string to_string() const;
 };
 
 struct ParallelRunInfo {
@@ -64,6 +71,22 @@ struct ParallelRunInfo {
 /// Parallel outcome enumeration: all distinct final observations, collected
 /// from every worker. Agrees with enumerate_outcomes on the same options.
 [[nodiscard]] OutcomeResult enumerate_outcomes_parallel(
+    const lang::Program& program, const ParallelOptions& options = {},
+    ParallelRunInfo* info = nullptr);
+
+/// Parallel version of check_race_free: explores all executions (under the
+/// selected POR mode) and reports a race between a non-atomic access and a
+/// conflicting unordered access, with a replayable trace. Which of several
+/// races is reported depends on worker scheduling; the verdict does not.
+[[nodiscard]] RaceResult check_race_free_parallel(
+    const lang::Program& program, const ParallelOptions& options = {},
+    ParallelRunInfo* info = nullptr);
+
+/// Parallel version of collect_final_executions: canonical-form
+/// fingerprints of every reachable terminated configuration's execution.
+/// Agrees with the sequential collector in every POR mode (the
+/// differential-oracle property tests/test_dpor.cpp enforces).
+[[nodiscard]] std::set<util::Fingerprint> collect_final_executions_parallel(
     const lang::Program& program, const ParallelOptions& options = {},
     ParallelRunInfo* info = nullptr);
 

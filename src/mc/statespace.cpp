@@ -12,7 +12,15 @@ std::string ExploreStats::to_string() const {
      << " max_depth=" << max_depth
      << " peak_seen_bytes=" << peak_seen_bytes;
   if (por_pruned > 0) os << " por_pruned=" << por_pruned;
+  if (backtracks > 0) os << " backtracks=" << backtracks;
   if (truncated) os << " (TRUNCATED)";
+  return os.str();
+}
+
+std::string WorkerStats::to_string() const {
+  std::ostringstream os;
+  os << "processed=" << processed << " enqueued=" << enqueued
+     << " steals=" << steals << " merged=" << merged;
   return os.str();
 }
 
@@ -27,14 +35,12 @@ InsertResult SeenSet::insert(const util::Fingerprint& fp, StateId parent,
     if (records_[existing].fp == fp) return {existing, false};
     i = (i + 1) & mask_;
   }
-  // Fail loudly rather than silently wrapping StateIds (which would alias
-  // distinct states and corrupt parent chains). See ROADMAP: widen
-  // StateId before raising max_states past 32 bits.
+  // Fail loudly rather than handing out ids that alias the kNoState
+  // sentinel (which would corrupt parent chains).
   if (records_.size() >= max_states_) {
     throw std::length_error("SeenSet: StateId space exhausted");
   }
-  const StateId id = static_cast<StateId>(records_.size());
-  records_.push_back(StateRecord{fp, parent, step});
+  const StateId id = records_.push(StateRecord{fp, parent, step});
   slots_[i] = id + 1;
   return {id, true};
 }

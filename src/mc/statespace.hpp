@@ -11,17 +11,29 @@
 // counterexample traces by deterministic replay (successors() enumerates
 // steps in a fixed order).
 //
+// StateIds are 64-bit and records live in a *paged* store (a root array of
+// doubling blocks, first page 256 records), so (a) the id space is no
+// longer capped at 4B states (partial-order-reduced but deep runs can
+// exceed 32 bits), (b) growth never copies existing records (no 2x realloc
+// spike at the worst moment), and (c) record addresses are stable, which
+// the concurrent variant relies on for lock-copy reads while other threads
+// append.
+//
 // SeenSet is a single-threaded open-addressing table; ConcurrentSeenSet
 // shards the same layout 16 ways with per-shard locks for the parallel
-// explorer. Both cost ~24 bytes per state in records plus ~8 bytes per
-// state of index slots — versus the hundreds of bytes per state of the
-// std::string canonical keys they replaced (StringSeenSet, kept for the
-// bench_mc_scaling footprint ablation).
+// explorer. Cost is sizeof(StateRecord) = 32 bytes per state of records
+// plus ~16 bytes per state of index slots at the 50% load cap — versus the
+// hundreds of bytes per state of the std::string canonical keys they
+// replaced (StringSeenSet, kept for the bench_mc_scaling footprint
+// ablation).
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <mutex>
 #include <string>
 #include <unordered_set>
@@ -38,15 +50,26 @@ struct ExploreStats {
   std::size_t finals = 0;       ///< terminated configurations
   std::size_t max_depth = 0;    ///< deepest DFS path
   std::size_t peak_seen_bytes = 0;  ///< seen-set footprint at peak
-  std::size_t por_pruned = 0;   ///< transitions pruned by sleep sets
+  std::size_t por_pruned = 0;   ///< transitions pruned by the POR layer
+  std::size_t backtracks = 0;   ///< DPOR backtrack points inserted
   bool truncated = false;       ///< hit max_states
 
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Per-worker counters of one parallel run (work-stealing explorers).
+struct WorkerStats {
+  std::size_t processed = 0;  ///< states expanded by this worker
+  std::size_t enqueued = 0;   ///< fresh successors pushed to its own deque
+  std::size_t steals = 0;     ///< items taken from another worker's deque
+  std::size_t merged = 0;     ///< successors deduplicated away
+
+  [[nodiscard]] std::string to_string() const;
+};
+
 /// Dense index of a visited state within a (Concurrent)SeenSet.
-using StateId = std::uint32_t;
-inline constexpr StateId kNoState = 0xffffffffu;
+using StateId = std::uint64_t;
+inline constexpr StateId kNoState = ~StateId{0};
 
 /// Per-state record: identity plus the incoming edge used for trace
 /// reconstruction (`step` indexes into successors(parent)).
@@ -59,6 +82,60 @@ struct StateRecord {
 struct InsertResult {
   StateId id = kNoState;
   bool inserted = false;  ///< true iff the fingerprint was new
+};
+
+/// Append-only paged array of StateRecords: the classic root array of
+/// doubling blocks. Page p holds 256 << p records, so a litmus-scale run
+/// costs one 8 KiB page while the overshoot stays below 2x at any scale —
+/// and unlike a std::vector, growth never copies existing records (no 2x
+/// realloc spike at the worst moment; addresses are stable, which the
+/// concurrent seen set's lock-copy reads rely on). Indexing is O(1) via
+/// bit_width.
+class PagedRecordStore {
+ public:
+  static constexpr std::size_t kFirstPageBits = 8;  // 256 records
+
+  /// Appends and returns the new record's dense id.
+  StateId push(const StateRecord& rec) {
+    if (size_ == capacity_) {
+      const std::size_t page_size = std::size_t{1}
+                                    << (kFirstPageBits + pages_.size());
+      pages_.push_back(std::make_unique<StateRecord[]>(page_size));
+      capacity_ += page_size;
+    }
+    const auto [page, offset] = locate(size_);
+    pages_[page][offset] = rec;
+    return size_++;
+  }
+
+  [[nodiscard]] const StateRecord& operator[](StateId id) const {
+    const auto [page, offset] = locate(id);
+    return pages_[page][offset];
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] std::size_t bytes() const {
+    return capacity_ * sizeof(StateRecord) +
+           pages_.capacity() * sizeof(pages_[0]);
+  }
+
+ private:
+  /// id 0 lives at page 0 offset 0; biasing by the first page size makes
+  /// the page index the position of the id's highest bit.
+  static std::pair<std::size_t, std::size_t> locate(StateId id) {
+    const StateId biased = id + (StateId{1} << kFirstPageBits);
+    const int width = std::bit_width(biased);
+    const std::size_t page =
+        static_cast<std::size_t>(width) - (kFirstPageBits + 1);
+    const std::size_t offset =
+        static_cast<std::size_t>(biased - (StateId{1} << (width - 1)));
+    return {page, offset};
+  }
+
+  std::vector<std::unique_ptr<StateRecord[]>> pages_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
 };
 
 /// Insert-only open-addressing table over fingerprints (single-threaded).
@@ -77,26 +154,26 @@ class SeenSet {
 
   [[nodiscard]] std::size_t size() const { return records_.size(); }
 
-  /// Current footprint: records plus index slots.
+  /// Current footprint: record pages plus index slots.
   [[nodiscard]] std::size_t bytes() const {
-    return records_.capacity() * sizeof(StateRecord) +
-           slots_.capacity() * sizeof(std::uint32_t);
+    return records_.bytes() + slots_.capacity() * sizeof(StateId);
   }
 
   /// Caps the number of records; insert() throws std::length_error past it
-  /// instead of wrapping StateIds (ConcurrentSeenSet lowers it per shard to
-  /// keep room for its shard bits).
-  void set_max_states(std::size_t n) { max_states_ = n; }
+  /// instead of handing out ids that collide with kNoState
+  /// (ConcurrentSeenSet lowers it per shard to keep room for its shard
+  /// bits).
+  void set_max_states(StateId n) { max_states_ = n; }
 
  private:
   static constexpr std::size_t kInitialSlots = 1024;  // power of two
 
   void rehash(std::size_t new_slot_count);
 
-  std::vector<StateRecord> records_;
-  std::vector<std::uint32_t> slots_;  ///< record index + 1; 0 = empty
+  PagedRecordStore records_;
+  std::vector<StateId> slots_;  ///< record id + 1; 0 = empty
   std::size_t mask_ = 0;
-  std::size_t max_states_ = kNoState;  ///< ids stay below the sentinel
+  StateId max_states_ = kNoState;  ///< ids stay below the sentinel
 };
 
 /// Sharded, mutex-guarded variant for the work-stealing parallel explorer.
@@ -118,8 +195,8 @@ class ConcurrentSeenSet {
     return r;
   }
 
-  /// Copy of the record for `id` (copied because other threads may grow the
-  /// shard's record vector concurrently).
+  /// Copy of the record for `id` (copied because other threads may append
+  /// to the shard's page table concurrently).
   [[nodiscard]] StateRecord record(StateId id) const {
     const std::size_t shard = id & (kShards - 1);
     std::lock_guard lock(mutexes_[shard]);
@@ -149,8 +226,7 @@ class ConcurrentSeenSet {
   static constexpr std::size_t kShards = 1 << kShardBits;
 
   static StateId encode(StateId local, std::size_t shard) {
-    return static_cast<StateId>((local << kShardBits) |
-                                static_cast<StateId>(shard));
+    return (local << kShardBits) | static_cast<StateId>(shard);
   }
 
   mutable std::array<std::mutex, kShards> mutexes_;

@@ -34,4 +34,29 @@ TraceEntry make_entry(const interp::ConfigStep& step) {
   return e;
 }
 
+std::optional<interp::Config> replay_trace(const lang::Program& program,
+                                           const Trace& trace,
+                                           const interp::StepOptions& opts) {
+  interp::Config c = interp::initial_config(program);
+  for (const TraceEntry& entry : trace.entries) {
+    auto steps = interp::successors(c, opts);
+    bool matched = false;
+    for (auto& step : steps) {
+      const TraceEntry cand = make_entry(step);
+      if (cand.thread == entry.thread && cand.silent == entry.silent &&
+          cand.note == entry.note &&
+          (entry.silent || (cand.action.kind == entry.action.kind &&
+                            cand.action.var == entry.action.var &&
+                            cand.action.rval == entry.action.rval &&
+                            cand.action.wval == entry.action.wval))) {
+        c = std::move(step.next);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return std::nullopt;
+  }
+  return c;
+}
+
 }  // namespace rc11::mc

@@ -1,6 +1,7 @@
 // Counterexample / witness traces produced by the explorer.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,5 +30,15 @@ struct Trace {
 
 /// Builds a trace entry from an interpreted step.
 [[nodiscard]] TraceEntry make_entry(const interp::ConfigStep& step);
+
+/// Replays a trace from the program's initial configuration by matching
+/// each entry against the enumerated successors (thread, silence, action
+/// and note identify a transition uniquely). Returns the configuration the
+/// trace leads to, or nullopt if some entry matches no real transition —
+/// the determinism check behind the counterexample-replay regression tests
+/// and the parallel race reports.
+[[nodiscard]] std::optional<interp::Config> replay_trace(
+    const lang::Program& program, const Trace& trace,
+    const interp::StepOptions& opts = {});
 
 }  // namespace rc11::mc

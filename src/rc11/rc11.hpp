@@ -38,7 +38,9 @@
 #include "litmus/catalog.hpp"           // IWYU pragma: export
 #include "litmus/runner.hpp"            // IWYU pragma: export
 #include "mc/checker.hpp"               // IWYU pragma: export
+#include "mc/dpor.hpp"                  // IWYU pragma: export
 #include "mc/explorer.hpp"              // IWYU pragma: export
+#include "mc/independence.hpp"          // IWYU pragma: export
 #include "mc/parallel.hpp"              // IWYU pragma: export
 #include "util/cli.hpp"                 // IWYU pragma: export
 #include "vcgen/assertions.hpp"         // IWYU pragma: export

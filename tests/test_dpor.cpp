@@ -1,0 +1,403 @@
+// Differential oracle for the partial-order reduction layers.
+//
+// POR bugs manifest as *silently missed* executions, so every reduction
+// mode is cross-checked against full enumeration — never against itself.
+// For each program in the litmus catalogue plus a table of hand-written
+// racy/raceless programs, the oracle asserts that
+//
+//   {sequential, sequential+sleep, sequential+DPOR, sequential+DPOR+sleep,
+//    parallel, parallel+sleep, parallel+DPOR, parallel+DPOR+sleep}
+//
+// all agree on: the litmus exists-condition verdict, the set of
+// final-state (terminated-execution) fingerprints, the outcome set, and
+// the race verdict. Also enforced here:
+//
+//   * the ISSUE acceptance bar — the default DPOR mode explores at most
+//     50% of the full-exploration state count on at least half the
+//     catalogue;
+//   * DPOR visits a subset of the reachable states (never an invented
+//     one);
+//   * every counterexample/witness trace returned under DPOR (both
+//     explorers) replays deterministically to the reported violating
+//     state (replay_trace);
+//   * check_invariant downgrades DPOR to the state-preserving sleep-set
+//     mode.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "c11/races.hpp"
+#include "lang/builder.hpp"
+#include "lang/parser.hpp"
+#include "litmus/catalog.hpp"
+#include "mc/checker.hpp"
+#include "mc/dpor.hpp"
+#include "mc/parallel.hpp"
+
+namespace rc11::mc {
+namespace {
+
+using lang::assign;
+using lang::assign_na;
+using lang::assign_rel;
+using lang::ProgramBuilder;
+using lang::reg_assign;
+
+struct Mode {
+  const char* name;
+  PorMode por;
+  bool parallel;
+};
+
+constexpr Mode kModes[] = {
+    {"seq-full", PorMode::kNone, false},
+    {"seq-sleep", PorMode::kSleepSets, false},
+    {"seq-dpor", PorMode::kSourceSets, false},
+    {"seq-dpor-sleep", PorMode::kSourceSetsSleep, false},
+    {"par-full", PorMode::kNone, true},
+    {"par-sleep", PorMode::kSleepSets, true},
+    {"par-dpor", PorMode::kSourceSets, true},
+    {"par-dpor-sleep", PorMode::kSourceSetsSleep, true},
+};
+
+ExploreOptions seq_options(PorMode por) {
+  ExploreOptions o;
+  o.por = por;
+  return o;
+}
+
+ParallelOptions par_options(PorMode por) {
+  ParallelOptions o;
+  o.explore.por = por;
+  o.workers = 4;
+  return o;
+}
+
+std::set<util::Fingerprint> final_fps(const lang::Program& p, const Mode& m) {
+  if (m.parallel) {
+    return collect_final_executions_parallel(p, par_options(m.por));
+  }
+  return collect_final_executions(p, seq_options(m.por));
+}
+
+std::set<Outcome> outcomes(const lang::Program& p, const Mode& m) {
+  if (m.parallel) {
+    return enumerate_outcomes_parallel(p, par_options(m.por)).outcomes;
+  }
+  return enumerate_outcomes(p, seq_options(m.por)).outcomes;
+}
+
+bool reachable(const lang::Program& p, const lang::CondPtr& cond,
+               const Mode& m) {
+  if (m.parallel) {
+    return check_reachable_parallel(p, cond, par_options(m.por)).reachable;
+  }
+  return check_reachable(p, cond, seq_options(m.por)).reachable;
+}
+
+RaceResult race(const lang::Program& p, const Mode& m) {
+  if (m.parallel) return check_race_free_parallel(p, par_options(m.por));
+  return check_race_free(p, seq_options(m.por));
+}
+
+/// Traces produced by the DPOR engine replay under tau compression
+/// (scheduling points are visible steps only); all other traces replay
+/// under the plain step options.
+interp::StepOptions replay_options(PorMode por) {
+  interp::StepOptions o;
+  o.tau_compress = is_dpor(por);
+  return o;
+}
+
+// --- The differential oracle over the litmus catalogue ------------------------
+
+TEST(DporOracle, VerdictsAgreeAcrossCatalog) {
+  for (const auto& test : litmus::catalog()) {
+    const auto parsed = lang::parse_litmus(test.source);
+    const bool expect =
+        reachable(parsed.program, parsed.condition, kModes[0]);
+    for (const Mode& m : kModes) {
+      EXPECT_EQ(reachable(parsed.program, parsed.condition, m), expect)
+          << test.name << " under " << m.name;
+    }
+  }
+}
+
+TEST(DporOracle, FinalStateFingerprintsAgreeAcrossCatalog) {
+  for (const auto& test : litmus::catalog()) {
+    const auto parsed = lang::parse_litmus(test.source);
+    const auto expect = final_fps(parsed.program, kModes[0]);
+    ASSERT_FALSE(expect.empty()) << test.name;
+    for (const Mode& m : kModes) {
+      EXPECT_EQ(final_fps(parsed.program, m), expect)
+          << test.name << " under " << m.name;
+    }
+  }
+}
+
+TEST(DporOracle, OutcomesAgreeAcrossCatalog) {
+  for (const auto& test : litmus::catalog()) {
+    const auto parsed = lang::parse_litmus(test.source);
+    const auto expect = outcomes(parsed.program, kModes[0]);
+    for (const Mode& m : kModes) {
+      EXPECT_EQ(outcomes(parsed.program, m), expect)
+          << test.name << " under " << m.name;
+    }
+  }
+}
+
+TEST(DporOracle, DporVisitsOnlyReachableStates) {
+  // The DPOR engine counts unique fingerprints, which must be a subset of
+  // the full exploration's reachable set — never more states, and never
+  // an invented one (checked via counts plus fingerprint-set inclusion on
+  // the finals above).
+  for (const auto& test : litmus::catalog()) {
+    const auto parsed = lang::parse_litmus(test.source);
+    const auto full = explore(parsed.program, seq_options(PorMode::kNone), {});
+    for (PorMode por : {PorMode::kSourceSets, PorMode::kSourceSetsSleep}) {
+      const auto dpor = explore(parsed.program, seq_options(por), {});
+      EXPECT_LE(dpor.stats.states, full.stats.states) << test.name;
+      EXPECT_GT(dpor.stats.states, 0u) << test.name;
+    }
+  }
+}
+
+TEST(DporOracle, DefaultDporHalvesStatesOnHalfTheCatalog) {
+  // The ISSUE acceptance bar: the default reduction explores <= 50% of
+  // the full-exploration state count on at least half the catalogue.
+  std::size_t total = 0;
+  std::size_t halved = 0;
+  std::string summary;
+  for (const auto& test : litmus::catalog()) {
+    const auto parsed = lang::parse_litmus(test.source);
+    const auto full = explore(parsed.program, seq_options(PorMode::kNone), {});
+    const auto dpor = explore(parsed.program, seq_options(kDefaultPor), {});
+    ++total;
+    if (dpor.stats.states * 2 <= full.stats.states) ++halved;
+    summary += test.name + std::string(": ") +
+               std::to_string(dpor.stats.states) + "/" +
+               std::to_string(full.stats.states) + "\n";
+  }
+  EXPECT_GE(halved * 2, total) << "DPOR states / full states per test:\n"
+                               << summary;
+}
+
+// --- Hand-written racy / raceless programs ------------------------------------
+
+struct NamedProgram {
+  std::string name;
+  lang::Program program;
+  bool racy;  ///< expected race verdict
+};
+
+std::vector<NamedProgram> race_table() {
+  std::vector<NamedProgram> table;
+  {
+    // Unsynchronised NA write vs NA read: the canonical race.
+    ProgramBuilder b;
+    auto d = b.var("d", 0);
+    auto r0 = b.reg("r0");
+    b.thread({assign_na(d, 1)});
+    b.thread({reg_assign(r0, d.na())});
+    table.push_back({"na_race", std::move(b).build(), true});
+  }
+  {
+    // Release/acquire message passing protects the NA data: raceless.
+    ProgramBuilder b;
+    auto d = b.var("d", 0);
+    auto f = b.var("f", 0);
+    auto r0 = b.reg("r0");
+    auto r1 = b.reg("r1");
+    b.thread({assign_na(d, 5), assign_rel(f, 1)});
+    b.thread({reg_assign(r0, f.acq()),
+              lang::if_then_else(lang::ExprPtr(r0) == lang::constant(1),
+                                 reg_assign(r1, d.na()), lang::skip())});
+    table.push_back({"na_mp_ra_guarded", std::move(b).build(), false});
+  }
+  {
+    // Same shape but the flag is relaxed: no sw edge, so the guarded NA
+    // read still races with the NA write.
+    ProgramBuilder b;
+    auto d = b.var("d", 0);
+    auto f = b.var("f", 0);
+    auto r0 = b.reg("r0");
+    auto r1 = b.reg("r1");
+    b.thread({assign_na(d, 5), assign(f, 1)});
+    b.thread({reg_assign(r0, f),
+              lang::if_then_else(lang::ExprPtr(r0) == lang::constant(1),
+                                 reg_assign(r1, d.na()), lang::skip())});
+    table.push_back({"na_mp_rlx_races", std::move(b).build(), true});
+  }
+  {
+    // NA writes to distinct variables: no conflict, raceless.
+    ProgramBuilder b;
+    auto x = b.var("x", 0);
+    auto y = b.var("y", 0);
+    b.thread({assign_na(x, 1)});
+    b.thread({assign_na(y, 1)});
+    table.push_back({"na_disjoint_vars", std::move(b).build(), false});
+  }
+  {
+    // Fully atomic contention: atomics never race.
+    ProgramBuilder b;
+    auto x = b.var("x", 0);
+    auto r0 = b.reg("r0");
+    b.thread({assign(x, 1), assign(x, 2)});
+    b.thread({lang::swap(x, 3)});
+    b.thread({reg_assign(r0, lang::ExprPtr(x))});
+    table.push_back({"atomic_contention", std::move(b).build(), false});
+  }
+  {
+    // Two NA writers to the same variable: write/write race.
+    ProgramBuilder b;
+    auto x = b.var("x", 0);
+    b.thread({assign_na(x, 1)});
+    b.thread({assign_na(x, 2)});
+    table.push_back({"na_ww_race", std::move(b).build(), true});
+  }
+  return table;
+}
+
+TEST(DporOracle, RaceVerdictsAgreeOnHandwrittenTable) {
+  for (const auto& entry : race_table()) {
+    for (const Mode& m : kModes) {
+      const RaceResult r = race(entry.program, m);
+      EXPECT_EQ(r.race_free, !entry.racy)
+          << entry.name << " under " << m.name
+          << (r.race_free ? "" : " race: " + r.race);
+    }
+  }
+}
+
+TEST(DporOracle, OutcomesAgreeOnHandwrittenTable) {
+  // The racy/raceless table is also a differential workload for the
+  // outcome and fingerprint oracles (NA accesses behave as relaxed at the
+  // rf/mo layer, so full enumeration is well-defined).
+  for (const auto& entry : race_table()) {
+    const auto expect_out = outcomes(entry.program, kModes[0]);
+    const auto expect_fps = final_fps(entry.program, kModes[0]);
+    for (const Mode& m : kModes) {
+      EXPECT_EQ(outcomes(entry.program, m), expect_out)
+          << entry.name << " under " << m.name;
+      EXPECT_EQ(final_fps(entry.program, m), expect_fps)
+          << entry.name << " under " << m.name;
+    }
+  }
+}
+
+// --- Trace-replay regressions -------------------------------------------------
+
+TEST(DporTraces, WitnessesReplayAcrossCatalog) {
+  // Every witness returned under DPOR (both explorers) must replay
+  // deterministically to a terminated state satisfying the condition.
+  for (const auto& test : litmus::catalog()) {
+    const auto parsed = lang::parse_litmus(test.source);
+    for (PorMode por : {PorMode::kSourceSets, PorMode::kSourceSetsSleep}) {
+      const auto seq =
+          check_reachable(parsed.program, parsed.condition, seq_options(por));
+      if (seq.reachable) {
+        const auto c =
+            replay_trace(parsed.program, seq.witness, replay_options(por));
+        ASSERT_TRUE(c.has_value()) << test.name << " (sequential DPOR)";
+        EXPECT_TRUE(c->terminated()) << test.name;
+        EXPECT_TRUE(interp::eval_cond(parsed.condition, *c)) << test.name;
+      }
+      const auto par = check_reachable_parallel(parsed.program,
+                                                parsed.condition,
+                                                par_options(por));
+      if (par.reachable) {
+        const auto c =
+            replay_trace(parsed.program, par.witness, replay_options(por));
+        ASSERT_TRUE(c.has_value()) << test.name << " (parallel DPOR)";
+        EXPECT_TRUE(c->terminated()) << test.name;
+        EXPECT_TRUE(interp::eval_cond(parsed.condition, *c)) << test.name;
+      }
+    }
+  }
+}
+
+TEST(DporTraces, RaceTracesReplayToRacyState) {
+  for (const auto& entry : race_table()) {
+    if (!entry.racy) continue;
+    for (const Mode& m : kModes) {
+      const RaceResult r = race(entry.program, m);
+      ASSERT_FALSE(r.race_free) << entry.name << " under " << m.name;
+      ASSERT_FALSE(r.trace.empty()) << entry.name << " under " << m.name;
+      const auto c =
+          replay_trace(entry.program, r.trace, replay_options(m.por));
+      ASSERT_TRUE(c.has_value())
+          << entry.name << " under " << m.name << ": trace does not replay";
+      EXPECT_TRUE(c11::find_race(c->exec).has_value())
+          << entry.name << " under " << m.name
+          << ": replayed state has no race";
+    }
+  }
+}
+
+// --- Invariant downgrade ------------------------------------------------------
+
+TEST(DporOracle, CheckInvariantDowngradesDporToSleepSets) {
+  // Invariants observe intermediate global states, which DPOR may skip;
+  // the checker must fall back to the state-preserving sleep-set mode —
+  // observable as an identical state count to the plain run.
+  const auto parsed = lang::parse_litmus(litmus::find_test("SB").source);
+  const auto plain = check_invariant(
+      parsed.program, [](const interp::Config&) { return true; },
+      seq_options(PorMode::kNone));
+  const auto dpor = check_invariant(
+      parsed.program, [](const interp::Config&) { return true; },
+      seq_options(kDefaultPor));
+  EXPECT_TRUE(dpor.holds);
+  EXPECT_EQ(dpor.stats.states, plain.stats.states);
+
+  const auto par_dpor = check_invariant_parallel(
+      parsed.program, [](const interp::Config&) { return true; },
+      par_options(kDefaultPor));
+  EXPECT_TRUE(par_dpor.holds);
+  EXPECT_EQ(par_dpor.stats.states, plain.stats.states);
+}
+
+// --- Reduction sanity ---------------------------------------------------------
+
+TEST(DporReduction, IndependentWritersCollapseToOneTraceClass) {
+  // Three fully independent writers: full exploration visits the 2^3
+  // interleaving lattice; DPOR schedules a single trace (all steps
+  // commute), so states = path length.
+  ProgramBuilder b;
+  auto x = b.var("x", 0);
+  auto y = b.var("y", 0);
+  auto z = b.var("z", 0);
+  b.thread({assign(x, 1)});
+  b.thread({assign(y, 1)});
+  b.thread({assign(z, 1)});
+  const lang::Program p = std::move(b).build();
+
+  const auto full = explore(p, seq_options(PorMode::kNone), {});
+  const auto dpor = explore(p, seq_options(kDefaultPor), {});
+  EXPECT_EQ(full.stats.states, 8u);
+  EXPECT_EQ(dpor.stats.states, 4u);  // one linear trace: root + 3 steps
+  EXPECT_EQ(dpor.stats.backtracks, 0u);
+  EXPECT_EQ(full.stats.finals, 1u);
+  EXPECT_EQ(dpor.stats.finals, 1u);
+}
+
+TEST(DporReduction, ConflictingWritersStillCoverAllFinals) {
+  // Same-variable writers conflict pairwise: DPOR must backtrack into
+  // every order (3! mo outcomes of the writes are all distinct).
+  ProgramBuilder b;
+  auto x = b.var("x", 0);
+  b.thread({assign(x, 1)});
+  b.thread({assign(x, 2)});
+  b.thread({assign(x, 3)});
+  const lang::Program p = std::move(b).build();
+
+  const auto full = enumerate_outcomes(p, seq_options(PorMode::kNone));
+  const auto dpor = enumerate_outcomes(p, seq_options(kDefaultPor));
+  EXPECT_EQ(full.outcomes, dpor.outcomes);
+  EXPECT_GT(dpor.stats.backtracks, 0u);
+}
+
+}  // namespace
+}  // namespace rc11::mc

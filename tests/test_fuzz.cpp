@@ -12,10 +12,13 @@
 //     - determinate values are unique per variable        (Lemma 5.4)
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "axiomatic/equivalence.hpp"
 #include "c11/canonical.hpp"
 #include "c11/races.hpp"
 #include "lang/generator.hpp"
+#include "mc/parallel.hpp"
 #include "vcgen/invariant.hpp"
 
 namespace rc11 {
@@ -136,6 +139,89 @@ TEST_P(WideFuzzTest, SoundnessAndRules) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WideFuzzTest, ::testing::Range(100u, 110u));
+
+// --- DPOR differential fuzz oracle --------------------------------------------
+//
+// POR bugs are silently missed executions, so the source-set DPOR layer is
+// cross-checked against full exploration on a family of >= 200 generated
+// programs per run (2-4 threads, mixed relaxed/release/acquire orders,
+// RMWs, and non-atomic accesses on a third of the seeds; the RAR fragment
+// has no fences). Outcome sets, final-execution fingerprints and race
+// verdicts must coincide in every mode; a failing seed prints as
+// "replay with RC11_FUZZ_SEED=<N>" together with the program text.
+
+std::uint32_t fuzz_seed_base() {
+  if (const char* env = std::getenv("RC11_FUZZ_SEED")) {
+    return static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  return 0xD0B0;  // fixed default: failures reproduce across runs
+}
+
+TEST(DporFuzz, DporAgreesWithFullExplorationOn200Programs) {
+  const std::uint32_t base = fuzz_seed_base();
+  constexpr std::uint32_t kPrograms = 200;
+  for (std::uint32_t i = 0; i < kPrograms; ++i) {
+    const std::uint32_t seed = base + i;
+    lang::GeneratorOptions o;
+    o.seed = seed;
+    // Mostly 2-3 threads (cheap, contention-heavy); every 8th seed runs 4
+    // threads with a third variable — stateless DPOR trades tree
+    // re-exploration time for its state reduction, and all-conflicting
+    // 4-thread programs sit at the worst end of that trade.
+    o.threads = i % 8 == 7 ? 4 : 2 + static_cast<int>(i % 2);
+    o.vars = o.threads == 4 ? 3 : 2;
+    o.max_value = 1;
+    o.stmts_per_thread = o.threads == 2 ? 3 : 2;
+    o.allow_nonatomic = (i % 3) == 1;
+    const lang::Program p = generate_program(o);
+    const std::string tag =
+        "replay with RC11_FUZZ_SEED=" + std::to_string(seed) + "\n" +
+        p.to_string();
+
+    const auto full_out = mc::enumerate_outcomes(p);
+    const auto full_fps = mc::collect_final_executions(p);
+    ASSERT_FALSE(full_out.stats.truncated) << tag;
+
+    const bool small = o.threads < 4;
+    for (const mc::PorMode por :
+         {mc::PorMode::kSourceSets, mc::PorMode::kSourceSetsSleep}) {
+      // The pure source-set mode (no sleep filter) re-explores the most;
+      // exercise it on the small programs only.
+      if (por == mc::PorMode::kSourceSets && !small) continue;
+      mc::ExploreOptions dopts;
+      dopts.por = por;
+      const auto dpor_out = mc::enumerate_outcomes(p, dopts);
+      EXPECT_EQ(dpor_out.outcomes, full_out.outcomes) << tag;
+      EXPECT_EQ(mc::collect_final_executions(p, dopts), full_fps) << tag;
+      // DPOR visits a subset of the reachable states.
+      EXPECT_LE(dpor_out.stats.states, full_out.stats.states) << tag;
+    }
+
+    // Race verdicts (NA seeds only: atomic-only programs never race; the
+    // per-transition derived-relation computation makes race checking the
+    // most expensive sweep, so small seeds only).
+    if (o.allow_nonatomic && small) {
+      const bool full_race_free = mc::check_race_free(p).race_free;
+      mc::ExploreOptions dopts;
+      dopts.por = mc::kDefaultPor;
+      EXPECT_EQ(mc::check_race_free(p, dopts).race_free, full_race_free)
+          << tag;
+    }
+
+    // Work-stealing DPOR on a quarter of the seeds (thread-pool setup
+    // dominates these tiny state spaces; agreement is what matters).
+    if (i % 4 == 0) {
+      mc::ParallelOptions popts;
+      popts.explore.por = mc::kDefaultPor;
+      popts.workers = 4;
+      EXPECT_EQ(mc::enumerate_outcomes_parallel(p, popts).outcomes,
+                full_out.outcomes)
+          << tag;
+      EXPECT_EQ(mc::collect_final_executions_parallel(p, popts), full_fps)
+          << tag;
+    }
+  }
+}
 
 // --- Generator sanity -------------------------------------------------------------
 

@@ -218,34 +218,6 @@ TEST(ParallelAgreement, ReachabilityVerdictsAcrossCatalog) {
 
 // --- Parallel trace reconstruction --------------------------------------------
 
-/// Replays a trace from the initial configuration by matching each entry
-/// against the enumerated successors; returns the final configuration or
-/// nullopt if the trace does not correspond to real transitions.
-std::optional<interp::Config> replay(const lang::Program& program,
-                                     const Trace& trace,
-                                     const interp::StepOptions& opts) {
-  interp::Config c = interp::initial_config(program);
-  for (const TraceEntry& entry : trace.entries) {
-    auto steps = interp::successors(c, opts);
-    bool matched = false;
-    for (auto& step : steps) {
-      const TraceEntry cand = make_entry(step);
-      if (cand.thread == entry.thread && cand.silent == entry.silent &&
-          cand.note == entry.note &&
-          (entry.silent || (cand.action.kind == entry.action.kind &&
-                            cand.action.var == entry.action.var &&
-                            cand.action.rval == entry.action.rval &&
-                            cand.action.wval == entry.action.wval))) {
-        c = std::move(step.next);
-        matched = true;
-        break;
-      }
-    }
-    if (!matched) return std::nullopt;
-  }
-  return c;
-}
-
 TEST(ParallelTraces, InvariantCounterexampleReplaysToViolation) {
   ProgramBuilder b;
   auto x = b.var("x", 0);
@@ -265,7 +237,7 @@ TEST(ParallelTraces, InvariantCounterexampleReplaysToViolation) {
   ASSERT_FALSE(r.counterexample.empty());
 
   interp::StepOptions sopts;  // invariant checking: no tau compression
-  const auto final_config = replay(p, r.counterexample, sopts);
+  const auto final_config = replay_trace(p, r.counterexample, sopts);
   ASSERT_TRUE(final_config.has_value()) << "trace does not replay";
   EXPECT_FALSE(invariant(*final_config))
       << "replayed trace does not violate the invariant";
@@ -287,7 +259,7 @@ exists (1:r0 == 0 && 2:r1 == 0)
   ASSERT_FALSE(r.witness.empty());
 
   const auto final_config =
-      replay(parsed.program, r.witness, popts.explore.step);
+      replay_trace(parsed.program, r.witness, popts.explore.step);
   ASSERT_TRUE(final_config.has_value()) << "witness does not replay";
   EXPECT_TRUE(final_config->terminated());
   EXPECT_TRUE(interp::eval_cond(parsed.condition, *final_config));
@@ -319,7 +291,7 @@ TEST(SleepSets, PreserveInvariantVerdictOnPeterson) {
   ExploreOptions plain, por;
   plain.step.loop_bound = 1;
   por.step.loop_bound = 1;
-  por.por = true;
+  por.por = PorMode::kSleepSets;
 
   const auto r_plain = check_invariant(p, vcgen::mutual_exclusion(), plain);
   const auto r_por = check_invariant(p, vcgen::mutual_exclusion(), por);
@@ -336,7 +308,7 @@ TEST(SleepSets, PreserveReachabilityOnMessagePassing) {
     const auto parsed =
         lang::parse_litmus(litmus::find_test(name).source);
     ExploreOptions plain, por;
-    por.por = true;
+    por.por = PorMode::kSleepSets;
     const auto r_plain =
         check_reachable(parsed.program, parsed.condition, plain);
     const auto r_por = check_reachable(parsed.program, parsed.condition, por);
@@ -348,7 +320,7 @@ TEST(SleepSets, PreserveVerdictsAcrossCatalog) {
   for (const auto& test : litmus::catalog()) {
     const auto parsed = lang::parse_litmus(test.source);
     ExploreOptions por;
-    por.por = true;
+    por.por = PorMode::kSleepSets;
     const auto r_plain = check_reachable(parsed.program, parsed.condition);
     const auto r_por = check_reachable(parsed.program, parsed.condition, por);
     EXPECT_EQ(r_plain.reachable, r_por.reachable) << test.name;
@@ -368,13 +340,56 @@ TEST(SleepSets, ReduceTransitionsOnIndependentWriters) {
   const lang::Program p = std::move(b).build();
 
   ExploreOptions plain, por;
-  por.por = true;
+  por.por = PorMode::kSleepSets;
   const auto r_plain = explore(p, plain, {});
   const auto r_por = explore(p, por, {});
   EXPECT_EQ(r_por.stats.states, r_plain.stats.states);
   EXPECT_EQ(r_por.stats.finals, r_plain.stats.finals);
   EXPECT_GT(r_por.stats.por_pruned, 0u);
   EXPECT_LT(r_por.stats.transitions, r_plain.stats.transitions);
+}
+
+// --- Parallel explorer honours ExploreOptions::por ------------------------------
+
+TEST(ParallelSleepSets, PorNoLongerSilentlyIgnored) {
+  // PR 1's parallel explorer silently ignored explore.por; it now carries
+  // a sleep set in every deque entry. With one worker the LIFO order is
+  // deterministic, so pruning must actually happen on independent writers.
+  ProgramBuilder b;
+  auto x = b.var("x", 0);
+  auto y = b.var("y", 0);
+  auto z = b.var("z", 0);
+  b.thread({assign(x, 1)});
+  b.thread({assign(y, 1)});
+  b.thread({assign(z, 1)});
+  const lang::Program p = std::move(b).build();
+
+  ParallelOptions popts;
+  popts.workers = 1;
+  popts.explore.por = PorMode::kSleepSets;
+  const auto por = enumerate_outcomes_parallel(p, popts);
+  const auto plain = enumerate_outcomes(p);
+  EXPECT_GT(por.stats.por_pruned, 0u);
+  EXPECT_LT(por.stats.transitions, plain.stats.transitions);
+  // Sleep sets prune transitions, not states.
+  EXPECT_EQ(por.stats.states, plain.stats.states);
+  EXPECT_EQ(por.outcomes, plain.outcomes);
+}
+
+TEST(ParallelSleepSets, StatePreservingAcrossCatalog) {
+  // The sharded sleep store (state-caching rule with per-item sleep sets)
+  // must keep the parallel reduction state-preserving even under real
+  // work stealing: identical unique-state counts and outcome sets.
+  ParallelOptions popts;
+  popts.workers = 4;
+  popts.explore.por = PorMode::kSleepSets;
+  for (const auto& test : litmus::catalog()) {
+    const auto parsed = lang::parse_litmus(test.source);
+    const auto seq = enumerate_outcomes(parsed.program);
+    const auto par = enumerate_outcomes_parallel(parsed.program, popts);
+    EXPECT_EQ(par.stats.states, seq.stats.states) << test.name;
+    EXPECT_EQ(par.outcomes, seq.outcomes) << test.name;
+  }
 }
 
 // --- Stats --------------------------------------------------------------------
