@@ -95,4 +95,6 @@ BENCHMARK(completeness_vs_size)->DenseRange(1, 4)->Unit(
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_report.hpp"
+
+RC11_BENCH_MAIN("equivalence")

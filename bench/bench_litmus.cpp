@@ -45,4 +45,6 @@ const int register_all = [] {
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_report.hpp"
+
+RC11_BENCH_MAIN("litmus")

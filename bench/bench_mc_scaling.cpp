@@ -144,6 +144,45 @@ void por_litmus_catalog(benchmark::State& state) {
 BENCHMARK(por_litmus_catalog)->DenseRange(0, 3)->Unit(
     benchmark::kMillisecond);
 
+void litmus_catalog_throughput(benchmark::State& state) {
+  // End-to-end exploration throughput over the whole litmus catalogue
+  // (parsing hoisted out of the timed region — states/sec measures the
+  // checker, not the front end). This is the headline number the
+  // incremental semantics engine is tuned for; BENCH_mc_scaling.json
+  // carries states_per_sec / transitions_per_sec / peak_seen_bytes per
+  // POR mode, and CI gates on the kSourceSetsSleep entry against the
+  // checked-in baseline (tools/check_bench_regression.py).
+  static constexpr mc::PorMode kModes[] = {
+      mc::PorMode::kNone, mc::PorMode::kSleepSets, mc::PorMode::kSourceSets,
+      mc::PorMode::kSourceSetsSleep};
+  static constexpr const char* kLabels[] = {"plain", "sleep-sets",
+                                            "source-dpor",
+                                            "source-dpor+sleep"};
+  const auto mode = static_cast<std::size_t>(state.range(0));
+  std::vector<lang::Program> programs;
+  for (const auto& test : litmus::catalog()) {
+    programs.push_back(lang::parse_litmus(test.source).program);
+  }
+  mc::ExploreOptions opts;
+  opts.por = kModes[mode];
+  std::size_t states = 0, transitions = 0, peak = 0;
+  for (auto _ : state) {
+    states = transitions = peak = 0;
+    for (const lang::Program& p : programs) {
+      const mc::ExploreResult r = mc::explore(p, opts, {});
+      states += r.stats.states;
+      transitions += r.stats.transitions;
+      peak += r.stats.peak_seen_bytes;
+    }
+  }
+  state.SetLabel(kLabels[mode]);
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["transitions"] = static_cast<double>(transitions);
+  state.counters["peak_seen_bytes"] = static_cast<double>(peak);
+}
+BENCHMARK(litmus_catalog_throughput)->DenseRange(0, 3)->Unit(
+    benchmark::kMillisecond);
+
 void peterson_bound_scaling(benchmark::State& state) {
   const lang::Program p = vcgen::make_peterson();
   mc::ExploreOptions opts;
@@ -160,4 +199,6 @@ BENCHMARK(peterson_bound_scaling)->DenseRange(0, 3)->Unit(
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_report.hpp"
+
+RC11_BENCH_MAIN("mc_scaling")

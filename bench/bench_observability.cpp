@@ -87,4 +87,6 @@ BENCHMARK(covered_only)->RangeMultiplier(2)->Range(8, 128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_report.hpp"
+
+RC11_BENCH_MAIN("observability")

@@ -68,4 +68,6 @@ BENCHMARK(parallel_reachability)->Arg(1)->Arg(2)->Arg(4)->Unit(
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_report.hpp"
+
+RC11_BENCH_MAIN("parallel")

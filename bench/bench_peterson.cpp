@@ -88,4 +88,6 @@ BENCHMARK(rule_sweep_cost)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_report.hpp"
+
+RC11_BENCH_MAIN("peterson")

@@ -112,4 +112,6 @@ BENCHMARK(canonical_key)->RangeMultiplier(2)->Range(8, 128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_report.hpp"
+
+RC11_BENCH_MAIN("relations")

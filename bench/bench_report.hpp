@@ -1,0 +1,117 @@
+// Machine-readable benchmark results.
+//
+// Every bench binary ends with RC11_BENCH_MAIN("<name>") instead of
+// BENCHMARK_MAIN(). It runs google-benchmark with a reporter that mirrors
+// the console output and additionally captures, for every benchmark run:
+//
+//   * real_ms_per_iter — wall time per iteration;
+//   * every user counter attached via state.counters (states, transitions,
+//     peak_seen_bytes, ...);
+//   * derived throughput: states_per_sec / transitions_per_sec whenever the
+//     corresponding counters are present.
+//
+// After the run the registry is written to BENCH_<name>.json in the
+// working directory, so CI can upload the files as artifacts and the perf
+// trajectory across PRs has comparable data points (see
+// tools/check_bench_regression.py for the smoke threshold).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace rc11bench {
+
+inline std::map<std::string, std::map<std::string, double>>& registry() {
+  static std::map<std::string, std::map<std::string, double>> r;
+  return r;
+}
+
+inline void record(const std::string& bench, const std::string& key,
+                   double value) {
+  registry()[bench][key] = value;
+}
+
+/// Console output plus registry capture.
+class JsonRegistryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::string name = run.benchmark_name();
+      if (!run.report_label.empty()) name += "/" + run.report_label;
+      auto& entry = registry()[name];
+      const double iters = run.iterations > 0
+                               ? static_cast<double>(run.iterations)
+                               : 1.0;
+      const double secs_per_iter = run.real_accumulated_time / iters;
+      entry["real_ms_per_iter"] = secs_per_iter * 1e3;
+      for (const auto& [key, counter] : run.counters) {
+        entry[key] = counter.value;
+      }
+      if (secs_per_iter > 0) {
+        const auto derive = [&](const char* counter, const char* out) {
+          const auto it = run.counters.find(counter);
+          if (it != run.counters.end()) {
+            entry[out] = it->second.value / secs_per_iter;
+          }
+        };
+        derive("states", "states_per_sec");
+        derive("transitions", "transitions_per_sec");
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
+inline void escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+/// Writes BENCH_<name>.json: {"bench": <name>, "benchmarks": {...}}.
+inline void write_report(const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::string esc;
+  escape_into(esc, name);
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"benchmarks\": {", esc.c_str());
+  bool first_bench = true;
+  for (const auto& [bench, metrics] : registry()) {
+    esc.clear();
+    escape_into(esc, bench);
+    std::fprintf(f, "%s\n    \"%s\": {", first_bench ? "" : ",",
+                 esc.c_str());
+    first_bench = false;
+    bool first_metric = true;
+    for (const auto& [key, value] : metrics) {
+      esc.clear();
+      escape_into(esc, key);
+      std::fprintf(f, "%s\n      \"%s\": %.17g", first_metric ? "" : ",",
+                   esc.c_str(), value);
+      first_metric = false;
+    }
+    std::fprintf(f, "\n    }");
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace rc11bench
+
+#define RC11_BENCH_MAIN(NAME)                                          \
+  int main(int argc, char** argv) {                                    \
+    benchmark::Initialize(&argc, argv);                                \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;  \
+    rc11bench::JsonRegistryReporter reporter;                          \
+    benchmark::RunSpecifiedBenchmarks(&reporter);                      \
+    benchmark::Shutdown();                                             \
+    rc11bench::write_report(NAME);                                     \
+    return 0;                                                          \
+  }

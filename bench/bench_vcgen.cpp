@@ -102,4 +102,6 @@ BENCHMARK(hb_cone_cost);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_report.hpp"
+
+RC11_BENCH_MAIN("vcgen")

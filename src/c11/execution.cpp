@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
+#include "c11/derived.hpp"
+#include "c11/observability.hpp"
 #include "util/hash.hpp"
 
 namespace rc11::c11 {
@@ -16,7 +19,7 @@ Execution Execution::initial(
   return ex;
 }
 
-EventId Execution::add_event(ThreadId tid, const Action& a) {
+EventId Execution::append_event_core(ThreadId tid, const Action& a) {
   const auto e = static_cast<EventId>(events_.size());
   events_.push_back(Event{e, tid, a});
 
@@ -47,9 +50,15 @@ EventId Execution::add_event(ThreadId tid, const Action& a) {
   return e;
 }
 
+EventId Execution::add_event(ThreadId tid, const Action& a) {
+  invalidate_cache();
+  return append_event_core(tid, a);
+}
+
 void Execution::add_rf(EventId w, EventId r) {
   assert(events_[w].is_write() && events_[r].is_read());
   rf_.add(w, r);
+  invalidate_cache();
 }
 
 void Execution::mo_insert_after(EventId w, EventId e) {
@@ -65,6 +74,7 @@ void Execution::mo_insert_after(EventId w, EventId e) {
   after.for_each([&](std::size_t s) {
     mo_.add(e, static_cast<EventId>(s));
   });
+  invalidate_cache();
 }
 
 util::Bitset Execution::writes_on(VarId x) const {
@@ -240,9 +250,131 @@ std::vector<std::uint64_t> Execution::canonical_key() const {
   return key;
 }
 
+std::size_t Execution::canonical_hash() const {
+  std::size_t h = 0;
+  for (std::uint64_t w : canonical_key()) {
+    util::hash_combine(h, static_cast<std::size_t>(w));
+  }
+  return h;
+}
+
+// --- Incremental fingerprint ------------------------------------------------
+//
+// The fingerprint hashes the canonical form as a *set of facts* instead of
+// a word sequence: one fact per event — keyed by its canonical id (thread,
+// sb-position), which is invariant under reordering of independent steps —
+// and one fact per sb/rf/mo pair in canonical-id terms. Per-fact hashes are
+// summed into two 64-bit lanes; addition commutes and is exactly
+// invertible, so push_event adds the new facts' hashes and pop_event
+// subtracts them, and the lanes never depend on append order. The canonical
+// form determines the fact set exactly, so equal canonical forms give equal
+// lanes, and distinct forms collide only with ~2^-128 probability.
+
+namespace {
+
+constexpr std::uint64_t kEventTag = 1;
+constexpr std::uint64_t kSbTag = 2;
+constexpr std::uint64_t kRfTag = 3;
+constexpr std::uint64_t kMoTag = 4;
+
+struct FactHash {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+FactHash fact(std::uint64_t tag, std::uint64_t x, std::uint64_t y,
+              std::uint64_t z = 0, std::uint64_t w = 0) {
+  using util::mix64;
+  std::uint64_t h = mix64(w + 0x9e3779b97f4a7c15ull);
+  h = mix64(z + 0xbf58476d1ce4e5b9ull * h);
+  h = mix64(y + 0x94d049bb133111ebull * h);
+  h = mix64(x + 0x2545f4914f6cdd1dull * h);
+  h = mix64(tag + 0xd6e8feb86659fd93ull * h);
+  FactHash f;
+  f.a = h;
+  f.b = mix64(h + 0x8ebc6af09c88c6e3ull);
+  return f;
+}
+
+FactHash event_fact(std::uint64_t cid, const Action& a) {
+  return fact(kEventTag, cid,
+              (static_cast<std::uint64_t>(a.kind) << 32) |
+                  static_cast<std::uint64_t>(a.var),
+              static_cast<std::uint64_t>(a.rval),
+              static_cast<std::uint64_t>(a.wval));
+}
+
+/// Thread-local scratch sets so push_event allocates nothing once warm.
+struct Scratch {
+  util::Bitset before, after, readers, preds, hbcol, din, ecocol, ecorow,
+      ecohb, new_ew, reach, reach_hb;
+};
+
+Scratch& scratch() {
+  thread_local Scratch s;
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> Execution::compute_cids() const {
+  const std::size_t n = events_.size();
+  std::vector<std::uint64_t> cid(n);
+  std::vector<std::uint32_t> seq(static_cast<std::size_t>(max_thread_) + 1,
+                                 0);
+  std::vector<std::uint32_t> init_occ(var_count_, 0);
+  for (std::size_t e = 0; e < n; ++e) {
+    const Event& ev = events_[e];
+    if (ev.tid == kInitThread) {
+      // Initialising writes are canonically ordered by variable (their
+      // creation order is irrelevant); disambiguate duplicates by
+      // occurrence so the fact set stays injective in the canonical form.
+      const std::uint32_t occ = init_occ[ev.var()]++;
+      cid[e] = (static_cast<std::uint64_t>(ev.var()) << 8) | (occ & 0xffu);
+    } else {
+      cid[e] = (static_cast<std::uint64_t>(ev.tid) << 32) | seq[ev.tid]++;
+    }
+  }
+  return cid;
+}
+
+void Execution::compute_fp_lanes(std::uint64_t& a, std::uint64_t& b) const {
+  const std::vector<std::uint64_t> cid = compute_cids();
+  std::uint64_t sa = 0;
+  std::uint64_t sb = 0;
+  for (std::size_t e = 0; e < events_.size(); ++e) {
+    const FactHash f = event_fact(cid[e], events_[e].action);
+    sa += f.a;
+    sb += f.b;
+  }
+  const auto add_rel = [&](const util::Relation& r, std::uint64_t tag) {
+    for (std::size_t x = 0; x < r.size(); ++x) {
+      r.row(x).for_each([&](std::size_t y) {
+        const FactHash f = fact(tag, cid[x], cid[y]);
+        sa += f.a;
+        sb += f.b;
+      });
+    }
+  };
+  add_rel(sb_, kSbTag);
+  add_rel(rf_, kRfTag);
+  add_rel(mo_, kMoTag);
+  a = sa;
+  b = sb;
+}
+
 void Execution::fingerprint_into(util::FingerprintHasher& h) const {
-  canonical_words(events_, sb_, rf_, mo_,
-                  [&](std::uint64_t w) { h.mix(w); });
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  if (cache_.valid) {
+    a = cache_.fp_a;
+    b = cache_.fp_b;
+  } else {
+    compute_fp_lanes(a, b);
+  }
+  h.mix(events_.size());
+  h.mix(a);
+  h.mix(b);
 }
 
 util::Fingerprint Execution::fingerprint() const {
@@ -251,12 +383,307 @@ util::Fingerprint Execution::fingerprint() const {
   return h.finish();
 }
 
-std::size_t Execution::canonical_hash() const {
-  std::size_t h = 0;
-  for (std::uint64_t w : canonical_key()) {
-    util::hash_combine(h, static_cast<std::size_t>(w));
+util::Fingerprint Execution::fingerprint_uncached() const {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  compute_fp_lanes(a, b);
+  util::FingerprintHasher h;
+  h.mix(events_.size());
+  h.mix(a);
+  h.mix(b);
+  return h.finish();
+}
+
+// --- Incremental derived cache ----------------------------------------------
+
+void Execution::ensure_cache() {
+  if (cache_.valid) return;
+  Cache& c = cache_;
+  const std::size_t n = events_.size();
+  const DerivedRelations d = compute_derived(*this);
+  c.hb = d.hb;
+  c.eco = d.eco;
+  c.hb.enable_inverse();
+  c.eco.enable_inverse();
+  c.covered = covered_writes(*this);
+
+  const std::size_t threads = static_cast<std::size_t>(max_thread_) + 1;
+  c.thread_events.assign(threads, util::Bitset(n));
+  for (EventId e = 0; e < n; ++e) c.thread_events[events_[e].tid].set(e);
+  c.encountered.assign(threads, util::Bitset(n));
+  for (ThreadId t = 0; t < threads; ++t) {
+    c.encountered[t] = encountered_writes(*this, d, t);
   }
-  return h;
+  c.var_writes.assign(var_count_, util::Bitset(n));
+  writes_.for_each(
+      [&](std::size_t w) { c.var_writes[events_[w].var()].set(w); });
+  c.cid = compute_cids();
+  compute_fp_lanes(c.fp_a, c.fp_b);
+  c.valid = true;
+}
+
+const util::Relation& Execution::cached_hb() {
+  ensure_cache();
+  return cache_.hb;
+}
+
+const util::Relation& Execution::cached_eco() {
+  ensure_cache();
+  return cache_.eco;
+}
+
+const util::Bitset& Execution::cached_covered() {
+  ensure_cache();
+  return cache_.covered;
+}
+
+const util::Bitset& Execution::cached_encountered(ThreadId t) {
+  ensure_cache();
+  if (t >= cache_.encountered.size()) {
+    // A thread that has not acted yet: EW is empty (Section 3.2).
+    cache_.encountered.resize(t + 1, util::Bitset(events_.size()));
+    cache_.thread_events.resize(t + 1, util::Bitset(events_.size()));
+  }
+  return cache_.encountered[t];
+}
+
+const util::Bitset& Execution::cached_thread_events(ThreadId t) {
+  ensure_cache();
+  if (t >= cache_.thread_events.size()) {
+    cache_.encountered.resize(t + 1, util::Bitset(events_.size()));
+    cache_.thread_events.resize(t + 1, util::Bitset(events_.size()));
+  }
+  return cache_.thread_events[t];
+}
+
+const util::Bitset& Execution::cached_var_writes(VarId x) {
+  ensure_cache();
+  if (x >= cache_.var_writes.size()) {
+    cache_.var_writes.resize(x + 1, util::Bitset(events_.size()));
+  }
+  return cache_.var_writes[x];
+}
+
+EventId Execution::push_event(ThreadId tid, const Action& a, EventId w,
+                              UndoToken& tok) {
+  assert(tid != kInitThread);
+  ensure_cache();
+  Cache& c = cache_;
+  Scratch& s = scratch();
+  const std::size_t n_old = events_.size();
+  const std::size_t n = n_old + 1;
+
+  tok.tid = tid;
+  tok.observed = w;
+  tok.prev_max_thread = max_thread_;
+  tok.prev_var_count = static_cast<std::uint32_t>(var_count_);
+  tok.prev_thread_vec = static_cast<std::uint32_t>(c.thread_events.size());
+  tok.covered_added = false;
+  tok.fp_delta_a = 0;
+  tok.fp_delta_b = 0;
+
+  const bool is_rd = a.is_read();
+  const bool is_wr = a.is_write();
+  const VarId x = a.var;
+
+  // --- Snapshots over the old universe (pre-append) -----------------------
+  assert(w < n_old && events_[w].is_write() && events_[w].var() == x);
+  s.after = mo_.row(w);  // mo[w] — also the fr successors of a read of w
+  s.before.resize(n_old);
+  s.before.clear();
+  s.readers.resize(n_old);
+  s.readers.clear();
+  if (is_wr) {
+    // mo+w = {w} u mo^-1[w]; mo is per-variable, so scan only x's writes.
+    if (x < c.var_writes.size()) {
+      c.var_writes[x].for_each([&](std::size_t p) {
+        if (mo_.row(p).test(w)) s.before.set(p);
+      });
+    }
+    s.before.set(w);
+    // New fr in-edges: every read of a write mo-before e reads-before e.
+    s.before.for_each([&](std::size_t p) { s.readers |= rf_.row(p); });
+  }
+  s.preds.resize(n_old);
+  s.preds.clear();
+  if (tid < c.thread_events.size()) s.preds |= c.thread_events[tid];
+  if (!c.thread_events.empty()) s.preds |= c.thread_events[0];
+
+  // Canonical id: position of e within its thread (pre-append count).
+  const std::uint64_t seq =
+      tid < c.thread_events.size() ? c.thread_events[tid].count() : 0;
+  const std::uint64_t cid_e = (static_cast<std::uint64_t>(tid) << 32) | seq;
+
+  // --- Core append + primitive edges --------------------------------------
+  const EventId e = append_event_core(tid, a);
+
+  std::uint64_t da = 0;
+  std::uint64_t db = 0;
+  const auto add_fact = [&](const FactHash& f) {
+    da += f.a;
+    db += f.b;
+  };
+  add_fact(event_fact(cid_e, a));
+  s.preds.for_each(
+      [&](std::size_t p) { add_fact(fact(kSbTag, c.cid[p], cid_e)); });
+  if (is_rd) {
+    rf_.add(w, e);
+    add_fact(fact(kRfTag, c.cid[w], cid_e));
+  }
+  if (is_wr) {
+    s.before.for_each([&](std::size_t p) {
+      mo_.add(static_cast<EventId>(p), e);
+      add_fact(fact(kMoTag, c.cid[p], cid_e));
+    });
+    s.after.for_each([&](std::size_t q) {
+      mo_.add(e, static_cast<EventId>(q));
+      add_fact(fact(kMoTag, cid_e, c.cid[q]));
+    });
+  }
+  c.cid.push_back(cid_e);
+  c.fp_a += da;
+  c.fp_b += db;
+  tok.fp_delta_a = da;
+  tok.fp_delta_b = db;
+
+  // --- Resize the cached state to the new universe -------------------------
+  c.hb.resize(n);
+  c.eco.resize(n);
+  const std::size_t threads = static_cast<std::size_t>(max_thread_) + 1;
+  if (c.thread_events.size() < threads) {
+    c.thread_events.resize(threads, util::Bitset(n_old));
+    c.encountered.resize(threads, util::Bitset(n_old));
+  }
+  for (auto& b : c.thread_events) b.resize(n);
+  for (auto& b : c.encountered) b.resize(n);
+  if (c.var_writes.size() < var_count_) {
+    c.var_writes.resize(var_count_, util::Bitset(n_old));
+  }
+  for (auto& b : c.var_writes) b.resize(n);
+  c.covered.resize(n);
+  s.before.resize(n);
+  s.after.resize(n);
+  s.readers.resize(n);
+  s.preds.resize(n);
+
+  c.thread_events[tid].set(e);
+  if (is_wr) c.var_writes[x].set(e);
+  if (a.is_update()) {
+    assert(!c.covered.test(w));
+    c.covered.set(w);
+    tok.covered_added = true;
+  }
+
+  // --- hb: every new edge points into e, so only e's column grows ----------
+  s.hbcol.resize(n);
+  s.hbcol.clear();
+  s.preds.for_each([&](std::size_t p) {
+    s.hbcol.set(p);
+    s.hbcol |= c.hb.column_view(p);
+  });
+  if (is_rd && events_[w].is_release() && a.is_acquire()) {
+    s.hbcol.set(w);
+    s.hbcol |= c.hb.column_view(w);
+  }
+  s.hbcol.for_each([&](std::size_t i) { c.hb.add(i, e); });
+
+  // --- eco: direct in-edges D_in and out-edges D_out of e ------------------
+  //
+  // Appending never creates an eco pair between two old events (every new
+  // primitive edge is incident to e, and any old-old path through e is
+  // already covered by mo transitivity — see tests/test_incremental.cpp for
+  // the differential assertion), so only e's row and column are filled.
+  s.din.resize(n);
+  s.din.clear();
+  if (is_wr) {
+    s.din |= s.before;
+    s.din |= s.readers;
+  } else {
+    s.din.set(w);
+  }
+  s.ecocol.resize(n);
+  s.ecocol.clear();
+  s.din.for_each([&](std::size_t d) {
+    s.ecocol.set(d);
+    s.ecocol |= c.eco.column_view(d);
+  });
+  s.ecorow.resize(n);
+  s.ecorow.clear();
+  s.after.for_each([&](std::size_t d) {
+    s.ecorow.set(d);
+    s.ecorow |= std::as_const(c.eco).row(d);
+  });
+  s.ecocol.for_each([&](std::size_t i) { c.eco.add(i, e); });
+  s.ecorow.for_each([&](std::size_t j) { c.eco.add(e, j); });
+
+  // --- Encountered writes --------------------------------------------------
+  // EW(tid) gains every write w' with (w', e) in eco?;hb?: the midpoint m
+  // is e itself or an hb-predecessor of e.
+  s.ecohb = s.ecocol;
+  s.ecohb.set(e);
+  s.hbcol.for_each([&](std::size_t m) {
+    s.ecohb.set(m);
+    s.ecohb |= c.eco.column_view(m);
+  });
+  s.new_ew = s.ecohb;
+  s.new_ew &= writes_;
+  tok.ew_delta = s.new_ew;
+  tok.ew_delta.subtract(c.encountered[tid]);
+  c.encountered[tid] |= tok.ew_delta;
+
+  // A new *write* e may itself be already-encountered by another thread t:
+  // (e, e'') in eco?;hb? for some event e'' of t (e inserted into the
+  // middle of mo behind a write t has observed).
+  if (is_wr) {
+    s.reach = std::as_const(c.eco).row(e);
+    s.reach.set(e);
+    s.reach_hb = s.reach;
+    s.reach.for_each(
+        [&](std::size_t m) { s.reach_hb |= std::as_const(c.hb).row(m); });
+    for (ThreadId t = 1; t <= max_thread_; ++t) {
+      if (t == tid) continue;
+      if (!s.reach_hb.disjoint(c.thread_events[t])) c.encountered[t].set(e);
+    }
+  }
+
+  tok.event = e;
+  return e;
+}
+
+void Execution::pop_event(const UndoToken& tok) {
+  assert(cache_.valid);
+  Cache& c = cache_;
+  const std::size_t n = events_.size();
+  assert(n > 0 && tok.event == n - 1);
+  const std::size_t n_new = n - 1;
+
+  c.fp_a -= tok.fp_delta_a;
+  c.fp_b -= tok.fp_delta_b;
+  if (tok.covered_added) c.covered.reset(tok.observed);
+  c.encountered[tok.tid].subtract(tok.ew_delta);
+
+  events_.pop_back();
+  sb_.resize(n_new);
+  rf_.resize(n_new);
+  mo_.resize(n_new);
+  inits_.resize(n_new);
+  writes_.resize(n_new);
+  reads_.resize(n_new);
+  updates_.resize(n_new);
+
+  c.hb.resize(n_new);
+  c.eco.resize(n_new);
+  c.thread_events.resize(tok.prev_thread_vec);
+  c.encountered.resize(tok.prev_thread_vec);
+  for (auto& b : c.thread_events) b.resize(n_new);
+  for (auto& b : c.encountered) b.resize(n_new);
+  c.var_writes.resize(tok.prev_var_count);
+  for (auto& b : c.var_writes) b.resize(n_new);
+  c.covered.resize(n_new);
+  c.cid.pop_back();
+
+  max_thread_ = tok.prev_max_thread;
+  var_count_ = tok.prev_var_count;
 }
 
 }  // namespace rc11::c11

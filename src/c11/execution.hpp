@@ -67,7 +67,70 @@ class Execution {
 
   /// `(D, sb) + e` (Section 3.2): appends the event, ordering every prior
   /// event of tid(e) and of thread 0 sb-before it. Returns the new tag.
+  /// Invalidates the incremental cache (push_event is the maintaining
+  /// variant used on the exploration hot path).
   EventId add_event(ThreadId tid, const Action& a);
+
+  // --- Incremental delta API (exploration hot path) -------------------------
+  //
+  // The operational semantics is append-only: one step adds one event plus
+  // a handful of relation edges, all incident to the new event (Section
+  // 3.2), and never adds a derived-relation pair between two older events.
+  // push_event exploits this: it appends the event together with its
+  // rf/mo edges (selected by the action kind and the observed write `w`,
+  // exactly as the Figure 3 rules dictate) and extends the cached derived
+  // state — hb, eco (with maintained inverses), the per-thread encountered
+  // sets, the covered set and the running fingerprint lanes — in time
+  // proportional to the new event's neighbourhood instead of re-running
+  // the closures. pop_event undoes the append exactly (LIFO only): all
+  // added edges are incident to the popped event, so shrinking every
+  // relation and bitset by one element plus replaying the recorded deltas
+  // restores the previous state bit for bit.
+  //
+  // The from-scratch functions (compute_derived, encountered_writes,
+  // covered_writes, fingerprint_uncached) remain the oracle; the
+  // incremental cache is differentially tested against them after every
+  // step (tests/test_incremental.cpp).
+
+  /// Undo record for one push_event. Opaque to callers; tokens must be
+  /// popped in LIFO order. Reusable across push/pop cycles (its buffers
+  /// keep their capacity).
+  struct UndoToken {
+    EventId event = kNoEvent;
+    ThreadId tid = 0;
+    EventId observed = kNoEvent;
+    ThreadId prev_max_thread = 0;
+    std::uint32_t prev_var_count = 0;
+    std::uint32_t prev_thread_vec = 0;  ///< cache thread-vector length before
+    bool covered_added = false;
+    util::Bitset ew_delta;  ///< bits added to encountered[tid] (universe n)
+    std::uint64_t fp_delta_a = 0;
+    std::uint64_t fp_delta_b = 0;
+  };
+
+  /// Appends event (tid, a) observing write `w` and adds its rf/mo edges:
+  /// reads add rf(w, e); writes insert e immediately after w in mo;
+  /// updates do both (Figure 3). Premises (w observable, uncovered for
+  /// writes/updates, value agreement) must have been established by the
+  /// caller via the cached queries below. tid must not be kInitThread.
+  EventId push_event(ThreadId tid, const Action& a, EventId w,
+                     UndoToken& tok);
+
+  /// Exact inverse of the matching push_event (LIFO).
+  void pop_event(const UndoToken& tok);
+
+  /// Builds the incremental cache from the from-scratch oracles if it is
+  /// not already valid. Cheap no-op when valid.
+  void ensure_cache();
+  [[nodiscard]] bool cache_valid() const { return cache_.valid; }
+
+  /// Cached derived state (ensure_cache() is called internally).
+  [[nodiscard]] const util::Relation& cached_hb();
+  [[nodiscard]] const util::Relation& cached_eco();
+  [[nodiscard]] const util::Bitset& cached_encountered(ThreadId t);
+  [[nodiscard]] const util::Bitset& cached_covered();
+  [[nodiscard]] const util::Bitset& cached_thread_events(ThreadId t);
+  [[nodiscard]] const util::Bitset& cached_var_writes(VarId x);
 
   /// Adds an rf edge w -> r. Caller guarantees var/value agreement.
   void add_rf(EventId w, EventId r);
@@ -78,12 +141,29 @@ class Execution {
   void mo_insert_after(EventId w, EventId e);
 
   /// Raw relation mutation used by the axiomatic enumerator, which builds
-  /// and retracts rf/mo choices wholesale rather than incrementally.
-  void add_mo(EventId a, EventId b) { mo_.add(a, b); }
-  void remove_mo(EventId a, EventId b) { mo_.remove(a, b); }
-  void remove_rf(EventId w, EventId r) { rf_.remove(w, r); }
-  void clear_rf() { rf_ = util::Relation(events_.size()); }
-  void clear_mo() { mo_ = util::Relation(events_.size()); }
+  /// and retracts rf/mo choices wholesale rather than incrementally. These
+  /// invalidate the incremental cache; the next cached query or push_event
+  /// rebuilds it from the from-scratch oracles.
+  void add_mo(EventId a, EventId b) {
+    mo_.add(a, b);
+    invalidate_cache();
+  }
+  void remove_mo(EventId a, EventId b) {
+    mo_.remove(a, b);
+    invalidate_cache();
+  }
+  void remove_rf(EventId w, EventId r) {
+    rf_.remove(w, r);
+    invalidate_cache();
+  }
+  void clear_rf() {
+    rf_ = util::Relation(events_.size());
+    invalidate_cache();
+  }
+  void clear_mo() {
+    mo_ = util::Relation(events_.size());
+    invalidate_cache();
+  }
 
   // --- Queries -------------------------------------------------------------
 
@@ -122,13 +202,23 @@ class Execution {
 
   [[nodiscard]] std::size_t canonical_hash() const;
 
-  /// 128-bit digest of the canonical word sequence, streamed — no vector or
-  /// string is materialized. Isomorphic executions (same canonical form)
+  /// 128-bit digest of the canonical form. The digest hashes a commutative
+  /// accumulation of per-fact hashes — one fact per event (keyed by its
+  /// interleaving-invariant canonical id: thread plus sb-position) and one
+  /// per sb/rf/mo pair in canonical-id terms — so it is maintained
+  /// incrementally by push_event/pop_event (new facts are added to, and
+  /// subtracted from, two 64-bit lanes) and never needs the canonical word
+  /// sequence on the hot path. Isomorphic executions (same canonical form)
   /// have equal fingerprints; the digest is deterministic across runs.
   [[nodiscard]] util::Fingerprint fingerprint() const;
 
-  /// Streams the canonical words into an existing hasher; Config layers its
-  /// thread-local state (continuations, registers, unfold counts) on top.
+  /// As fingerprint(), but always recomputed from scratch, ignoring the
+  /// incremental lanes — the oracle for the differential tests.
+  [[nodiscard]] util::Fingerprint fingerprint_uncached() const;
+
+  /// Streams the fingerprint material into an existing hasher; Config
+  /// layers its thread-local state (continuations, registers, unfold
+  /// counts) on top.
   void fingerprint_into(util::FingerprintHasher& h) const;
 
   /// Structural equality on raw tags (not canonical).
@@ -138,11 +228,43 @@ class Execution {
   }
 
  private:
+  /// Core append shared by add_event and push_event: event list, sb edges,
+  /// kind bitsets, max_thread_/var_count_. Does not touch the cache.
+  EventId append_event_core(ThreadId tid, const Action& a);
+
+  void invalidate_cache() { cache_.valid = false; }
+
+  /// From-scratch fingerprint lanes (the commutative fact sums).
+  void compute_fp_lanes(std::uint64_t& a, std::uint64_t& b) const;
+
+  /// Canonical ids (tid, sb-position packed into one word) for every event,
+  /// recomputed from scratch; push_event extends cache_.cid incrementally
+  /// with the same assignment.
+  [[nodiscard]] std::vector<std::uint64_t> compute_cids() const;
+
   std::vector<Event> events_;
   util::Relation sb_, rf_, mo_;
   util::Bitset inits_, writes_, reads_, updates_;
   ThreadId max_thread_ = 0;
   std::size_t var_count_ = 0;
+
+  /// Incrementally maintained derived state. Valid only between
+  /// ensure_cache() and the next raw mutation; push_event/pop_event keep
+  /// it valid. Copied with the Execution (clones of a spine configuration
+  /// keep their warm cache).
+  struct Cache {
+    bool valid = false;
+    util::Relation hb;   ///< (sb u sw)+, inverse maintained
+    util::Relation eco;  ///< (fr u mo u rf)+, inverse maintained
+    std::vector<util::Bitset> encountered;    ///< EW per thread id
+    std::vector<util::Bitset> thread_events;  ///< events of thread id
+    std::vector<util::Bitset> var_writes;     ///< writes per variable
+    util::Bitset covered;                     ///< CW
+    std::vector<std::uint64_t> cid;           ///< canonical id per event
+    std::uint64_t fp_a = 0;  ///< commutative fingerprint lanes
+    std::uint64_t fp_b = 0;
+  };
+  Cache cache_;
 };
 
 }  // namespace rc11::c11

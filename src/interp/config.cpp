@@ -1,5 +1,6 @@
 #include "interp/config.hpp"
 
+#include <cassert>
 #include <sstream>
 
 #include "c11/derived.hpp"
@@ -215,6 +216,209 @@ std::vector<ConfigStep> successors(const Config& c, const StepOptions& opts) {
     }
   }
   return out;
+}
+
+void enumerate_steps(Config& c, const StepOptions& opts,
+                     std::vector<Step>& out) {
+  out.clear();
+  c11::Execution& ex = c.exec;
+  ex.ensure_cache();
+  // Pin the per-thread cache vectors to cover every program thread up
+  // front: the references taken below alias vector elements, and a lazy
+  // grow for a not-yet-acting thread mid-enumeration would invalidate
+  // them.
+  (void)ex.cached_encountered(static_cast<c11::ThreadId>(c.thread_count()));
+  const util::Bitset& covered = ex.cached_covered();
+
+  for (ThreadId t = 1; t <= c.thread_count(); ++t) {
+    auto s = lang::step(c.cont[t - 1], c.regs[t - 1]);
+    if (!s) continue;
+
+    if (std::get_if<lang::SilentStep>(&*s) != nullptr) {
+      const bool is_unfold =
+          stepping_node_kind(c.cont[t - 1]) == lang::ComKind::kWhile;
+      if (is_unfold && opts.loop_bound >= 0 &&
+          c.unfoldings[t - 1] >= opts.loop_bound) {
+        continue;  // bounded out
+      }
+      Step step;
+      step.thread = t;
+      step.loop_unfold = is_unfold;
+      out.push_back(step);
+      continue;
+    }
+    if (std::get_if<lang::RegWriteStep>(&*s) != nullptr) {
+      Step step;
+      step.thread = t;
+      out.push_back(step);
+      continue;
+    }
+
+    // Memory steps: the observable / covered sets come from the
+    // incrementally maintained cache — no closures.
+    if (auto* rd = std::get_if<lang::ReadStep>(&*s)) {
+      const util::Bitset& ew = ex.cached_encountered(t);
+      const util::Bitset& wx = ex.cached_var_writes(rd->var);
+      wx.for_each([&](std::size_t w) {
+        if (!ex.mo().row(w).disjoint(ew)) return;  // not observable
+        Step step;
+        step.thread = t;
+        step.silent = false;
+        step.observed = static_cast<EventId>(w);
+        const Value v = ex.event(static_cast<EventId>(w)).wrval();
+        step.action = rd->nonatomic ? c11::Action::rd_na(rd->var, v)
+                      : rd->acquire ? c11::Action::rd_acq(rd->var, v)
+                                    : c11::Action::rd(rd->var, v);
+        out.push_back(step);
+      });
+      continue;
+    }
+
+    if (auto* wr = std::get_if<lang::WriteStep>(&*s)) {
+      const util::Bitset& ew = ex.cached_encountered(t);
+      const util::Bitset& wx = ex.cached_var_writes(wr->var);
+      wx.for_each([&](std::size_t w) {
+        if (covered.test(w)) return;  // covered writes take no successor
+        if (!ex.mo().row(w).disjoint(ew)) return;
+        Step step;
+        step.thread = t;
+        step.silent = false;
+        step.observed = static_cast<EventId>(w);
+        step.action = wr->nonatomic ? c11::Action::wr_na(wr->var, wr->value)
+                      : wr->release
+                          ? c11::Action::wr_rel(wr->var, wr->value)
+                          : c11::Action::wr(wr->var, wr->value);
+        out.push_back(step);
+      });
+      continue;
+    }
+
+    auto* up = std::get_if<lang::UpdateStep>(&*s);
+    const util::Bitset& ew = ex.cached_encountered(t);
+    const util::Bitset& wx = ex.cached_var_writes(up->var);
+    wx.for_each([&](std::size_t w) {
+      if (covered.test(w)) return;
+      if (!ex.mo().row(w).disjoint(ew)) return;
+      Step step;
+      step.thread = t;
+      step.silent = false;
+      step.observed = static_cast<EventId>(w);
+      step.action =
+          c11::Action::upd(up->var, ex.event(static_cast<EventId>(w)).wrval(),
+                           up->new_value);
+      out.push_back(step);
+    });
+  }
+}
+
+namespace {
+
+void ensure_saved(Config& c, StepUndo* undo, ThreadId u) {
+  if (undo == nullptr) return;
+  for (auto& snap : undo->saved) {
+    if (snap.thread == u) return;
+  }
+  auto& snap = undo->saved.emplace_back();
+  snap.thread = u;
+  snap.cont = c.cont[u - 1];
+  snap.regs = c.regs[u - 1];
+}
+
+/// Shared implementation; `undo == nullptr` skips all snapshotting (the
+/// apply-only overload for callers that keep the result).
+EventId apply_step_impl(Config& c, const Step& s, const StepOptions& opts,
+                        StepUndo* undo) {
+  const ThreadId t = s.thread;
+  if (undo != nullptr) {
+    undo->thread = t;
+    undo->silent = s.silent;
+    undo->loop_unfold = s.loop_unfold;
+    undo->event = c11::kNoEvent;
+    undo->saved.clear();
+  }
+  ensure_saved(c, undo, t);
+  c11::EventId event = c11::kNoEvent;
+  // Exec undo token: the caller's, or a reusable scratch when discarded.
+  thread_local c11::Execution::UndoToken scratch_tok;
+  c11::Execution::UndoToken& tok = undo != nullptr ? undo->exec : scratch_tok;
+
+  auto sv = lang::step(c.cont[t - 1], c.regs[t - 1]);
+  assert(sv.has_value());
+
+  if (s.silent) {
+    if (auto* sil = std::get_if<lang::SilentStep>(&*sv)) {
+      c.cont[t - 1] = sil->next;
+      if (s.loop_unfold) ++c.unfoldings[t - 1];
+    } else {
+      auto* rw = std::get_if<lang::RegWriteStep>(&*sv);
+      assert(rw != nullptr);
+      write_register(c.regs[t - 1], rw->reg, rw->value);
+      c.cont[t - 1] = rw->next;
+    }
+  } else if (auto* rd = std::get_if<lang::ReadStep>(&*sv)) {
+    c.cont[t - 1] = rd->next(s.action.rdval());
+    event = c.exec.push_event(t, s.action, s.observed, tok);
+  } else if (auto* wr = std::get_if<lang::WriteStep>(&*sv)) {
+    c.cont[t - 1] = wr->next;
+    event = c.exec.push_event(t, s.action, s.observed, tok);
+  } else {
+    auto* up = std::get_if<lang::UpdateStep>(&*sv);
+    assert(up != nullptr);
+    c.cont[t - 1] = up->next;
+    event = c.exec.push_event(t, s.action, s.observed, tok);
+    if (up->captures) {
+      write_register(c.regs[t - 1], up->capture_reg, s.action.rdval());
+    }
+  }
+  if (undo != nullptr) undo->event = event;
+
+  if (opts.tau_compress) {
+    // Same fixpoint as apply_tau_compression, computed thread-locally: a
+    // thread's silent / register steps depend only on its own continuation
+    // and registers, so each thread can be drained to exhaustion in one
+    // pass (no global re-rounds). First-touch snapshots make the
+    // compression undo exactly.
+    for (ThreadId u = 1; u <= c.thread_count(); ++u) {
+      while (true) {
+        if (stepping_node_kind(c.cont[u - 1]) == lang::ComKind::kWhile) {
+          break;
+        }
+        auto tv = lang::step(c.cont[u - 1], c.regs[u - 1]);
+        if (!tv) break;
+        if (auto* sil = std::get_if<lang::SilentStep>(&*tv)) {
+          ensure_saved(c, undo, u);
+          c.cont[u - 1] = sil->next;
+        } else if (auto* rw = std::get_if<lang::RegWriteStep>(&*tv)) {
+          ensure_saved(c, undo, u);
+          write_register(c.regs[u - 1], rw->reg, rw->value);
+          c.cont[u - 1] = rw->next;
+        } else {
+          break;
+        }
+      }
+    }
+  }
+  return event;
+}
+
+}  // namespace
+
+EventId apply_step(Config& c, const Step& s, const StepOptions& opts,
+                   StepUndo& undo) {
+  return apply_step_impl(c, s, opts, &undo);
+}
+
+EventId apply_step(Config& c, const Step& s, const StepOptions& opts) {
+  return apply_step_impl(c, s, opts, nullptr);
+}
+
+void undo_step(Config& c, const StepUndo& undo) {
+  if (!undo.silent) c.exec.pop_event(undo.exec);
+  if (undo.loop_unfold) --c.unfoldings[undo.thread - 1];
+  for (const auto& snap : undo.saved) {
+    c.cont[snap.thread - 1] = snap.cont;
+    c.regs[snap.thread - 1] = snap.regs;
+  }
 }
 
 bool eval_cond(const lang::CondPtr& cond, const Config& c) {

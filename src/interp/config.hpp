@@ -99,9 +99,79 @@ struct StepOptions {
   bool tau_compress = false;
 };
 
-/// All enabled transitions from c under the RA event semantics.
+/// All enabled transitions from c under the RA event semantics. This is
+/// the from-scratch oracle: every successor carries a full Config copy and
+/// the derived relations are recomputed by closure. The exploration hot
+/// path uses enumerate_steps / apply_step / undo_step below instead.
 [[nodiscard]] std::vector<ConfigStep> successors(const Config& c,
                                                  const StepOptions& opts = {});
+
+// --- Incremental stepping (exploration hot path) -----------------------------
+//
+// enumerate_steps lists the enabled transitions as signatures only — no
+// Config is copied and no closure is recomputed (the observability sets
+// come from the Execution's incremental cache). apply_step performs one
+// such transition on the Config *in place*, recording exactly what it
+// changed in a StepUndo; undo_step reverts it (LIFO). A depth-first
+// explorer therefore mutates one spine Config and only materializes copies
+// at frontier handoff points (parallel deque pushes, DPOR tree nodes).
+//
+// enumerate_steps(c) followed by apply_step(c, out[i]) reaches a
+// configuration isomorphic (equal canonical key and fingerprint) to
+// successors(c)[i].next, in the same order — differentially asserted by
+// tests/test_incremental.cpp.
+
+/// A transition described without any Config state. For memory steps the
+/// action and observed write determine the rf/mo delta (Figure 3).
+struct Step {
+  ThreadId thread = 0;
+  bool silent = true;            ///< lambda transition (no memory event)
+  bool loop_unfold = false;      ///< the step is a while unfolding
+  c11::Action action;            ///< act(e), when not silent
+  EventId observed = c11::kNoEvent;  ///< w, when not silent
+};
+
+/// Undo record for one applied step. Tokens must be undone in LIFO order;
+/// a token object is reusable across apply/undo cycles (its buffers keep
+/// their capacity).
+struct StepUndo {
+  ThreadId thread = 0;
+  bool silent = true;
+  bool loop_unfold = false;
+  EventId event = c11::kNoEvent;  ///< the appended event (non-silent steps)
+  c11::Execution::UndoToken exec;
+
+  /// First-touch snapshots of every thread whose continuation / registers
+  /// the step changed (the acting thread, plus any thread advanced by tau
+  /// compression).
+  struct ThreadSnapshot {
+    ThreadId thread = 0;
+    ComPtr cont;
+    RegFile regs;
+  };
+  std::vector<ThreadSnapshot> saved;
+};
+
+/// Appends every enabled transition of c to `out` (cleared first), in the
+/// same order as successors(). Builds the Execution's incremental cache on
+/// first use (hence the mutable Config reference); the Config is otherwise
+/// unchanged.
+void enumerate_steps(Config& c, const StepOptions& opts,
+                     std::vector<Step>& out);
+
+/// Applies one enumerated step to c in place (including tau compression
+/// when opts.tau_compress is set, mirroring successors()). Returns the
+/// appended event (kNoEvent for silent steps).
+EventId apply_step(Config& c, const Step& s, const StepOptions& opts,
+                   StepUndo& undo);
+
+/// As above without recording undo state — for callers that keep the
+/// resulting configuration (DPOR tree children, forward-only replay) and
+/// would otherwise pay for continuation/register snapshots they never use.
+EventId apply_step(Config& c, const Step& s, const StepOptions& opts);
+
+/// Exact inverse of the matching apply_step (LIFO).
+void undo_step(Config& c, const StepUndo& undo);
 
 /// Evaluates a litmus final-state condition on a configuration:
 /// register atoms read the thread's register file; variable atoms read

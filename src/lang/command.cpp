@@ -322,6 +322,8 @@ std::string Com::to_string(const c11::VarTable* vars) const {
 }
 
 std::uint64_t structural_hash(const ComPtr& c) {
+  const std::uint64_t cached = c->shash.value.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
   std::uint64_t h = util::mix64(static_cast<std::uint64_t>(c->kind) + 17);
   switch (c->kind) {
     case ComKind::kSkip:
@@ -360,6 +362,8 @@ std::uint64_t structural_hash(const ComPtr& c) {
       h = util::mix64(h + structural_hash(c->c1));
       break;
   }
+  if (h == 0) h = 1;  // 0 is the memo's "unset" sentinel
+  c->shash.value.store(h, std::memory_order_relaxed);
   return h;
 }
 

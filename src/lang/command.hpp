@@ -35,6 +35,7 @@
 // Proposition 2.2: any value can be read).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -60,6 +61,22 @@ enum class ComKind : std::uint8_t {
 class Com;
 using ComPtr = std::shared_ptr<const Com>;
 
+/// Copyable relaxed-atomic memo slot (0 = unset). Command nodes are
+/// immutable and shared across explorer threads, so the lazily computed
+/// structural hash is published with an atomic store; copies restart from
+/// whatever was cached.
+struct HashMemo {
+  std::atomic<std::uint64_t> value{0};
+  HashMemo() = default;
+  HashMemo(const HashMemo& o)
+      : value(o.value.load(std::memory_order_relaxed)) {}
+  HashMemo& operator=(const HashMemo& o) {
+    value.store(o.value.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+};
+
 /// Immutable command node; build via the factories below.
 class Com {
  public:
@@ -75,6 +92,10 @@ class Com {
   ComPtr c1;              // kSeq first, kIf then, kWhile body, kLabel body
   ComPtr c2;              // kSeq second, kIf else
   int label = 0;          // kLabel
+
+  /// structural_hash memo — configurations are fingerprinted once per
+  /// explored transition, and their continuations share almost all nodes.
+  mutable HashMemo shash;
 
   [[nodiscard]] std::string to_string(
       const c11::VarTable* vars = nullptr) const;

@@ -27,11 +27,18 @@ namespace {
 struct Node {
   std::shared_ptr<Node> parent;
   std::uint32_t depth = 0;
-  StepSig in_sig{};      ///< signature of the incoming step (depth > 0)
-  TraceEntry in_entry{};  ///< trace entry of the incoming step (depth > 0)
+  StepSig in_sig{};       ///< signature of the incoming step (depth > 0)
+  interp::Step in_step{};  ///< incoming step (depth > 0); trace entries are
+                           ///< rendered lazily (make_entry allocates)
 
   interp::Config config;
-  std::vector<interp::ConfigStep> steps;  ///< all successors, by thread asc
+  /// All successors, by thread ascending. The RA hot path enumerates
+  /// signature-only steps (no Config copies; a child's configuration is
+  /// made by cloning this node's config — which carries its warm
+  /// incremental cache — and applying the step). The pre-execution mode
+  /// keeps the materialized pe_successors steps instead.
+  std::vector<interp::Step> steps;
+  std::vector<interp::ConfigStep> pe_steps;  ///< pre-execution mode only
   std::vector<StepSig> sigs;              ///< sig per step
   std::vector<c11::ThreadId> enabled;     ///< threads with >= 1 step
 
@@ -75,6 +82,15 @@ struct Engine {
         deques(workers),
         worker_stats(workers) {}
 
+  /// Recycled Node objects. A released node keeps the heap buffers of its
+  /// config / step / sleep vectors, so reusing one turns the per-transition
+  /// Config clone into a capacity-reusing copy-assignment (near zero
+  /// allocations once the pool is warm). Declared first so it outlives the
+  /// deques: items still queued at early-stop release their nodes into the
+  /// pool during ~Engine.
+  std::mutex pool_mu;
+  std::vector<std::unique_ptr<Node>> pool;
+
   ExploreOptions options;
   const Visitor& visitor;
   bool sleep_filter;
@@ -110,13 +126,35 @@ struct Engine {
   }
 };
 
-std::vector<interp::ConfigStep> expand(const interp::Config& c,
-                                       const ExploreOptions& options) {
-  if (options.pre_execution) {
-    return interp::pe_successors(c, interp::value_domain(*c.program),
-                                 options.step);
+/// Takes a node from the pool (or allocates one) and hands it out with a
+/// deleter that scrubs the scheduling state and returns it to the pool,
+/// buffers intact.
+NodePtr acquire_node(Engine& eng) {
+  std::unique_ptr<Node> n;
+  {
+    std::lock_guard lock(eng.pool_mu);
+    if (!eng.pool.empty()) {
+      n = std::move(eng.pool.back());
+      eng.pool.pop_back();
+    }
   }
-  return interp::successors(c, options.step);
+  if (!n) n = std::make_unique<Node>();
+  return NodePtr(n.release(), [&eng](Node* p) {
+    p->parent.reset();  // may cascade a spine release (bounded by depth)
+    p->depth = 0;
+    p->in_sig = {};
+    p->in_step = {};
+    p->steps.clear();
+    p->pe_steps.clear();
+    p->sigs.clear();
+    p->enabled.clear();
+    p->hb_row.clear();
+    p->scheduled.clear();
+    p->executed.clear();
+    p->sleep.clear();
+    std::lock_guard lock(eng.pool_mu);
+    eng.pool.emplace_back(p);
+  });
 }
 
 void max_update(std::atomic<std::size_t>& a, std::size_t v) {
@@ -126,23 +164,32 @@ void max_update(std::atomic<std::size_t>& a, std::size_t v) {
   }
 }
 
-/// Fills steps/sigs/enabled of a freshly built node.
+/// Fills steps/sigs/enabled of a freshly built node. On the RA path this
+/// only enumerates signatures (reserve + reuse, no Config copies).
 void prepare_node(Node& n, const ExploreOptions& options) {
-  n.steps = expand(n.config, options);
-  n.sigs.reserve(n.steps.size());
-  for (const auto& s : n.steps) n.sigs.push_back(sig_of(s));
-  for (const auto& s : n.steps) {
+  if (options.pre_execution) {
+    n.pe_steps = interp::pe_successors(
+        n.config, interp::value_domain(*n.config.program), options.step);
+    n.sigs.reserve(n.pe_steps.size());
+    for (const auto& s : n.pe_steps) n.sigs.push_back(sig_of(s));
+  } else {
+    interp::enumerate_steps(n.config, options.step, n.steps);
+    n.sigs.reserve(n.steps.size());
+    for (const auto& s : n.steps) n.sigs.push_back(sig_of(s));
+  }
+  for (const auto& s : n.sigs) {
     if (n.enabled.empty() || n.enabled.back() != s.thread) {
-      n.enabled.push_back(s.thread);  // successors() enumerates threads asc
+      n.enabled.push_back(s.thread);  // steps are enumerated threads asc
     }
   }
 }
 
-/// The trace from the root to `n` (the path the spine encodes).
+/// The trace from the root to `n` (the path the spine encodes). Entries
+/// are rendered here, on the cold path — the hot path only records steps.
 Trace spine_trace(const Node* n) {
   Trace t;
   for (const Node* p = n; p->depth > 0; p = p->parent.get()) {
-    t.entries.push_back(p->in_entry);
+    t.entries.push_back(make_entry(p->in_step));
   }
   std::reverse(t.entries.begin(), t.entries.end());
   return t;
@@ -150,10 +197,8 @@ Trace spine_trace(const Node* n) {
 
 /// True iff thread q has at least one transition at n not slept on.
 bool has_awake_step(const Node& n, c11::ThreadId q) {
-  for (std::size_t i = 0; i < n.steps.size(); ++i) {
-    if (n.steps[i].thread == q && !sleep_contains(n.sleep, n.sigs[i])) {
-      return true;
-    }
+  for (const StepSig& sig : n.sigs) {
+    if (sig.thread == q && !sleep_contains(n.sleep, sig)) return true;
   }
   return false;
 }
@@ -170,8 +215,8 @@ c11::ThreadId pick_first(const Node& n) {
   for (c11::ThreadId q : n.enabled) {
     if (!has_awake_step(n, q)) continue;
     bool all_silent = true;
-    for (std::size_t i = 0; i < n.steps.size(); ++i) {
-      if (n.steps[i].thread == q && !n.steps[i].silent) {
+    for (const StepSig& sig : n.sigs) {
+      if (sig.thread == q && !sig.silent) {
         all_silent = false;
         break;
       }
@@ -212,19 +257,22 @@ void insert_backtrack(Engine& eng, std::size_t me, const NodePtr& target,
 
 /// Detects every reversible race between the step about to be taken from
 /// `n` (signature `t_sig`) and the spine E, and inserts the source-set
-/// backtrack points. `self` is the shared_ptr of `n`. Returns t's
-/// happens-before row (hb_row for the child node the step creates), so
+/// backtrack points. `self` is the shared_ptr of `n`. Fills `row_out` with
+/// t's happens-before row (hb_row for the child node the step creates), so
 /// each transition costs one O(depth^2) row build — the rows of the spine
 /// events are cached in their nodes.
-std::vector<char> race_reversals(Engine& eng, std::size_t me,
-                                 const NodePtr& self, const StepSig& t_sig) {
+void race_reversals(Engine& eng, std::size_t me, const NodePtr& self,
+                    const StepSig& t_sig, std::vector<char>& row_out) {
   Node& n = *self;
   const std::size_t d = n.depth;
-  if (d == 0) return {};
+  row_out.clear();
+  if (d == 0) return;
 
   // nodes[k] = spine node at depth k; its in_sig is trace event e_k and
-  // its hb_row[i] says whether e_i happens-before e_k.
-  std::vector<Node*> nodes(d + 1);
+  // its hb_row[i] says whether e_i happens-before e_k. (Thread-local
+  // scratch: one call per executed transition, keep it allocation-free.)
+  thread_local std::vector<Node*> nodes;
+  nodes.resize(d + 1);
   {
     Node* p = &n;
     for (std::size_t k = d;; --k) {
@@ -245,7 +293,8 @@ std::vector<char> race_reversals(Engine& eng, std::size_t me,
   // t's own row: e_i ->hb t iff a chain of pairwise-dependent trace steps
   // leads from i to t. First-hop recurrence, i descending: hb(i, t) =
   // dep(i, t) or exists k in (i, m) with dep(i, k) and hb(k, t).
-  std::vector<char> row(m, 0);
+  std::vector<char>& row = row_out;
+  row.assign(m, 0);
   for (std::size_t i = d; i >= 1; --i) {
     char r = dependent(sig_at(i), t_sig) ? 1 : 0;
     for (std::size_t k = i + 1; r == 0 && k <= d; ++k) {
@@ -267,13 +316,16 @@ std::vector<char> race_reversals(Engine& eng, std::size_t me,
     // v = notdep(e_i, E).t: the steps after e_i not happening-after it,
     // then t. Initials: threads whose first step in v has no dependent
     // predecessor in v.
-    std::vector<std::size_t> v;
+    thread_local std::vector<std::size_t> v;
+    v.clear();
     for (std::size_t k = i + 1; k <= d; ++k) {
       if (!hb(i, k)) v.push_back(k);
     }
     v.push_back(m);
-    std::vector<c11::ThreadId> seen_threads;
-    std::vector<c11::ThreadId> initials;
+    thread_local std::vector<c11::ThreadId> seen_threads;
+    thread_local std::vector<c11::ThreadId> initials;
+    seen_threads.clear();
+    initials.clear();
     for (std::size_t a = 0; a < v.size(); ++a) {
       const StepSig& s = sig_at(v[a]);
       if (contains(seen_threads, s.thread)) continue;
@@ -288,7 +340,6 @@ std::vector<char> race_reversals(Engine& eng, std::size_t me,
 
     insert_backtrack(eng, me, nodes[i]->parent, initials);
   }
-  return row;
 }
 
 /// Expands one scheduled (node, thread) pair: runs every enabled
@@ -297,12 +348,12 @@ std::vector<char> race_reversals(Engine& eng, std::size_t me,
 void expand_item(Engine& eng, std::size_t me, const Item& item) {
   Node& n = *item.node;
   ++eng.worker_stats[me].processed;
+  const bool pe = eng.options.pre_execution;
 
-  for (std::size_t i = 0; i < n.steps.size(); ++i) {
-    if (n.steps[i].thread != item.thread) continue;
+  for (std::size_t i = 0; i < n.sigs.size(); ++i) {
+    if (n.sigs[i].thread != item.thread) continue;
     if (eng.stop.load(std::memory_order_acquire)) return;
 
-    interp::ConfigStep& step = n.steps[i];
     const StepSig& sig = n.sigs[i];
     if (eng.sleep_filter && sleep_contains(n.sleep, sig)) {
       continue;  // covered by an earlier sibling subtree (counted below)
@@ -321,25 +372,60 @@ void expand_item(Engine& eng, std::size_t me, const Item& item) {
 
     eng.transitions.fetch_add(1, std::memory_order_relaxed);
 
-    if (eng.visitor.on_transition &&
-        !eng.visitor.on_transition(n.config, step)) {
-      Trace t = spine_trace(&n);
-      t.entries.push_back(make_entry(step));
-      eng.record_abort(std::move(t));
-      return;
+    // Materialize the child configuration into a pooled node: copy-assign
+    // the parent's config (reusing the recycled node's buffers, warm
+    // incremental cache included) and apply the step in place — the only
+    // Config copy this transition costs. Pre-execution steps come
+    // materialized from pe_successors (each is executed exactly once, so
+    // its successor config can be moved out).
+    NodePtr child = acquire_node(eng);
+    interp::Step in_step;
+    if (pe) {
+      const interp::ConfigStep& ps = n.pe_steps[i];
+      in_step.thread = ps.thread;
+      in_step.silent = ps.silent;
+      in_step.loop_unfold = ps.loop_unfold;
+      in_step.action = ps.action;
+      in_step.observed = ps.observed;
+      child->config = std::move(n.pe_steps[i].next);
+    } else {
+      in_step = n.steps[i];
+      child->config = n.config;
+      // Apply-only: the child keeps this configuration; no undo needed.
+      (void)interp::apply_step(child->config, n.steps[i], eng.options.step);
+    }
+    interp::Config& child_config = child->config;
+
+    if (eng.visitor.on_transition) {
+      // The visitor contract hands over a materialized ConfigStep; build a
+      // view around the child configuration (moved in and back out, no
+      // copy).
+      interp::ConfigStep view;
+      view.thread = sig.thread;
+      view.silent = sig.silent;
+      if (!sig.silent) {
+        view.event = static_cast<c11::EventId>(child_config.exec.size() - 1);
+        view.observed = sig.observed;
+        view.action = child_config.exec.event(view.event).action;
+      }
+      view.loop_unfold = in_step.loop_unfold;
+      view.next = std::move(child_config);
+      const bool keep = eng.visitor.on_transition(n.config, view);
+      child_config = std::move(view.next);
+      if (!keep) {
+        Trace t = spine_trace(&n);
+        t.entries.push_back(make_entry(in_step));
+        eng.record_abort(std::move(t));
+        return;
+      }
     }
 
-    std::vector<char> hb_row = race_reversals(eng, me, item.node, sig);
+    race_reversals(eng, me, item.node, sig, child->hb_row);
 
-    auto child = std::make_shared<Node>();
     child->parent = item.node;
     child->depth = n.depth + 1;
     child->in_sig = sig;
-    child->in_entry = make_entry(step);
-    child->hb_row = std::move(hb_row);
-    // Each (node, thread) pair is scheduled at most once, so this step is
-    // executed exactly once and its successor config can be stolen.
-    child->config = std::move(step.next);
+    child->in_step = in_step;
     max_update(eng.max_depth, child->depth + 1);
 
     const InsertResult ins = eng.seen.insert(child->config.fingerprint());

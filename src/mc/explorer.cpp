@@ -11,7 +11,16 @@ namespace rc11::mc {
 
 namespace {
 
-struct Frame {
+// ===========================================================================
+// Materialized DFS (from-scratch oracle path).
+//
+// Kept for the cases the in-place spine cannot serve: visitors that observe
+// ConfigStep.next (on_transition materializes every successor by contract)
+// and the pre-execution semantics (whose steps are built by pe_successors).
+// Everything else goes through the incremental spine below.
+// ===========================================================================
+
+struct MatFrame {
   interp::Config config;
   std::vector<interp::ConfigStep> steps;
   std::vector<StepSig> sigs;  ///< sig per step (only filled when por is on)
@@ -30,20 +39,9 @@ std::vector<interp::ConfigStep> expand(const interp::Config& c,
   return interp::successors(c, options.step);
 }
 
-}  // namespace
-
-ExploreResult explore(const lang::Program& program,
-                      const ExploreOptions& options, const Visitor& visitor) {
-  return explore_from(interp::initial_config(program), options, visitor);
-}
-
-ExploreResult explore_from(const interp::Config& start,
-                           const ExploreOptions& options,
-                           const Visitor& visitor) {
-  // The DPOR modes run tree-shaped with their own engine (dpor.cpp).
-  if (is_dpor(options.por)) {
-    return explore_dpor(start, options, visitor, /*workers=*/1);
-  }
+ExploreResult explore_materialized(const interp::Config& start,
+                                   const ExploreOptions& options,
+                                   const Visitor& visitor) {
   const bool por = options.por == PorMode::kSleepSets;
 
   ExploreResult result;
@@ -55,7 +53,7 @@ ExploreResult explore_from(const interp::Config& start,
   // strictly on every re-expansion, so the search terminates.
   std::unordered_map<StateId, SleepSet> sleep_store;
 
-  auto build_trace = [](const std::vector<Frame>& stack) {
+  auto build_trace = [](const std::vector<MatFrame>& stack) {
     Trace t;
     // Frame 0 is the initial configuration; its incoming entry is empty.
     for (std::size_t i = 1; i < stack.size(); ++i) {
@@ -86,7 +84,7 @@ ExploreResult explore_from(const interp::Config& start,
     }
   };
 
-  auto prepare_frame = [&](Frame& f) {
+  auto prepare_frame = [&](MatFrame& f) {
     f.steps = expand(f.config, options);
     if (por) {
       f.sigs.reserve(f.steps.size());
@@ -94,9 +92,9 @@ ExploreResult explore_from(const interp::Config& start,
     }
   };
 
-  std::vector<Frame> stack;
+  std::vector<MatFrame> stack;
   {
-    Frame root;
+    MatFrame root;
     root.config = start;
     if (options.dedup) root.id = seen.insert(root.config.fingerprint()).id;
     if (!visit_state(root.config)) {
@@ -111,7 +109,7 @@ ExploreResult explore_from(const interp::Config& start,
 
   while (!stack.empty()) {
     result.stats.max_depth = std::max(result.stats.max_depth, stack.size());
-    Frame& top = stack.back();
+    MatFrame& top = stack.back();
     if (top.next_step >= top.steps.size()) {
       stack.pop_back();
       continue;
@@ -132,7 +130,7 @@ ExploreResult explore_from(const interp::Config& start,
       return result;
     }
 
-    Frame frame;
+    MatFrame frame;
     if (por) frame.sleep = successor_sleep(top.sleep, top.sigs, step_index);
     bool revisit = false;
     if (options.dedup) {
@@ -181,6 +179,204 @@ ExploreResult explore_from(const interp::Config& start,
   }
   finish_stats();
   return result;
+}
+
+// ===========================================================================
+// Incremental spine DFS (the hot path).
+//
+// One Config is mutated in place along the DFS spine: descending applies
+// the chosen step (apply_step), backtracking undoes it (undo_step). No
+// successor is ever materialized — a candidate is applied, fingerprinted,
+// and immediately undone when the seen set merges it. Frames are pooled
+// (the stack never shrinks its storage), so the per-node successor buffers
+// are reused across the whole search.
+// ===========================================================================
+
+struct SpineFrame {
+  std::vector<interp::Step> steps;
+  std::vector<StepSig> sigs;  ///< only filled when por is on
+  std::size_t next_step = 0;
+  /// Index (into the parent frame's steps) of the transition that entered
+  /// this frame; trace entries are rendered lazily on the abort path only
+  /// (make_entry allocates a formatted note per entry).
+  std::size_t in_index = 0;
+  StateId id = kNoState;
+  SleepSet sleep;
+  interp::StepUndo undo;  ///< undo record of the incoming transition
+};
+
+ExploreResult explore_incremental(const interp::Config& start,
+                                  const ExploreOptions& options,
+                                  const Visitor& visitor) {
+  const bool por = options.por == PorMode::kSleepSets;
+
+  ExploreResult result;
+  SeenSet seen;
+  std::unordered_map<StateId, SleepSet> sleep_store;
+
+  interp::Config cur = start;  // the spine configuration
+
+  // Frame pool: frames at depth <= high-water mark keep their buffers.
+  std::vector<SpineFrame> stack;
+  std::size_t depth = 0;  // frames in use = depth + 1
+  const auto frame = [&](std::size_t d) -> SpineFrame& {
+    if (d >= stack.size()) stack.resize(d + 1);
+    return stack[d];
+  };
+
+  auto build_trace = [&](std::size_t upto_depth) {
+    Trace t;
+    // Frame 0 is the initial configuration; frame i was entered by its
+    // parent's step in_index.
+    for (std::size_t i = 1; i <= upto_depth; ++i) {
+      t.entries.push_back(make_entry(stack[i - 1].steps[stack[i].in_index]));
+    }
+    return t;
+  };
+
+  auto visit_state = [&](const interp::Config& c) -> bool {
+    ++result.stats.states;
+    if (visitor.on_state && !visitor.on_state(c)) return false;
+    if (c.terminated()) {
+      ++result.stats.finals;
+      if (visitor.on_final && !visitor.on_final(c)) return false;
+    }
+    return true;
+  };
+
+  auto finish_stats = [&] {
+    result.stats.peak_seen_bytes = options.dedup ? seen.bytes() : 0;
+    for (const auto& [id, sleep] : sleep_store) {
+      (void)id;
+      result.stats.peak_seen_bytes +=
+          sizeof(std::pair<const StateId, SleepSet>) + 2 * sizeof(void*) +
+          sleep.capacity() * sizeof(StepSig);
+    }
+  };
+
+  auto prepare_frame = [&](SpineFrame& f) {
+    f.next_step = 0;
+    f.sigs.clear();
+    interp::enumerate_steps(cur, options.step, f.steps);
+    if (por) {
+      f.sigs.reserve(f.steps.size());
+      for (const auto& s : f.steps) f.sigs.push_back(sig_of(s));
+    }
+  };
+
+  {
+    SpineFrame& root = frame(0);
+    root.id = kNoState;
+    root.sleep.clear();
+    if (options.dedup) root.id = seen.insert(cur.fingerprint()).id;
+    if (!visit_state(cur)) {
+      result.aborted = true;
+      finish_stats();
+      return result;
+    }
+    prepare_frame(root);
+    if (por) sleep_store[root.id] = {};
+  }
+
+  while (true) {
+    result.stats.max_depth = std::max(result.stats.max_depth, depth + 1);
+    SpineFrame& top = frame(depth);
+    if (top.next_step >= top.steps.size()) {
+      if (depth == 0) break;
+      undo_step(cur, top.undo);
+      --depth;
+      continue;
+    }
+    const std::size_t step_index = top.next_step++;
+    if (por && sleep_contains(top.sleep, top.sigs[step_index])) {
+      ++result.stats.por_pruned;
+      continue;
+    }
+    ++result.stats.transitions;
+
+    // Apply in place; the successor's frame owns the undo record. NOTE:
+    // frame() may grow the pool and invalidate `top` — from here on the
+    // current frame is re-fetched as frame(depth).
+    SpineFrame& nf = frame(depth + 1);
+    (void)interp::apply_step(cur, frame(depth).steps[step_index],
+                             options.step, nf.undo);
+
+    nf.id = kNoState;
+    nf.sleep.clear();
+    if (por) {
+      nf.sleep =
+          successor_sleep(frame(depth).sleep, frame(depth).sigs, step_index);
+    }
+    bool revisit = false;
+    if (options.dedup) {
+      const InsertResult ins =
+          seen.insert(cur.fingerprint(), frame(depth).id,
+                      static_cast<std::uint32_t>(step_index));
+      nf.id = ins.id;
+      if (!ins.inserted) {
+        if (!por) {
+          ++result.stats.merged;
+          undo_step(cur, nf.undo);
+          continue;
+        }
+        SleepSet& stored = sleep_store[ins.id];
+        if (is_subset(stored, nf.sleep)) {
+          ++result.stats.merged;
+          undo_step(cur, nf.undo);
+          continue;
+        }
+        stored = intersection(stored, nf.sleep);
+        nf.sleep = stored;
+        revisit = true;
+      } else if (por) {
+        sleep_store[ins.id] = nf.sleep;
+      }
+    }
+
+    if (!revisit && result.stats.states >= options.max_states) {
+      result.stats.truncated = true;
+      finish_stats();
+      return result;
+    }
+
+    nf.in_index = step_index;
+    if (!revisit && !visit_state(cur)) {
+      result.aborted = true;
+      result.abort_trace = build_trace(depth);
+      result.abort_trace.entries.push_back(
+          make_entry(frame(depth).steps[step_index]));
+      finish_stats();
+      return result;
+    }
+    ++depth;
+    prepare_frame(frame(depth));
+  }
+  finish_stats();
+  return result;
+}
+
+}  // namespace
+
+ExploreResult explore(const lang::Program& program,
+                      const ExploreOptions& options, const Visitor& visitor) {
+  return explore_from(interp::initial_config(program), options, visitor);
+}
+
+ExploreResult explore_from(const interp::Config& start,
+                           const ExploreOptions& options,
+                           const Visitor& visitor) {
+  // The DPOR modes run tree-shaped with their own engine (dpor.cpp).
+  if (is_dpor(options.por)) {
+    return explore_dpor(start, options, visitor, /*workers=*/1);
+  }
+  // on_transition contracts a materialized ConfigStep per transition, and
+  // the pre-execution semantics enumerates through pe_successors; both go
+  // through the copying oracle path. Everything else runs on the
+  // apply/undo spine.
+  if (visitor.on_transition || options.pre_execution) {
+    return explore_materialized(start, options, visitor);
+  }
+  return explore_incremental(start, options, visitor);
 }
 
 }  // namespace rc11::mc

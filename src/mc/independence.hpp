@@ -61,7 +61,12 @@ struct StepSig {
   auto operator<=>(const StepSig&) const = default;
 };
 
-[[nodiscard]] inline StepSig sig_of(const interp::ConfigStep& s) {
+namespace detail {
+
+// ConfigStep and Step expose the same identity fields; one extraction
+// keeps the materialized and incremental paths' signatures identical.
+template <typename S>
+[[nodiscard]] StepSig sig_of_impl(const S& s) {
   StepSig sig;
   sig.thread = s.thread;
   sig.silent = s.silent;
@@ -73,6 +78,17 @@ struct StepSig {
     sig.observed = s.observed;
   }
   return sig;
+}
+
+}  // namespace detail
+
+[[nodiscard]] inline StepSig sig_of(const interp::ConfigStep& s) {
+  return detail::sig_of_impl(s);
+}
+
+/// Same identity for the incremental engine's signature-only steps.
+[[nodiscard]] inline StepSig sig_of(const interp::Step& s) {
+  return detail::sig_of_impl(s);
 }
 
 [[nodiscard]] inline bool is_read_kind(c11::ActionKind k) {

@@ -95,6 +95,15 @@ void push_local(ParallelRun& run, std::size_t me, WorkItem item) {
 /// (recording its parent edge) and push the fresh ones locally. In sleep
 /// mode, transitions slept on are pruned and each pushed item carries its
 /// successor sleep set.
+///
+/// The hot path steps the item's configuration *in place* (apply_step /
+/// undo_step): a successor is applied, fingerprinted, and undone unless it
+/// is fresh — in which case the one Config copy of this transition is taken
+/// for the deque push (the frontier handoff point; the copy carries the
+/// warm incremental cache, so the stealing worker re-enumerates without
+/// rebuilding closures). Visitors observing transitions (on_transition
+/// materializes a ConfigStep per edge) fall back to the copying oracle
+/// path.
 void process(ParallelRun& run, std::size_t me, WorkItem item) {
   WorkerStats& ws = run.worker_stats[me];
   ++ws.processed;
@@ -117,8 +126,71 @@ void process(ParallelRun& run, std::size_t me, WorkItem item) {
       }
     }
   }
-  auto steps = interp::successors(item.config, run.options.step);
-  std::vector<StepSig> sigs;
+
+  if (run.on_transition) {
+    // Materialized fallback: the callback observes ConfigStep.next.
+    auto steps = interp::successors(item.config, run.options.step);
+    std::vector<StepSig> sigs;
+    if (run.por_sleep) {
+      sigs.reserve(steps.size());
+      for (const auto& s : steps) sigs.push_back(sig_of(s));
+    }
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      if (run.por_sleep && sleep_contains(item.sleep, sigs[i])) {
+        run.por_pruned.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      run.transitions.fetch_add(1, std::memory_order_relaxed);
+      if (!run.on_transition(item.config, steps[i])) {
+        run.record_hit(item.id, static_cast<std::int64_t>(i));
+        return;
+      }
+      const util::Fingerprint fp = steps[i].next.fingerprint();
+      if (!run.por_sleep) {
+        const InsertResult ins =
+            run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
+        if (!ins.inserted) {
+          run.merged.fetch_add(1, std::memory_order_relaxed);
+          ++ws.merged;
+          continue;
+        }
+        ++ws.enqueued;
+        push_local(run, me, WorkItem{std::move(steps[i].next), ins.id});
+        continue;
+      }
+      SleepSet succ_sleep = successor_sleep(item.sleep, sigs, i);
+      const std::size_t shard =
+          fp.shard_bits() & (ParallelRun::kSleepShards - 1);
+      std::lock_guard sleep_lock(run.sleep_mutexes[shard]);
+      const InsertResult ins =
+          run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
+      if (ins.inserted) {
+        run.sleep_store[shard][ins.id] = succ_sleep;
+        ++ws.enqueued;
+        push_local(run, me, WorkItem{std::move(steps[i].next), ins.id,
+                                     std::move(succ_sleep)});
+        continue;
+      }
+      SleepSet& stored = run.sleep_store[shard][ins.id];
+      if (is_subset(stored, succ_sleep)) {
+        run.merged.fetch_add(1, std::memory_order_relaxed);
+        ++ws.merged;
+        continue;
+      }
+      stored = intersection(stored, succ_sleep);
+      ++ws.enqueued;
+      push_local(run, me, WorkItem{std::move(steps[i].next), ins.id, stored,
+                                   /*revisit=*/true});
+    }
+    return;
+  }
+
+  // In-place expansion (per-worker buffers reused across items).
+  thread_local std::vector<interp::Step> steps;
+  thread_local std::vector<StepSig> sigs;
+  thread_local interp::StepUndo undo;
+  interp::enumerate_steps(item.config, run.options.step, steps);
+  sigs.clear();
   if (run.por_sleep) {
     sigs.reserve(steps.size());
     for (const auto& s : steps) sigs.push_back(sig_of(s));
@@ -129,51 +201,50 @@ void process(ParallelRun& run, std::size_t me, WorkItem item) {
       continue;
     }
     run.transitions.fetch_add(1, std::memory_order_relaxed);
-    if (run.on_transition && !run.on_transition(item.config, steps[i])) {
-      run.record_hit(item.id, static_cast<std::int64_t>(i));
-      return;
-    }
-    const util::Fingerprint fp = steps[i].next.fingerprint();
+    (void)interp::apply_step(item.config, steps[i], run.options.step, undo);
+    const util::Fingerprint fp = item.config.fingerprint();
     if (!run.por_sleep) {
       const InsertResult ins =
           run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
       if (!ins.inserted) {
         run.merged.fetch_add(1, std::memory_order_relaxed);
         ++ws.merged;
-        continue;
+      } else {
+        ++ws.enqueued;
+        push_local(run, me, WorkItem{item.config, ins.id});
       }
-      ++ws.enqueued;
-      push_local(run, me, WorkItem{std::move(steps[i].next), ins.id});
+      interp::undo_step(item.config, undo);
       continue;
     }
-
     SleepSet succ_sleep = successor_sleep(item.sleep, sigs, i);
-    const std::size_t shard =
-        fp.shard_bits() & (ParallelRun::kSleepShards - 1);
-    std::lock_guard sleep_lock(run.sleep_mutexes[shard]);
-    const InsertResult ins =
-        run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
-    if (ins.inserted) {
-      run.sleep_store[shard][ins.id] = succ_sleep;
-      ++ws.enqueued;
-      push_local(run, me, WorkItem{std::move(steps[i].next), ins.id,
-                                   std::move(succ_sleep)});
-      continue;
+    {
+      const std::size_t shard =
+          fp.shard_bits() & (ParallelRun::kSleepShards - 1);
+      std::lock_guard sleep_lock(run.sleep_mutexes[shard]);
+      const InsertResult ins =
+          run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
+      if (ins.inserted) {
+        run.sleep_store[shard][ins.id] = succ_sleep;
+        ++ws.enqueued;
+        push_local(run, me,
+                   WorkItem{item.config, ins.id, std::move(succ_sleep)});
+      } else {
+        SleepSet& stored = run.sleep_store[shard][ins.id];
+        if (is_subset(stored, succ_sleep)) {
+          run.merged.fetch_add(1, std::memory_order_relaxed);
+          ++ws.merged;
+        } else {
+          // Previously pruned transitions may now be required: re-expand
+          // with the (strictly smaller) intersection. The stored set
+          // shrinks on every re-expansion, so the run terminates.
+          stored = intersection(stored, succ_sleep);
+          ++ws.enqueued;
+          push_local(run, me,
+                     WorkItem{item.config, ins.id, stored, /*revisit=*/true});
+        }
+      }
     }
-    SleepSet& stored = run.sleep_store[shard][ins.id];
-    if (is_subset(stored, succ_sleep)) {
-      // Already explored at least this much: safe to merge.
-      run.merged.fetch_add(1, std::memory_order_relaxed);
-      ++ws.merged;
-      continue;
-    }
-    // Previously pruned transitions may now be required: re-expand with
-    // the (strictly smaller) intersection. The stored set shrinks on
-    // every re-expansion, so the run terminates.
-    stored = intersection(stored, succ_sleep);
-    ++ws.enqueued;
-    push_local(run, me, WorkItem{std::move(steps[i].next), ins.id, stored,
-                                 /*revisit=*/true});
+    interp::undo_step(item.config, undo);
   }
 }
 
@@ -259,11 +330,12 @@ Trace reconstruct_trace(const ParallelRun& run, const lang::Program& program,
 
   Trace trace;
   interp::Config c = interp::initial_config(program);
+  std::vector<interp::Step> steps;
   for (std::uint32_t i : step_indices) {
-    auto steps = interp::successors(c, run.options.step);
+    interp::enumerate_steps(c, run.options.step, steps);
     if (i >= steps.size()) break;  // defensive; cannot happen on a real run
     trace.entries.push_back(make_entry(steps[i]));
-    c = std::move(steps[i].next);
+    (void)interp::apply_step(c, steps[i], run.options.step);  // forward only
   }
   if (final_config != nullptr) *final_config = std::move(c);
   return trace;

@@ -21,7 +21,13 @@ std::string Trace::to_string(const c11::VarTable* vars) const {
   return os.str();
 }
 
-TraceEntry make_entry(const interp::ConfigStep& step) {
+namespace {
+
+// ConfigStep and Step expose the same descriptive fields; one rendering
+// keeps the materialized and incremental paths' entries byte-identical
+// (replay_trace matches on the rendered note).
+template <typename S>
+TraceEntry entry_of(const S& step) {
   TraceEntry e;
   e.thread = step.thread;
   e.silent = step.silent;
@@ -34,14 +40,25 @@ TraceEntry make_entry(const interp::ConfigStep& step) {
   return e;
 }
 
+}  // namespace
+
+TraceEntry make_entry(const interp::ConfigStep& step) {
+  return entry_of(step);
+}
+
+TraceEntry make_entry(const interp::Step& step) { return entry_of(step); }
+
 std::optional<interp::Config> replay_trace(const lang::Program& program,
                                            const Trace& trace,
                                            const interp::StepOptions& opts) {
+  // Replays through the incremental engine (the same path the explorers
+  // take); entries match enumerate_steps signatures directly.
   interp::Config c = interp::initial_config(program);
+  std::vector<interp::Step> steps;
   for (const TraceEntry& entry : trace.entries) {
-    auto steps = interp::successors(c, opts);
+    interp::enumerate_steps(c, opts, steps);
     bool matched = false;
-    for (auto& step : steps) {
+    for (const interp::Step& step : steps) {
       const TraceEntry cand = make_entry(step);
       if (cand.thread == entry.thread && cand.silent == entry.silent &&
           cand.note == entry.note &&
@@ -49,7 +66,7 @@ std::optional<interp::Config> replay_trace(const lang::Program& program,
                             cand.action.var == entry.action.var &&
                             cand.action.rval == entry.action.rval &&
                             cand.action.wval == entry.action.wval))) {
-        c = std::move(step.next);
+        (void)interp::apply_step(c, step, opts);  // forward only
         matched = true;
         break;
       }

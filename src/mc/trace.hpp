@@ -31,6 +31,11 @@ struct Trace {
 /// Builds a trace entry from an interpreted step.
 [[nodiscard]] TraceEntry make_entry(const interp::ConfigStep& step);
 
+/// Same rendering for the incremental engine's signature-only steps (the
+/// two produce identical entries for the same transition, so traces replay
+/// across both paths).
+[[nodiscard]] TraceEntry make_entry(const interp::Step& step);
+
 /// Replays a trace from the program's initial configuration by matching
 /// each entry against the enumerated successors (thread, silence, action
 /// and note identify a transition uniquely). Returns the configuration the

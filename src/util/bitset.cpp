@@ -4,16 +4,31 @@
 
 namespace rc11::util {
 
+void Bitset::set_capacity(std::size_t new_cap) {
+  assert(new_cap > cap_);
+  auto* mem = new std::uint64_t[new_cap];
+  std::memcpy(mem, data(), nwords_ * sizeof(std::uint64_t));
+  std::memset(mem + nwords_, 0, (new_cap - nwords_) * sizeof(std::uint64_t));
+  if (on_heap()) delete[] store_.heap;
+  store_.heap = mem;
+  cap_ = static_cast<std::uint32_t>(new_cap);
+}
+
 std::size_t Bitset::count() const {
+  const std::uint64_t* d = data();
   std::size_t n = 0;
-  for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+  for (std::uint32_t k = 0; k < nwords_; ++k) {
+    n += static_cast<std::size_t>(__builtin_popcountll(d[k]));
+  }
   return n;
 }
 
 std::size_t Bitset::first() const {
-  for (std::size_t k = 0; k < words_.size(); ++k) {
-    if (words_[k] != 0) {
-      return k * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[k]));
+  const std::uint64_t* d = data();
+  for (std::uint32_t k = 0; k < nwords_; ++k) {
+    if (d[k] != 0) {
+      return k * std::size_t{64} +
+             static_cast<std::size_t>(__builtin_ctzll(d[k]));
     }
   }
   return size_;
@@ -22,14 +37,15 @@ std::size_t Bitset::first() const {
 std::size_t Bitset::next(std::size_t i) const {
   ++i;
   if (i >= size_) return size_;
+  const std::uint64_t* d = data();
   std::size_t k = i >> 6;
-  std::uint64_t w = words_[k] & (~std::uint64_t{0} << (i & 63));
+  std::uint64_t w = d[k] & (~std::uint64_t{0} << (i & 63));
   while (true) {
     if (w != 0) {
       return k * 64 + static_cast<std::size_t>(__builtin_ctzll(w));
     }
-    if (++k == words_.size()) return size_;
-    w = words_[k];
+    if (++k == nwords_) return size_;
+    w = d[k];
   }
 }
 
@@ -41,9 +57,10 @@ std::vector<std::size_t> Bitset::elements() const {
 }
 
 std::size_t Bitset::hash() const {
+  const std::uint64_t* d = data();
   std::size_t h = 1469598103934665603ull ^ size_;
-  for (auto w : words_) {
-    h ^= static_cast<std::size_t>(w);
+  for (std::uint32_t k = 0; k < nwords_; ++k) {
+    h ^= static_cast<std::size_t>(d[k]);
     h *= 1099511628211ull;
   }
   return h;

@@ -2,14 +2,26 @@
 //
 // The model checker manipulates sets of events (encountered writes,
 // observable writes, relation rows) thousands of times per explored state,
-// so the representation is a flat vector of 64-bit words with word-level
-// set algebra. All operations that combine two bitsets require equal size;
-// this is asserted in debug builds.
+// so the representation is word-level set algebra with a *small-buffer
+// optimization*: universes of up to 128 elements (every litmus-scale
+// execution) live in two inline words and never touch the heap. This is
+// what makes a Config clone — the one copy the incremental explorers still
+// take per executed transition (DPOR tree nodes, parallel frontier
+// handoff) — a flat memcpy-like operation instead of ~100 small
+// allocations. Larger universes spill to a heap array transparently.
+//
+// All operations that combine two bitsets require equal size; this is
+// asserted in debug builds. Words at index >= active count are kept zero,
+// so shrink/grow cycles (the undo/redo pattern of the incremental
+// semantics engine) are exact and allocation-free once the high-water mark
+// is reached.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -21,31 +33,118 @@ class Bitset {
   Bitset() = default;
 
   /// Constructs an empty set over the universe {0, ..., n-1}.
-  explicit Bitset(std::size_t n) : size_(n), words_((n + 63) / 64, 0) {}
+  explicit Bitset(std::size_t n) : size_(n) {
+    const std::size_t w = words_for(n);
+    if (w > kInlineWords) set_capacity(w);
+    nwords_ = static_cast<std::uint32_t>(w);
+  }
+
+  Bitset(const Bitset& o) : size_(o.size_) {
+    // nwords_ must still be 0 while set_capacity copies the (empty) old
+    // contents; only then adopt the source's word count.
+    if (o.nwords_ > kInlineWords) set_capacity(o.nwords_);
+    nwords_ = o.nwords_;
+    std::memcpy(data(), o.data(), nwords_ * sizeof(std::uint64_t));
+  }
+
+  Bitset(Bitset&& o) noexcept : size_(o.size_), nwords_(o.nwords_) {
+    if (o.on_heap()) {
+      store_.heap = o.store_.heap;
+      cap_ = o.cap_;
+      o.cap_ = kInlineWords;
+      o.size_ = 0;
+      o.nwords_ = 0;
+      std::memset(o.store_.words, 0, sizeof(o.store_.words));
+    } else {
+      std::memcpy(store_.words, o.store_.words, sizeof(store_.words));
+    }
+  }
+
+  Bitset& operator=(const Bitset& o) {
+    if (this == &o) return *this;
+    if (o.nwords_ > cap_) set_capacity(o.nwords_);
+    std::uint64_t* d = data();
+    std::memcpy(d, o.data(), o.nwords_ * sizeof(std::uint64_t));
+    // Keep the zero-tail invariant for our (possibly larger) capacity.
+    if (nwords_ > o.nwords_) {
+      std::memset(d + o.nwords_, 0,
+                  (nwords_ - o.nwords_) * sizeof(std::uint64_t));
+    }
+    size_ = o.size_;
+    nwords_ = o.nwords_;
+    return *this;
+  }
+
+  Bitset& operator=(Bitset&& o) noexcept {
+    if (this == &o) return *this;
+    if (o.on_heap()) {
+      if (on_heap()) delete[] store_.heap;
+      store_.heap = o.store_.heap;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      nwords_ = o.nwords_;
+      o.cap_ = kInlineWords;
+      o.size_ = 0;
+      o.nwords_ = 0;
+      std::memset(o.store_.words, 0, sizeof(o.store_.words));
+    } else {
+      *this = o;  // inline source: plain copy (cheap)
+    }
+    return *this;
+  }
+
+  ~Bitset() {
+    if (on_heap()) delete[] store_.heap;
+  }
 
   /// Number of elements in the universe (not the population count).
   [[nodiscard]] std::size_t size() const { return size_; }
 
-  /// Grows the universe to n elements, preserving membership.
+  /// Resizes the universe to n elements, preserving membership of the
+  /// surviving elements; dropped bits are cleared so a later re-grow sees
+  /// zeros. Storage is kept on shrink (no reallocation on regrow).
   void resize(std::size_t n) {
+    const std::size_t w = words_for(n);
+    if (n >= size_) {
+      // Grow: bits at index >= size_ are zero by invariant, so no masking
+      // or zeroing is needed (this is the per-append fast path).
+      if (w > cap_) {
+        set_capacity(std::max(w, 2 * static_cast<std::size_t>(cap_)));
+      }
+      nwords_ = static_cast<std::uint32_t>(w);
+      size_ = n;
+      return;
+    }
+    // Shrink: clear the dropped suffix so a later re-grow sees zeros.
+    std::uint64_t* d = data();
+    if (w < nwords_) {
+      std::memset(d + w, 0, (nwords_ - w) * sizeof(std::uint64_t));
+    }
+    nwords_ = static_cast<std::uint32_t>(w);
     size_ = n;
-    words_.resize((n + 63) / 64, 0);
     trim();
+  }
+
+  /// Pre-allocates word storage for a universe of n elements without
+  /// changing the logical size.
+  void reserve(std::size_t n) {
+    const std::size_t w = words_for(n);
+    if (w > cap_) set_capacity(w);
   }
 
   [[nodiscard]] bool test(std::size_t i) const {
     assert(i < size_);
-    return (words_[i >> 6] >> (i & 63)) & 1;
+    return (data()[i >> 6] >> (i & 63)) & 1;
   }
 
   void set(std::size_t i) {
     assert(i < size_);
-    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+    data()[i >> 6] |= std::uint64_t{1} << (i & 63);
   }
 
   void reset(std::size_t i) {
     assert(i < size_);
-    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    data()[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
   }
 
   void assign(std::size_t i, bool value) {
@@ -58,18 +157,20 @@ class Bitset {
 
   /// Removes all elements.
   void clear() {
-    for (auto& w : words_) w = 0;
+    std::memset(data(), 0, nwords_ * sizeof(std::uint64_t));
   }
 
   /// Adds all elements of the universe.
   void fill() {
-    for (auto& w : words_) w = ~std::uint64_t{0};
+    std::uint64_t* d = data();
+    for (std::uint32_t k = 0; k < nwords_; ++k) d[k] = ~std::uint64_t{0};
     trim();
   }
 
   [[nodiscard]] bool empty() const {
-    for (auto w : words_) {
-      if (w != 0) return false;
+    const std::uint64_t* d = data();
+    for (std::uint32_t k = 0; k < nwords_; ++k) {
+      if (d[k] != 0) return false;
     }
     return true;
   }
@@ -85,26 +186,34 @@ class Bitset {
 
   Bitset& operator|=(const Bitset& o) {
     assert(size_ == o.size_);
-    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] |= o.words_[k];
+    std::uint64_t* d = data();
+    const std::uint64_t* s = o.data();
+    for (std::uint32_t k = 0; k < nwords_; ++k) d[k] |= s[k];
     return *this;
   }
 
   Bitset& operator&=(const Bitset& o) {
     assert(size_ == o.size_);
-    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] &= o.words_[k];
+    std::uint64_t* d = data();
+    const std::uint64_t* s = o.data();
+    for (std::uint32_t k = 0; k < nwords_; ++k) d[k] &= s[k];
     return *this;
   }
 
   Bitset& operator^=(const Bitset& o) {
     assert(size_ == o.size_);
-    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] ^= o.words_[k];
+    std::uint64_t* d = data();
+    const std::uint64_t* s = o.data();
+    for (std::uint32_t k = 0; k < nwords_; ++k) d[k] ^= s[k];
     return *this;
   }
 
   /// Set difference: removes every element of o from this set.
   Bitset& subtract(const Bitset& o) {
     assert(size_ == o.size_);
-    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] &= ~o.words_[k];
+    std::uint64_t* d = data();
+    const std::uint64_t* s = o.data();
+    for (std::uint32_t k = 0; k < nwords_; ++k) d[k] &= ~s[k];
     return *this;
   }
 
@@ -112,14 +221,18 @@ class Bitset {
   friend Bitset operator&(Bitset a, const Bitset& b) { return a &= b; }
 
   [[nodiscard]] bool operator==(const Bitset& o) const {
-    return size_ == o.size_ && words_ == o.words_;
+    if (size_ != o.size_) return false;
+    return std::memcmp(data(), o.data(), nwords_ * sizeof(std::uint64_t)) ==
+           0;
   }
 
   /// True iff this set and o share no element.
   [[nodiscard]] bool disjoint(const Bitset& o) const {
     assert(size_ == o.size_);
-    for (std::size_t k = 0; k < words_.size(); ++k) {
-      if ((words_[k] & o.words_[k]) != 0) return false;
+    const std::uint64_t* d = data();
+    const std::uint64_t* s = o.data();
+    for (std::uint32_t k = 0; k < nwords_; ++k) {
+      if ((d[k] & s[k]) != 0) return false;
     }
     return true;
   }
@@ -127,8 +240,10 @@ class Bitset {
   /// True iff every element of this set is in o.
   [[nodiscard]] bool subset_of(const Bitset& o) const {
     assert(size_ == o.size_);
-    for (std::size_t k = 0; k < words_.size(); ++k) {
-      if ((words_[k] & ~o.words_[k]) != 0) return false;
+    const std::uint64_t* d = data();
+    const std::uint64_t* s = o.data();
+    for (std::uint32_t k = 0; k < nwords_; ++k) {
+      if ((d[k] & ~s[k]) != 0) return false;
     }
     return true;
   }
@@ -139,11 +254,12 @@ class Bitset {
   /// Calls f(i) for each member i in increasing order.
   template <typename F>
   void for_each(F&& f) const {
-    for (std::size_t k = 0; k < words_.size(); ++k) {
-      std::uint64_t w = words_[k];
+    const std::uint64_t* d = data();
+    for (std::uint32_t k = 0; k < nwords_; ++k) {
+      std::uint64_t w = d[k];
       while (w != 0) {
         const int b = __builtin_ctzll(w);
-        f(k * 64 + static_cast<std::size_t>(b));
+        f(k * std::size_t{64} + static_cast<std::size_t>(b));
         w &= w - 1;
       }
     }
@@ -155,23 +271,42 @@ class Bitset {
   /// Renders e.g. "{0, 3, 17}".
   [[nodiscard]] std::string to_string() const;
 
-  /// Raw word access for bulk algorithms (transitive closure).
-  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
-    return words_;
-  }
-  [[nodiscard]] std::vector<std::uint64_t>& words() { return words_; }
-
  private:
-  // Zeroes bits beyond size_ in the last word so equality/hash are canonical.
+  static constexpr std::uint32_t kInlineWords = 2;  // 128-element universes
+
+  static constexpr std::size_t words_for(std::size_t n) {
+    return (n + 63) / 64;
+  }
+
+  [[nodiscard]] bool on_heap() const { return cap_ > kInlineWords; }
+
+  [[nodiscard]] const std::uint64_t* data() const {
+    return on_heap() ? store_.heap : store_.words;
+  }
+  [[nodiscard]] std::uint64_t* data() {
+    return on_heap() ? store_.heap : store_.words;
+  }
+
+  /// Moves to a heap array of new_cap words (strictly growing), keeping
+  /// the zero-tail invariant.
+  void set_capacity(std::size_t new_cap);
+
+  // Zeroes bits beyond size_ in the last word so equality/hash are
+  // canonical; words at index >= nwords_ are kept zero by all mutators.
   void trim() {
     const std::size_t rem = size_ & 63;
-    if (rem != 0 && !words_.empty()) {
-      words_.back() &= (std::uint64_t{1} << rem) - 1;
+    if (rem != 0 && nwords_ != 0) {
+      data()[nwords_ - 1] &= (std::uint64_t{1} << rem) - 1;
     }
   }
 
-  std::size_t size_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;      ///< universe size in bits
+  std::uint32_t nwords_ = 0;  ///< active words = words_for(size_)
+  std::uint32_t cap_ = kInlineWords;  ///< allocated words
+  union Store {
+    std::uint64_t words[kInlineWords];
+    std::uint64_t* heap;
+  } store_{};
 };
 
 }  // namespace rc11::util

@@ -6,12 +6,64 @@
 namespace rc11::util {
 
 void Relation::resize(std::size_t n) {
+  if (n > cap_) {
+    // Geometric capacity growth: one append used to reallocate every row;
+    // reserving ahead makes the append-one-element pattern amortized O(rows).
+    reserve(std::max<std::size_t>({n, 2 * cap_, 16}));
+  }
   n_ = n;
   for (auto& r : rows_) r.resize(n);
-  rows_.resize(n, Bitset(n));
+  if (rows_.size() > n) {
+    rows_.resize(n);
+  } else {
+    while (rows_.size() < n) {
+      Bitset row(n);
+      row.reserve(cap_);
+      rows_.push_back(std::move(row));
+    }
+  }
+  if (inverse_) {
+    for (auto& c : cols_) c.resize(n);
+    if (cols_.size() > n) {
+      cols_.resize(n);
+    } else {
+      while (cols_.size() < n) {
+        Bitset col(n);
+        col.reserve(cap_);
+        cols_.push_back(std::move(col));
+      }
+    }
+  }
+}
+
+void Relation::reserve(std::size_t cap) {
+  if (cap <= cap_) return;
+  cap_ = cap;
+  rows_.reserve(cap);
+  for (auto& r : rows_) r.reserve(cap);
+  if (inverse_) {
+    cols_.reserve(cap);
+    for (auto& c : cols_) c.reserve(cap);
+  }
+}
+
+void Relation::enable_inverse() {
+  if (inverse_) return;
+  inverse_ = true;
+  rebuild_inverse();
+}
+
+void Relation::rebuild_inverse() {
+  if (!inverse_) return;
+  cols_.assign(n_, Bitset(n_));
+  for (auto& c : cols_) c.reserve(cap_);
+  for (std::size_t a = 0; a < n_; ++a) {
+    rows_[a].for_each([&](std::size_t b) { cols_[b].set(a); });
+  }
 }
 
 Bitset Relation::column(std::size_t b) const {
+  if (inverse_) return cols_[b];
   Bitset out(n_);
   for (std::size_t a = 0; a < n_; ++a) {
     if (rows_[a].test(b)) out.set(a);
@@ -42,16 +94,19 @@ std::vector<std::pair<std::size_t, std::size_t>> Relation::pairs() const {
 
 Relation& Relation::operator|=(const Relation& o) {
   for (std::size_t a = 0; a < n_; ++a) rows_[a] |= o.rows_[a];
+  rebuild_inverse();
   return *this;
 }
 
 Relation& Relation::operator&=(const Relation& o) {
   for (std::size_t a = 0; a < n_; ++a) rows_[a] &= o.rows_[a];
+  rebuild_inverse();
   return *this;
 }
 
 Relation& Relation::subtract(const Relation& o) {
   for (std::size_t a = 0; a < n_; ++a) rows_[a].subtract(o.rows_[a]);
+  rebuild_inverse();
   return *this;
 }
 
@@ -97,6 +152,7 @@ Relation Relation::transitive_closure() const {
       }
     }
   }
+  out.rebuild_inverse();
   return out;
 }
 
@@ -113,11 +169,17 @@ Relation Relation::reflexive_closure() const {
 }
 
 void Relation::add_identity() {
-  for (std::size_t a = 0; a < n_; ++a) rows_[a].set(a);
+  for (std::size_t a = 0; a < n_; ++a) {
+    rows_[a].set(a);
+    if (inverse_) cols_[a].set(a);
+  }
 }
 
 void Relation::remove_identity() {
-  for (std::size_t a = 0; a < n_; ++a) rows_[a].reset(a);
+  for (std::size_t a = 0; a < n_; ++a) {
+    rows_[a].reset(a);
+    if (inverse_) cols_[a].reset(a);
+  }
 }
 
 bool Relation::is_irreflexive() const {

@@ -6,6 +6,7 @@
 // totality queries on them.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <optional>
 #include <string>
@@ -26,22 +27,56 @@ class Relation {
 
   [[nodiscard]] std::size_t size() const { return n_; }
 
-  /// Grows the universe to n elements, preserving all pairs.
+  /// Resizes the universe to n elements, preserving the pairs whose
+  /// endpoints survive. Growth reserves capacity geometrically (each row's
+  /// words plus the row vector itself), so the append-one-event pattern of
+  /// the incremental semantics engine does not reallocate every row on
+  /// every append; shrink keeps the storage for the next grow.
   void resize(std::size_t n);
+
+  /// Pre-allocates storage for a universe of `cap` elements (rows and, when
+  /// the inverse is maintained, columns) without changing the logical size.
+  void reserve(std::size_t cap);
 
   [[nodiscard]] bool contains(std::size_t a, std::size_t b) const {
     return rows_[a].test(b);
   }
 
-  void add(std::size_t a, std::size_t b) { rows_[a].set(b); }
-  void remove(std::size_t a, std::size_t b) { rows_[a].reset(b); }
+  void add(std::size_t a, std::size_t b) {
+    rows_[a].set(b);
+    if (inverse_) cols_[b].set(a);
+  }
+  void remove(std::size_t a, std::size_t b) {
+    rows_[a].reset(b);
+    if (inverse_) cols_[b].reset(a);
+  }
 
-  /// Row a: successors of a.
+  /// Row a: successors of a. The mutable overload bypasses inverse
+  /// maintenance and asserts it is off.
   [[nodiscard]] const Bitset& row(std::size_t a) const { return rows_[a]; }
-  [[nodiscard]] Bitset& row(std::size_t a) { return rows_[a]; }
+  [[nodiscard]] Bitset& row(std::size_t a) {
+    assert(!inverse_);
+    return rows_[a];
+  }
 
-  /// Column b: predecessors of b (computed, O(n)).
+  /// Column b: predecessors of b (O(n) scan, or a copy of the maintained
+  /// inverse row when enabled).
   [[nodiscard]] Bitset column(std::size_t b) const;
+
+  // --- Maintained inverse ---------------------------------------------------
+  //
+  // With the inverse enabled the relation keeps a column mirror updated by
+  // add/remove/resize (bulk mutators rebuild it), so predecessor queries on
+  // the observability hot path are O(1) row accesses instead of O(n) scans.
+
+  void enable_inverse();
+  [[nodiscard]] bool inverse_enabled() const { return inverse_; }
+
+  /// Column b as a view of the maintained mirror; requires enable_inverse().
+  [[nodiscard]] const Bitset& column_view(std::size_t b) const {
+    assert(inverse_);
+    return cols_[b];
+  }
 
   /// Number of pairs.
   [[nodiscard]] std::size_t pair_count() const;
@@ -112,8 +147,13 @@ class Relation {
   [[nodiscard]] std::string to_string() const;
 
  private:
+  void rebuild_inverse();
+
   std::size_t n_ = 0;
+  std::size_t cap_ = 0;  ///< reserved universe size (geometric growth)
+  bool inverse_ = false;
   std::vector<Bitset> rows_;
+  std::vector<Bitset> cols_;  ///< column mirror, maintained when inverse_
 };
 
 }  // namespace rc11::util

@@ -104,6 +104,40 @@ TEST(Bitset, FillRespectsSize) {
   EXPECT_EQ(b.count(), 67u);
 }
 
+TEST(Bitset, LargeUniverseSpillsToHeapAndCopies) {
+  // Universes beyond the inline small-buffer (128 elements) spill to the
+  // heap; copy/move/assign must carry the full contents (regression: the
+  // copy constructor once read the source through the inline buffer).
+  Bitset a(300);
+  a.set(0);
+  a.set(129);
+  a.set(299);
+  const Bitset copy(a);
+  EXPECT_EQ(copy, a);
+  EXPECT_EQ(copy.count(), 3u);
+  EXPECT_TRUE(copy.test(129) && copy.test(299));
+
+  Bitset assigned(5);
+  assigned = a;
+  EXPECT_EQ(assigned, a);
+
+  Bitset moved(std::move(assigned));
+  EXPECT_EQ(moved, a);
+
+  // Shrink/grow cycles across the inline boundary stay exact.
+  Bitset c = a;
+  c.resize(100);
+  c.resize(300);
+  EXPECT_EQ(c.count(), 1u);  // only bit 0 survives the shrink
+  EXPECT_TRUE(c.test(0));
+
+  // Back-assign a small set into a heap-backed one.
+  Bitset small(10);
+  small.set(3);
+  c = small;
+  EXPECT_EQ(c, small);
+}
+
 TEST(Bitset, HashIsContentBased) {
   Bitset a(100), b(100);
   a.set(42);

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Bench regression smoke gate.
+
+Compares a freshly produced BENCH_*.json (bench/bench_report.hpp format)
+against the checked-in baseline and fails when a gated metric regresses by
+more than the threshold (default 30%, per the perf acceptance bar: the
+litmus-catalogue states/sec under every POR mode must not quietly decay).
+
+Absolute states/sec varies with the host, so the threshold is deliberately
+loose — this is a smoke gate against large regressions (an accidental
+de-incrementalisation of the hot path), not a microbenchmark tribunal.
+Update the baseline by copying a Release-build BENCH_mc_scaling.json from
+CI (or a comparable machine) into bench/baseline/ when the engine gets
+intentionally faster.
+
+Usage:
+  check_bench_regression.py --current build/BENCH_mc_scaling.json \
+      --baseline bench/baseline/BENCH_mc_scaling.json [--threshold 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+GATED_METRIC = "states_per_sec"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="maximum tolerated relative regression (0.30 = 30%)")
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)["benchmarks"]
+    with open(args.baseline) as f:
+        baseline = json.load(f)["benchmarks"]
+
+    failures = []
+    compared = 0
+    for name, base_metrics in sorted(baseline.items()):
+        if GATED_METRIC not in base_metrics:
+            continue
+        cur_metrics = current.get(name)
+        if cur_metrics is None or GATED_METRIC not in cur_metrics:
+            failures.append(f"{name}: missing from current results")
+            continue
+        base = base_metrics[GATED_METRIC]
+        cur = cur_metrics[GATED_METRIC]
+        ratio = cur / base if base > 0 else float("inf")
+        compared += 1
+        status = "OK"
+        if ratio < 1.0 - args.threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {GATED_METRIC} {cur:,.0f} vs baseline {base:,.0f} "
+                f"({ratio:.2f}x, limit {1.0 - args.threshold:.2f}x)")
+        print(f"{status:>10}  {name}: {cur:,.0f} vs {base:,.0f} "
+              f"({ratio:.2f}x)")
+
+    if compared == 0:
+        print("error: no gated benchmarks in common", file=sys.stderr)
+        return 2
+    if failures:
+        print("\nBench regression gate FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\nBench regression gate passed ({compared} benchmarks).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
