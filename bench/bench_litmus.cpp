@@ -10,16 +10,19 @@ using namespace rc11;
 
 namespace {
 
-void run_litmus(benchmark::State& state, const litmus::Test& test) {
+void run_litmus(benchmark::State& state, const litmus::Test& test,
+                mc::PorMode por) {
   const lang::ParsedLitmus parsed = lang::parse_litmus(test.source);
+  mc::ExploreOptions opts;
+  opts.por = por;
   std::size_t states = 0;
   std::size_t transitions = 0;
   std::size_t outcomes = 0;
   bool pass = true;
   for (auto _ : state) {
     const mc::ReachabilityResult r =
-        mc::check_reachable(parsed.program, parsed.condition);
-    const mc::OutcomeResult o = mc::enumerate_outcomes(parsed.program);
+        mc::check_reachable(parsed.program, parsed.condition, opts);
+    const mc::OutcomeResult o = mc::enumerate_outcomes(parsed.program, opts);
     benchmark::DoNotOptimize(r.reachable);
     states = o.stats.states;
     transitions = o.stats.transitions;
@@ -33,12 +36,18 @@ void run_litmus(benchmark::State& state, const litmus::Test& test) {
   state.counters["pass"] = pass ? 1 : 0;
 }
 
+// One series per catalogue entry under full exploration (the paper's
+// behaviours table) and one under the optimal wakeup-tree reduction (the
+// per-test cost of the tentpole mode).
 const int register_all = [] {
   for (const litmus::Test& t : litmus::catalog()) {
-    benchmark::RegisterBenchmark(("litmus/" + t.name).c_str(),
-                                 [&t](benchmark::State& s) {
-                                   run_litmus(s, t);
-                                 });
+    benchmark::RegisterBenchmark(
+        ("litmus/" + t.name).c_str(),
+        [&t](benchmark::State& s) { run_litmus(s, t, mc::PorMode::kNone); });
+    benchmark::RegisterBenchmark(
+        ("litmus-optimal/" + t.name).c_str(), [&t](benchmark::State& s) {
+          run_litmus(s, t, mc::PorMode::kOptimal);
+        });
   }
   return 0;
 }();

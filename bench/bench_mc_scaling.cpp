@@ -110,22 +110,27 @@ void seen_set_footprint(benchmark::State& state) {
 }
 BENCHMARK(seen_set_footprint)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
+/// All six POR modes, in ablation order (args 0..5 of the two catalogue
+/// benches below).
+constexpr mc::PorMode kPorModes[] = {
+    mc::PorMode::kNone,          mc::PorMode::kSleepSets,
+    mc::PorMode::kSourceSets,    mc::PorMode::kSourceSetsSleep,
+    mc::PorMode::kOptimal,       mc::PorMode::kOptimalParsimonious};
+
 void por_litmus_catalog(benchmark::State& state) {
   // Full exploration (no early abort) of every catalogue program under
-  // each POR mode; the counters expose the state/transition reduction.
-  // Arg: 0 = plain, 1 = sleep sets, 2 = source-set DPOR, 3 = DPOR+sleep.
-  static constexpr mc::PorMode kModes[] = {
-      mc::PorMode::kNone, mc::PorMode::kSleepSets, mc::PorMode::kSourceSets,
-      mc::PorMode::kSourceSetsSleep};
-  static constexpr const char* kLabels[] = {"plain", "sleep-sets",
-                                            "source-dpor",
-                                            "source-dpor+sleep"};
+  // each POR mode; the counters expose the state/transition reduction
+  // plus the stateless-DPOR redundancy (sleep_blocked /
+  // redundant_transitions) the optimal wakeup-tree modes remove.
+  // Arg: 0 = plain, 1 = sleep sets, 2 = source-set DPOR, 3 = DPOR+sleep,
+  // 4 = optimal, 5 = optimal-parsimonious.
   const auto mode = static_cast<std::size_t>(state.range(0));
   mc::ExploreOptions opts;
-  opts.por = kModes[mode];
+  opts.por = kPorModes[mode];
   std::size_t states = 0, transitions = 0, pruned = 0, backtracks = 0;
+  std::size_t blocked = 0, redundant = 0;
   for (auto _ : state) {
-    states = transitions = pruned = backtracks = 0;
+    states = transitions = pruned = backtracks = blocked = redundant = 0;
     for (const auto& test : litmus::catalog()) {
       const auto parsed = lang::parse_litmus(test.source);
       const mc::ExploreResult r = mc::explore(parsed.program, opts, {});
@@ -133,15 +138,19 @@ void por_litmus_catalog(benchmark::State& state) {
       transitions += r.stats.transitions;
       pruned += r.stats.por_pruned;
       backtracks += r.stats.backtracks;
+      blocked += r.stats.sleep_blocked;
+      redundant += r.stats.redundant_transitions;
     }
   }
-  state.SetLabel(kLabels[mode]);
+  state.SetLabel(mc::por_mode_name(opts.por));
   state.counters["states"] = static_cast<double>(states);
   state.counters["transitions"] = static_cast<double>(transitions);
   state.counters["por_pruned"] = static_cast<double>(pruned);
   state.counters["backtracks"] = static_cast<double>(backtracks);
+  state.counters["sleep_blocked"] = static_cast<double>(blocked);
+  state.counters["redundant_transitions"] = static_cast<double>(redundant);
 }
-BENCHMARK(por_litmus_catalog)->DenseRange(0, 3)->Unit(
+BENCHMARK(por_litmus_catalog)->DenseRange(0, 5)->Unit(
     benchmark::kMillisecond);
 
 void litmus_catalog_throughput(benchmark::State& state) {
@@ -150,21 +159,16 @@ void litmus_catalog_throughput(benchmark::State& state) {
   // checker, not the front end). This is the headline number the
   // incremental semantics engine is tuned for; BENCH_mc_scaling.json
   // carries states_per_sec / transitions_per_sec / peak_seen_bytes per
-  // POR mode, and CI gates on the kSourceSetsSleep entry against the
-  // checked-in baseline (tools/check_bench_regression.py).
-  static constexpr mc::PorMode kModes[] = {
-      mc::PorMode::kNone, mc::PorMode::kSleepSets, mc::PorMode::kSourceSets,
-      mc::PorMode::kSourceSetsSleep};
-  static constexpr const char* kLabels[] = {"plain", "sleep-sets",
-                                            "source-dpor",
-                                            "source-dpor+sleep"};
+  // POR mode — including the optimal wakeup-tree modes — and CI gates
+  // every baselined entry against the checked-in baseline
+  // (tools/check_bench_regression.py).
   const auto mode = static_cast<std::size_t>(state.range(0));
   std::vector<lang::Program> programs;
   for (const auto& test : litmus::catalog()) {
     programs.push_back(lang::parse_litmus(test.source).program);
   }
   mc::ExploreOptions opts;
-  opts.por = kModes[mode];
+  opts.por = kPorModes[mode];
   std::size_t states = 0, transitions = 0, peak = 0;
   for (auto _ : state) {
     states = transitions = peak = 0;
@@ -175,12 +179,12 @@ void litmus_catalog_throughput(benchmark::State& state) {
       peak += r.stats.peak_seen_bytes;
     }
   }
-  state.SetLabel(kLabels[mode]);
+  state.SetLabel(mc::por_mode_name(opts.por));
   state.counters["states"] = static_cast<double>(states);
   state.counters["transitions"] = static_cast<double>(transitions);
   state.counters["peak_seen_bytes"] = static_cast<double>(peak);
 }
-BENCHMARK(litmus_catalog_throughput)->DenseRange(0, 3)->Unit(
+BENCHMARK(litmus_catalog_throughput)->DenseRange(0, 5)->Unit(
     benchmark::kMillisecond);
 
 void peterson_bound_scaling(benchmark::State& state) {

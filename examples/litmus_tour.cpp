@@ -4,6 +4,8 @@
 // final execution.
 //
 //   ./litmus_tour [--test NAME] [--show NAME] [--source NAME]
+//                 [--por none|sleep|source|source-sleep|optimal|
+//                        optimal-parsimonious]
 #include <iostream>
 
 #include "rc11/rc11.hpp"
@@ -15,6 +17,9 @@ int main(int argc, char** argv) {
   cli.option("test", "", "run only this catalogue entry");
   cli.option("show", "", "dump outcomes + a final execution of this test");
   cli.option("source", "", "print the litmus source of this test");
+  cli.option("por", "none",
+             "partial-order reduction: none|sleep|source|source-sleep|"
+             "optimal|optimal-parsimonious");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage("litmus_tour");
     return 1;
@@ -22,6 +27,14 @@ int main(int argc, char** argv) {
   if (cli.help_requested()) {
     std::cout << cli.usage("litmus_tour");
     return 0;
+  }
+
+  mc::ExploreOptions opts;
+  if (const auto por = mc::por_mode_from_name(cli.get("por"))) {
+    opts.por = *por;
+  } else {
+    std::cerr << "unknown --por mode: " << cli.get("por") << "\n";
+    return 1;
   }
 
   if (const std::string name = cli.get("source"); !name.empty()) {
@@ -35,7 +48,8 @@ int main(int argc, char** argv) {
     std::cout << t.name << ": " << t.description << "\n"
               << "expected: " << litmus::to_string(t.expected) << " — "
               << t.rationale << "\n\n";
-    const mc::OutcomeResult outcomes = mc::enumerate_outcomes(parsed.program);
+    const mc::OutcomeResult outcomes =
+        mc::enumerate_outcomes(parsed.program, opts);
     std::cout << "outcomes:\n";
     for (const mc::Outcome& o : outcomes.outcomes) {
       std::cout << "  " << o.to_string(parsed.program) << "\n";
@@ -51,15 +65,15 @@ int main(int argc, char** argv) {
       dumped = true;
       return false;
     };
-    (void)mc::explore(parsed.program, {}, v);
+    (void)mc::explore(parsed.program, opts, v);
     return dumped ? 0 : 1;
   }
 
   std::vector<litmus::RunResult> results;
   if (const std::string name = cli.get("test"); !name.empty()) {
-    results.push_back(litmus::run_test(litmus::find_test(name)));
+    results.push_back(litmus::run_test(litmus::find_test(name), opts));
   } else {
-    results = litmus::run_all();
+    results = litmus::run_all(opts);
   }
   std::cout << litmus::format_table(results);
   bool all_pass = true;

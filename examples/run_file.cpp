@@ -2,7 +2,7 @@
 // under the operational RAR semantics, decide the exists/forbidden clause,
 // and check data-race freedom.
 //
-//   ./run_file [--bound N] [--dot] file.litmus
+//   ./run_file [--bound N] [--por MODE] [--dot] file.litmus
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -14,6 +14,9 @@ using namespace rc11;
 int main(int argc, char** argv) {
   util::Cli cli;
   cli.option("bound", "4", "loop unfolding bound");
+  cli.option("por", "none",
+             "partial-order reduction: none|sleep|source|source-sleep|"
+             "optimal|optimal-parsimonious");
   cli.flag("dot", "dump a Graphviz rendering of one final execution");
   if (!cli.parse(argc, argv) || cli.positional().empty()) {
     std::cerr << (cli.error().empty() ? "missing input file" : cli.error())
@@ -47,6 +50,12 @@ int main(int argc, char** argv) {
 
   mc::ExploreOptions opts;
   opts.step.loop_bound = static_cast<int>(cli.get_int("bound"));
+  if (const auto por = mc::por_mode_from_name(cli.get("por"))) {
+    opts.por = *por;
+  } else {
+    std::cerr << "unknown --por mode: " << cli.get("por") << "\n";
+    return 1;
+  }
 
   const mc::OutcomeResult outcomes =
       mc::enumerate_outcomes(parsed.program, opts);

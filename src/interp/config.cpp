@@ -1,5 +1,6 @@
 #include "interp/config.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 
@@ -419,6 +420,41 @@ void undo_step(Config& c, const StepUndo& undo) {
     c.cont[snap.thread - 1] = snap.cont;
     c.regs[snap.thread - 1] = snap.regs;
   }
+}
+
+CanonicalEventId canonical_event_id(const c11::Execution& exec, EventId e) {
+  CanonicalEventId cid;
+  cid.thread = exec.event(e).tid;
+  // Events of one thread are appended in sb order, so the sb-position is
+  // the count of same-thread events with a smaller tag.
+  std::uint32_t rank = 0;
+  for (EventId i = 0; i < e; ++i) {
+    if (exec.event(i).tid == cid.thread) ++rank;
+  }
+  cid.index = rank;
+  return cid;
+}
+
+std::vector<CanonicalEventId> canonical_event_ids(const c11::Execution& exec) {
+  std::vector<CanonicalEventId> out(exec.size());
+  std::vector<std::uint32_t> rank(
+      static_cast<std::size_t>(exec.max_thread()) + 1, 0);
+  for (EventId e = 0; e < exec.size(); ++e) {
+    const c11::ThreadId t = exec.event(e).tid;
+    out[e] = {t, rank[t]++};
+  }
+  return out;
+}
+
+EventId resolve_canonical_event(const c11::Execution& exec,
+                                const CanonicalEventId& cid) {
+  std::uint32_t rank = 0;
+  for (EventId i = 0; i < exec.size(); ++i) {
+    if (exec.event(i).tid != cid.thread) continue;
+    if (rank == cid.index) return i;
+    ++rank;
+  }
+  return c11::kNoEvent;
 }
 
 bool eval_cond(const lang::CondPtr& cond, const Config& c) {

@@ -173,6 +173,44 @@ EventId apply_step(Config& c, const Step& s, const StepOptions& opts);
 /// Exact inverse of the matching apply_step (LIFO).
 void undo_step(Config& c, const StepUndo& undo);
 
+// --- Canonical event identity (trace-suffix replay across frames) ------------
+//
+// Event tags are interleaving-dependent: the same step appends a different
+// EventId when an independent step of another thread runs first. The
+// canonical identity (thread, sb-position within the thread) is invariant
+// under any reordering of independent steps, so it is how the optimal-DPOR
+// wakeup machinery (mc/wakeup.hpp) names a step's observed write across
+// frames: a wakeup sequence extracted from one explored trace replays as a
+// suffix of any Mazurkiewicz-equivalent prefix by resolving canonical ids
+// against the replay configuration (find_wakeup_step matches the resolved
+// step among the frame's enumerated transitions).
+
+/// Frame-independent identity of an event. Initialising writes belong to
+/// thread 0 (c11::kInitThread) and are indexed in tag order.
+struct CanonicalEventId {
+  c11::ThreadId thread = 0;
+  std::uint32_t index = 0;
+
+  auto operator<=>(const CanonicalEventId&) const = default;
+};
+
+/// The canonical id of `e` in `exec` (e must be a valid tag).
+[[nodiscard]] CanonicalEventId canonical_event_id(const c11::Execution& exec,
+                                                  EventId e);
+
+/// Canonical ids of every event in `exec`, in one O(n) pass — for callers
+/// that resolve many events of the same frame (the optimal engine's
+/// leaf-time race reversal builds O(d^2) wakeup steps per maximal
+/// execution).
+[[nodiscard]] std::vector<CanonicalEventId> canonical_event_ids(
+    const c11::Execution& exec);
+
+/// The tag carrying canonical id `cid` in `exec`, or kNoEvent if the
+/// thread has fewer events than cid.index+1 (the event has not been
+/// replayed yet in this frame).
+[[nodiscard]] EventId resolve_canonical_event(const c11::Execution& exec,
+                                              const CanonicalEventId& cid);
+
 /// Evaluates a litmus final-state condition on a configuration:
 /// register atoms read the thread's register file; variable atoms read
 /// wrval(sigma.last(x)).

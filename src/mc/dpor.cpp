@@ -44,10 +44,15 @@ struct Node {
 
   /// hb_row[i] = 1 iff spine event e_i happens-before this node's incoming
   /// event e_depth (a chain of pairwise-dependent trace steps leads from i
-  /// to depth). Computed once when the incoming step executes, so race
-  /// detection only builds the one new row per transition instead of the
-  /// whole closure. Immutable after construction.
+  /// to depth). Computed once when the incoming step executes
+  /// (mc/independence.hpp build_hb_row), so race detection only builds the
+  /// one new row per transition instead of the whole closure. Immutable
+  /// after construction.
   std::vector<char> hb_row;
+
+  /// The spine passed through an already-seen configuration: transitions
+  /// from here re-explore a shared suffix (stats.redundant_transitions).
+  bool redundant = false;
 
   std::mutex mu;  ///< guards `scheduled` and `executed`
   /// Threads scheduled at this node, in insertion order.
@@ -107,6 +112,8 @@ struct Engine {
   std::atomic<std::size_t> finals{0};
   std::atomic<std::size_t> por_pruned{0};
   std::atomic<std::size_t> backtracks{0};
+  std::atomic<std::size_t> sleep_blocked{0};
+  std::atomic<std::size_t> redundant{0};
   std::atomic<std::size_t> max_depth{1};
   std::atomic<bool> truncated{false};
 
@@ -149,6 +156,7 @@ NodePtr acquire_node(Engine& eng) {
     p->sigs.clear();
     p->enabled.clear();
     p->hb_row.clear();
+    p->redundant = false;
     p->scheduled.clear();
     p->executed.clear();
     p->sleep.clear();
@@ -170,12 +178,10 @@ void prepare_node(Node& n, const ExploreOptions& options) {
   if (options.pre_execution) {
     n.pe_steps = interp::pe_successors(
         n.config, interp::value_domain(*n.config.program), options.step);
-    n.sigs.reserve(n.pe_steps.size());
-    for (const auto& s : n.pe_steps) n.sigs.push_back(sig_of(s));
+    sigs_of(n.pe_steps, n.sigs);
   } else {
     interp::enumerate_steps(n.config, options.step, n.steps);
-    n.sigs.reserve(n.steps.size());
-    for (const auto& s : n.steps) n.sigs.push_back(sig_of(s));
+    sigs_of(n.steps, n.sigs);
   }
   for (const auto& s : n.sigs) {
     if (n.enabled.empty() || n.enabled.back() != s.thread) {
@@ -281,65 +287,35 @@ void race_reversals(Engine& eng, std::size_t me, const NodePtr& self,
       p = p->parent.get();
     }
   }
-  const std::size_t m = d + 1;  // index of t itself
-  auto sig_at = [&](std::size_t k) -> const StepSig& {
-    return k <= d ? nodes[k]->in_sig : t_sig;
+  const auto sig_at = [&](std::size_t k) -> const StepSig& {
+    return nodes[k]->in_sig;
   };
-  // hb(i, k) for spine events i < k <= d, from the cached rows.
-  auto hb = [&](std::size_t i, std::size_t k) {
-    return nodes[k]->hb_row[i] != 0;
+  const auto row_at = [&](std::size_t k) -> const std::vector<char>& {
+    return nodes[k]->hb_row;
   };
 
-  // t's own row: e_i ->hb t iff a chain of pairwise-dependent trace steps
-  // leads from i to t. First-hop recurrence, i descending: hb(i, t) =
-  // dep(i, t) or exists k in (i, m) with dep(i, k) and hb(k, t).
-  std::vector<char>& row = row_out;
-  row.assign(m, 0);
-  for (std::size_t i = d; i >= 1; --i) {
-    char r = dependent(sig_at(i), t_sig) ? 1 : 0;
-    for (std::size_t k = i + 1; r == 0 && k <= d; ++k) {
-      if (row[k] && dependent(sig_at(i), sig_at(k))) r = 1;
-    }
-    row[i] = r;
-  }
+  build_hb_row(d, t_sig, sig_at, row_out);
 
-  for (std::size_t i = 1; i <= d; ++i) {
-    const StepSig& e = sig_at(i);
-    if (e.thread == t_sig.thread || independent(e, t_sig)) continue;
-    // Reversible race: no intermediate k with e_i ->hb e_k ->hb t.
-    bool direct = true;
-    for (std::size_t k = i + 1; k <= d && direct; ++k) {
-      if (hb(i, k) && row[k]) direct = false;
-    }
-    if (!direct) continue;
+  for_each_reversible_race(
+      d, t_sig, sig_at, row_at, row_out, [&](std::size_t i) {
+        // v = notdep(e_i, E).t: the steps after e_i not happening-after
+        // it, then t. The initial threads are the threads of v's weak
+        // initials (each weak initial is its thread's first step in v).
+        thread_local std::vector<std::size_t> v;
+        notdep_indices(i, d, row_at, v);
+        v.push_back(d + 1);  // t itself
+        const auto v_sig = [&](std::size_t a) -> const StepSig& {
+          return v[a] <= d ? sig_at(v[a]) : t_sig;
+        };
+        thread_local std::vector<std::size_t> wi;
+        weak_initial_indices(v.size(), v_sig, wi);
+        thread_local std::vector<c11::ThreadId> initials;
+        initials.clear();
+        for (const std::size_t a : wi) initials.push_back(v_sig(a).thread);
+        if (initials.empty()) return;  // unreachable: v's head is initial
 
-    // v = notdep(e_i, E).t: the steps after e_i not happening-after it,
-    // then t. Initials: threads whose first step in v has no dependent
-    // predecessor in v.
-    thread_local std::vector<std::size_t> v;
-    v.clear();
-    for (std::size_t k = i + 1; k <= d; ++k) {
-      if (!hb(i, k)) v.push_back(k);
-    }
-    v.push_back(m);
-    thread_local std::vector<c11::ThreadId> seen_threads;
-    thread_local std::vector<c11::ThreadId> initials;
-    seen_threads.clear();
-    initials.clear();
-    for (std::size_t a = 0; a < v.size(); ++a) {
-      const StepSig& s = sig_at(v[a]);
-      if (contains(seen_threads, s.thread)) continue;
-      seen_threads.push_back(s.thread);
-      bool initial = true;
-      for (std::size_t b = 0; b < a && initial; ++b) {
-        if (dependent(sig_at(v[b]), s)) initial = false;
-      }
-      if (initial) initials.push_back(s.thread);
-    }
-    if (initials.empty()) continue;  // unreachable: v's head is initial
-
-    insert_backtrack(eng, me, nodes[i]->parent, initials);
-  }
+        insert_backtrack(eng, me, nodes[i]->parent, initials);
+      });
 }
 
 /// Expands one scheduled (node, thread) pair: runs every enabled
@@ -371,6 +347,7 @@ void expand_item(Engine& eng, std::size_t me, const Item& item) {
     }
 
     eng.transitions.fetch_add(1, std::memory_order_relaxed);
+    if (n.redundant) eng.redundant.fetch_add(1, std::memory_order_relaxed);
 
     // Materialize the child configuration into a pooled node: copy-assign
     // the parent's config (reusing the recycled node's buffers, warm
@@ -429,6 +406,7 @@ void expand_item(Engine& eng, std::size_t me, const Item& item) {
     max_update(eng.max_depth, child->depth + 1);
 
     const InsertResult ins = eng.seen.insert(child->config.fingerprint());
+    child->redundant = n.redundant || !ins.inserted;
     if (ins.inserted) {
       const std::size_t states =
           eng.states.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -479,6 +457,12 @@ void expand_item(Engine& eng, std::size_t me, const Item& item) {
       }
       if (pruned > 0) {
         eng.por_pruned.fetch_add(pruned, std::memory_order_relaxed);
+      }
+      if (!child->sigs.empty() && pruned == child->sigs.size()) {
+        // Every enabled transition is asleep: the execution dies here and
+        // its prefix was wasted — the stateless-DPOR redundancy the
+        // optimal wakeup-tree engine (optimal.hpp) eliminates.
+        eng.sleep_blocked.fetch_add(1, std::memory_order_relaxed);
       }
     }
 
@@ -546,6 +530,8 @@ ExploreResult explore_dpor(const interp::Config& start,
     res.stats.max_depth = eng.max_depth.load();
     res.stats.por_pruned = eng.por_pruned.load();
     res.stats.backtracks = eng.backtracks.load();
+    res.stats.sleep_blocked = eng.sleep_blocked.load();
+    res.stats.redundant_transitions = eng.redundant.load();
     res.stats.truncated = eng.truncated.load();
     res.stats.peak_seen_bytes = eng.seen.bytes();
     {

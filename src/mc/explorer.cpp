@@ -6,6 +6,7 @@
 
 #include "mc/dpor.hpp"
 #include "mc/independence.hpp"
+#include "mc/optimal.hpp"
 
 namespace rc11::mc {
 
@@ -86,10 +87,7 @@ ExploreResult explore_materialized(const interp::Config& start,
 
   auto prepare_frame = [&](MatFrame& f) {
     f.steps = expand(f.config, options);
-    if (por) {
-      f.sigs.reserve(f.steps.size());
-      for (const auto& s : f.steps) f.sigs.push_back(sig_of(s));
-    }
+    if (por) sigs_of(f.steps, f.sigs);
   };
 
   std::vector<MatFrame> stack;
@@ -258,10 +256,7 @@ ExploreResult explore_incremental(const interp::Config& start,
     f.next_step = 0;
     f.sigs.clear();
     interp::enumerate_steps(cur, options.step, f.steps);
-    if (por) {
-      f.sigs.reserve(f.steps.size());
-      for (const auto& s : f.steps) f.sigs.push_back(sig_of(s));
-    }
+    if (por) sigs_of(f.steps, f.sigs);
   };
 
   {
@@ -362,10 +357,42 @@ ExploreResult explore(const lang::Program& program,
   return explore_from(interp::initial_config(program), options, visitor);
 }
 
+const char* por_mode_name(PorMode m) {
+  switch (m) {
+    case PorMode::kNone:
+      return "none";
+    case PorMode::kSleepSets:
+      return "sleep";
+    case PorMode::kSourceSets:
+      return "source";
+    case PorMode::kSourceSetsSleep:
+      return "source-sleep";
+    case PorMode::kOptimal:
+      return "optimal";
+    case PorMode::kOptimalParsimonious:
+      return "optimal-parsimonious";
+  }
+  return "unknown";
+}
+
+std::optional<PorMode> por_mode_from_name(std::string_view name) {
+  for (const PorMode m :
+       {PorMode::kNone, PorMode::kSleepSets, PorMode::kSourceSets,
+        PorMode::kSourceSetsSleep, PorMode::kOptimal,
+        PorMode::kOptimalParsimonious}) {
+    if (name == por_mode_name(m)) return m;
+  }
+  return std::nullopt;
+}
+
 ExploreResult explore_from(const interp::Config& start,
                            const ExploreOptions& options,
                            const Visitor& visitor) {
-  // The DPOR modes run tree-shaped with their own engine (dpor.cpp).
+  // The DPOR modes run tree-shaped with their own engines (dpor.cpp for
+  // the stateless source-set family, optimal.cpp for wakeup trees).
+  if (is_optimal_dpor(options.por)) {
+    return explore_optimal(start, options, visitor, /*workers=*/1);
+  }
   if (is_dpor(options.por)) {
     return explore_dpor(start, options, visitor, /*workers=*/1);
   }

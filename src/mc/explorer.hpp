@@ -6,13 +6,17 @@
 // verification queries (invariants, reachability, outcome enumeration).
 //
 // Partial-order reduction is selected by ExploreOptions::por: sleep sets
-// (state-preserving transition pruning) or source-set DPOR (dpor.hpp; the
+// (state-preserving transition pruning), source-set DPOR (dpor.hpp; the
 // default reduction when one is wanted — prunes redundant interleavings
 // wholesale, preserving verdicts, final-state fingerprints and race
-// reports but not every intermediate global state).
+// reports but not every intermediate global state), or optimal
+// wakeup-tree DPOR (optimal.hpp; removes the stateless engine's
+// sleep-blocked redundancy).
 #pragma once
 
 #include <functional>
+#include <optional>
+#include <string_view>
 
 #include "interp/config.hpp"
 #include "interp/preexec.hpp"
@@ -48,16 +52,56 @@ enum class PorMode : std::uint8_t {
   /// to sleep). The default reduction: strictly stronger pruning than
   /// either alone.
   kSourceSetsSleep,
+
+  /// Optimal source-set DPOR with wakeup trees (mc/optimal.hpp,
+  /// mc/wakeup.hpp): race reversal computes the whole reversed-race
+  /// continuation v = notdep(e, E).t from the explored trace and inserts
+  /// it into the racing node's wakeup tree (with subsumption against the
+  /// branches already explored or scheduled there), so exploration is
+  /// steered around everything a sibling subtree covers — no execution is
+  /// ever started and then killed by the sleep filter
+  /// (stats.sleep_blocked stays zero) and the visited-transition count
+  /// never exceeds stateless source-set DPOR's. Same preservation
+  /// guarantees (and the same intermediate-state caveat) as kSourceSets.
+  kOptimal,
+
+  /// kOptimal with *parsimonious* race reversal: the inserted wakeup
+  /// sequence is pruned to the dependent core of v — the steps with a
+  /// dependence path to the reversed step t, which are exactly the ones
+  /// needed to re-enable t at the reversal point — so wakeup sequences
+  /// stay short (less tree memory, cheaper subsumption) at the price of
+  /// the strict zero-sleep-blocked guarantee.
+  kOptimalParsimonious,
 };
 
 /// The reduction to use when a caller just asks for "POR": source-set DPOR
 /// with the sleep-set filter.
 inline constexpr PorMode kDefaultPor = PorMode::kSourceSetsSleep;
 
-/// True iff the mode runs the source-set DPOR engine (dpor.hpp).
-[[nodiscard]] constexpr bool is_dpor(PorMode m) {
+/// True iff the mode runs the stateless source-set DPOR engine (dpor.hpp).
+[[nodiscard]] constexpr bool is_source_dpor(PorMode m) {
   return m == PorMode::kSourceSets || m == PorMode::kSourceSetsSleep;
 }
+
+/// True iff the mode runs the optimal wakeup-tree engine (optimal.hpp).
+[[nodiscard]] constexpr bool is_optimal_dpor(PorMode m) {
+  return m == PorMode::kOptimal || m == PorMode::kOptimalParsimonious;
+}
+
+/// True iff the mode runs one of the tree-shaped DPOR engines (source-set
+/// or optimal): these share the DPOR contract — tau-compressed scheduling,
+/// replayable traces, preserved verdicts/finals/races but not intermediate
+/// global states (checkers downgrade them for invariant queries).
+[[nodiscard]] constexpr bool is_dpor(PorMode m) {
+  return is_source_dpor(m) || is_optimal_dpor(m);
+}
+
+/// Stable short name of a mode ("none", "sleep", "source", "source-sleep",
+/// "optimal", "optimal-parsimonious") — used by the CLI and benches.
+[[nodiscard]] const char* por_mode_name(PorMode m);
+
+/// Inverse of por_mode_name; returns nullopt for unknown names.
+[[nodiscard]] std::optional<PorMode> por_mode_from_name(std::string_view name);
 
 struct ExploreOptions {
   interp::StepOptions step;

@@ -108,6 +108,93 @@ template <typename S>
   return !independent(a, b);
 }
 
+/// Fills `sigs` with the signature of every step in `steps` (cleared
+/// first) — the one definition of step-signature construction that every
+/// explorer and both DPOR engines (source-set and optimal) consume.
+template <typename StepVec>
+inline void sigs_of(const StepVec& steps, std::vector<StepSig>& sigs) {
+  sigs.clear();
+  sigs.reserve(steps.size());
+  for (const auto& s : steps) sigs.push_back(sig_of(s));
+}
+
+// --- Trace happens-before over step signatures -------------------------------
+//
+// Both DPOR engines detect races on the explored trace E = e_1..e_d with
+// the same machinery: hb is the transitive closure of pairwise dependence
+// along the trace, every trace event caches its own hb row, and each
+// executed transition builds exactly one new row. The helpers are
+// parameterized over accessors so the engines can keep their rows inside
+// their tree nodes: sig_at(k) yields the signature of trace event e_k,
+// row_at(k) its cached row (row_at(k)[i] != 0 iff e_i ->hb e_k).
+
+/// Builds the hb row of a step `t_sig` about to extend the trace: on
+/// return row[i] != 0 iff e_i ->hb t (first-hop recurrence, i descending:
+/// hb(i, t) = dep(i, t) or exists k in (i, d] with dep(i, k) and hb(k, t)).
+/// `row` is assigned depth+1 entries (index 0 is unused).
+template <typename SigAt>
+inline void build_hb_row(std::size_t depth, const StepSig& t_sig,
+                         const SigAt& sig_at, std::vector<char>& row) {
+  row.assign(depth + 1, 0);
+  for (std::size_t i = depth; i >= 1; --i) {
+    char r = dependent(sig_at(i), t_sig) ? 1 : 0;
+    for (std::size_t k = i + 1; r == 0 && k <= depth; ++k) {
+      if (row[k] && dependent(sig_at(i), sig_at(k))) r = 1;
+    }
+    row[i] = r;
+  }
+}
+
+/// Calls fn(i) for every *reversible race* between t and the trace: e_i of
+/// another thread, dependent with t, with no intermediate k such that
+/// e_i ->hb e_k ->hb t. `row` is t's hb row from build_hb_row.
+template <typename SigAt, typename RowAt, typename Fn>
+inline void for_each_reversible_race(std::size_t depth, const StepSig& t_sig,
+                                     const SigAt& sig_at, const RowAt& row_at,
+                                     const std::vector<char>& row, Fn&& fn) {
+  for (std::size_t i = 1; i <= depth; ++i) {
+    const StepSig& e = sig_at(i);
+    if (e.thread == t_sig.thread || independent(e, t_sig)) continue;
+    bool direct = true;
+    for (std::size_t k = i + 1; k <= depth && direct; ++k) {
+      if (row_at(k)[i] != 0 && row[k] != 0) direct = false;
+    }
+    if (direct) fn(i);
+  }
+}
+
+/// Appends to `out` the trace indices k in (i, depth] whose step does not
+/// happen-after e_i — notdep(e_i, E); the caller appends the racing step t
+/// itself to complete v = notdep(e_i, E).t.
+template <typename RowAt>
+inline void notdep_indices(std::size_t i, std::size_t depth,
+                           const RowAt& row_at,
+                           std::vector<std::size_t>& out) {
+  out.clear();
+  for (std::size_t k = i + 1; k <= depth; ++k) {
+    if (row_at(k)[i] == 0) out.push_back(k);
+  }
+}
+
+/// Indices j of the weak initials WI(v) of a sequence of n signatures
+/// (sig(j) yields the j-th): steps with no dependent predecessor in the
+/// sequence. Each weak initial is necessarily its thread's first step in
+/// the sequence (an earlier same-thread step would be a dependent
+/// predecessor), so the initial *threads* of source-set DPOR are exactly
+/// the threads of these indices.
+template <typename SigIdx>
+inline void weak_initial_indices(std::size_t n, const SigIdx& sig,
+                                 std::vector<std::size_t>& out) {
+  out.clear();
+  for (std::size_t j = 0; j < n; ++j) {
+    bool initial = true;
+    for (std::size_t b = 0; b < j && initial; ++b) {
+      if (dependent(sig(b), sig(j))) initial = false;
+    }
+    if (initial) out.push_back(j);
+  }
+}
+
 /// Sorted signature vector; subset/intersection use the ordering.
 using SleepSet = std::vector<StepSig>;
 

@@ -1,0 +1,872 @@
+#include "mc/optimal.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "mc/independence.hpp"
+#include "mc/wakeup.hpp"
+#include "util/thread_pool.hpp"
+#include "util/work_deque.hpp"
+
+namespace rc11::mc {
+
+namespace {
+
+/// One node of the exploration tree (see dpor.cpp for the spine / pooling
+/// discipline, which is identical). On top of the source-set engine's
+/// per-node scheduling state, a node owns its *wakeup tree*: the ordered
+/// tree of continuations race reversals have inserted at it. Everything
+/// behind `mu` (executed prefix + wakeup tree) is shared with stealing
+/// workers.
+struct Node {
+  std::shared_ptr<Node> parent;
+  std::uint32_t depth = 0;
+  StepSig in_sig{};        ///< signature of the incoming step (depth > 0)
+  interp::Step in_step{};  ///< incoming step (depth > 0)
+
+  interp::Config config;
+  std::vector<interp::Step> steps;
+  std::vector<interp::ConfigStep> pe_steps;  ///< pre-execution mode only
+  std::vector<StepSig> sigs;                 ///< sig per step
+  std::vector<c11::ThreadId> enabled;        ///< threads with >= 1 step
+
+  /// hb_row[i] = 1 iff spine event e_i happens-before this node's incoming
+  /// event (mc/independence.hpp build_hb_row). Immutable once built.
+  std::vector<char> hb_row;
+
+  /// The spine passed through an already-seen configuration: transitions
+  /// from here re-explore a shared suffix (stats.redundant_transitions).
+  bool redundant = false;
+
+  std::mutex mu;  ///< guards `executed`, `claimed`, `wut`, `ready` and
+                  ///< `pending_grafts`
+  /// Set (under mu) once the node is fully initialized and scheduled by
+  /// its creating execute_step. A node becomes visible to other workers
+  /// through the parent's claimant registry *before* that point, so a
+  /// graft arriving early is stashed in pending_grafts and drained by
+  /// the owner when it publishes readiness — inserting directly would
+  /// race with the owner's lock-free initialization of config/sleep/wut.
+  bool ready = false;
+  std::vector<WakeupSequence> pending_grafts;
+  /// Signatures of the steps already executed from this node, in
+  /// execution order (the sleep-set order).
+  std::vector<StepSig> executed;
+  /// The exploration child each executed step created, parallel to
+  /// `executed`. Weak: registering a child must not extend its lifetime
+  /// (the engine frees subtrees as their items drain). Used to *graft* a
+  /// branch's prescribed continuation into the child that claimed its
+  /// first step (a wildcard sibling runs every instance of its thread's
+  /// command, so a concrete branch can find its step already taken).
+  std::vector<std::weak_ptr<Node>> claimed;
+  /// Transition signatures asleep on arrival. Immutable after
+  /// construction.
+  SleepSet sleep;
+  /// Wakeup tree: pending branches to execute plus taken markers for the
+  /// branches already handed to children (subsumption targets).
+  WakeupTree wut;
+};
+
+using NodePtr = std::shared_ptr<Node>;
+
+struct Item {
+  NodePtr node;
+  /// Pending wakeup branch to execute, owned by node->wut; nullptr for a
+  /// free-scheduling item.
+  WakeupTree::Node* branch = nullptr;
+  c11::ThreadId thread = 0;  ///< free items: the thread to expand
+};
+
+bool contains(const std::vector<StepSig>& v, const StepSig& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+struct Engine {
+  Engine(const ExploreOptions& opts, const Visitor& vis, std::size_t workers)
+      : options(opts),
+        visitor(vis),
+        parsimonious(opts.por == PorMode::kOptimalParsimonious),
+        debug(std::getenv("RC11_DEBUG_WAKEUP") != nullptr),
+        deques(workers),
+        worker_stats(workers) {}
+
+  /// Node pool, as in dpor.cpp (declared first so it outlives the deques).
+  std::mutex pool_mu;
+  std::vector<std::unique_ptr<Node>> pool;
+
+  ExploreOptions options;
+  const Visitor& visitor;
+  bool parsimonious;
+  bool debug;  ///< RC11_DEBUG_WAKEUP: trace executions and insertions
+  util::WorkDeques<Item> deques;
+  std::vector<WorkerStats> worker_stats;
+
+  ConcurrentSeenSet seen;  ///< unique states; also keys the sleep store
+
+  /// Sleep set each visited configuration was first explored with
+  /// (Godefroid's state-caching rule, keyed by StateId). A *sibling
+  /// data-instance* child whose configuration was already visited with a
+  /// stored sleep set no stronger than its own is merged instead of
+  /// re-expanded: isomorphic configurations have the same Mazurkiewicz
+  /// class of extensions, so the earlier occurrence's subtree already
+  /// covers everything this one could reach (minus what the stored sleep
+  /// pruned — which the subset check guarantees is covered elsewhere).
+  /// Prescribed reversal steps are never merged: they carry wakeup
+  /// guidance that must execute. Guarded by sleep_store_mu.
+  std::mutex sleep_store_mu;
+  std::unordered_map<StateId, SleepSet> sleep_store;
+
+  std::atomic<std::size_t> pending{0};
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> states{0};
+  std::atomic<std::size_t> transitions{0};
+  std::atomic<std::size_t> merged{0};
+  std::atomic<std::size_t> finals{0};
+  std::atomic<std::size_t> por_pruned{0};
+  std::atomic<std::size_t> backtracks{0};
+  std::atomic<std::size_t> sleep_blocked{0};
+  std::atomic<std::size_t> redundant{0};
+  std::atomic<std::size_t> max_depth{1};
+  std::atomic<bool> truncated{false};
+
+  std::mutex abort_mutex;
+  bool aborted = false;
+  Trace abort_trace;
+
+  void record_abort(Trace trace) {
+    {
+      std::lock_guard lock(abort_mutex);
+      if (!aborted) {
+        aborted = true;
+        abort_trace = std::move(trace);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  }
+};
+
+NodePtr acquire_node(Engine& eng) {
+  std::unique_ptr<Node> n;
+  {
+    std::lock_guard lock(eng.pool_mu);
+    if (!eng.pool.empty()) {
+      n = std::move(eng.pool.back());
+      eng.pool.pop_back();
+    }
+  }
+  if (!n) n = std::make_unique<Node>();
+  return NodePtr(n.release(), [&eng](Node* p) {
+    p->parent.reset();  // may cascade a spine release (bounded by depth)
+    p->depth = 0;
+    p->in_sig = {};
+    p->in_step = {};
+    p->steps.clear();
+    p->pe_steps.clear();
+    p->sigs.clear();
+    p->enabled.clear();
+    p->hb_row.clear();
+    p->redundant = false;
+    p->executed.clear();
+    p->claimed.clear();
+    p->sleep.clear();
+    p->wut.clear();
+    p->ready = false;
+    p->pending_grafts.clear();
+    std::lock_guard lock(eng.pool_mu);
+    eng.pool.emplace_back(p);
+  });
+}
+
+void max_update(std::atomic<std::size_t>& a, std::size_t v) {
+  std::size_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void prepare_node(Node& n, const ExploreOptions& options) {
+  if (options.pre_execution) {
+    n.pe_steps = interp::pe_successors(
+        n.config, interp::value_domain(*n.config.program), options.step);
+    sigs_of(n.pe_steps, n.sigs);
+  } else {
+    interp::enumerate_steps(n.config, options.step, n.steps);
+    sigs_of(n.steps, n.sigs);
+  }
+  for (const auto& s : n.sigs) {
+    if (n.enabled.empty() || n.enabled.back() != s.thread) {
+      n.enabled.push_back(s.thread);  // steps are enumerated threads asc
+    }
+  }
+}
+
+Trace spine_trace(const Node* n) {
+  Trace t;
+  for (const Node* p = n; p->depth > 0; p = p->parent.get()) {
+    t.entries.push_back(make_entry(p->in_step));
+  }
+  std::reverse(t.entries.begin(), t.entries.end());
+  return t;
+}
+
+bool has_awake_step(const Node& n, c11::ThreadId q) {
+  for (const StepSig& sig : n.sigs) {
+    if (sig.thread == q && !sleep_contains(n.sleep, sig)) return true;
+  }
+  return false;
+}
+
+/// Free-scheduling thread choice, identical to the source-set engine's:
+/// an all-silent thread first (its node never receives a reversal), else
+/// the lowest-id enabled thread with an awake transition; 0 when nothing
+/// is schedulable.
+c11::ThreadId pick_first(const Node& n) {
+  c11::ThreadId best = 0;
+  for (c11::ThreadId q : n.enabled) {
+    if (!has_awake_step(n, q)) continue;
+    bool all_silent = true;
+    for (const StepSig& sig : n.sigs) {
+      if (sig.thread == q && !sig.silent) {
+        all_silent = false;
+        break;
+      }
+    }
+    if (all_silent) return q;
+    if (best == 0) best = q;
+  }
+  return best;
+}
+
+void push_item(Engine& eng, std::size_t me, Item item) {
+  eng.pending.fetch_add(1, std::memory_order_acq_rel);
+  eng.deques.push_local(me, std::move(item));
+}
+
+/// Builds the happens-before row of the step about to be taken from
+/// `self` (the child node's hb_row; mc/independence.hpp).
+void build_incoming_row(const NodePtr& self, const StepSig& t_sig,
+                        std::vector<char>& row_out) {
+  Node& n = *self;
+  const std::size_t d = n.depth;
+  row_out.clear();
+  if (d == 0) return;
+  thread_local std::vector<Node*> nodes;
+  nodes.resize(d + 1);
+  {
+    Node* p = &n;
+    for (std::size_t k = d;; --k) {
+      nodes[k] = p;
+      if (k == 0) break;
+      p = p->parent.get();
+    }
+  }
+  build_hb_row(
+      d, t_sig, [&](std::size_t k) -> const StepSig& {
+        return nodes[k]->in_sig;
+      },
+      row_out);
+}
+
+/// insert_sequence with target->mu already held and target ready.
+bool insert_sequence_locked(Engine& eng, std::size_t me,
+                            const NodePtr& target, const WakeupSequence& v) {
+  thread_local std::vector<std::size_t> wi;
+  weak_initials(v, wi);
+  for (const std::size_t j : wi) {
+    const auto sig = resolve_sig(v[j], target->config.exec);
+    if (sig && sleep_contains(target->sleep, *sig)) return false;
+  }
+
+  WakeupTree::Node* branch = nullptr;
+  const WakeupTree::Insert ins = target->wut.insert(v, &branch);
+  if (eng.debug) {
+    std::fprintf(stderr, "insert -> n=%p depth %u: |v|=%zu res=%d; v:",
+                 static_cast<void*>(target.get()), target->depth, v.size(),
+                 static_cast<int>(ins));
+    for (const auto& ws : v) {
+      std::fprintf(stderr, " [t%u %s k=%d var=%u%s]", ws.thread,
+                   ws.silent ? "tau" : "mem", static_cast<int>(ws.action.kind),
+                   ws.action.var, ws.any_data ? " *" : "");
+    }
+    std::fprintf(stderr, "\n");
+  }
+  if (ins == WakeupTree::Insert::kSubsumed) return false;
+  if (ins == WakeupTree::Insert::kNewBranch) {
+    push_item(eng, me, Item{target, branch, branch->step.thread});
+  }
+  return true;
+}
+
+/// Inserts wakeup sequence v into `target`'s tree: skipped when a weak
+/// initial of v sleeps there (the subtree that put it to sleep already
+/// covers [target.v]) or when an existing branch subsumes v; a fresh
+/// toplevel branch is scheduled as a work item. A target still being
+/// initialized by its creating worker (grafts can reach a claimant child
+/// before its execute_step finishes) has the sequence stashed instead;
+/// the owner drains the stash when it publishes readiness. Returns true
+/// iff something was inserted.
+bool insert_sequence(Engine& eng, std::size_t me, const NodePtr& target,
+                     const WakeupSequence& v) {
+  std::lock_guard lock(target->mu);
+  if (!target->ready) {
+    target->pending_grafts.push_back(v);
+    return false;
+  }
+  return insert_sequence_locked(eng, me, target, v);
+}
+
+/// Race reversal at a *maximal* execution, per the optimal-DPOR
+/// algorithm: `leaf` has no schedulable continuation, its spine is the
+/// full trace E = e_1..e_d, and every reversible race (e_i, e_k) on it is
+/// reversed by inserting v = notdep(e_i, E).e_k into the wakeup tree of
+/// the node at pre(E, e_i). Detecting at maximal executions (rather than
+/// eagerly when e_k first runs) is what makes the inserted sequences pin
+/// the whole non-dependent suffix, so the execution that follows one
+/// never wanders into territory a sibling subtree covers — the
+/// sleep-filter can only kill what free exploration chose, and free
+/// exploration only happens where the tree has run dry. The same race is
+/// re-detected at every maximal execution below it; subsumption against
+/// the tree (taken branches included) eats the duplicates.
+void leaf_race_reversals(Engine& eng, std::size_t me, const NodePtr& leaf) {
+  Node& n = *leaf;
+  const std::size_t d = n.depth;
+  if (d < 2) return;
+
+  thread_local std::vector<Node*> nodes;
+  nodes.resize(d + 1);
+  {
+    Node* p = &n;
+    for (std::size_t k = d;; --k) {
+      nodes[k] = p;
+      if (k == 0) break;
+      p = p->parent.get();
+    }
+  }
+  const auto sig_at = [&](std::size_t k) -> const StepSig& {
+    return nodes[k]->in_sig;
+  };
+  // hb over the trace, from the rows cached when each step executed.
+  const auto hb = [&](std::size_t i, std::size_t k) {
+    return nodes[k]->hb_row[i] != 0;
+  };
+  // One canonical-id pass resolves every wakeup step built below (the
+  // leaf config holds all spine events).
+  const std::vector<interp::CanonicalEventId> cids =
+      interp::canonical_event_ids(n.config.exec);
+
+  for (std::size_t k = 2; k <= d; ++k) {
+    const StepSig& t_sig = sig_at(k);
+    for (std::size_t i = 1; i < k; ++i) {
+      const StepSig& e_sig = sig_at(i);
+      if (e_sig.thread == t_sig.thread || independent(e_sig, t_sig)) continue;
+      // Reversible race: no intermediate j with e_i ->hb e_j ->hb e_k.
+      bool direct = true;
+      for (std::size_t j = i + 1; j < k && direct; ++j) {
+        if (hb(i, j) && hb(j, k)) direct = false;
+      }
+      if (!direct) continue;
+
+      // v = notdep(e_i, E).e_k: the whole-trace suffix of steps not
+      // happening-after e_i (everything happening-after e_k is
+      // automatically excluded: e_i ->hb e_k), then e_k itself — as an
+      // exact step when it replays without e_i, as a thread wildcard
+      // when it observed e_i's own event (the datum does not exist in
+      // the reversed frame). The leaf config holds every spine event, so
+      // one execution resolves the whole sequence canonically.
+      WakeupSequence v;
+      for (std::size_t l = i + 1; l <= d; ++l) {
+        if (l == k || hb(i, l)) continue;
+        v.push_back(make_wakeup_step(nodes[l]->in_step, cids));
+      }
+      const interp::Step& t_step = nodes[k]->in_step;
+      const c11::EventId raced_event = static_cast<c11::EventId>(
+          nodes[i]->config.exec.size() - 1);  // e_i is non-silent (dependent)
+      if (t_step.observed != c11::kNoEvent && t_step.observed == raced_event) {
+        v.push_back(make_wildcard_step(t_step));
+      } else {
+        v.push_back(make_wakeup_step(t_step, cids));
+      }
+      if (eng.parsimonious) prune_to_dependent_core(v);
+
+      if (eng.debug) {
+        std::fprintf(stderr, "race (%zu,%zu) at leaf d=%zu:\n", i, k, d);
+      }
+      if (insert_sequence(eng, me, nodes[i]->parent, v)) {
+        eng.backtracks.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+/// Executes one transition (step index `i`) of `self` into the
+/// pre-acquired `child` node (already registered as the step's claimant),
+/// running the race-reversal pass and scheduling the child: along its
+/// inherited wakeup subtree when non-empty, by free thread choice
+/// otherwise. `prefix` is the executed-sibling snapshot taken when the
+/// step was claimed. `sibling` marks a sibling data-instance expansion,
+/// which is eligible for the stateful sleep-store merge (Engine comment).
+/// Returns false when the search must stop.
+bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
+                  std::size_t i, NodePtr child,
+                  std::vector<std::unique_ptr<WakeupTree::Node>> subtree,
+                  SleepSet prefix, bool sibling = false) {
+  Node& n = *self;
+  const bool pe = eng.options.pre_execution;
+  const StepSig sig = n.sigs[i];
+
+  eng.transitions.fetch_add(1, std::memory_order_relaxed);
+  if (n.redundant) eng.redundant.fetch_add(1, std::memory_order_relaxed);
+  if (eng.debug) {
+    std::fprintf(stderr,
+                 "exec n=%p d=%u t%u k=%d var=%u obs=%d subtree=%zu\n",
+                 static_cast<void*>(&n), n.depth, sig.thread,
+                 static_cast<int>(sig.kind), sig.var,
+                 sig.silent ? -1 : static_cast<int>(sig.observed),
+                 subtree.size());
+  }
+
+  interp::Step in_step;
+  if (pe) {
+    const interp::ConfigStep& ps = n.pe_steps[i];
+    in_step.thread = ps.thread;
+    in_step.silent = ps.silent;
+    in_step.loop_unfold = ps.loop_unfold;
+    in_step.action = ps.action;
+    in_step.observed = ps.observed;
+    child->config = std::move(n.pe_steps[i].next);
+  } else {
+    in_step = n.steps[i];
+    child->config = n.config;
+    (void)interp::apply_step(child->config, n.steps[i], eng.options.step);
+  }
+  interp::Config& child_config = child->config;
+
+  if (eng.visitor.on_transition) {
+    interp::ConfigStep view;
+    view.thread = sig.thread;
+    view.silent = sig.silent;
+    if (!sig.silent) {
+      view.event = static_cast<c11::EventId>(child_config.exec.size() - 1);
+      view.observed = sig.observed;
+      view.action = child_config.exec.event(view.event).action;
+    }
+    view.loop_unfold = in_step.loop_unfold;
+    view.next = std::move(child_config);
+    const bool keep = eng.visitor.on_transition(n.config, view);
+    child_config = std::move(view.next);
+    if (!keep) {
+      Trace t = spine_trace(&n);
+      t.entries.push_back(make_entry(in_step));
+      eng.record_abort(std::move(t));
+      return false;
+    }
+  }
+
+  build_incoming_row(self, sig, child->hb_row);
+
+  child->parent = self;
+  child->depth = n.depth + 1;
+  child->in_sig = sig;
+  child->in_step = in_step;
+  max_update(eng.max_depth, child->depth + 1);
+
+  const InsertResult ins = eng.seen.insert(child->config.fingerprint());
+  child->redundant = n.redundant || !ins.inserted;
+  if (ins.inserted) {
+    const std::size_t states =
+        eng.states.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (states >= eng.options.max_states) {
+      eng.truncated.store(true);
+      eng.stop.store(true);
+      return false;
+    }
+    if (eng.visitor.on_state && !eng.visitor.on_state(child->config)) {
+      eng.record_abort(spine_trace(child.get()));
+      return false;
+    }
+    if (child->config.terminated()) {
+      eng.finals.fetch_add(1, std::memory_order_relaxed);
+      if (eng.visitor.on_final && !eng.visitor.on_final(child->config)) {
+        eng.record_abort(spine_trace(child.get()));
+        return false;
+      }
+    }
+  } else {
+    eng.merged.fetch_add(1, std::memory_order_relaxed);
+    ++eng.worker_stats[me].merged;
+  }
+
+  prepare_node(*child, eng.options);
+
+  // Sleep inheritance (always on: the sleep filter is integral to the
+  // algorithm): everything slept on at n plus the earlier-executed
+  // siblings, filtered down to what commutes with the taken step.
+  child->sleep.reserve(n.sleep.size() + prefix.size());
+  for (const StepSig& s : n.sleep) {
+    if (independent(s, sig)) child->sleep.push_back(s);
+  }
+  for (const StepSig& s : prefix) {
+    if (independent(s, sig)) child->sleep.push_back(s);
+  }
+  std::sort(child->sleep.begin(), child->sleep.end());
+  child->sleep.erase(std::unique(child->sleep.begin(), child->sleep.end()),
+                     child->sleep.end());
+  std::size_t pruned = 0;
+  for (const StepSig& s : child->sigs) {
+    if (sleep_contains(child->sleep, s)) ++pruned;
+  }
+  if (pruned > 0) {
+    eng.por_pruned.fetch_add(pruned, std::memory_order_relaxed);
+  }
+
+  {
+    // State-caching sleep store (see Engine::sleep_store): publish the
+    // context this configuration is explored with; merge an already-seen
+    // sibling instance whose stored context is no stronger than its own.
+    std::lock_guard lock(eng.sleep_store_mu);
+    auto [it, fresh] = eng.sleep_store.try_emplace(ins.id, child->sleep);
+    if (!fresh) {
+      if (sibling && is_subset(it->second, child->sleep)) {
+        return true;  // the earlier occurrence's subtree covers this one
+      }
+      // Re-explored with an incomparable context: keep the weakest seen
+      // so later merge checks stay sound (the stored set only shrinks).
+      // Merging is restricted to sibling data-instances: a prescribed
+      // reversal step carries demands that target THIS spine's ancestors;
+      // an earlier occurrence explored before those demands existed and
+      // will never re-detect them, so merging it away loses executions
+      // (the fuzz differential oracle catches exactly this).
+      it->second = intersection(it->second, child->sleep);
+    }
+  }
+
+  bool guided = false;
+  {
+    // Publish the child: adopt the inherited subtree, schedule its
+    // branches, mark the node ready and drain any grafts that arrived
+    // while it was initializing — one critical section, so concurrent
+    // inserters either stash before readiness or walk the final tree.
+    std::lock_guard lock(child->mu);
+    child->wut = WakeupTree(std::move(subtree));
+    guided = !child->wut.empty();
+    if (guided) {
+      // Follow the inherited wakeup subtree: one item per pending branch.
+      for (const auto& b : child->wut.branches()) {
+        ++eng.worker_stats[me].enqueued;
+        push_item(eng, me, Item{child, b.get(), b->step.thread});
+      }
+    }
+    child->ready = true;
+    const std::vector<WakeupSequence> grafts =
+        std::move(child->pending_grafts);
+    child->pending_grafts.clear();
+    for (const WakeupSequence& v : grafts) {
+      (void)insert_sequence_locked(eng, me, child, v);
+    }
+  }
+  if (guided) return true;
+
+  const bool blocked = !child->sigs.empty() && pruned == child->sigs.size();
+  if (blocked) {
+    // Every enabled transition is asleep and no wakeup branch steers out:
+    // the execution dies here and its prefix was redundant. The optimal
+    // mode never reaches this line (asserted over the catalogue);
+    // defensively the trace still goes through race reversal below so no
+    // coverage is lost if it ever fires.
+    eng.sleep_blocked.fetch_add(1, std::memory_order_relaxed);
+    if (eng.debug) {
+      std::fprintf(stderr, "BLOCKED at depth %u:\n%s", child->depth,
+                   spine_trace(child.get()).to_string().c_str());
+    }
+  }
+
+  if (child->sigs.empty() || blocked) {
+    // Dead end — a maximal execution, or a (should-not-happen) blocked
+    // one: reverse its races (see leaf_race_reversals). Blocked prefixes
+    // are included deliberately: their reversals carry demands that are
+    // not always re-detected on the covering sibling paths, so skipping
+    // them loses executions (caught by the fuzz differential oracle).
+    leaf_race_reversals(eng, me, child);
+    return true;
+  }
+
+  const c11::ThreadId first = pick_first(*child);
+  if (first != 0) {
+    ++eng.worker_stats[me].enqueued;
+    push_item(eng, me, Item{std::move(child), nullptr, first});
+  }
+  return true;
+}
+
+/// The wakeup form of step i at n, for either semantics.
+WakeupStep wakeup_step_at(const Engine& eng, const Node& n, std::size_t i) {
+  if (eng.options.pre_execution) {
+    return make_wakeup_step(n.pe_steps[i], n.config.exec);
+  }
+  return make_wakeup_step(n.steps[i], n.config.exec);
+}
+
+/// Expands a free-scheduling item: runs every awake transition of the
+/// thread, recording each as a taken leaf in the node's wakeup tree so
+/// later insertions subsume against it.
+void expand_free(Engine& eng, std::size_t me, const NodePtr& node,
+                 c11::ThreadId thread) {
+  Node& n = *node;
+  for (std::size_t i = 0; i < n.sigs.size(); ++i) {
+    if (n.sigs[i].thread != thread) continue;
+    if (eng.stop.load(std::memory_order_acquire)) return;
+    const StepSig& sig = n.sigs[i];
+    if (sleep_contains(n.sleep, sig)) {
+      continue;  // covered by an earlier sibling subtree
+    }
+    SleepSet prefix;
+    NodePtr child = acquire_node(eng);
+    {
+      std::lock_guard lock(n.mu);
+      if (contains(n.executed, sig)) continue;  // claimed by a branch item
+      prefix.assign(n.executed.begin(), n.executed.end());
+      n.executed.push_back(sig);
+      n.claimed.push_back(child);
+      n.wut.add_executed(wakeup_step_at(eng, n, i));
+    }
+    if (!execute_step(eng, me, node, i, std::move(child), {},
+                      std::move(prefix))) {
+      return;
+    }
+  }
+}
+
+/// Expands a wakeup-branch item: executes exactly the prescribed step and
+/// hands the branch's subtree to the child.
+void expand_branch(Engine& eng, std::size_t me, const NodePtr& node,
+                   WakeupTree::Node* branch) {
+  Node& n = *node;
+  std::size_t i = kNoStep;
+  SleepSet prefix;
+  std::vector<std::unique_ptr<WakeupTree::Node>> subtree;
+  NodePtr child = acquire_node(eng);
+  NodePtr claimant;  ///< child that already owns the prescribed step
+  {
+    std::lock_guard lock(n.mu);
+    if (branch->taken) return;  // defensive double-schedule guard
+    if (branch->step.any_data) {
+      // Wildcard: run every enabled transition of the racing thread (the
+      // value/observed-write choices are the data nondeterminism the
+      // reversal must fully explore). Wildcards are always sequence
+      // tails, so there is no subtree to hand down — expand_free does
+      // exactly this, including the executed-prefix bookkeeping.
+      const c11::ThreadId q = branch->step.thread;
+      (void)n.wut.take(branch);
+      if (has_awake_step(n, q)) {
+        push_item(eng, me, Item{node, nullptr, q});
+      }
+      return;
+    }
+    i = eng.options.pre_execution
+            ? find_wakeup_step(branch->step, n.config.exec, n.pe_steps)
+            : find_wakeup_step(branch->step, n.config.exec, n.steps);
+    if (i != kNoStep && contains(n.executed, n.sigs[i])) {
+      // A sibling item already claimed exactly this step (a wildcard
+      // branch runs every instance of its thread's command, so a
+      // concrete branch for one instance can find its step taken). The
+      // claiming execution owns the step's subtree; this branch's
+      // prescribed continuation, if any, is grafted into it below.
+      for (std::size_t e = 0; e < n.executed.size(); ++e) {
+        if (n.executed[e] == n.sigs[i]) {
+          claimant = n.claimed[e].lock();
+          break;
+        }
+      }
+      subtree = n.wut.take(branch);
+      i = kNoStep;
+    } else if (i == kNoStep) {
+      // The prescribed step does not exist here — cannot happen for a
+      // correctly inserted reversal. Fall back conservatively: drop the
+      // branch and schedule every thread with awake transitions,
+      // degrading this node to full local expansion (race detection
+      // below keeps coverage complete).
+      (void)n.wut.take(branch);
+      for (const c11::ThreadId q : n.enabled) {
+        if (has_awake_step(n, q)) push_item(eng, me, Item{node, nullptr, q});
+      }
+      return;
+    } else {
+      prefix.assign(n.executed.begin(), n.executed.end());
+      n.executed.push_back(n.sigs[i]);
+      n.claimed.push_back(child);
+      subtree = n.wut.take(branch);
+    }
+  }
+
+  if (i == kNoStep) {
+    // Graft the orphaned continuation into the claimant's wakeup tree
+    // (as full sequences — insert rebuilds the sharing and schedules any
+    // fresh toplevel branch). An expired claimant finished exploring its
+    // whole subtree freely, which covers every maximal trace below the
+    // step — the guidance is moot.
+    if (claimant != nullptr && !subtree.empty()) {
+      thread_local std::vector<WakeupSequence> paths;
+      WakeupTree::collect_paths(subtree, paths);
+      for (const WakeupSequence& v : paths) {
+        (void)insert_sequence(eng, me, claimant, v);
+      }
+    }
+    return;
+  }
+  // Scheduling is thread-granular, exactly as in the source-set engine:
+  // the prescribed step fixes the *order*, but the thread's other enabled
+  // instances (which write a read observes, where a write lands in mo)
+  // are sibling Mazurkiewicz classes that no race reversal will ever
+  // demand — they must branch here or be lost (the fuzz oracle catches
+  // exactly this on branching programs). Each sibling inherits the
+  // *dependent core* of the prescribed continuation: the dependence
+  // chains into the reversed racing steps are just as valid after the
+  // altered data choice (canonical ids keep them resolvable) and steer
+  // the sibling out of the sleep filter's way, while the independent
+  // remainder is left free so a covered sibling is not force-marched
+  // through a whole redundant execution.
+  const c11::ThreadId thread = n.sigs[i].thread;
+  std::vector<std::unique_ptr<WakeupTree::Node>> guidance;
+  {
+    thread_local std::vector<WakeupSequence> paths;
+    WakeupTree::collect_paths(subtree, paths);
+    WakeupTree cores;
+    for (WakeupSequence v : paths) {
+      prune_to_dependent_core(v);
+      if (!v.empty()) (void)cores.insert(v, nullptr);
+    }
+    guidance = cores.release();
+  }
+  if (!execute_step(eng, me, node, i, std::move(child), std::move(subtree),
+                    std::move(prefix))) {
+    return;
+  }
+  for (std::size_t j = 0; j < n.sigs.size(); ++j) {
+    if (n.sigs[j].thread != thread) continue;
+    if (eng.stop.load(std::memory_order_acquire)) return;
+    const StepSig& sib = n.sigs[j];
+    if (sleep_contains(n.sleep, sib)) continue;
+    SleepSet sib_prefix;
+    NodePtr sib_child = acquire_node(eng);
+    {
+      std::lock_guard lock(n.mu);
+      if (contains(n.executed, sib)) continue;  // incl. the prescribed step
+      sib_prefix.assign(n.executed.begin(), n.executed.end());
+      n.executed.push_back(sib);
+      n.claimed.push_back(sib_child);
+      n.wut.add_executed(wakeup_step_at(eng, n, j));
+    }
+    if (!execute_step(eng, me, node, j, std::move(sib_child),
+                      WakeupTree::clone(guidance), std::move(sib_prefix),
+                      /*sibling=*/true)) {
+      return;
+    }
+  }
+}
+
+void worker_loop(Engine& eng, std::size_t me) {
+  constexpr int kYieldRounds = 64;
+  int idle_rounds = 0;
+  while (true) {
+    if (eng.stop.load(std::memory_order_acquire)) return;
+    std::optional<Item> item = eng.deques.pop_local(me);
+    if (!item && eng.deques.worker_count() > 1) {
+      item = eng.deques.steal(me);
+      if (item) ++eng.worker_stats[me].steals;
+    }
+    if (!item) {
+      if (eng.pending.load(std::memory_order_acquire) == 0) return;
+      if (eng.deques.worker_count() == 1) return;
+      if (++idle_rounds <= kYieldRounds) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      continue;
+    }
+    idle_rounds = 0;
+    ++eng.worker_stats[me].processed;
+    if (item->branch != nullptr) {
+      expand_branch(eng, me, item->node, item->branch);
+    } else {
+      expand_free(eng, me, item->node, item->thread);
+    }
+    eng.pending.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace
+
+ExploreResult explore_optimal(const interp::Config& start,
+                              const ExploreOptions& options,
+                              const Visitor& visitor, std::size_t workers,
+                              std::vector<WorkerStats>* worker_stats) {
+  if (workers == 0) workers = 1;
+  Engine eng(options, visitor, workers);
+  // Scheduling points are visible steps only, exactly as in the
+  // source-set engine (traces replay under tau_compress = true).
+  eng.options.step.tau_compress = true;
+
+  auto finish = [&](bool root_aborted = false) {
+    ExploreResult res;
+    res.stats.states = eng.states.load();
+    res.stats.transitions = eng.transitions.load();
+    res.stats.merged = eng.merged.load();
+    res.stats.finals = eng.finals.load();
+    res.stats.max_depth = eng.max_depth.load();
+    res.stats.por_pruned = eng.por_pruned.load();
+    res.stats.backtracks = eng.backtracks.load();
+    res.stats.sleep_blocked = eng.sleep_blocked.load();
+    res.stats.redundant_transitions = eng.redundant.load();
+    res.stats.truncated = eng.truncated.load();
+    res.stats.peak_seen_bytes = eng.seen.bytes();
+    {
+      std::lock_guard lock(eng.abort_mutex);
+      res.aborted = eng.aborted || root_aborted;
+      res.abort_trace = std::move(eng.abort_trace);
+    }
+    if (worker_stats != nullptr) *worker_stats = eng.worker_stats;
+    return res;
+  };
+
+  auto root = std::make_shared<Node>();
+  root->config = start;
+  root->ready = true;  // fully initialized before any item runs
+  (void)eng.seen.insert(root->config.fingerprint());
+  eng.states.store(1);
+  if (visitor.on_state && !visitor.on_state(root->config)) {
+    return finish(/*root_aborted=*/true);
+  }
+  if (root->config.terminated()) {
+    eng.finals.store(1);
+    if (visitor.on_final && !visitor.on_final(root->config)) {
+      return finish(/*root_aborted=*/true);
+    }
+  }
+  prepare_node(*root, eng.options);
+  const c11::ThreadId first = pick_first(*root);
+  if (first != 0) {
+    push_item(eng, 0, Item{root, nullptr, first});
+  }
+
+  if (workers == 1) {
+    worker_loop(eng, 0);
+  } else {
+    util::ThreadPool pool(workers);
+    for (std::size_t k = 0; k < workers; ++k) {
+      pool.submit([&eng, k] { worker_loop(eng, k); });
+    }
+    pool.wait_idle();
+  }
+  return finish();
+}
+
+}  // namespace rc11::mc

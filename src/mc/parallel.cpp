@@ -13,6 +13,7 @@
 #include "c11/races.hpp"
 #include "mc/dpor.hpp"
 #include "mc/independence.hpp"
+#include "mc/optimal.hpp"
 #include "util/thread_pool.hpp"
 #include "util/work_deque.hpp"
 
@@ -131,10 +132,7 @@ void process(ParallelRun& run, std::size_t me, WorkItem item) {
     // Materialized fallback: the callback observes ConfigStep.next.
     auto steps = interp::successors(item.config, run.options.step);
     std::vector<StepSig> sigs;
-    if (run.por_sleep) {
-      sigs.reserve(steps.size());
-      for (const auto& s : steps) sigs.push_back(sig_of(s));
-    }
+    if (run.por_sleep) sigs_of(steps, sigs);
     for (std::size_t i = 0; i < steps.size(); ++i) {
       if (run.por_sleep && sleep_contains(item.sleep, sigs[i])) {
         run.por_pruned.fetch_add(1, std::memory_order_relaxed);
@@ -191,10 +189,7 @@ void process(ParallelRun& run, std::size_t me, WorkItem item) {
   thread_local interp::StepUndo undo;
   interp::enumerate_steps(item.config, run.options.step, steps);
   sigs.clear();
-  if (run.por_sleep) {
-    sigs.reserve(steps.size());
-    for (const auto& s : steps) sigs.push_back(sig_of(s));
-  }
+  if (run.por_sleep) sigs_of(steps, sigs);
   for (std::size_t i = 0; i < steps.size(); ++i) {
     if (run.por_sleep && sleep_contains(item.sleep, sigs[i])) {
       run.por_pruned.fetch_add(1, std::memory_order_relaxed);
@@ -349,14 +344,20 @@ void export_info(const ParallelRun& run, ParallelRunInfo* info) {
   if (info != nullptr) info->workers = run.worker_stats;
 }
 
-/// Runs the work-stealing DPOR engine for the parallel checkers.
+/// Runs the work-stealing tree engine (source-set or optimal wakeup-tree
+/// DPOR, per options.explore.por) for the parallel checkers.
 ExploreResult run_dpor(const lang::Program& program,
                        const ParallelOptions& options, const Visitor& visitor,
                        ParallelRunInfo* info) {
   std::vector<WorkerStats> ws;
-  ExploreResult r = explore_dpor(
-      interp::initial_config(program), options.explore, visitor,
-      worker_count(options), info != nullptr ? &ws : nullptr);
+  std::vector<WorkerStats>* wsp = info != nullptr ? &ws : nullptr;
+  const interp::Config start = interp::initial_config(program);
+  ExploreResult r =
+      is_optimal_dpor(options.explore.por)
+          ? explore_optimal(start, options.explore, visitor,
+                            worker_count(options), wsp)
+          : explore_dpor(start, options.explore, visitor,
+                         worker_count(options), wsp);
   if (info != nullptr) info->workers = std::move(ws);
   return r;
 }

@@ -24,8 +24,13 @@
 //     carry their tree node; per-node backtrack/sleep state lives in the
 //     shared node objects, so race reversals discovered in stolen subtrees
 //     insert backtrack points into ancestors soundly.
-//     check_invariant_parallel downgrades DPOR to kSleepSets (invariants
-//     observe intermediate states).
+//   * kOptimal / kOptimalParsimonious — same delegation to the
+//     work-stealing optimal wakeup-tree engine (optimal.hpp); shared
+//     nodes carry their wakeup tree the same way they carry
+//     backtrack/sleep state, so sequences inserted from stolen subtrees
+//     stay sound.
+//     check_invariant_parallel downgrades every DPOR mode to kSleepSets
+//     (invariants observe intermediate states).
 //
 // On a single-core host this demonstrates correctness rather than speedup;
 // bench_parallel reports the scaling measured on the build machine.

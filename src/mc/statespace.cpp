@@ -13,6 +13,10 @@ std::string ExploreStats::to_string() const {
      << " peak_seen_bytes=" << peak_seen_bytes;
   if (por_pruned > 0) os << " por_pruned=" << por_pruned;
   if (backtracks > 0) os << " backtracks=" << backtracks;
+  if (sleep_blocked > 0) os << " sleep_blocked=" << sleep_blocked;
+  if (redundant_transitions > 0) {
+    os << " redundant_transitions=" << redundant_transitions;
+  }
   if (truncated) os << " (TRUNCATED)";
   return os.str();
 }

@@ -52,6 +52,18 @@ struct ExploreStats {
   std::size_t peak_seen_bytes = 0;  ///< seen-set footprint at peak
   std::size_t por_pruned = 0;   ///< transitions pruned by the POR layer
   std::size_t backtracks = 0;   ///< DPOR backtrack points inserted
+  /// Executions started and then killed by the sleep filter: tree nodes
+  /// whose every enabled transition was asleep (the prefix explored to
+  /// reach them was redundant). Nonzero only under the stateless DPOR
+  /// engines; the optimal wakeup-tree modes keep it at zero by
+  /// construction (tests/test_dpor.cpp asserts this on the catalogue).
+  std::size_t sleep_blocked = 0;
+  /// Transitions executed from a configuration that — itself or via an
+  /// ancestor on its spine — had already been visited when reached: the
+  /// re-explored shared suffixes of the tree-shaped DPOR engines. The
+  /// deduplicating graph explorers merge duplicates instead of
+  /// re-expanding them, so they always report zero here.
+  std::size_t redundant_transitions = 0;
   bool truncated = false;       ///< hit max_states
 
   [[nodiscard]] std::string to_string() const;

@@ -1,0 +1,278 @@
+#include "mc/wakeup.hpp"
+
+#include <algorithm>
+
+namespace rc11::mc {
+
+namespace {
+
+template <typename S>
+WakeupStep make_wakeup_step_impl(const S& s, const c11::Execution& exec) {
+  WakeupStep w;
+  w.thread = s.thread;
+  w.silent = s.silent;
+  w.loop_unfold = s.loop_unfold;
+  if (!s.silent) {
+    w.action = s.action;
+    if (s.observed != c11::kNoEvent) {
+      w.has_observed = true;
+      w.observed = interp::canonical_event_id(exec, s.observed);
+    }
+  }
+  return w;
+}
+
+template <typename S>
+bool matches_step(const WakeupStep& w, const S& s, c11::EventId observed) {
+  if (s.thread != w.thread || s.silent != w.silent ||
+      s.loop_unfold != w.loop_unfold) {
+    return false;
+  }
+  if (w.silent) return true;
+  return s.action.kind == w.action.kind && s.action.var == w.action.var &&
+         s.action.rval == w.action.rval && s.action.wval == w.action.wval &&
+         s.observed == observed;
+}
+
+template <typename S>
+std::size_t find_wakeup_step_impl(const WakeupStep& w,
+                                  const c11::Execution& exec,
+                                  const std::vector<S>& steps) {
+  if (w.any_data) return kNoStep;  // wildcards expand whole threads
+  c11::EventId observed = c11::kNoEvent;
+  if (w.has_observed) {
+    observed = interp::resolve_canonical_event(exec, w.observed);
+    if (observed == c11::kNoEvent) return kNoStep;
+  }
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (matches_step(w, steps[i], observed)) return i;
+  }
+  return kNoStep;
+}
+
+}  // namespace
+
+WakeupStep make_wakeup_step(const interp::Step& s,
+                            const c11::Execution& exec) {
+  return make_wakeup_step_impl(s, exec);
+}
+
+WakeupStep make_wakeup_step(
+    const interp::Step& s,
+    const std::vector<interp::CanonicalEventId>& cids) {
+  WakeupStep w;
+  w.thread = s.thread;
+  w.silent = s.silent;
+  w.loop_unfold = s.loop_unfold;
+  if (!s.silent) {
+    w.action = s.action;
+    if (s.observed != c11::kNoEvent) {
+      w.has_observed = true;
+      w.observed = cids[s.observed];
+    }
+  }
+  return w;
+}
+
+WakeupStep make_wakeup_step(const interp::ConfigStep& s,
+                            const c11::Execution& exec) {
+  return make_wakeup_step_impl(s, exec);
+}
+
+WakeupStep make_wildcard_step(const interp::Step& s) {
+  WakeupStep w;
+  w.thread = s.thread;
+  w.silent = s.silent;
+  w.loop_unfold = s.loop_unfold;
+  w.any_data = true;
+  if (!s.silent) {
+    w.action.kind = s.action.kind;
+    w.action.var = s.action.var;
+  }
+  return w;
+}
+
+std::optional<StepSig> resolve_sig(const WakeupStep& w,
+                                   const c11::Execution& exec) {
+  if (w.any_data) return std::nullopt;  // no single concrete signature
+  StepSig sig = w.base_sig();
+  if (w.has_observed) {
+    const c11::EventId observed =
+        interp::resolve_canonical_event(exec, w.observed);
+    if (observed == c11::kNoEvent) return std::nullopt;
+    sig.observed = observed;
+  }
+  return sig;
+}
+
+std::size_t find_wakeup_step(const WakeupStep& w, const c11::Execution& exec,
+                             const std::vector<interp::Step>& steps) {
+  return find_wakeup_step_impl(w, exec, steps);
+}
+
+std::size_t find_wakeup_step(const WakeupStep& w, const c11::Execution& exec,
+                             const std::vector<interp::ConfigStep>& steps) {
+  return find_wakeup_step_impl(w, exec, steps);
+}
+
+void weak_initials(const WakeupSequence& v, std::vector<std::size_t>& out) {
+  weak_initial_indices(
+      v.size(), [&](std::size_t j) { return v[j].base_sig(); }, out);
+}
+
+void prune_to_dependent_core(WakeupSequence& v) {
+  if (v.size() < 2) return;
+  // core[j] <=> v[j] has a dependence path (within v) to the final step.
+  // Backward induction: the path's intermediate steps are marked before
+  // their predecessors are examined. Dependence predecessors of core
+  // steps are themselves core (p dep j, j -> t gives p -> j -> t), so the
+  // pruned sequence keeps every step needed for executability.
+  std::vector<char> core(v.size(), 0);
+  core.back() = 1;
+  for (std::size_t j = v.size() - 1; j-- > 0;) {
+    for (std::size_t k = j + 1; k < v.size(); ++k) {
+      if (core[k] != 0 && dependent(v[j], v[k])) {
+        core[j] = 1;
+        break;
+      }
+    }
+  }
+  std::size_t out = 0;
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    if (core[j] != 0) v[out++] = std::move(v[j]);
+  }
+  v.resize(out);
+}
+
+std::size_t WakeupTree::node_count() const {
+  std::size_t n = 0;
+  std::vector<const Node*> stack;
+  for (const auto& b : roots_) stack.push_back(b.get());
+  while (!stack.empty()) {
+    const Node* cur = stack.back();
+    stack.pop_back();
+    ++n;
+    for (const auto& c : cur->children) stack.push_back(c.get());
+  }
+  return n;
+}
+
+WakeupTree::Node* WakeupTree::add_executed(const WakeupStep& s) {
+  auto node = std::make_unique<Node>();
+  node->step = s;
+  node->taken = true;
+  roots_.push_back(std::move(node));
+  return roots_.back().get();
+}
+
+WakeupTree::Insert WakeupTree::insert(const WakeupSequence& v,
+                                      Node** new_branch) {
+  if (new_branch != nullptr) *new_branch = nullptr;
+
+  // The occurrence of `step` in `r` that is a weak initial, or kNoStep.
+  // Equal steps share a thread (hence are mutually dependent), so only
+  // the first equal occurrence can be a weak initial. Wildcards match
+  // only wildcards: letting a wildcard child swallow a concrete-instance
+  // sequence would drop the sequence's *continuation* guidance (coverage
+  // would survive via recursive reversal, but the freed exploration
+  // wanders and re-blocks — measurably worse on IRIW-shaped programs);
+  // the overlap between a wildcard branch and a concrete sibling is
+  // resolved at execution time instead, by retiring a leaf branch whose
+  // exact step a sibling already claimed.
+  const auto weak_initial_match = [](const WakeupSequence& r,
+                                     const WakeupStep& step) -> std::size_t {
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      if (!(r[j] == step)) continue;
+      for (std::size_t b = 0; b < j; ++b) {
+        if (dependent(r[b], r[j])) return kNoStep;
+      }
+      return j;
+    }
+    return kNoStep;
+  };
+
+  WakeupSequence r = v;
+  std::vector<std::unique_ptr<Node>>* at = &roots_;
+  bool toplevel = true;
+  while (true) {
+    // Walking off the end of v means an existing path is equivalent to a
+    // weak prefix of v; its subtree keeps exploring, so v is covered.
+    if (r.empty()) return Insert::kSubsumed;
+
+    Node* descend = nullptr;
+    std::size_t consumed = kNoStep;
+    for (const auto& child : *at) {
+      const std::size_t j = weak_initial_match(r, child->step);
+      if (j == kNoStep) continue;
+      // A taken branch's (detached) subtree exploration covers every
+      // continuation extending it — including v.
+      if (child->taken) return Insert::kSubsumed;
+      // A pending leaf is the end of an inserted sequence; exploration
+      // beyond it is free and will cover v via recursive race reversal
+      // (the "exists leaf u [= v" subsumption rule).
+      if (child->children.empty()) return Insert::kSubsumed;
+      descend = child.get();
+      consumed = j;
+      break;
+    }
+    if (descend == nullptr) break;
+    r.erase(r.begin() + static_cast<std::ptrdiff_t>(consumed));
+    at = &descend->children;
+    toplevel = false;
+  }
+
+  // No branch covers v: append the remaining steps as a fresh chain.
+  Node* head = nullptr;
+  std::vector<std::unique_ptr<Node>>* tail = at;
+  for (const WakeupStep& s : r) {
+    auto node = std::make_unique<Node>();
+    node->step = s;
+    tail->push_back(std::move(node));
+    Node* added = tail->back().get();
+    if (head == nullptr) head = added;
+    tail = &added->children;
+  }
+  if (toplevel) {
+    if (new_branch != nullptr) *new_branch = head;
+    return Insert::kNewBranch;
+  }
+  return Insert::kExtended;
+}
+
+std::vector<std::unique_ptr<WakeupTree::Node>> WakeupTree::take(Node* branch) {
+  branch->taken = true;
+  return std::move(branch->children);
+}
+
+std::vector<std::unique_ptr<WakeupTree::Node>> WakeupTree::clone(
+    const std::vector<std::unique_ptr<Node>>& subtree) {
+  std::vector<std::unique_ptr<Node>> out;
+  out.reserve(subtree.size());
+  for (const auto& b : subtree) {
+    auto node = std::make_unique<Node>();
+    node->step = b->step;
+    node->taken = b->taken;
+    node->children = clone(b->children);
+    out.push_back(std::move(node));
+  }
+  return out;
+}
+
+void WakeupTree::collect_paths(
+    const std::vector<std::unique_ptr<Node>>& subtree,
+    std::vector<WakeupSequence>& out) {
+  out.clear();
+  WakeupSequence path;
+  const auto walk = [&](const auto& self, const Node& node) -> void {
+    path.push_back(node.step);
+    if (node.children.empty()) {
+      out.push_back(path);
+    } else {
+      for (const auto& c : node.children) self(self, *c);
+    }
+    path.pop_back();
+  };
+  for (const auto& b : subtree) walk(walk, *b);
+}
+
+}  // namespace rc11::mc

@@ -1,0 +1,231 @@
+// Wakeup trees for optimal dynamic partial-order reduction (Abdulla,
+// Aronis, Jonsson, Sagonas — "Source Sets: A Foundation for Optimal
+// Dynamic Partial Order Reduction" — with the parsimonious race-reversal
+// pruning of Abdulla, Atig, Das, Jonsson, Sagonas per PAPERS.md).
+//
+// A wakeup tree is an ordered tree of *wakeup steps* rooted at an
+// exploration node. Each root-to-leaf path is a wakeup sequence: a
+// concrete continuation E'.w the node must explore because some race
+// reversal produced it. Exploring a node means executing its branches in
+// order — the prescribed steps exactly, no free scheduling — until every
+// branch is taken; free scheduling (pick a thread, run all its enabled
+// transitions) happens only at nodes whose tree is empty. Because an
+// inserted sequence ends in the reversed racing step t (which is
+// dependent with the slept-on step e), following it can never run into
+// the sleep filter: this is what removes the sleep-set-blocked redundancy
+// of stateless source-set DPOR.
+//
+// Steps are frame-independent: a step's observed write is named by its
+// *canonical* event id (thread, sb-position — interp::CanonicalEventId),
+// which is invariant under reordering of independent steps, so a sequence
+// extracted from one explored trace resolves against any
+// Mazurkiewicz-equivalent prefix (the tags themselves shift when the
+// raced step e is removed from the schedule).
+//
+// Invariants (documented in src/mc/README.md, exercised by
+// tests/test_wakeup.cpp):
+//
+//   * ordering — children are kept in insertion order; executed branches
+//     stay in the tree (marked taken) so later insertions subsume
+//     against them exactly like against pending ones;
+//   * subsumption — insert(v) walks the tree consuming weak initials of
+//     the remaining sequence: reaching a taken child, a leaf, or the end
+//     of v means an existing branch u satisfies u [= v (u can be
+//     extended to a sequence Mazurkiewicz-equivalent to v), so v's trace
+//     is already covered and nothing is inserted;
+//   * stolen subtrees — taking a branch detaches its children as the
+//     child node's initial tree; the taken node stays behind as a
+//     childless marker, so a concurrent insertion that reaches it stops
+//     with "covered" instead of growing a stale subtree nobody would
+//     ever execute.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "interp/config.hpp"
+#include "mc/independence.hpp"
+
+namespace rc11::mc {
+
+/// One step of a wakeup sequence, with the observed write named
+/// canonically (frame-independent; see file comment).
+///
+/// The final element of a reversal sequence is the racing step itself.
+/// When that step observed the raced event e directly (read from it, or
+/// inserted into mo right after it), no exact step can replay once e is
+/// scheduled away — the datum it observed does not exist yet in the
+/// reversed frame. Such a step is inserted as a *wildcard* (`any_data`):
+/// the racing thread's command with the kind and variable fixed but the
+/// value / observed-write choice free, executed as "every enabled
+/// transition of the thread" (the wakeup analogue of the classic
+/// algorithm appending the racing *process* rather than a step).
+struct WakeupStep {
+  c11::ThreadId thread = 0;
+  bool silent = true;
+  bool loop_unfold = false;
+  bool any_data = false;  ///< wildcard; only ever the last element
+  c11::Action action{};   ///< zeroed for silent steps; values zeroed for
+                          ///< wildcards
+  bool has_observed = false;
+  interp::CanonicalEventId observed{};
+
+  [[nodiscard]] bool operator==(const WakeupStep&) const = default;
+
+  /// Signature for independence queries only (observed is left at
+  /// kNoEvent, which the relation never looks at; a wildcard's kind/var
+  /// make it conflict with exactly what any of its instances would).
+  [[nodiscard]] StepSig base_sig() const {
+    StepSig sig;
+    sig.thread = thread;
+    sig.silent = silent;
+    if (!silent) {
+      sig.kind = action.kind;
+      sig.var = action.var;
+      sig.rval = action.rval;
+      sig.wval = action.wval;
+    }
+    return sig;
+  }
+};
+
+using WakeupSequence = std::vector<WakeupStep>;
+
+[[nodiscard]] inline bool independent(const WakeupStep& a,
+                                      const WakeupStep& b) {
+  return independent(a.base_sig(), b.base_sig());
+}
+
+[[nodiscard]] inline bool dependent(const WakeupStep& a, const WakeupStep& b) {
+  return !independent(a, b);
+}
+
+/// Builds the frame-independent form of an executed/enumerable step.
+/// `exec` must contain the step's observed event (any configuration at or
+/// after the step's source frame works — tags are append-only).
+[[nodiscard]] WakeupStep make_wakeup_step(const interp::Step& s,
+                                          const c11::Execution& exec);
+
+/// As above with the frame's canonical ids precomputed
+/// (interp::canonical_event_ids) — the per-maximal-execution race
+/// reversal builds many steps of one frame.
+[[nodiscard]] WakeupStep make_wakeup_step(
+    const interp::Step& s, const std::vector<interp::CanonicalEventId>& cids);
+
+/// Same for the pre-execution semantics' materialized steps.
+[[nodiscard]] WakeupStep make_wakeup_step(const interp::ConfigStep& s,
+                                          const c11::Execution& exec);
+
+/// The wildcard form of `s` (see WakeupStep::any_data): thread, kind and
+/// variable are kept, values and the observed write are freed.
+[[nodiscard]] WakeupStep make_wildcard_step(const interp::Step& s);
+
+/// The signature `w` would carry among `exec`'s enumerated transitions
+/// (observed resolved to this frame's tag), or nullopt when the observed
+/// event does not exist here yet — in which case no transition of this
+/// frame can match `w`.
+[[nodiscard]] std::optional<StepSig> resolve_sig(const WakeupStep& w,
+                                                 const c11::Execution& exec);
+
+inline constexpr std::size_t kNoStep = static_cast<std::size_t>(-1);
+
+/// Index into `steps` of the transition matching `w` at a frame whose
+/// execution is `exec`, or kNoStep. Matches thread, silence, loop_unfold,
+/// action and the resolved observed event.
+[[nodiscard]] std::size_t find_wakeup_step(
+    const WakeupStep& w, const c11::Execution& exec,
+    const std::vector<interp::Step>& steps);
+
+/// Pre-execution variant.
+[[nodiscard]] std::size_t find_wakeup_step(
+    const WakeupStep& w, const c11::Execution& exec,
+    const std::vector<interp::ConfigStep>& steps);
+
+/// Indices of the weak initials WI(v): steps with no dependent
+/// predecessor in v. Every weak initial is its thread's first step in v.
+void weak_initials(const WakeupSequence& v, std::vector<std::size_t>& out);
+
+/// Parsimonious race reversal: prunes v to its dependent core — the steps
+/// with a dependence path (within v) to the final step t, plus t itself.
+/// The core is exactly what is needed to re-enable t at the reversal
+/// point: every dependence predecessor of a core step is itself in the
+/// core, so the pruned sequence stays executable, and its first step is a
+/// weak initial of the full v.
+void prune_to_dependent_core(WakeupSequence& v);
+
+/// The ordered tree (see file comment). Not thread-safe: callers guard it
+/// with the owning exploration node's mutex.
+class WakeupTree {
+ public:
+  struct Node {
+    WakeupStep step;
+    /// Taken branches have been handed to an exploration child (or were
+    /// executed by free scheduling); their subtrees live on in that
+    /// child's tree, so insertion treats them as opaque "covered".
+    bool taken = false;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  WakeupTree() = default;
+  explicit WakeupTree(std::vector<std::unique_ptr<Node>> branches)
+      : roots_(std::move(branches)) {}
+  WakeupTree(WakeupTree&&) = default;
+  WakeupTree& operator=(WakeupTree&&) = default;
+
+  [[nodiscard]] bool empty() const { return roots_.empty(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& branches() const {
+    return roots_;
+  }
+
+  /// Total nodes in the tree (diagnostics / benches).
+  [[nodiscard]] std::size_t node_count() const;
+
+  /// Records a free-scheduled executed step as a taken leaf branch, so
+  /// later insertions subsume against it.
+  Node* add_executed(const WakeupStep& s);
+
+  enum class Insert {
+    kSubsumed,   ///< an existing branch covers v; nothing inserted
+    kExtended,   ///< appended below an existing *pending* branch (the
+                 ///< branch's eventual execution will reach it)
+    kNewBranch,  ///< appended a fresh toplevel branch (needs scheduling)
+  };
+
+  /// Inserts wakeup sequence v per the optimal-DPOR rules (see file
+  /// comment). On kNewBranch, *new_branch receives the branch's root for
+  /// the caller to schedule. v must be non-empty.
+  Insert insert(const WakeupSequence& v, Node** new_branch);
+
+  /// Marks a toplevel branch taken and detaches its children — the
+  /// exploration child's initial wakeup tree. The branch node itself
+  /// stays behind (childless, taken) as the subsumption marker.
+  std::vector<std::unique_ptr<Node>> take(Node* branch);
+
+  /// All root-to-leaf paths of a detached subtree (take()'s result), as
+  /// plain sequences — used to graft an orphaned branch's continuation
+  /// into another node's tree. `out` is cleared first.
+  static void collect_paths(const std::vector<std::unique_ptr<Node>>& subtree,
+                            std::vector<WakeupSequence>& out);
+
+  /// Deep copy of a detached subtree. Sibling data instances of a
+  /// prescribed step inherit a clone of its continuation guidance (steps
+  /// that no longer resolve after the altered data choice fall back to
+  /// conservative expansion at execution time).
+  static std::vector<std::unique_ptr<Node>> clone(
+      const std::vector<std::unique_ptr<Node>>& subtree);
+
+  void clear() { roots_.clear(); }
+
+  /// Moves the toplevel branches out (the inverse of the adopting
+  /// constructor) — used to assemble a guidance subtree from sequences.
+  [[nodiscard]] std::vector<std::unique_ptr<Node>> release() {
+    return std::move(roots_);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Node>> roots_;
+};
+
+}  // namespace rc11::mc

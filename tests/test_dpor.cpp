@@ -5,23 +5,28 @@
 // For each program in the litmus catalogue plus a table of hand-written
 // racy/raceless programs, the oracle asserts that
 //
-//   {sequential, sequential+sleep, sequential+DPOR, sequential+DPOR+sleep,
-//    parallel, parallel+sleep, parallel+DPOR, parallel+DPOR+sleep}
+//   {sequential, parallel} x {full, sleep sets, source-DPOR,
+//    source-DPOR+sleep, optimal, optimal-parsimonious}
 //
 // all agree on: the litmus exists-condition verdict, the set of
 // final-state (terminated-execution) fingerprints, the outcome set, and
 // the race verdict. Also enforced here:
 //
-//   * the ISSUE acceptance bar — the default DPOR mode explores at most
+//   * the ISSUE acceptance bars — the default DPOR mode explores at most
 //     50% of the full-exploration state count on at least half the
-//     catalogue;
+//     catalogue; the optimal wakeup-tree modes report zero sleep-blocked
+//     executions on every catalogue program and never visit more
+//     transitions than stateless source-set DPOR;
+//   * stateless source-set DPOR's redundancy (sleep-blocked executions /
+//     re-explored shared suffixes) is nonzero on an all-conflicting
+//     litmus — the pathology the optimal engine removes;
 //   * DPOR visits a subset of the reachable states (never an invented
 //     one);
-//   * every counterexample/witness trace returned under DPOR (both
-//     explorers) replays deterministically to the reported violating
+//   * every counterexample/witness trace returned under DPOR (all three
+//     tree engines) replays deterministically to the reported violating
 //     state (replay_trace);
-//   * check_invariant downgrades DPOR to the state-preserving sleep-set
-//     mode.
+//   * check_invariant downgrades every DPOR mode to the state-preserving
+//     sleep-set mode.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -56,11 +61,20 @@ constexpr Mode kModes[] = {
     {"seq-sleep", PorMode::kSleepSets, false},
     {"seq-dpor", PorMode::kSourceSets, false},
     {"seq-dpor-sleep", PorMode::kSourceSetsSleep, false},
+    {"seq-optimal", PorMode::kOptimal, false},
+    {"seq-optimal-pars", PorMode::kOptimalParsimonious, false},
     {"par-full", PorMode::kNone, true},
     {"par-sleep", PorMode::kSleepSets, true},
     {"par-dpor", PorMode::kSourceSets, true},
     {"par-dpor-sleep", PorMode::kSourceSetsSleep, true},
+    {"par-optimal", PorMode::kOptimal, true},
+    {"par-optimal-pars", PorMode::kOptimalParsimonious, true},
 };
+
+/// The tree-engine modes (traces replay under tau compression).
+constexpr PorMode kTreeModes[] = {
+    PorMode::kSourceSets, PorMode::kSourceSetsSleep, PorMode::kOptimal,
+    PorMode::kOptimalParsimonious};
 
 ExploreOptions seq_options(PorMode por) {
   ExploreOptions o;
@@ -156,7 +170,7 @@ TEST(DporOracle, DporVisitsOnlyReachableStates) {
   for (const auto& test : litmus::catalog()) {
     const auto parsed = lang::parse_litmus(test.source);
     const auto full = explore(parsed.program, seq_options(PorMode::kNone), {});
-    for (PorMode por : {PorMode::kSourceSets, PorMode::kSourceSetsSleep}) {
+    for (PorMode por : kTreeModes) {
       const auto dpor = explore(parsed.program, seq_options(por), {});
       EXPECT_LE(dpor.stats.states, full.stats.states) << test.name;
       EXPECT_GT(dpor.stats.states, 0u) << test.name;
@@ -182,6 +196,83 @@ TEST(DporOracle, DefaultDporHalvesStatesOnHalfTheCatalog) {
   }
   EXPECT_GE(halved * 2, total) << "DPOR states / full states per test:\n"
                                << summary;
+}
+
+// --- Optimality (the tentpole acceptance bars) --------------------------------
+
+TEST(OptimalDpor, ZeroSleepBlockedAcrossCatalog) {
+  // The wakeup-tree engine never starts an execution the sleep filter
+  // kills: stats.sleep_blocked must be zero on every catalogue program,
+  // sequentially and in parallel. The parsimonious flavour trades the
+  // strict guarantee for shorter sequences, and parallel scheduling can
+  // shift where its pruned sequences run dry — so it is pinned on the
+  // deterministic sequential engine only.
+  for (const auto& test : litmus::catalog()) {
+    const auto parsed = lang::parse_litmus(test.source);
+    for (PorMode por : {PorMode::kOptimal, PorMode::kOptimalParsimonious}) {
+      const auto seq = explore(parsed.program, seq_options(por), {});
+      EXPECT_EQ(seq.stats.sleep_blocked, 0u)
+          << test.name << " under sequential " << por_mode_name(por);
+    }
+    const auto par =
+        enumerate_outcomes_parallel(parsed.program,
+                                    par_options(PorMode::kOptimal));
+    EXPECT_EQ(par.stats.sleep_blocked, 0u)
+        << test.name << " under parallel optimal";
+  }
+}
+
+TEST(OptimalDpor, TransitionsNeverExceedSourceSetDporAcrossCatalog) {
+  // The optimal engine's visited-transition count is bounded by the
+  // stateless source-set DPOR engine's on every catalogue program —
+  // including the all-conflicting ones where the stateless tree
+  // re-explores shared suffixes past full exploration. (Against the
+  // sleep-composed kSourceSetsSleep variant the bound holds on all but
+  // IRIW-shaped programs, where thread-granular sibling branching under
+  // wakeup guidance pays a small premium — see src/mc/README.md.)
+  for (const auto& test : litmus::catalog()) {
+    const auto parsed = lang::parse_litmus(test.source);
+    const auto src = explore(parsed.program, seq_options(PorMode::kSourceSets),
+                             {});
+    const auto opt =
+        explore(parsed.program, seq_options(PorMode::kOptimal), {});
+    EXPECT_LE(opt.stats.transitions, src.stats.transitions) << test.name;
+  }
+}
+
+TEST(OptimalDpor, StatelessDporRedundancyIsNonzeroOnAllConflictingLitmus) {
+  // Pins the pathology the tentpole fixes: on CoRR2 — the catalogue's
+  // all-conflicting workload (two same-variable writers, two readers
+  // reading the variable twice) — stateless source-set DPOR re-explores
+  // shared suffixes (redundant_transitions > 0) and, without the sleep
+  // filter, visits MORE transitions than full exploration.
+  const auto parsed = lang::parse_litmus(litmus::find_test("CoRR2").source);
+  const auto full = explore(parsed.program, seq_options(PorMode::kNone), {});
+  const auto src =
+      explore(parsed.program, seq_options(PorMode::kSourceSets), {});
+  const auto src_sleep =
+      explore(parsed.program, seq_options(PorMode::kSourceSetsSleep), {});
+  EXPECT_GT(src.stats.redundant_transitions, 0u);
+  EXPECT_GT(src_sleep.stats.redundant_transitions, 0u);
+  EXPECT_GT(src.stats.transitions, full.stats.transitions)
+      << "stateless DPOR no longer exceeds full exploration on CoRR2; "
+         "update this pin";
+  // The optimal engine stays at or below both on the same program.
+  const auto opt = explore(parsed.program, seq_options(PorMode::kOptimal), {});
+  EXPECT_LE(opt.stats.transitions, src_sleep.stats.transitions);
+  EXPECT_LT(opt.stats.transitions, src.stats.transitions);
+  EXPECT_EQ(opt.stats.sleep_blocked, 0u);
+}
+
+TEST(OptimalDpor, GraphExplorersReportZeroRedundancy) {
+  // The deduplicating graph explorers merge duplicates instead of
+  // re-expanding them: redundant_transitions is tree-engine-only.
+  const auto parsed = lang::parse_litmus(litmus::find_test("CoRR2").source);
+  for (PorMode por : {PorMode::kNone, PorMode::kSleepSets}) {
+    const auto r = explore(parsed.program, seq_options(por), {});
+    EXPECT_EQ(r.stats.redundant_transitions, 0u) << por_mode_name(por);
+    EXPECT_EQ(r.stats.sleep_blocked, 0u) << por_mode_name(por);
+  }
 }
 
 // --- Hand-written racy / raceless programs ------------------------------------
@@ -294,7 +385,7 @@ TEST(DporTraces, WitnessesReplayAcrossCatalog) {
   // deterministically to a terminated state satisfying the condition.
   for (const auto& test : litmus::catalog()) {
     const auto parsed = lang::parse_litmus(test.source);
-    for (PorMode por : {PorMode::kSourceSets, PorMode::kSourceSetsSleep}) {
+    for (PorMode por : kTreeModes) {
       const auto seq =
           check_reachable(parsed.program, parsed.condition, seq_options(por));
       if (seq.reachable) {
@@ -346,17 +437,20 @@ TEST(DporOracle, CheckInvariantDowngradesDporToSleepSets) {
   const auto plain = check_invariant(
       parsed.program, [](const interp::Config&) { return true; },
       seq_options(PorMode::kNone));
-  const auto dpor = check_invariant(
-      parsed.program, [](const interp::Config&) { return true; },
-      seq_options(kDefaultPor));
-  EXPECT_TRUE(dpor.holds);
-  EXPECT_EQ(dpor.stats.states, plain.stats.states);
+  for (PorMode por : {kDefaultPor, PorMode::kOptimal}) {
+    const auto dpor = check_invariant(
+        parsed.program, [](const interp::Config&) { return true; },
+        seq_options(por));
+    EXPECT_TRUE(dpor.holds) << por_mode_name(por);
+    EXPECT_EQ(dpor.stats.states, plain.stats.states) << por_mode_name(por);
 
-  const auto par_dpor = check_invariant_parallel(
-      parsed.program, [](const interp::Config&) { return true; },
-      par_options(kDefaultPor));
-  EXPECT_TRUE(par_dpor.holds);
-  EXPECT_EQ(par_dpor.stats.states, plain.stats.states);
+    const auto par_dpor = check_invariant_parallel(
+        parsed.program, [](const interp::Config&) { return true; },
+        par_options(por));
+    EXPECT_TRUE(par_dpor.holds) << por_mode_name(por);
+    EXPECT_EQ(par_dpor.stats.states, plain.stats.states)
+        << por_mode_name(por);
+  }
 }
 
 // --- Reduction sanity ---------------------------------------------------------
@@ -381,6 +475,12 @@ TEST(DporReduction, IndependentWritersCollapseToOneTraceClass) {
   EXPECT_EQ(dpor.stats.backtracks, 0u);
   EXPECT_EQ(full.stats.finals, 1u);
   EXPECT_EQ(dpor.stats.finals, 1u);
+  for (PorMode por : {PorMode::kOptimal, PorMode::kOptimalParsimonious}) {
+    const auto opt = explore(p, seq_options(por), {});
+    EXPECT_EQ(opt.stats.states, 4u) << por_mode_name(por);
+    EXPECT_EQ(opt.stats.backtracks, 0u) << por_mode_name(por);
+    EXPECT_EQ(opt.stats.redundant_transitions, 0u) << por_mode_name(por);
+  }
 }
 
 TEST(DporReduction, ConflictingWritersStillCoverAllFinals) {
@@ -397,6 +497,12 @@ TEST(DporReduction, ConflictingWritersStillCoverAllFinals) {
   const auto dpor = enumerate_outcomes(p, seq_options(kDefaultPor));
   EXPECT_EQ(full.outcomes, dpor.outcomes);
   EXPECT_GT(dpor.stats.backtracks, 0u);
+  for (PorMode por : {PorMode::kOptimal, PorMode::kOptimalParsimonious}) {
+    const auto opt = enumerate_outcomes(p, seq_options(por));
+    EXPECT_EQ(full.outcomes, opt.outcomes) << por_mode_name(por);
+    EXPECT_GT(opt.stats.backtracks, 0u) << por_mode_name(por);
+    EXPECT_EQ(opt.stats.sleep_blocked, 0u) << por_mode_name(por);
+  }
 }
 
 }  // namespace

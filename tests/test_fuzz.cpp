@@ -184,7 +184,8 @@ TEST(DporFuzz, DporAgreesWithFullExplorationOn200Programs) {
 
     const bool small = o.threads < 4;
     for (const mc::PorMode por :
-         {mc::PorMode::kSourceSets, mc::PorMode::kSourceSetsSleep}) {
+         {mc::PorMode::kSourceSets, mc::PorMode::kSourceSetsSleep,
+          mc::PorMode::kOptimal, mc::PorMode::kOptimalParsimonious}) {
       // The pure source-set mode (no sleep filter) re-explores the most;
       // exercise it on the small programs only.
       if (por == mc::PorMode::kSourceSets && !small) continue;
@@ -195,6 +196,21 @@ TEST(DporFuzz, DporAgreesWithFullExplorationOn200Programs) {
       EXPECT_EQ(mc::collect_final_executions(p, dopts), full_fps) << tag;
       // DPOR visits a subset of the reachable states.
       EXPECT_LE(dpor_out.stats.states, full_out.stats.states) << tag;
+      // Regression guard on the wakeup-tree engine's reduction: it must
+      // stay within a small factor of stateless source-set DPOR on every
+      // generated program (it beats it outright on 99% of seeds — the
+      // slack absorbs rare RMW-data-nondeterminism cases outside the
+      // thread-deterministic optimality theorem; the strict bounds are
+      // asserted over the litmus catalogue in tests/test_dpor.cpp).
+      if (mc::is_optimal_dpor(por) && small) {
+        mc::ExploreOptions sopts;
+        sopts.por = mc::PorMode::kSourceSets;
+        const auto src = mc::explore(p, sopts, {});
+        const auto opt = mc::explore(p, dopts, {});
+        EXPECT_LE(opt.stats.transitions,
+                  src.stats.transitions + src.stats.transitions / 4)
+            << tag;
+      }
     }
 
     // Race verdicts (NA seeds only: atomic-only programs never race; the
@@ -202,17 +218,22 @@ TEST(DporFuzz, DporAgreesWithFullExplorationOn200Programs) {
     // most expensive sweep, so small seeds only).
     if (o.allow_nonatomic && small) {
       const bool full_race_free = mc::check_race_free(p).race_free;
-      mc::ExploreOptions dopts;
-      dopts.por = mc::kDefaultPor;
-      EXPECT_EQ(mc::check_race_free(p, dopts).race_free, full_race_free)
-          << tag;
+      for (const mc::PorMode por : {mc::kDefaultPor, mc::PorMode::kOptimal}) {
+        mc::ExploreOptions dopts;
+        dopts.por = por;
+        EXPECT_EQ(mc::check_race_free(p, dopts).race_free, full_race_free)
+            << tag;
+      }
     }
 
-    // Work-stealing DPOR on a quarter of the seeds (thread-pool setup
-    // dominates these tiny state spaces; agreement is what matters).
-    if (i % 4 == 0) {
+    // Work-stealing tree engines on a quarter of the seeds each
+    // (thread-pool setup dominates these tiny state spaces; agreement is
+    // what matters): source-DPOR+sleep on i % 4 == 0, optimal wakeup
+    // trees on i % 4 == 2.
+    if (i % 2 == 0) {
       mc::ParallelOptions popts;
-      popts.explore.por = mc::kDefaultPor;
+      popts.explore.por =
+          i % 4 == 0 ? mc::kDefaultPor : mc::PorMode::kOptimal;
       popts.workers = 4;
       EXPECT_EQ(mc::enumerate_outcomes_parallel(p, popts).outcomes,
                 full_out.outcomes)

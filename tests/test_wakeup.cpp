@@ -1,0 +1,280 @@
+// Unit tests of the wakeup-tree subsystem (mc/wakeup.hpp): canonical
+// event identity, frame-independent step resolution, weak initials,
+// parsimonious dependent-core pruning, and the ordered-tree insertion /
+// subsumption / take invariants documented in src/mc/README.md. The
+// engine-level guarantees (optimality, oracle agreement) live in
+// tests/test_dpor.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lang/builder.hpp"
+#include "mc/wakeup.hpp"
+
+namespace rc11::mc {
+namespace {
+
+// --- Step helpers -------------------------------------------------------------
+
+WakeupStep mem(c11::ThreadId t, c11::ActionKind kind, c11::VarId var,
+               c11::Value rval = 0, c11::Value wval = 0) {
+  WakeupStep w;
+  w.thread = t;
+  w.silent = false;
+  w.action = {kind, var, rval, wval};
+  return w;
+}
+
+WakeupStep silent(c11::ThreadId t) {
+  WakeupStep w;
+  w.thread = t;
+  w.silent = true;
+  return w;
+}
+
+// --- Canonical event identity -------------------------------------------------
+
+TEST(CanonicalEvents, RoundTripAndFrameIndependence) {
+  // Two threads writing distinct variables: appending in either order
+  // yields different tags but identical canonical ids.
+  lang::ProgramBuilder b;
+  auto x = b.var("x", 0);
+  auto y = b.var("y", 0);
+  b.thread({lang::assign(x, 1)});
+  b.thread({lang::assign(y, 1)});
+  const lang::Program p = std::move(b).build();
+
+  interp::Config c1 = interp::initial_config(p);
+  interp::Config c2 = interp::initial_config(p);
+  std::vector<interp::Step> steps;
+  interp::StepOptions opts;
+
+  // c1: thread 1 then thread 2; c2: thread 2 then thread 1.
+  interp::enumerate_steps(c1, opts, steps);
+  (void)interp::apply_step(c1, steps[0], opts);
+  interp::enumerate_steps(c1, opts, steps);
+  (void)interp::apply_step(
+      c1, *std::find_if(steps.begin(), steps.end(),
+                        [](const interp::Step& s) { return s.thread == 2; }),
+      opts);
+
+  interp::enumerate_steps(c2, opts, steps);
+  (void)interp::apply_step(
+      c2, *std::find_if(steps.begin(), steps.end(),
+                        [](const interp::Step& s) { return s.thread == 2; }),
+      opts);
+  interp::enumerate_steps(c2, opts, steps);
+  (void)interp::apply_step(c2, steps[0], opts);
+
+  // Every event round-trips through its canonical id, in both frames.
+  for (const interp::Config* c : {&c1, &c2}) {
+    for (c11::EventId e = 0; e < c->exec.size(); ++e) {
+      const interp::CanonicalEventId cid =
+          interp::canonical_event_id(c->exec, e);
+      EXPECT_EQ(interp::resolve_canonical_event(c->exec, cid), e);
+    }
+  }
+  // Thread 1's write has the same canonical id in both interleavings,
+  // though its tag differs.
+  const auto find_write = [](const interp::Config& c, c11::VarId var) {
+    for (c11::EventId e = 0; e < c.exec.size(); ++e) {
+      if (!c.exec.event(e).is_init() && c.exec.event(e).is_write() &&
+          c.exec.event(e).var() == var) {
+        return e;
+      }
+    }
+    return c11::kNoEvent;
+  };
+  const c11::EventId w1 = find_write(c1, 0);
+  const c11::EventId w2 = find_write(c2, 0);
+  EXPECT_NE(w1, w2);  // tags shift with the interleaving...
+  EXPECT_EQ(interp::canonical_event_id(c1.exec, w1),
+            interp::canonical_event_id(c2.exec, w2));  // ...canonical ids don't
+}
+
+TEST(CanonicalEvents, UnreplayedEventResolvesToNoEvent) {
+  lang::ProgramBuilder b;
+  auto x = b.var("x", 0);
+  b.thread({lang::assign(x, 1)});
+  const lang::Program p = std::move(b).build();
+  const interp::Config c = interp::initial_config(p);
+  // Thread 1's first event does not exist in the initial frame.
+  EXPECT_EQ(interp::resolve_canonical_event(c.exec, {1, 0}), c11::kNoEvent);
+}
+
+// --- Weak initials and the dependent core -------------------------------------
+
+TEST(WakeupSequences, WeakInitials) {
+  // v = [t1 wr x, t2 wr y, t3 wr x]: t1 and t2 are weak initials; t3's
+  // write of x has the dependent predecessor t1.
+  const WakeupSequence v = {mem(1, c11::ActionKind::kWrX, 0),
+                            mem(2, c11::ActionKind::kWrX, 1),
+                            mem(3, c11::ActionKind::kWrX, 0)};
+  std::vector<std::size_t> wi;
+  weak_initials(v, wi);
+  EXPECT_EQ(wi, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(WakeupSequences, DependentCorePruning) {
+  // Final step t = t3 wr x. The t2 write of y has no dependence path to
+  // it and is pruned; the t1 write of x stays (direct conflict), as does
+  // the silent step of t3 (program order into t... silent steps are
+  // cross-thread independent, same-thread dependent).
+  WakeupSequence v = {mem(1, c11::ActionKind::kWrX, 0),
+                      mem(2, c11::ActionKind::kWrX, 1), silent(3),
+                      mem(3, c11::ActionKind::kWrX, 0)};
+  prune_to_dependent_core(v);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].thread, 1u);
+  EXPECT_EQ(v[1].thread, 3u);
+  EXPECT_TRUE(v[1].silent);
+  EXPECT_EQ(v[2].thread, 3u);
+}
+
+TEST(WakeupSequences, CorePredecessorsStayExecutable) {
+  // A chain a -> b -> t through distinct threads: every dependence
+  // predecessor of a core step must itself be in the core.
+  WakeupSequence v = {mem(1, c11::ActionKind::kWrX, 0),   // a: conflicts b
+                      mem(2, c11::ActionKind::kRdX, 0),   // b: conflicts t? no
+                      mem(4, c11::ActionKind::kWrX, 1),   // unrelated
+                      mem(3, c11::ActionKind::kWrX, 0)};  // t
+  prune_to_dependent_core(v);
+  ASSERT_EQ(v.size(), 3u);  // a and b kept (a->b->?): b rd x conflicts t wr x
+  EXPECT_EQ(v[0].thread, 1u);
+  EXPECT_EQ(v[1].thread, 2u);
+  EXPECT_EQ(v[2].thread, 3u);
+}
+
+// --- Tree insertion / subsumption ---------------------------------------------
+
+TEST(WakeupTreeInsert, NewBranchThenExactSubsume) {
+  WakeupTree tree;
+  const WakeupSequence v = {mem(1, c11::ActionKind::kWrX, 0),
+                            mem(2, c11::ActionKind::kWrX, 0)};
+  WakeupTree::Node* branch = nullptr;
+  EXPECT_EQ(tree.insert(v, &branch), WakeupTree::Insert::kNewBranch);
+  ASSERT_NE(branch, nullptr);
+  EXPECT_EQ(branch->step.thread, 1u);
+  EXPECT_EQ(tree.node_count(), 2u);
+
+  // Same sequence again: covered by the existing branch, nothing added.
+  EXPECT_EQ(tree.insert(v, &branch), WakeupTree::Insert::kSubsumed);
+  EXPECT_EQ(tree.node_count(), 2u);
+}
+
+TEST(WakeupTreeInsert, EquivalentReorderingIsSubsumed) {
+  // [t1 wr x, t2 wr y] and [t2 wr y, t1 wr x] are Mazurkiewicz
+  // equivalent (independent steps): the second insert must recognise the
+  // first branch as covering it.
+  WakeupTree tree;
+  const WakeupSequence v1 = {mem(1, c11::ActionKind::kWrX, 0),
+                             mem(2, c11::ActionKind::kWrX, 1)};
+  const WakeupSequence v2 = {mem(2, c11::ActionKind::kWrX, 1),
+                             mem(1, c11::ActionKind::kWrX, 0)};
+  WakeupTree::Node* branch = nullptr;
+  EXPECT_EQ(tree.insert(v1, &branch), WakeupTree::Insert::kNewBranch);
+  EXPECT_EQ(tree.insert(v2, nullptr), WakeupTree::Insert::kSubsumed);
+  EXPECT_EQ(tree.node_count(), 2u);
+}
+
+TEST(WakeupTreeInsert, ConflictingOrdersBothKept) {
+  // [t1 wr x, t2 wr x] and [t2 wr x, t1 wr x] conflict: neither order
+  // covers the other, so both branches must exist, in insertion order.
+  WakeupTree tree;
+  const WakeupSequence v1 = {mem(1, c11::ActionKind::kWrX, 0),
+                             mem(2, c11::ActionKind::kWrX, 0)};
+  const WakeupSequence v2 = {mem(2, c11::ActionKind::kWrX, 0),
+                             mem(1, c11::ActionKind::kWrX, 0)};
+  EXPECT_EQ(tree.insert(v1, nullptr), WakeupTree::Insert::kNewBranch);
+  EXPECT_EQ(tree.insert(v2, nullptr), WakeupTree::Insert::kNewBranch);
+  ASSERT_EQ(tree.branches().size(), 2u);
+  EXPECT_EQ(tree.branches()[0]->step.thread, 1u);  // insertion order kept
+  EXPECT_EQ(tree.branches()[1]->step.thread, 2u);
+  EXPECT_EQ(tree.node_count(), 4u);
+}
+
+TEST(WakeupTreeInsert, LeafSubsumesLongerSequence) {
+  // A leaf u with u [= v (v extends u): exploration past the leaf is
+  // free and will cover v, so nothing may be inserted.
+  WakeupTree tree;
+  const WakeupSequence u = {mem(1, c11::ActionKind::kWrX, 0)};
+  const WakeupSequence v = {mem(1, c11::ActionKind::kWrX, 0),
+                            mem(2, c11::ActionKind::kWrX, 0)};
+  EXPECT_EQ(tree.insert(u, nullptr), WakeupTree::Insert::kNewBranch);
+  EXPECT_EQ(tree.insert(v, nullptr), WakeupTree::Insert::kSubsumed);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(WakeupTreeInsert, DivergingSuffixExtendsBelowSharedPrefix) {
+  // Two sequences sharing a first step but with conflicting suffixes:
+  // the second is grafted below the shared prefix, not at toplevel.
+  WakeupTree tree;
+  const WakeupSequence v1 = {mem(1, c11::ActionKind::kWrX, 0),
+                             mem(2, c11::ActionKind::kWrX, 0),
+                             mem(3, c11::ActionKind::kWrX, 0)};
+  const WakeupSequence v2 = {mem(1, c11::ActionKind::kWrX, 0),
+                             mem(3, c11::ActionKind::kWrX, 0),
+                             mem(2, c11::ActionKind::kWrX, 0)};
+  EXPECT_EQ(tree.insert(v1, nullptr), WakeupTree::Insert::kNewBranch);
+  EXPECT_EQ(tree.insert(v2, nullptr), WakeupTree::Insert::kExtended);
+  ASSERT_EQ(tree.branches().size(), 1u);
+  EXPECT_EQ(tree.branches()[0]->children.size(), 2u);
+}
+
+TEST(WakeupTreeInsert, ExecutedStepSubsumes) {
+  // A free-scheduled executed step behaves like a taken leaf branch:
+  // any sequence it weakly prefixes is covered.
+  WakeupTree tree;
+  (void)tree.add_executed(mem(1, c11::ActionKind::kWrX, 0));
+  const WakeupSequence v = {mem(1, c11::ActionKind::kWrX, 0),
+                            mem(2, c11::ActionKind::kWrX, 0)};
+  EXPECT_EQ(tree.insert(v, nullptr), WakeupTree::Insert::kSubsumed);
+  // A conflicting other-order sequence is NOT covered by it.
+  const WakeupSequence v2 = {mem(2, c11::ActionKind::kWrX, 0),
+                             mem(1, c11::ActionKind::kWrX, 0)};
+  EXPECT_EQ(tree.insert(v2, nullptr), WakeupTree::Insert::kNewBranch);
+}
+
+TEST(WakeupTreeInsert, WildcardAndConcreteInstanceStayDistinctBranches) {
+  // A wildcard branch and a concrete-instance sequence of the same
+  // command do NOT subsume each other at insertion: the concrete
+  // sequence may carry continuation guidance the wildcard lacks, and one
+  // instance never covers the command's other data choices. The overlap
+  // is resolved at execution time (a leaf branch whose exact step a
+  // sibling already claimed is retired without exploring anything).
+  WakeupTree tree;
+  WakeupStep wild = mem(1, c11::ActionKind::kRdX, 0);
+  wild.any_data = true;
+  EXPECT_EQ(tree.insert({wild}, nullptr), WakeupTree::Insert::kNewBranch);
+  WakeupStep concrete = mem(1, c11::ActionKind::kRdX, 0, /*rval=*/1);
+  concrete.has_observed = true;
+  concrete.observed = {0, 0};
+  EXPECT_EQ(tree.insert({concrete}, nullptr),
+            WakeupTree::Insert::kNewBranch);
+  EXPECT_EQ(tree.branches().size(), 2u);
+  // Wildcards do subsume equal wildcards.
+  EXPECT_EQ(tree.insert({wild}, nullptr), WakeupTree::Insert::kSubsumed);
+}
+
+TEST(WakeupTreeTake, DetachesSubtreeAndLeavesTakenMarker) {
+  WakeupTree tree;
+  const WakeupSequence v = {mem(1, c11::ActionKind::kWrX, 0),
+                            mem(2, c11::ActionKind::kWrX, 0)};
+  WakeupTree::Node* branch = nullptr;
+  EXPECT_EQ(tree.insert(v, &branch), WakeupTree::Insert::kNewBranch);
+
+  auto subtree = tree.take(branch);
+  ASSERT_EQ(subtree.size(), 1u);
+  EXPECT_EQ(subtree[0]->step.thread, 2u);
+  EXPECT_TRUE(branch->taken);
+  EXPECT_TRUE(branch->children.empty());
+
+  // Anything the taken branch weakly prefixes is covered by the detached
+  // subtree's exploration.
+  const WakeupSequence v2 = {mem(1, c11::ActionKind::kWrX, 0),
+                             mem(3, c11::ActionKind::kWrX, 0)};
+  EXPECT_EQ(tree.insert(v2, nullptr), WakeupTree::Insert::kSubsumed);
+}
+
+}  // namespace
+}  // namespace rc11::mc
