@@ -110,6 +110,93 @@ void canonical_key(benchmark::State& state) {
 }
 BENCHMARK(canonical_key)->RangeMultiplier(2)->Range(8, 128);
 
+// --- Dense vs sparse row representation ---------------------------------------
+//
+// The hybrid Bitset switches a growing row to the chunked sparse form past
+// util::Bitset::sparse_threshold_words(). The pair below pins the
+// representations explicitly (huge threshold = always dense, 0 = always
+// sparse) over the same *sparse-shaped* input — a program-order-like chain
+// with a few long-range edges, the shape of sb/hb rows in large
+// executions — so the series exposes the crossover and the footprint gap.
+// `pairs` and `rel_bytes` are deterministic, so the JSON report gates them
+// (pairs as a drift tripwire, rel_bytes as a lower-is-better memory gate).
+
+/// Restores the global threshold on scope exit (benches run in-process).
+class ThresholdGuard {
+ public:
+  explicit ThresholdGuard(std::size_t words)
+      : saved_(util::Bitset::sparse_threshold_words()) {
+    util::Bitset::set_sparse_threshold_words(words);
+  }
+  ~ThresholdGuard() { util::Bitset::set_sparse_threshold_words(saved_); }
+  ThresholdGuard(const ThresholdGuard&) = delete;
+  ThresholdGuard& operator=(const ThresholdGuard&) = delete;
+
+ private:
+  std::size_t saved_;
+};
+
+/// k chains of n/k elements with every-8th long-range edge: ~1.1 edges per
+/// node regardless of n (row density O(1/n), the sparse-friendly regime).
+util::Relation chain_dag(std::size_t n) {
+  util::Relation r(n);
+  constexpr std::size_t kChains = 4;
+  for (std::size_t c = 0; c < kChains; ++c) {
+    for (std::size_t a = c; a + kChains < n; a += kChains) {
+      r.add(a, a + kChains);
+      if (a % 8 == 0 && a + n / 2 < n) r.add(a, a + n / 2);
+    }
+  }
+  return r;
+}
+
+void closure_chain_rows(benchmark::State& state, std::size_t threshold) {
+  const ThresholdGuard guard(threshold);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const util::Relation r = chain_dag(n);
+  util::Relation closure;
+  for (auto _ : state) {
+    closure = r.transitive_closure();
+    benchmark::DoNotOptimize(closure);
+  }
+  state.counters["pairs"] = static_cast<double>(closure.pair_count());
+  state.counters["rel_bytes"] = static_cast<double>(r.storage_bytes());
+}
+
+void closure_chain_dense(benchmark::State& state) {
+  closure_chain_rows(state, ~std::size_t{0} >> 1);
+}
+BENCHMARK(closure_chain_dense)->RangeMultiplier(4)->Range(64, 4096);
+
+void closure_chain_sparse(benchmark::State& state) {
+  closure_chain_rows(state, 0);
+}
+BENCHMARK(closure_chain_sparse)->RangeMultiplier(4)->Range(64, 4096);
+
+void restrict_compose_rows(benchmark::State& state, std::size_t threshold) {
+  const ThresholdGuard guard(threshold);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const util::Relation r = chain_dag(n);
+  const util::Relation s = r.inverse();
+  util::Bitset half(n);
+  for (std::size_t i = 0; i < n; i += 2) half.set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.compose(s).restrict_to(half));
+  }
+  state.counters["pairs"] = static_cast<double>(r.pair_count());
+  state.counters["rel_bytes"] = static_cast<double>(r.storage_bytes());
+}
+
+void restrict_compose_dense(benchmark::State& state) {
+  restrict_compose_rows(state, ~std::size_t{0} >> 1);
+}
+BENCHMARK(restrict_compose_dense)->RangeMultiplier(4)->Range(64, 4096);
+
+void restrict_compose_sparse(benchmark::State& state) {
+  restrict_compose_rows(state, 0);
+}
+BENCHMARK(restrict_compose_sparse)->RangeMultiplier(4)->Range(64, 4096);
+
 }  // namespace
 
 #include "bench_report.hpp"

@@ -3,13 +3,22 @@
 namespace rc11::c11 {
 
 util::Relation compute_sw(const Execution& ex) {
+  // sw = [release writes] ; rf ; [acquire reads], computed as one masked
+  // row sweep: build the acquire-side column mask once, then AND it into
+  // each release write's rf row at word level (no per-pair scan).
   const std::size_t n = ex.size();
   util::Relation sw(n);
-  for (auto [w, r] : ex.rf().pairs()) {
-    if (ex.event(static_cast<EventId>(w)).is_release() &&
-        ex.event(static_cast<EventId>(r)).is_acquire()) {
-      sw.add(w, r);
-    }
+  util::Bitset acq(n);
+  for (EventId e = 0; e < static_cast<EventId>(n); ++e) {
+    if (ex.event(e).is_acquire()) acq.set(e);
+  }
+  if (acq.empty()) return sw;
+  for (EventId w = 0; w < static_cast<EventId>(n); ++w) {
+    const util::Bitset& readers = ex.rf().row(w);
+    if (readers.empty() || !ex.event(w).is_release()) continue;
+    util::Bitset row = readers;
+    row &= acq;
+    if (!row.empty()) sw.row(w) = std::move(row);
   }
   return sw;
 }
@@ -21,7 +30,10 @@ util::Relation compute_hb(const Execution& ex) {
 }
 
 util::Relation compute_fr(const Execution& ex) {
-  util::Relation fr = ex.rf().inverse().compose(ex.mo());
+  // fr = rf^{-1} ; mo as a predecessor join: mo's row of each write is
+  // OR-ed into the rows of that write's readers directly, instead of
+  // materializing rf^{-1} and composing.
+  util::Relation fr = ex.rf().inverse_compose(ex.mo());
   fr.remove_identity();
   return fr;
 }
@@ -41,7 +53,7 @@ DerivedRelations compute_derived(const Execution& ex) {
   hb_base |= d.sw;
   d.hb = hb_base.transitive_closure();
 
-  d.fr = ex.rf().inverse().compose(ex.mo());
+  d.fr = ex.rf().inverse_compose(ex.mo());
   d.fr.remove_identity();
 
   util::Relation eco_base = d.fr;

@@ -63,8 +63,16 @@ void Execution::add_rf(EventId w, EventId r) {
 
 void Execution::mo_insert_after(EventId w, EventId e) {
   assert(events_[w].is_write() && events_[e].is_write());
+  // Column audit: mo_ keeps no maintained inverse (it would tax every
+  // Config clone on the exploration hot path), and this builder runs only
+  // on the cold axiomatic-construction side, so take the scan — but over
+  // the write rows only, not Relation::column's all-rows universe scan.
+  assert(!mo_.inverse_enabled());
   // mo+w = {w} u mo^-1[w]: w and everything mo-before it.
-  util::Bitset before = mo_.column(w);
+  util::Bitset before(events_.size());
+  writes_.for_each([&](std::size_t p) {
+    if (mo_.contains(p, w)) before.set(p);
+  });
   before.set(w);
   // mo[w]: everything mo-after w (before inserting e).
   const util::Bitset after = mo_.row(w);
@@ -102,10 +110,15 @@ EventId Execution::last(VarId x) const {
 }
 
 EventId Execution::rf_source(EventId r) const {
-  for (EventId w = 0; w < events_.size(); ++w) {
-    if (rf_.contains(w, r)) return w;
-  }
-  return kNoEvent;
+  // Column audit: rf_ has no maintained inverse either; restrict the scan
+  // to writes (only writes have rf successors) instead of every event.
+  EventId found = kNoEvent;
+  writes_.for_each([&](std::size_t w) {
+    if (found == kNoEvent && rf_.contains(w, r)) {
+      found = static_cast<EventId>(w);
+    }
+  });
+  return found;
 }
 
 bool Execution::is_update_only(VarId x) const {
@@ -263,17 +276,22 @@ std::size_t Execution::canonical_hash() const {
 // The fingerprint hashes the canonical form as a *set of facts* instead of
 // a word sequence: one fact per event — keyed by its canonical id (thread,
 // sb-position), which is invariant under reordering of independent steps —
-// and one fact per sb/rf/mo pair in canonical-id terms. Per-fact hashes are
+// and one fact per rf/mo pair in canonical-id terms. Per-fact hashes are
 // summed into two 64-bit lanes; addition commutes and is exactly
 // invertible, so push_event adds the new facts' hashes and pop_event
 // subtracts them, and the lanes never depend on append order. The canonical
 // form determines the fact set exactly, so equal canonical forms give equal
 // lanes, and distinct forms collide only with ~2^-128 probability.
+//
+// sb contributes no facts: it is structurally determined by the event set
+// itself (initialising writes before every non-init event, same-thread
+// events by sb-position — exactly the data the cids encode; see
+// append_event_core), so hashing its pairs would spend one fact() per
+// sb-predecessor per append without separating any canonical forms.
 
 namespace {
 
 constexpr std::uint64_t kEventTag = 1;
-constexpr std::uint64_t kSbTag = 2;
 constexpr std::uint64_t kRfTag = 3;
 constexpr std::uint64_t kMoTag = 4;
 
@@ -356,7 +374,6 @@ void Execution::compute_fp_lanes(std::uint64_t& a, std::uint64_t& b) const {
       });
     }
   };
-  add_rel(sb_, kSbTag);
   add_rel(rf_, kRfTag);
   add_rel(mo_, kMoTag);
   a = sa;
@@ -494,7 +511,9 @@ EventId Execution::push_event(ThreadId tid, const Action& a, EventId w,
   s.readers.resize(n_old);
   s.readers.clear();
   if (is_wr) {
-    // mo+w = {w} u mo^-1[w]; mo is per-variable, so scan only x's writes.
+    // mo+w = {w} u mo^-1[w]; mo is per-variable, so scan only x's writes
+    // (audited column scan: bounded by |writes of x|, not the universe —
+    // cheaper than maintaining a full inverse mirror on mo).
     if (x < c.var_writes.size()) {
       c.var_writes[x].for_each([&](std::size_t p) {
         if (mo_.row(p).test(w)) s.before.set(p);
@@ -524,8 +543,6 @@ EventId Execution::push_event(ThreadId tid, const Action& a, EventId w,
     db += f.b;
   };
   add_fact(event_fact(cid_e, a));
-  s.preds.for_each(
-      [&](std::size_t p) { add_fact(fact(kSbTag, c.cid[p], cid_e)); });
   if (is_rd) {
     rf_.add(w, e);
     add_fact(fact(kRfTag, c.cid[w], cid_e));
@@ -585,7 +602,7 @@ EventId Execution::push_event(ThreadId tid, const Action& a, EventId w,
     s.hbcol.set(w);
     s.hbcol |= c.hb.column_view(w);
   }
-  s.hbcol.for_each([&](std::size_t i) { c.hb.add(i, e); });
+  c.hb.add_to_column(e, s.hbcol);
 
   // --- eco: direct in-edges D_in and out-edges D_out of e ------------------
   //
@@ -613,8 +630,8 @@ EventId Execution::push_event(ThreadId tid, const Action& a, EventId w,
     s.ecorow.set(d);
     s.ecorow |= std::as_const(c.eco).row(d);
   });
-  s.ecocol.for_each([&](std::size_t i) { c.eco.add(i, e); });
-  s.ecorow.for_each([&](std::size_t j) { c.eco.add(e, j); });
+  c.eco.add_to_column(e, s.ecocol);
+  c.eco.add_to_row(e, s.ecorow);
 
   // --- Encountered writes --------------------------------------------------
   // EW(tid) gains every write w' with (w', e) in eco?;hb?: the midpoint m

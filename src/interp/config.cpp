@@ -232,23 +232,25 @@ void enumerate_steps(Config& c, const StepOptions& opts,
   const util::Bitset& covered = ex.cached_covered();
 
   for (ThreadId t = 1; t <= c.thread_count(); ++t) {
-    auto s = lang::step(c.cont[t - 1], c.regs[t - 1]);
-    if (!s) continue;
+    // peek_step classifies the enabled transition without materialising
+    // continuations (no folded expression copies, no Seq-spine rebuild, no
+    // std::function closures) — enumeration only needs kind / var / value.
+    const lang::StepPeek pk = lang::peek_step(c.cont[t - 1], c.regs[t - 1]);
 
-    if (std::get_if<lang::SilentStep>(&*s) != nullptr) {
-      const bool is_unfold =
-          stepping_node_kind(c.cont[t - 1]) == lang::ComKind::kWhile;
-      if (is_unfold && opts.loop_bound >= 0 &&
+    if (pk.kind == lang::PeekKind::kNone) continue;
+
+    if (pk.kind == lang::PeekKind::kSilent) {
+      if (pk.loop_unfold && opts.loop_bound >= 0 &&
           c.unfoldings[t - 1] >= opts.loop_bound) {
         continue;  // bounded out
       }
       Step step;
       step.thread = t;
-      step.loop_unfold = is_unfold;
+      step.loop_unfold = pk.loop_unfold;
       out.push_back(step);
       continue;
     }
-    if (std::get_if<lang::RegWriteStep>(&*s) != nullptr) {
+    if (pk.kind == lang::PeekKind::kRegWrite) {
       Step step;
       step.thread = t;
       out.push_back(step);
@@ -257,9 +259,9 @@ void enumerate_steps(Config& c, const StepOptions& opts,
 
     // Memory steps: the observable / covered sets come from the
     // incrementally maintained cache — no closures.
-    if (auto* rd = std::get_if<lang::ReadStep>(&*s)) {
+    if (pk.kind == lang::PeekKind::kRead) {
       const util::Bitset& ew = ex.cached_encountered(t);
-      const util::Bitset& wx = ex.cached_var_writes(rd->var);
+      const util::Bitset& wx = ex.cached_var_writes(pk.var);
       wx.for_each([&](std::size_t w) {
         if (!ex.mo().row(w).disjoint(ew)) return;  // not observable
         Step step;
@@ -267,17 +269,17 @@ void enumerate_steps(Config& c, const StepOptions& opts,
         step.silent = false;
         step.observed = static_cast<EventId>(w);
         const Value v = ex.event(static_cast<EventId>(w)).wrval();
-        step.action = rd->nonatomic ? c11::Action::rd_na(rd->var, v)
-                      : rd->acquire ? c11::Action::rd_acq(rd->var, v)
-                                    : c11::Action::rd(rd->var, v);
+        step.action = pk.nonatomic ? c11::Action::rd_na(pk.var, v)
+                      : pk.acquire ? c11::Action::rd_acq(pk.var, v)
+                                   : c11::Action::rd(pk.var, v);
         out.push_back(step);
       });
       continue;
     }
 
-    if (auto* wr = std::get_if<lang::WriteStep>(&*s)) {
+    if (pk.kind == lang::PeekKind::kWrite) {
       const util::Bitset& ew = ex.cached_encountered(t);
-      const util::Bitset& wx = ex.cached_var_writes(wr->var);
+      const util::Bitset& wx = ex.cached_var_writes(pk.var);
       wx.for_each([&](std::size_t w) {
         if (covered.test(w)) return;  // covered writes take no successor
         if (!ex.mo().row(w).disjoint(ew)) return;
@@ -285,18 +287,17 @@ void enumerate_steps(Config& c, const StepOptions& opts,
         step.thread = t;
         step.silent = false;
         step.observed = static_cast<EventId>(w);
-        step.action = wr->nonatomic ? c11::Action::wr_na(wr->var, wr->value)
-                      : wr->release
-                          ? c11::Action::wr_rel(wr->var, wr->value)
-                          : c11::Action::wr(wr->var, wr->value);
+        step.action = pk.nonatomic ? c11::Action::wr_na(pk.var, pk.value)
+                      : pk.release ? c11::Action::wr_rel(pk.var, pk.value)
+                                   : c11::Action::wr(pk.var, pk.value);
         out.push_back(step);
       });
       continue;
     }
 
-    auto* up = std::get_if<lang::UpdateStep>(&*s);
+    assert(pk.kind == lang::PeekKind::kUpdate);
     const util::Bitset& ew = ex.cached_encountered(t);
-    const util::Bitset& wx = ex.cached_var_writes(up->var);
+    const util::Bitset& wx = ex.cached_var_writes(pk.var);
     wx.for_each([&](std::size_t w) {
       if (covered.test(w)) return;
       if (!ex.mo().row(w).disjoint(ew)) return;
@@ -304,9 +305,8 @@ void enumerate_steps(Config& c, const StepOptions& opts,
       step.thread = t;
       step.silent = false;
       step.observed = static_cast<EventId>(w);
-      step.action =
-          c11::Action::upd(up->var, ex.event(static_cast<EventId>(w)).wrval(),
-                           up->new_value);
+      step.action = c11::Action::upd(
+          pk.var, ex.event(static_cast<EventId>(w)).wrval(), pk.value);
       out.push_back(step);
     });
   }
@@ -381,20 +381,26 @@ EventId apply_step_impl(Config& c, const Step& s, const StepOptions& opts,
     // compression undo exactly.
     for (ThreadId u = 1; u <= c.thread_count(); ++u) {
       while (true) {
-        if (stepping_node_kind(c.cont[u - 1]) == lang::ComKind::kWhile) {
+        // Peek first: the loop's exit iteration (a memory step, a bounded
+        // unfold, or termination) would otherwise pay a full step() — with
+        // its continuation allocations — just to discard it.
+        const lang::StepPeek pk = lang::peek_step(c.cont[u - 1],
+                                                  c.regs[u - 1]);
+        if (pk.loop_unfold || (pk.kind != lang::PeekKind::kSilent &&
+                               pk.kind != lang::PeekKind::kRegWrite)) {
           break;
         }
         auto tv = lang::step(c.cont[u - 1], c.regs[u - 1]);
-        if (!tv) break;
+        assert(tv.has_value());
         if (auto* sil = std::get_if<lang::SilentStep>(&*tv)) {
           ensure_saved(c, undo, u);
           c.cont[u - 1] = sil->next;
-        } else if (auto* rw = std::get_if<lang::RegWriteStep>(&*tv)) {
+        } else {
+          auto* rw = std::get_if<lang::RegWriteStep>(&*tv);
+          assert(rw != nullptr);
           ensure_saved(c, undo, u);
           write_register(c.regs[u - 1], rw->reg, rw->value);
           c.cont[u - 1] = rw->next;
-        } else {
-          break;
         }
       }
     }

@@ -287,6 +287,137 @@ std::optional<Step> step(const ComPtr& c, const RegFile& regs) {
   return std::nullopt;
 }
 
+namespace {
+
+/// Result of evaluating an expression against a register file without
+/// allocating: either the leftmost pending shared read or the value of the
+/// (closed) folded expression.
+struct PeekEval {
+  bool read = false;
+  PendingRead pending;
+  Value value = 0;
+};
+
+/// Mirrors next_read(fold(resolve_registers(e, regs))) for the read case
+/// and eval_closed(fold(...)) for the closed case — including fold()'s
+/// short-circuit pass-through (`1 && E` folds to E itself, not to a
+/// boolean, so the value of the rhs flows through unchanged).
+PeekEval peek_eval(const ExprPtr& e, const RegFile& regs) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return {false, {}, e->value};
+    case ExprKind::kReg:
+      return {false, {}, e->reg < regs.size() ? regs[e->reg] : 0};
+    case ExprKind::kVar: {
+      PeekEval out;
+      out.read = true;
+      out.pending = {e->var, e->acquire, e->nonatomic};
+      return out;
+    }
+    case ExprKind::kUnary: {
+      PeekEval l = peek_eval(e->lhs, regs);
+      if (l.read) return l;
+      l.value = apply_un_op(e->un_op, l.value);
+      return l;
+    }
+    case ExprKind::kBinary: {
+      PeekEval l = peek_eval(e->lhs, regs);
+      if (l.read) return l;
+      if (e->bin_op == BinOp::kAnd) {
+        if (l.value == 0) return {false, {}, 0};
+        return peek_eval(e->rhs, regs);
+      }
+      if (e->bin_op == BinOp::kOr) {
+        if (l.value != 0) return {false, {}, 1};
+        return peek_eval(e->rhs, regs);
+      }
+      PeekEval r = peek_eval(e->rhs, regs);
+      if (r.read) return r;
+      r.value = apply_bin_op(e->bin_op, l.value, r.value);
+      return r;
+    }
+  }
+  return {};
+}
+
+StepPeek peek_read(const PeekEval& ev) {
+  StepPeek out;
+  out.kind = PeekKind::kRead;
+  out.var = ev.pending.var;
+  out.acquire = ev.pending.acquire;
+  out.nonatomic = ev.pending.nonatomic;
+  return out;
+}
+
+}  // namespace
+
+StepPeek peek_step(const ComPtr& c, const RegFile& regs) {
+  switch (c->kind) {
+    case ComKind::kSkip:
+      return {};
+
+    case ComKind::kLabel:
+      // Labels are transparent to stepping; label_wrap only rewrites
+      // continuations, which a peek does not build.
+      return peek_step(c->c1, regs);
+
+    case ComKind::kAssign: {
+      const PeekEval ev = peek_eval(c->expr, regs);
+      if (ev.read) return peek_read(ev);
+      StepPeek out;
+      out.kind = PeekKind::kWrite;
+      out.var = c->var;
+      out.value = ev.value;
+      out.release = c->release;
+      out.nonatomic = c->nonatomic;
+      return out;
+    }
+
+    case ComKind::kRegAssign: {
+      const PeekEval ev = peek_eval(c->expr, regs);
+      if (ev.read) return peek_read(ev);
+      StepPeek out;
+      out.kind = PeekKind::kRegWrite;
+      return out;
+    }
+
+    case ComKind::kSwap: {
+      const PeekEval ev = peek_eval(c->expr, regs);
+      if (ev.read) return peek_read(ev);
+      StepPeek out;
+      out.kind = PeekKind::kUpdate;
+      out.var = c->var;
+      out.value = ev.value;
+      return out;
+    }
+
+    case ComKind::kSeq: {
+      if (is_terminated(c->c1)) {
+        StepPeek out;
+        out.kind = PeekKind::kSilent;
+        return out;  // skip-elimination: the Seq node's own silent step
+      }
+      return peek_step(c->c1, regs);
+    }
+
+    case ComKind::kIf: {
+      const PeekEval ev = peek_eval(c->expr, regs);
+      if (ev.read) return peek_read(ev);
+      StepPeek out;
+      out.kind = PeekKind::kSilent;
+      return out;
+    }
+
+    case ComKind::kWhile: {
+      StepPeek out;
+      out.kind = PeekKind::kSilent;
+      out.loop_unfold = true;
+      return out;
+    }
+  }
+  return {};
+}
+
 std::string Com::to_string(const c11::VarTable* vars) const {
   switch (kind) {
     case ComKind::kSkip:

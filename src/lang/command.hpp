@@ -170,6 +170,39 @@ using Step =
 /// The single enabled step of C (nullopt iff C is skip, i.e. terminated).
 [[nodiscard]] std::optional<Step> step(const ComPtr& c, const RegFile& regs);
 
+// --- Allocation-free step peek ----------------------------------------------
+//
+// step() materialises continuations: it folds a register-resolved copy of
+// the expression, rebuilds the Seq spine via seq_wrap, and wraps ReadStep
+// continuations in heap-allocated std::functions. The DPOR engines call it
+// once per thread per explored node just to learn *which* transition is
+// enabled — the continuations are discarded. peek_step computes the same
+// classification (kind, variable, value, access-mode flags) by evaluating
+// in place, allocating nothing. It must stay in lock-step with step():
+// test_lang cross-checks the two on every continuation the catalogue
+// reaches.
+
+enum class PeekKind : std::uint8_t {
+  kNone,      ///< terminated (step() returns nullopt)
+  kSilent,    ///< SilentStep
+  kRegWrite,  ///< RegWriteStep
+  kRead,      ///< ReadStep
+  kWrite,     ///< WriteStep
+  kUpdate,    ///< UpdateStep
+};
+
+struct StepPeek {
+  PeekKind kind = PeekKind::kNone;
+  bool loop_unfold = false;  ///< kSilent: the step is a while-guard unfold
+  VarId var = 0;             ///< kRead/kWrite/kUpdate
+  Value value = 0;           ///< kWrite value / kUpdate new value
+  bool acquire = false;      ///< kRead
+  bool release = false;      ///< kWrite
+  bool nonatomic = false;    ///< kRead/kWrite
+};
+
+[[nodiscard]] StepPeek peek_step(const ComPtr& c, const RegFile& regs);
+
 /// True iff the command is (modulo labels) skip.
 [[nodiscard]] bool is_terminated(const ComPtr& c);
 

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "mc/independence.hpp"
+#include "util/arena.hpp"
 #include "util/thread_pool.hpp"
 #include "util/work_deque.hpp"
 
@@ -17,15 +18,21 @@ namespace rc11::mc {
 
 namespace {
 
+struct Engine;
+
 /// One node of the exploration tree. The spine (parent chain) is the trace
 /// E the node was reached by; scheduling state is guarded by `mu` because
 /// race reversals discovered in stolen subtrees insert backtrack points
 /// into ancestors owned by other workers. Nodes stay alive exactly while
-/// some in-flight descendant holds the spine's shared_ptr chain — an
+/// some in-flight descendant holds the spine's PoolRef chain — an
 /// insertion into a node whose owner finished it long ago simply enqueues
-/// a fresh work item for it.
+/// a fresh work item for it. Nodes are arena-allocated and recycled
+/// through the engine pool (util/arena.hpp): the intrusive refcount
+/// replaces one shared_ptr control-block allocation per transition.
 struct Node {
-  std::shared_ptr<Node> parent;
+  std::atomic<std::uint32_t> refs{0};  ///< intrusive PoolRef count
+  Engine* eng = nullptr;               ///< owning pool, for dispose
+  util::PoolRef<Node> parent;
   std::uint32_t depth = 0;
   StepSig in_sig{};       ///< signature of the incoming step (depth > 0)
   interp::Step in_step{};  ///< incoming step (depth > 0); trace entries are
@@ -68,7 +75,10 @@ struct Node {
   SleepSet sleep;
 };
 
-using NodePtr = std::shared_ptr<Node>;
+using NodePtr = util::PoolRef<Node>;
+
+/// PoolRef release hook (found by ADL from util::PoolRef<Node>).
+void pooled_dispose(Node* p);
 
 struct Item {
   NodePtr node;
@@ -85,16 +95,18 @@ struct Engine {
         visitor(vis),
         sleep_filter(opts.por == PorMode::kSourceSetsSleep),
         deques(workers),
-        worker_stats(workers) {}
+        worker_stats(workers),
+        seen(workers) {}
 
-  /// Recycled Node objects. A released node keeps the heap buffers of its
+  /// Arena-backed node pool. A released node keeps the heap buffers of its
   /// config / step / sleep vectors, so reusing one turns the per-transition
   /// Config clone into a capacity-reusing copy-assignment (near zero
-  /// allocations once the pool is warm). Declared first so it outlives the
-  /// deques: items still queued at early-stop release their nodes into the
-  /// pool during ~Engine.
+  /// allocations once the pool is warm); the arena itself packs nodes
+  /// contiguously and frees them wholesale. Declared first so it outlives
+  /// the deques: items still queued at early-stop release their nodes into
+  /// the pool during ~Engine.
   std::mutex pool_mu;
-  std::vector<std::unique_ptr<Node>> pool;
+  util::ArenaPool<Node> pool;
 
   ExploreOptions options;
   const Visitor& visitor;
@@ -102,7 +114,7 @@ struct Engine {
   util::WorkDeques<Item> deques;
   std::vector<WorkerStats> worker_stats;
 
-  ConcurrentSeenSet seen;  ///< unique-state accounting only (tree search)
+  AdaptiveSeenSet seen;  ///< unique-state accounting only (tree search)
 
   std::atomic<std::size_t> pending{0};
   std::atomic<bool> stop{false};
@@ -133,36 +145,41 @@ struct Engine {
   }
 };
 
-/// Takes a node from the pool (or allocates one) and hands it out with a
-/// deleter that scrubs the scheduling state and returns it to the pool,
-/// buffers intact.
+/// Takes a node from the pool (or arena-creates one) with an initial
+/// reference; the last PoolRef to die routes it through pooled_dispose.
 NodePtr acquire_node(Engine& eng) {
-  std::unique_ptr<Node> n;
+  Node* p;
   {
     std::lock_guard lock(eng.pool_mu);
-    if (!eng.pool.empty()) {
-      n = std::move(eng.pool.back());
-      eng.pool.pop_back();
-    }
+    p = eng.pool.acquire();
   }
-  if (!n) n = std::make_unique<Node>();
-  return NodePtr(n.release(), [&eng](Node* p) {
-    p->parent.reset();  // may cascade a spine release (bounded by depth)
-    p->depth = 0;
-    p->in_sig = {};
-    p->in_step = {};
-    p->steps.clear();
-    p->pe_steps.clear();
-    p->sigs.clear();
-    p->enabled.clear();
-    p->hb_row.clear();
-    p->redundant = false;
-    p->scheduled.clear();
-    p->executed.clear();
-    p->sleep.clear();
-    std::lock_guard lock(eng.pool_mu);
-    eng.pool.emplace_back(p);
-  });
+  p->eng = &eng;
+  p->refs.store(1, std::memory_order_relaxed);
+  return NodePtr::adopt(p);
+}
+
+/// Scrubs the scheduling state of a node whose last reference died and
+/// returns it to its engine's pool, buffers intact. The spine release runs
+/// *before* taking the pool lock: resetting `parent` may cascade disposal
+/// up the spine (bounded by depth), and each ancestor takes the lock for
+/// its own push.
+void pooled_dispose(Node* p) {
+  Engine& eng = *p->eng;
+  p->parent.reset();
+  p->depth = 0;
+  p->in_sig = {};
+  p->in_step = {};
+  p->steps.clear();
+  p->pe_steps.clear();
+  p->sigs.clear();
+  p->enabled.clear();
+  p->hb_row.clear();
+  p->redundant = false;
+  p->scheduled.clear();
+  p->executed.clear();
+  p->sleep.clear();
+  std::lock_guard lock(eng.pool_mu);
+  eng.pool.release(p);
 }
 
 void max_update(std::atomic<std::size_t>& a, std::size_t v) {
@@ -217,19 +234,31 @@ bool has_awake_step(const Node& n, c11::ThreadId q) {
 /// transition. Returns 0 when nothing is schedulable (a leaf, or a
 /// sleep-set-blocked node whose executions are covered elsewhere).
 c11::ThreadId pick_first(const Node& n) {
+  // One pass over the signatures (sorted by thread ascending), tracking
+  // per thread-group whether some step is awake and whether every step is
+  // silent — instead of rescanning all sigs once per enabled thread.
   c11::ThreadId best = 0;
-  for (c11::ThreadId q : n.enabled) {
-    if (!has_awake_step(n, q)) continue;
-    bool all_silent = true;
-    for (const StepSig& sig : n.sigs) {
-      if (sig.thread == q && !sig.silent) {
-        all_silent = false;
-        break;
-      }
+  c11::ThreadId cur = 0;
+  bool cur_awake = false;
+  bool cur_all_silent = true;
+  const auto flush = [&]() -> c11::ThreadId {
+    if (cur != 0 && cur_awake) {
+      if (cur_all_silent) return cur;
+      if (best == 0) best = cur;
     }
-    if (all_silent) return q;
-    if (best == 0) best = q;
+    return 0;
+  };
+  for (const StepSig& sig : n.sigs) {
+    if (sig.thread != cur) {
+      if (const c11::ThreadId r = flush(); r != 0) return r;
+      cur = sig.thread;
+      cur_awake = false;
+      cur_all_silent = true;
+    }
+    if (!sig.silent) cur_all_silent = false;
+    if (!cur_awake && !sleep_contains(n.sleep, sig)) cur_awake = true;
   }
+  if (const c11::ThreadId r = flush(); r != 0) return r;
   return best;
 }
 
@@ -543,7 +572,7 @@ ExploreResult explore_dpor(const interp::Config& start,
     return res;
   };
 
-  auto root = std::make_shared<Node>();
+  NodePtr root = acquire_node(eng);
   root->config = start;
   (void)eng.seen.insert(root->config.fingerprint());
   eng.states.store(1);

@@ -14,6 +14,7 @@
 
 #include "mc/independence.hpp"
 #include "mc/wakeup.hpp"
+#include "util/arena.hpp"
 #include "util/thread_pool.hpp"
 #include "util/work_deque.hpp"
 
@@ -21,14 +22,22 @@ namespace rc11::mc {
 
 namespace {
 
+struct Engine;
+
 /// One node of the exploration tree (see dpor.cpp for the spine / pooling
-/// discipline, which is identical). On top of the source-set engine's
-/// per-node scheduling state, a node owns its *wakeup tree*: the ordered
-/// tree of continuations race reversals have inserted at it. Everything
-/// behind `mu` (executed prefix + wakeup tree) is shared with stealing
-/// workers.
+/// discipline, which is identical: arena-allocated, intrusively
+/// ref-counted, recycled through the engine pool). On top of the
+/// source-set engine's per-node scheduling state, a node owns its *wakeup
+/// tree*: the ordered tree of continuations race reversals have inserted
+/// at it. Everything behind `mu` (executed prefix + wakeup tree) is
+/// shared with stealing workers. `gen` backs the claimant registry's weak
+/// handles: pooled_dispose bumps it, so a PoolWeakRef to a recycled node
+/// expires instead of resurrecting whoever reused the slot.
 struct Node {
-  std::shared_ptr<Node> parent;
+  std::atomic<std::uint32_t> refs{0};  ///< intrusive PoolRef count
+  std::atomic<std::uint64_t> gen{0};   ///< recycling generation
+  Engine* eng = nullptr;               ///< owning pool, for dispose
+  util::PoolRef<Node> parent;
   std::uint32_t depth = 0;
   StepSig in_sig{};        ///< signature of the incoming step (depth > 0)
   interp::Step in_step{};  ///< incoming step (depth > 0)
@@ -66,7 +75,7 @@ struct Node {
   /// branch's prescribed continuation into the child that claimed its
   /// first step (a wildcard sibling runs every instance of its thread's
   /// command, so a concrete branch can find its step already taken).
-  std::vector<std::weak_ptr<Node>> claimed;
+  std::vector<util::PoolWeakRef<Node>> claimed;
   /// Transition signatures asleep on arrival. Immutable after
   /// construction.
   SleepSet sleep;
@@ -75,13 +84,16 @@ struct Node {
   WakeupTree wut;
 };
 
-using NodePtr = std::shared_ptr<Node>;
+using NodePtr = util::PoolRef<Node>;
+
+/// PoolRef release hook (found by ADL from util::PoolRef<Node>).
+void pooled_dispose(Node* p);
 
 struct Item {
   NodePtr node;
-  /// Pending wakeup branch to execute, owned by node->wut; nullptr for a
-  /// free-scheduling item.
-  WakeupTree::Node* branch = nullptr;
+  /// Pending wakeup branch to execute — a stable index into node->wut;
+  /// kNil for a free-scheduling item.
+  WakeupTree::NodeId branch = WakeupTree::kNil;
   c11::ThreadId thread = 0;  ///< free items: the thread to expand
 };
 
@@ -96,11 +108,13 @@ struct Engine {
         parsimonious(opts.por == PorMode::kOptimalParsimonious),
         debug(std::getenv("RC11_DEBUG_WAKEUP") != nullptr),
         deques(workers),
-        worker_stats(workers) {}
+        worker_stats(workers),
+        seen(workers) {}
 
-  /// Node pool, as in dpor.cpp (declared first so it outlives the deques).
+  /// Arena-backed node pool, as in dpor.cpp (declared first so it
+  /// outlives the deques).
   std::mutex pool_mu;
-  std::vector<std::unique_ptr<Node>> pool;
+  util::ArenaPool<Node> pool;
 
   ExploreOptions options;
   const Visitor& visitor;
@@ -109,7 +123,7 @@ struct Engine {
   util::WorkDeques<Item> deques;
   std::vector<WorkerStats> worker_stats;
 
-  ConcurrentSeenSet seen;  ///< unique states; also keys the sleep store
+  AdaptiveSeenSet seen;  ///< unique states; also keys the sleep store
 
   /// Sleep set each visited configuration was first explored with
   /// (Godefroid's state-caching rule, keyed by StateId). A *sibling
@@ -154,35 +168,42 @@ struct Engine {
 };
 
 NodePtr acquire_node(Engine& eng) {
-  std::unique_ptr<Node> n;
+  Node* p;
   {
     std::lock_guard lock(eng.pool_mu);
-    if (!eng.pool.empty()) {
-      n = std::move(eng.pool.back());
-      eng.pool.pop_back();
-    }
+    p = eng.pool.acquire();
   }
-  if (!n) n = std::make_unique<Node>();
-  return NodePtr(n.release(), [&eng](Node* p) {
-    p->parent.reset();  // may cascade a spine release (bounded by depth)
-    p->depth = 0;
-    p->in_sig = {};
-    p->in_step = {};
-    p->steps.clear();
-    p->pe_steps.clear();
-    p->sigs.clear();
-    p->enabled.clear();
-    p->hb_row.clear();
-    p->redundant = false;
-    p->executed.clear();
-    p->claimed.clear();
-    p->sleep.clear();
-    p->wut.clear();
-    p->ready = false;
-    p->pending_grafts.clear();
-    std::lock_guard lock(eng.pool_mu);
-    eng.pool.emplace_back(p);
-  });
+  p->eng = &eng;
+  p->refs.store(1, std::memory_order_relaxed);
+  return NodePtr::adopt(p);
+}
+
+/// Scrubs a node whose last reference died and recycles it. The
+/// generation bump comes first (with release ordering): once a weak
+/// claimant handle can observe the node on the free list, it must already
+/// see the new generation and refuse to lock. The spine release cascades
+/// outside the pool lock, exactly as in dpor.cpp.
+void pooled_dispose(Node* p) {
+  Engine& eng = *p->eng;
+  p->gen.fetch_add(1, std::memory_order_release);
+  p->parent.reset();
+  p->depth = 0;
+  p->in_sig = {};
+  p->in_step = {};
+  p->steps.clear();
+  p->pe_steps.clear();
+  p->sigs.clear();
+  p->enabled.clear();
+  p->hb_row.clear();
+  p->redundant = false;
+  p->executed.clear();
+  p->claimed.clear();
+  p->sleep.clear();
+  p->wut.clear();
+  p->ready = false;
+  p->pending_grafts.clear();
+  std::lock_guard lock(eng.pool_mu);
+  eng.pool.release(p);
 }
 
 void max_update(std::atomic<std::size_t>& a, std::size_t v) {
@@ -229,19 +250,30 @@ bool has_awake_step(const Node& n, c11::ThreadId q) {
 /// the lowest-id enabled thread with an awake transition; 0 when nothing
 /// is schedulable.
 c11::ThreadId pick_first(const Node& n) {
+  // One pass over the signatures (sorted by thread ascending), as in
+  // dpor.cpp.
   c11::ThreadId best = 0;
-  for (c11::ThreadId q : n.enabled) {
-    if (!has_awake_step(n, q)) continue;
-    bool all_silent = true;
-    for (const StepSig& sig : n.sigs) {
-      if (sig.thread == q && !sig.silent) {
-        all_silent = false;
-        break;
-      }
+  c11::ThreadId cur = 0;
+  bool cur_awake = false;
+  bool cur_all_silent = true;
+  const auto flush = [&]() -> c11::ThreadId {
+    if (cur != 0 && cur_awake) {
+      if (cur_all_silent) return cur;
+      if (best == 0) best = cur;
     }
-    if (all_silent) return q;
-    if (best == 0) best = q;
+    return 0;
+  };
+  for (const StepSig& sig : n.sigs) {
+    if (sig.thread != cur) {
+      if (const c11::ThreadId r = flush(); r != 0) return r;
+      cur = sig.thread;
+      cur_awake = false;
+      cur_all_silent = true;
+    }
+    if (!sig.silent) cur_all_silent = false;
+    if (!cur_awake && !sleep_contains(n.sleep, sig)) cur_awake = true;
   }
+  if (const c11::ThreadId r = flush(); r != 0) return r;
   return best;
 }
 
@@ -285,7 +317,7 @@ bool insert_sequence_locked(Engine& eng, std::size_t me,
     if (sig && sleep_contains(target->sleep, *sig)) return false;
   }
 
-  WakeupTree::Node* branch = nullptr;
+  WakeupTree::NodeId branch = WakeupTree::kNil;
   const WakeupTree::Insert ins = target->wut.insert(v, &branch);
   if (eng.debug) {
     std::fprintf(stderr, "insert -> n=%p depth %u: |v|=%zu res=%d; v:",
@@ -300,7 +332,8 @@ bool insert_sequence_locked(Engine& eng, std::size_t me,
   }
   if (ins == WakeupTree::Insert::kSubsumed) return false;
   if (ins == WakeupTree::Insert::kNewBranch) {
-    push_item(eng, me, Item{target, branch, branch->step.thread});
+    push_item(eng, me,
+              Item{target, branch, target->wut.node(branch).step.thread});
   }
   return true;
 }
@@ -415,8 +448,7 @@ void leaf_race_reversals(Engine& eng, std::size_t me, const NodePtr& leaf) {
 /// which is eligible for the stateful sleep-store merge (Engine comment).
 /// Returns false when the search must stop.
 bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
-                  std::size_t i, NodePtr child,
-                  std::vector<std::unique_ptr<WakeupTree::Node>> subtree,
+                  std::size_t i, NodePtr child, WakeupTree subtree,
                   SleepSet prefix, bool sibling = false) {
   Node& n = *self;
   const bool pe = eng.options.pre_execution;
@@ -430,7 +462,7 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
                  static_cast<void*>(&n), n.depth, sig.thread,
                  static_cast<int>(sig.kind), sig.var,
                  sig.silent ? -1 : static_cast<int>(sig.observed),
-                 subtree.size());
+                 subtree.branch_count());
   }
 
   interp::Step in_step;
@@ -555,13 +587,14 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
     // while it was initializing — one critical section, so concurrent
     // inserters either stash before readiness or walk the final tree.
     std::lock_guard lock(child->mu);
-    child->wut = WakeupTree(std::move(subtree));
+    child->wut = std::move(subtree);
     guided = !child->wut.empty();
     if (guided) {
       // Follow the inherited wakeup subtree: one item per pending branch.
-      for (const auto& b : child->wut.branches()) {
+      for (WakeupTree::NodeId b = child->wut.first_branch();
+           b != WakeupTree::kNil; b = child->wut.node(b).next_sibling) {
         ++eng.worker_stats[me].enqueued;
-        push_item(eng, me, Item{child, b.get(), b->step.thread});
+        push_item(eng, me, Item{child, b, child->wut.node(b).step.thread});
       }
     }
     child->ready = true;
@@ -601,7 +634,7 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
   const c11::ThreadId first = pick_first(*child);
   if (first != 0) {
     ++eng.worker_stats[me].enqueued;
-    push_item(eng, me, Item{std::move(child), nullptr, first});
+    push_item(eng, me, Item{std::move(child), WakeupTree::kNil, first});
   }
   return true;
 }
@@ -634,10 +667,10 @@ void expand_free(Engine& eng, std::size_t me, const NodePtr& node,
       if (contains(n.executed, sig)) continue;  // claimed by a branch item
       prefix.assign(n.executed.begin(), n.executed.end());
       n.executed.push_back(sig);
-      n.claimed.push_back(child);
+      n.claimed.push_back(child.weak());
       n.wut.add_executed(wakeup_step_at(eng, n, i));
     }
-    if (!execute_step(eng, me, node, i, std::move(child), {},
+    if (!execute_step(eng, me, node, i, std::move(child), WakeupTree{},
                       std::move(prefix))) {
       return;
     }
@@ -647,32 +680,33 @@ void expand_free(Engine& eng, std::size_t me, const NodePtr& node,
 /// Expands a wakeup-branch item: executes exactly the prescribed step and
 /// hands the branch's subtree to the child.
 void expand_branch(Engine& eng, std::size_t me, const NodePtr& node,
-                   WakeupTree::Node* branch) {
+                   WakeupTree::NodeId branch) {
   Node& n = *node;
   std::size_t i = kNoStep;
   SleepSet prefix;
-  std::vector<std::unique_ptr<WakeupTree::Node>> subtree;
+  WakeupTree subtree;
   NodePtr child = acquire_node(eng);
   NodePtr claimant;  ///< child that already owns the prescribed step
   {
     std::lock_guard lock(n.mu);
-    if (branch->taken) return;  // defensive double-schedule guard
-    if (branch->step.any_data) {
+    if (n.wut.node(branch).taken) return;  // defensive double-schedule guard
+    const WakeupStep bstep = n.wut.node(branch).step;
+    if (bstep.any_data) {
       // Wildcard: run every enabled transition of the racing thread (the
       // value/observed-write choices are the data nondeterminism the
       // reversal must fully explore). Wildcards are always sequence
       // tails, so there is no subtree to hand down — expand_free does
       // exactly this, including the executed-prefix bookkeeping.
-      const c11::ThreadId q = branch->step.thread;
+      const c11::ThreadId q = bstep.thread;
       (void)n.wut.take(branch);
       if (has_awake_step(n, q)) {
-        push_item(eng, me, Item{node, nullptr, q});
+        push_item(eng, me, Item{node, WakeupTree::kNil, q});
       }
       return;
     }
     i = eng.options.pre_execution
-            ? find_wakeup_step(branch->step, n.config.exec, n.pe_steps)
-            : find_wakeup_step(branch->step, n.config.exec, n.steps);
+            ? find_wakeup_step(bstep, n.config.exec, n.pe_steps)
+            : find_wakeup_step(bstep, n.config.exec, n.steps);
     if (i != kNoStep && contains(n.executed, n.sigs[i])) {
       // A sibling item already claimed exactly this step (a wildcard
       // branch runs every instance of its thread's command, so a
@@ -695,13 +729,15 @@ void expand_branch(Engine& eng, std::size_t me, const NodePtr& node,
       // below keeps coverage complete).
       (void)n.wut.take(branch);
       for (const c11::ThreadId q : n.enabled) {
-        if (has_awake_step(n, q)) push_item(eng, me, Item{node, nullptr, q});
+        if (has_awake_step(n, q)) {
+          push_item(eng, me, Item{node, WakeupTree::kNil, q});
+        }
       }
       return;
     } else {
       prefix.assign(n.executed.begin(), n.executed.end());
       n.executed.push_back(n.sigs[i]);
-      n.claimed.push_back(child);
+      n.claimed.push_back(child.weak());
       subtree = n.wut.take(branch);
     }
   }
@@ -712,9 +748,9 @@ void expand_branch(Engine& eng, std::size_t me, const NodePtr& node,
     // fresh toplevel branch). An expired claimant finished exploring its
     // whole subtree freely, which covers every maximal trace below the
     // step — the guidance is moot.
-    if (claimant != nullptr && !subtree.empty()) {
+    if (claimant && !subtree.empty()) {
       thread_local std::vector<WakeupSequence> paths;
-      WakeupTree::collect_paths(subtree, paths);
+      subtree.collect_paths(paths);
       for (const WakeupSequence& v : paths) {
         (void)insert_sequence(eng, me, claimant, v);
       }
@@ -734,16 +770,14 @@ void expand_branch(Engine& eng, std::size_t me, const NodePtr& node,
   // remainder is left free so a covered sibling is not force-marched
   // through a whole redundant execution.
   const c11::ThreadId thread = n.sigs[i].thread;
-  std::vector<std::unique_ptr<WakeupTree::Node>> guidance;
+  WakeupTree guidance;
   {
     thread_local std::vector<WakeupSequence> paths;
-    WakeupTree::collect_paths(subtree, paths);
-    WakeupTree cores;
+    subtree.collect_paths(paths);
     for (WakeupSequence v : paths) {
       prune_to_dependent_core(v);
-      if (!v.empty()) (void)cores.insert(v, nullptr);
+      if (!v.empty()) (void)guidance.insert(v, nullptr);
     }
-    guidance = cores.release();
   }
   if (!execute_step(eng, me, node, i, std::move(child), std::move(subtree),
                     std::move(prefix))) {
@@ -761,11 +795,11 @@ void expand_branch(Engine& eng, std::size_t me, const NodePtr& node,
       if (contains(n.executed, sib)) continue;  // incl. the prescribed step
       sib_prefix.assign(n.executed.begin(), n.executed.end());
       n.executed.push_back(sib);
-      n.claimed.push_back(sib_child);
+      n.claimed.push_back(sib_child.weak());
       n.wut.add_executed(wakeup_step_at(eng, n, j));
     }
     if (!execute_step(eng, me, node, j, std::move(sib_child),
-                      WakeupTree::clone(guidance), std::move(sib_prefix),
+                      WakeupTree(guidance), std::move(sib_prefix),
                       /*sibling=*/true)) {
       return;
     }
@@ -794,7 +828,7 @@ void worker_loop(Engine& eng, std::size_t me) {
     }
     idle_rounds = 0;
     ++eng.worker_stats[me].processed;
-    if (item->branch != nullptr) {
+    if (item->branch != WakeupTree::kNil) {
       expand_branch(eng, me, item->node, item->branch);
     } else {
       expand_free(eng, me, item->node, item->thread);
@@ -837,7 +871,7 @@ ExploreResult explore_optimal(const interp::Config& start,
     return res;
   };
 
-  auto root = std::make_shared<Node>();
+  NodePtr root = acquire_node(eng);
   root->config = start;
   root->ready = true;  // fully initialized before any item runs
   (void)eng.seen.insert(root->config.fingerprint());
@@ -854,7 +888,7 @@ ExploreResult explore_optimal(const interp::Config& start,
   prepare_node(*root, eng.options);
   const c11::ThreadId first = pick_first(*root);
   if (first != 0) {
-    push_item(eng, 0, Item{root, nullptr, first});
+    push_item(eng, 0, Item{root, WakeupTree::kNil, first});
   }
 
   if (workers == 1) {

@@ -33,12 +33,13 @@ struct ParallelRun {
   ParallelRun(const ExploreOptions& opts, std::size_t workers)
       : options(opts),
         por_sleep(opts.por == PorMode::kSleepSets),
+        seen(workers),
         deques(workers),
         worker_stats(workers) {}
 
   ExploreOptions options;
   bool por_sleep;
-  ConcurrentSeenSet seen;
+  AdaptiveSeenSet seen;
   util::WorkDeques<WorkItem> deques;
   std::vector<WorkerStats> worker_stats;
 

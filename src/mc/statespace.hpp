@@ -12,7 +12,7 @@
 // steps in a fixed order).
 //
 // StateIds are 64-bit and records live in a *paged* store (a root array of
-// doubling blocks, first page 256 records), so (a) the id space is no
+// doubling blocks, first page 64 records), so (a) the id space is no
 // longer capped at 4B states (partial-order-reduced but deep runs can
 // exceed 32 bits), (b) growth never copies existing records (no 2x realloc
 // spike at the worst moment), and (c) record addresses are stable, which
@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <mutex>
 #include <string>
@@ -97,15 +98,15 @@ struct InsertResult {
 };
 
 /// Append-only paged array of StateRecords: the classic root array of
-/// doubling blocks. Page p holds 256 << p records, so a litmus-scale run
-/// costs one 8 KiB page while the overshoot stays below 2x at any scale —
+/// doubling blocks. Page p holds 64 << p records, so a litmus-scale run
+/// costs one 2 KiB page while the overshoot stays below 2x at any scale —
 /// and unlike a std::vector, growth never copies existing records (no 2x
 /// realloc spike at the worst moment; addresses are stable, which the
 /// concurrent seen set's lock-copy reads rely on). Indexing is O(1) via
 /// bit_width.
 class PagedRecordStore {
  public:
-  static constexpr std::size_t kFirstPageBits = 8;  // 256 records
+  static constexpr std::size_t kFirstPageBits = 6;  // 64 records
 
   /// Appends and returns the new record's dense id.
   StateId push(const StateRecord& rec) {
@@ -178,7 +179,11 @@ class SeenSet {
   void set_max_states(StateId n) { max_states_ = n; }
 
  private:
-  static constexpr std::size_t kInitialSlots = 1024;  // power of two
+  // Power of two. Kept small: every per-program explorer run constructs a
+  // seen set (16 of them when sharded), so the empty-table footprint is
+  // part of peak_seen_bytes on litmus-scale workloads; the 50% load cap
+  // doubles it within a handful of inserts anyway.
+  static constexpr std::size_t kInitialSlots = 64;
 
   void rehash(std::size_t new_slot_count);
 
@@ -243,6 +248,45 @@ class ConcurrentSeenSet {
 
   mutable std::array<std::mutex, kShards> mutexes_;
   std::array<SeenSet, kShards> shards_;
+};
+
+/// Dispatches between SeenSet and ConcurrentSeenSet by worker count, so
+/// single-worker runs of the DPOR/optimal/parallel engines do not pay the
+/// 16-shard fixed footprint (16 empty tables + 16 first pages ≈ a quarter
+/// megabyte per explored program) or the per-insert lock. The parallel
+/// explorers construct one per run; the StateId encoding follows the
+/// backing store (shard bits only in sharded mode).
+class AdaptiveSeenSet {
+ public:
+  explicit AdaptiveSeenSet(std::size_t workers) : sharded_(workers > 1) {
+    if (sharded_) concurrent_.emplace();
+  }
+
+  InsertResult insert(const util::Fingerprint& fp, StateId parent = kNoState,
+                      std::uint32_t step = 0) {
+    if (sharded_) return concurrent_->insert(fp, parent, step);
+    return flat_.insert(fp, parent, step);
+  }
+
+  /// Copy of the record for `id` (by value: in sharded mode other threads
+  /// may append to the page table concurrently).
+  [[nodiscard]] StateRecord record(StateId id) const {
+    if (sharded_) return concurrent_->record(id);
+    return flat_.record(id);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return sharded_ ? concurrent_->size() : flat_.size();
+  }
+
+  [[nodiscard]] std::size_t bytes() const {
+    return sharded_ ? concurrent_->bytes() : flat_.bytes();
+  }
+
+ private:
+  bool sharded_;
+  SeenSet flat_;  ///< used when single-threaded (empty otherwise: ~1 KiB)
+  std::optional<ConcurrentSeenSet> concurrent_;
 };
 
 /// The pre-fingerprint design: canonical keys as std::strings in a node-based

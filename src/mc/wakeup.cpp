@@ -144,30 +144,57 @@ void prune_to_dependent_core(WakeupSequence& v) {
   v.resize(out);
 }
 
+WakeupTree::NodeId WakeupTree::alloc(const WakeupStep& s) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{s, false, kNil, kNil, kNil});
+  return id;
+}
+
+void WakeupTree::link_last(NodeId parent, NodeId child) {
+  NodeId& first = parent == kNil ? first_root_ : nodes_[parent].first_child;
+  NodeId& last = parent == kNil ? last_root_ : nodes_[parent].last_child;
+  if (first == kNil) {
+    first = child;
+  } else {
+    nodes_[last].next_sibling = child;
+  }
+  last = child;
+}
+
+std::size_t WakeupTree::branch_count() const {
+  std::size_t n = 0;
+  for (NodeId b = first_root_; b != kNil; b = nodes_[b].next_sibling) ++n;
+  return n;
+}
+
 std::size_t WakeupTree::node_count() const {
   std::size_t n = 0;
-  std::vector<const Node*> stack;
-  for (const auto& b : roots_) stack.push_back(b.get());
+  std::vector<NodeId> stack;
+  for (NodeId b = first_root_; b != kNil; b = nodes_[b].next_sibling) {
+    stack.push_back(b);
+  }
   while (!stack.empty()) {
-    const Node* cur = stack.back();
+    const NodeId cur = stack.back();
     stack.pop_back();
     ++n;
-    for (const auto& c : cur->children) stack.push_back(c.get());
+    for (NodeId c = nodes_[cur].first_child; c != kNil;
+         c = nodes_[c].next_sibling) {
+      stack.push_back(c);
+    }
   }
   return n;
 }
 
-WakeupTree::Node* WakeupTree::add_executed(const WakeupStep& s) {
-  auto node = std::make_unique<Node>();
-  node->step = s;
-  node->taken = true;
-  roots_.push_back(std::move(node));
-  return roots_.back().get();
+WakeupTree::NodeId WakeupTree::add_executed(const WakeupStep& s) {
+  const NodeId id = alloc(s);
+  nodes_[id].taken = true;
+  link_last(kNil, id);
+  return id;
 }
 
 WakeupTree::Insert WakeupTree::insert(const WakeupSequence& v,
-                                      Node** new_branch) {
-  if (new_branch != nullptr) *new_branch = nullptr;
+                                      NodeId* new_branch) {
+  if (new_branch != nullptr) *new_branch = kNil;
 
   // The occurrence of `step` in `r` that is a weak initial, or kNoStep.
   // Equal steps share a thread (hence are mutually dependent), so only
@@ -192,45 +219,45 @@ WakeupTree::Insert WakeupTree::insert(const WakeupSequence& v,
   };
 
   WakeupSequence r = v;
-  std::vector<std::unique_ptr<Node>>* at = &roots_;
+  NodeId at = kNil;  // current parent: kNil = toplevel branch list
   bool toplevel = true;
   while (true) {
     // Walking off the end of v means an existing path is equivalent to a
     // weak prefix of v; its subtree keeps exploring, so v is covered.
     if (r.empty()) return Insert::kSubsumed;
 
-    Node* descend = nullptr;
+    NodeId descend = kNil;
     std::size_t consumed = kNoStep;
-    for (const auto& child : *at) {
-      const std::size_t j = weak_initial_match(r, child->step);
+    for (NodeId c = first_child_of(at); c != kNil;
+         c = nodes_[c].next_sibling) {
+      const std::size_t j = weak_initial_match(r, nodes_[c].step);
       if (j == kNoStep) continue;
       // A taken branch's (detached) subtree exploration covers every
       // continuation extending it — including v.
-      if (child->taken) return Insert::kSubsumed;
+      if (nodes_[c].taken) return Insert::kSubsumed;
       // A pending leaf is the end of an inserted sequence; exploration
       // beyond it is free and will cover v via recursive race reversal
       // (the "exists leaf u [= v" subsumption rule).
-      if (child->children.empty()) return Insert::kSubsumed;
-      descend = child.get();
+      if (nodes_[c].first_child == kNil) return Insert::kSubsumed;
+      descend = c;
       consumed = j;
       break;
     }
-    if (descend == nullptr) break;
+    if (descend == kNil) break;
     r.erase(r.begin() + static_cast<std::ptrdiff_t>(consumed));
-    at = &descend->children;
+    at = descend;
     toplevel = false;
   }
 
   // No branch covers v: append the remaining steps as a fresh chain.
-  Node* head = nullptr;
-  std::vector<std::unique_ptr<Node>>* tail = at;
+  // (alloc may reallocate nodes_, so the walk above and the links below
+  // use indices throughout.)
+  NodeId head = kNil;
   for (const WakeupStep& s : r) {
-    auto node = std::make_unique<Node>();
-    node->step = s;
-    tail->push_back(std::move(node));
-    Node* added = tail->back().get();
-    if (head == nullptr) head = added;
-    tail = &added->children;
+    const NodeId id = alloc(s);
+    link_last(at, id);
+    if (head == kNil) head = id;
+    at = id;
   }
   if (toplevel) {
     if (new_branch != nullptr) *new_branch = head;
@@ -239,40 +266,47 @@ WakeupTree::Insert WakeupTree::insert(const WakeupSequence& v,
   return Insert::kExtended;
 }
 
-std::vector<std::unique_ptr<WakeupTree::Node>> WakeupTree::take(Node* branch) {
-  branch->taken = true;
-  return std::move(branch->children);
+WakeupTree::NodeId WakeupTree::copy_subtree(const WakeupTree& src,
+                                            NodeId from) {
+  const NodeId id = alloc(src.nodes_[from].step);
+  nodes_[id].taken = src.nodes_[from].taken;
+  for (NodeId c = src.nodes_[from].first_child; c != kNil;
+       c = src.nodes_[c].next_sibling) {
+    link_last(id, copy_subtree(src, c));
+  }
+  return id;
 }
 
-std::vector<std::unique_ptr<WakeupTree::Node>> WakeupTree::clone(
-    const std::vector<std::unique_ptr<Node>>& subtree) {
-  std::vector<std::unique_ptr<Node>> out;
-  out.reserve(subtree.size());
-  for (const auto& b : subtree) {
-    auto node = std::make_unique<Node>();
-    node->step = b->step;
-    node->taken = b->taken;
-    node->children = clone(b->children);
-    out.push_back(std::move(node));
+WakeupTree WakeupTree::take(NodeId branch) {
+  nodes_[branch].taken = true;
+  const NodeId first = nodes_[branch].first_child;
+  nodes_[branch].first_child = kNil;
+  nodes_[branch].last_child = kNil;
+  WakeupTree out;
+  for (NodeId c = first; c != kNil; c = nodes_[c].next_sibling) {
+    out.link_last(kNil, out.copy_subtree(*this, c));
   }
   return out;
 }
 
-void WakeupTree::collect_paths(
-    const std::vector<std::unique_ptr<Node>>& subtree,
-    std::vector<WakeupSequence>& out) {
+void WakeupTree::collect_paths(std::vector<WakeupSequence>& out) const {
   out.clear();
   WakeupSequence path;
-  const auto walk = [&](const auto& self, const Node& node) -> void {
-    path.push_back(node.step);
-    if (node.children.empty()) {
+  const auto walk = [&](const auto& self, NodeId id) -> void {
+    path.push_back(nodes_[id].step);
+    if (nodes_[id].first_child == kNil) {
       out.push_back(path);
     } else {
-      for (const auto& c : node.children) self(self, *c);
+      for (NodeId c = nodes_[id].first_child; c != kNil;
+           c = nodes_[c].next_sibling) {
+        self(self, c);
+      }
     }
     path.pop_back();
   };
-  for (const auto& b : subtree) walk(walk, *b);
+  for (NodeId b = first_root_; b != kNil; b = nodes_[b].next_sibling) {
+    walk(walk, b);
+  }
 }
 
 }  // namespace rc11::mc

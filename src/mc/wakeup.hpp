@@ -41,7 +41,7 @@
 #pragma once
 
 #include <cstddef>
-#include <memory>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -157,34 +157,58 @@ void prune_to_dependent_core(WakeupSequence& v);
 
 /// The ordered tree (see file comment). Not thread-safe: callers guard it
 /// with the owning exploration node's mutex.
+///
+/// Storage is *flat*: nodes live in one contiguous vector and refer to
+/// each other by 32-bit index (first_child / last_child / next_sibling),
+/// replacing the former one-heap-allocation-per-node unique_ptr layout.
+/// NodeIds are stable for the lifetime of the owning tree (the vector only
+/// grows; take() detaches by unlinking, never by erasing), so work items
+/// can carry them across queue hops. Detached subtrees are copied,
+/// BFS-compacted, into a fresh WakeupTree; the donor keeps the unlinked
+/// nodes as unreachable slack that dies with the tree (clear() — run when
+/// the owning exploration node returns to its pool — frees nothing but
+/// keeps the vector's capacity, so warm pool nodes rebuild trees without
+/// allocating).
 class WakeupTree {
  public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kNil = 0xffffffffu;
+
   struct Node {
     WakeupStep step;
     /// Taken branches have been handed to an exploration child (or were
     /// executed by free scheduling); their subtrees live on in that
     /// child's tree, so insertion treats them as opaque "covered".
     bool taken = false;
-    std::vector<std::unique_ptr<Node>> children;
+    NodeId first_child = kNil;
+    NodeId last_child = kNil;
+    NodeId next_sibling = kNil;
   };
 
   WakeupTree() = default;
-  explicit WakeupTree(std::vector<std::unique_ptr<Node>> branches)
-      : roots_(std::move(branches)) {}
-  WakeupTree(WakeupTree&&) = default;
-  WakeupTree& operator=(WakeupTree&&) = default;
+  WakeupTree(const WakeupTree&) = default;  ///< flat copy (replaces clone())
+  WakeupTree& operator=(const WakeupTree&) = default;
+  WakeupTree(WakeupTree&&) noexcept = default;
+  WakeupTree& operator=(WakeupTree&&) noexcept = default;
 
-  [[nodiscard]] bool empty() const { return roots_.empty(); }
-  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& branches() const {
-    return roots_;
-  }
+  [[nodiscard]] bool empty() const { return first_root_ == kNil; }
 
-  /// Total nodes in the tree (diagnostics / benches).
+  /// First toplevel branch (kNil when empty); iterate with
+  /// node(id).next_sibling.
+  [[nodiscard]] NodeId first_branch() const { return first_root_; }
+
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_[id]; }
+
+  /// Number of toplevel branches (taken markers included).
+  [[nodiscard]] std::size_t branch_count() const;
+
+  /// Total nodes reachable from the roots (diagnostics / benches; the
+  /// unreachable slack left behind by take() is not counted).
   [[nodiscard]] std::size_t node_count() const;
 
   /// Records a free-scheduled executed step as a taken leaf branch, so
   /// later insertions subsume against it.
-  Node* add_executed(const WakeupStep& s);
+  NodeId add_executed(const WakeupStep& s);
 
   enum class Insert {
     kSubsumed,   ///< an existing branch covers v; nothing inserted
@@ -196,36 +220,41 @@ class WakeupTree {
   /// Inserts wakeup sequence v per the optimal-DPOR rules (see file
   /// comment). On kNewBranch, *new_branch receives the branch's root for
   /// the caller to schedule. v must be non-empty.
-  Insert insert(const WakeupSequence& v, Node** new_branch);
+  Insert insert(const WakeupSequence& v, NodeId* new_branch);
 
-  /// Marks a toplevel branch taken and detaches its children — the
-  /// exploration child's initial wakeup tree. The branch node itself
-  /// stays behind (childless, taken) as the subsumption marker.
-  std::vector<std::unique_ptr<Node>> take(Node* branch);
+  /// Marks a toplevel branch taken and detaches its children — returned,
+  /// BFS-compacted, as the exploration child's initial wakeup tree. The
+  /// branch node itself stays behind (childless, taken) as the
+  /// subsumption marker.
+  WakeupTree take(NodeId branch);
 
-  /// All root-to-leaf paths of a detached subtree (take()'s result), as
-  /// plain sequences — used to graft an orphaned branch's continuation
-  /// into another node's tree. `out` is cleared first.
-  static void collect_paths(const std::vector<std::unique_ptr<Node>>& subtree,
-                            std::vector<WakeupSequence>& out);
+  /// All root-to-leaf paths, as plain sequences — used to graft an
+  /// orphaned branch's continuation into another node's tree. `out` is
+  /// cleared first.
+  void collect_paths(std::vector<WakeupSequence>& out) const;
 
-  /// Deep copy of a detached subtree. Sibling data instances of a
-  /// prescribed step inherit a clone of its continuation guidance (steps
-  /// that no longer resolve after the altered data choice fall back to
-  /// conservative expansion at execution time).
-  static std::vector<std::unique_ptr<Node>> clone(
-      const std::vector<std::unique_ptr<Node>>& subtree);
-
-  void clear() { roots_.clear(); }
-
-  /// Moves the toplevel branches out (the inverse of the adopting
-  /// constructor) — used to assemble a guidance subtree from sequences.
-  [[nodiscard]] std::vector<std::unique_ptr<Node>> release() {
-    return std::move(roots_);
+  /// Keeps the node storage (capacity reuse for pooled exploration
+  /// nodes), drops the contents.
+  void clear() {
+    nodes_.clear();
+    first_root_ = kNil;
+    last_root_ = kNil;
   }
 
  private:
-  std::vector<std::unique_ptr<Node>> roots_;
+  NodeId alloc(const WakeupStep& s);
+  /// Appends `child` to `parent`'s ordered child list (kNil = root list).
+  void link_last(NodeId parent, NodeId child);
+  [[nodiscard]] NodeId first_child_of(NodeId parent) const {
+    return parent == kNil ? first_root_ : nodes_[parent].first_child;
+  }
+  /// Deep-copies `src`'s subtree rooted at `from` into this tree,
+  /// returning the copy's id (children preserve sibling order).
+  NodeId copy_subtree(const WakeupTree& src, NodeId from);
+
+  std::vector<Node> nodes_;
+  NodeId first_root_ = kNil;
+  NodeId last_root_ = kNil;
 };
 
 }  // namespace rc11::mc

@@ -6,6 +6,7 @@
 namespace rc11::util {
 
 void Relation::resize(std::size_t n) {
+  if (n == n_) return;  // the no-op resize is a hot caller pattern
   if (n > cap_) {
     // Geometric capacity growth: one append used to reallocate every row;
     // reserving ahead makes the append-one-element pattern amortized O(rows).
@@ -64,6 +65,11 @@ void Relation::rebuild_inverse() {
 
 Bitset Relation::column(std::size_t b) const {
   if (inverse_) return cols_[b];
+  // O(n)-scan fallback — audited: no engine hot path lands here. The
+  // incremental semantics keeps maintained inverses on hb/eco and reads
+  // them through column_view(); mo predecessor queries scan only the
+  // per-variable write set (Execution::push_event). This copy form is for
+  // tests, diagnostics, and one-shot cold paths.
   Bitset out(n_);
   for (std::size_t a = 0; a < n_; ++a) {
     if (rows_[a].test(b)) out.set(a);
@@ -118,6 +124,15 @@ Relation Relation::compose(const Relation& o) const {
   return out;
 }
 
+Relation Relation::inverse_compose(const Relation& o) const {
+  Relation out(n_);
+  for (std::size_t a = 0; a < n_; ++a) {
+    if (o.rows_[a].empty()) continue;
+    rows_[a].for_each([&](std::size_t b) { out.rows_[b] |= o.rows_[a]; });
+  }
+  return out;
+}
+
 Relation Relation::inverse() const {
   Relation out(n_);
   for (std::size_t a = 0; a < n_; ++a) {
@@ -136,21 +151,57 @@ Relation Relation::restrict_to(const Bitset& s) const {
 }
 
 Relation Relation::transitive_closure() const {
-  // Worklist propagation: repeatedly OR successor rows into each row until
-  // a fixpoint. For the small, dense graphs arising from executions this
-  // outperforms Floyd-Warshall by operating on whole 64-bit words.
   Relation out = *this;
-  bool changed = true;
-  while (changed) {
-    changed = false;
+  if (const auto order = topological_order()) {
+    // Acyclic fast path (sb/hb/eco of consistent executions): sweep in
+    // reverse topological order, so every direct successor's out-row is
+    // already its full closure when it is OR-ed in — each row is
+    // finalized by exactly one word-level union pass.
+    for (auto it = order->rbegin(); it != order->rend(); ++it) {
+      const std::size_t a = *it;
+      rows_[a].for_each([&](std::size_t b) { out.rows_[a] |= out.rows_[b]; });
+    }
+    out.rebuild_inverse();
+    return out;
+  }
+  // Cyclic fallback: dirty-row worklist fixpoint. A pass only recomputes
+  // rows adjacent to the previous pass's changed set; because that filter
+  // is a heuristic (a row can transitively gain successors through a
+  // stable neighbor), quiescence is certified by one full unfiltered pass,
+  // repeating if the certification pass itself makes progress.
+  Bitset changed(n_);
+  changed.fill();
+  Bitset next_changed(n_);
+  Bitset next;  // scratch row, reused so the loop does not allocate
+  while (true) {
+    bool any = true;
+    while (any) {
+      any = false;
+      next_changed.clear();
+      for (std::size_t a = 0; a < n_; ++a) {
+        if (out.rows_[a].disjoint(changed)) continue;
+        next = out.rows_[a];
+        out.rows_[a].for_each([&](std::size_t b) { next |= out.rows_[b]; });
+        if (!(next == out.rows_[a])) {
+          out.rows_[a] = next;
+          next_changed.set(a);
+          any = true;
+        }
+      }
+      changed = next_changed;
+    }
+    bool clean = true;
+    changed.clear();
     for (std::size_t a = 0; a < n_; ++a) {
-      Bitset next = out.rows_[a];
+      next = out.rows_[a];
       out.rows_[a].for_each([&](std::size_t b) { next |= out.rows_[b]; });
       if (!(next == out.rows_[a])) {
-        out.rows_[a] = std::move(next);
-        changed = true;
+        out.rows_[a] = next;
+        changed.set(a);
+        clean = false;
       }
     }
+    if (clean) break;
   }
   out.rebuild_inverse();
   return out;
@@ -190,7 +241,9 @@ bool Relation::is_irreflexive() const {
 }
 
 bool Relation::is_acyclic() const {
-  return transitive_closure().is_irreflexive();
+  // Kahn peeling succeeds exactly on acyclic graphs; this replaces the
+  // old build-the-closure check, which was the validity-check hot spot.
+  return topological_order().has_value();
 }
 
 bool Relation::is_strict_total_order_on(const Bitset& s) const {

@@ -51,6 +51,21 @@ class Relation {
     if (inverse_) cols_[b].reset(a);
   }
 
+  /// Batch column write: adds (a, b) for every a in `as` (a Bitset over
+  /// the same universe). With the inverse maintained, the mirror update is
+  /// a single word-level union instead of one set() per predecessor.
+  void add_to_column(std::size_t b, const Bitset& as) {
+    as.for_each([&](std::size_t a) { rows_[a].set(b); });
+    if (inverse_) cols_[b] |= as;
+  }
+
+  /// Batch row write: adds (a, b) for every b in `bs` — the row side is a
+  /// single word-level union.
+  void add_to_row(std::size_t a, const Bitset& bs) {
+    rows_[a] |= bs;
+    if (inverse_) bs.for_each([&](std::size_t b) { cols_[b].set(a); });
+  }
+
   /// Row a: successors of a. The mutable overload bypasses inverse
   /// maintenance and asserts it is off.
   [[nodiscard]] const Bitset& row(std::size_t a) const { return rows_[a]; }
@@ -60,7 +75,9 @@ class Relation {
   }
 
   /// Column b: predecessors of b (O(n) scan, or a copy of the maintained
-  /// inverse row when enabled).
+  /// inverse row when enabled). Hot paths must enable_inverse() and use
+  /// column_view() instead — the scan form is for tests and cold
+  /// diagnostics only (see the audit note in relation.cpp).
   [[nodiscard]] Bitset column(std::size_t b) const;
 
   // --- Maintained inverse ---------------------------------------------------
@@ -76,6 +93,15 @@ class Relation {
   [[nodiscard]] const Bitset& column_view(std::size_t b) const {
     assert(inverse_);
     return cols_[b];
+  }
+
+  /// Heap bytes held by all row (and mirror column) representations —
+  /// dense-vs-sparse footprint comparisons in benches.
+  [[nodiscard]] std::size_t storage_bytes() const {
+    std::size_t b = (rows_.capacity() + cols_.capacity()) * sizeof(Bitset);
+    for (const Bitset& r : rows_) b += r.storage_bytes();
+    for (const Bitset& c : cols_) b += c.storage_bytes();
+    return b;
   }
 
   /// Number of pairs.
@@ -96,13 +122,22 @@ class Relation {
   /// Relational composition this ; o = { (a,c) | ex b. aRb and bOc }.
   [[nodiscard]] Relation compose(const Relation& o) const;
 
+  /// this^{-1} ; o = { (b,c) | ex a. aRb and aOc }, computed as a
+  /// predecessor join over rows without materializing the inverse: for
+  /// every pair (a,b) of this, o's row a is OR-ed into the output row b
+  /// in one word-level sweep. This is the fr = rf^{-1};mo kernel.
+  [[nodiscard]] Relation inverse_compose(const Relation& o) const;
+
   [[nodiscard]] Relation inverse() const;
 
   /// Restriction to a subset S of the universe (same universe size;
   /// pairs with an endpoint outside S are dropped).
   [[nodiscard]] Relation restrict_to(const Bitset& s) const;
 
-  /// Transitive closure R+ (iterated squaring over bitset rows).
+  /// Transitive closure R+. Acyclic inputs (the common case: sb, hb, eco
+  /// of consistent executions) take a one-pass reverse-topological sweep;
+  /// cyclic inputs fall back to a dirty-row worklist fixpoint certified by
+  /// a full pass.
   [[nodiscard]] Relation transitive_closure() const;
 
   /// Reflexive-transitive closure R*.
@@ -119,7 +154,7 @@ class Relation {
 
   [[nodiscard]] bool is_irreflexive() const;
 
-  /// True iff there is no cycle (checked via closure irreflexivity).
+  /// True iff there is no cycle (Kahn peeling; no closure is built).
   [[nodiscard]] bool is_acyclic() const;
 
   /// True iff the restriction of R to S is a strict total order on S,

@@ -362,6 +362,106 @@ TEST(Labels, LabelDropsWhenGuardFails) {
   EXPECT_EQ(leading_label(cur), 5);
 }
 
+// --- peek_step / step lock-step --------------------------------------------
+//
+// peek_step re-derives step()'s classification without building
+// continuations; the two implementations must agree on every reachable
+// continuation. Walk the full (bounded) continuation trees of programs
+// exercising labels, Seq spines, short-circuit guards, registers, NA/
+// release/acquire access modes and capturing swaps, branching reads over
+// several values.
+
+namespace {
+
+ComKind stepping_kind(const ComPtr& c) {
+  switch (c->kind) {
+    case ComKind::kLabel:
+      return stepping_kind(c->c1);
+    case ComKind::kSeq:
+      if (is_terminated(c->c1)) return ComKind::kSeq;
+      return stepping_kind(c->c1);
+    default:
+      return c->kind;
+  }
+}
+
+void write_reg(RegFile& regs, RegId r, Value v) {
+  if (r >= regs.size()) regs.resize(r + 1, 0);
+  regs[r] = v;
+}
+
+void expect_peek_matches(const ComPtr& c, RegFile regs, int depth) {
+  if (depth == 0) return;
+  const StepPeek pk = peek_step(c, regs);
+  auto s = step(c, regs);
+  if (!s) {
+    EXPECT_EQ(pk.kind, PeekKind::kNone) << c->to_string();
+    return;
+  }
+  if (auto* sil = std::get_if<SilentStep>(&*s)) {
+    ASSERT_EQ(pk.kind, PeekKind::kSilent) << c->to_string();
+    EXPECT_EQ(pk.loop_unfold, stepping_kind(c) == ComKind::kWhile)
+        << c->to_string();
+    expect_peek_matches(sil->next, std::move(regs), depth - 1);
+  } else if (auto* rw = std::get_if<RegWriteStep>(&*s)) {
+    ASSERT_EQ(pk.kind, PeekKind::kRegWrite) << c->to_string();
+    write_reg(regs, rw->reg, rw->value);
+    expect_peek_matches(rw->next, std::move(regs), depth - 1);
+  } else if (auto* wr = std::get_if<WriteStep>(&*s)) {
+    ASSERT_EQ(pk.kind, PeekKind::kWrite) << c->to_string();
+    EXPECT_EQ(pk.var, wr->var);
+    EXPECT_EQ(pk.value, wr->value);
+    EXPECT_EQ(pk.release, wr->release);
+    EXPECT_EQ(pk.nonatomic, wr->nonatomic);
+    expect_peek_matches(wr->next, std::move(regs), depth - 1);
+  } else if (auto* rd = std::get_if<ReadStep>(&*s)) {
+    ASSERT_EQ(pk.kind, PeekKind::kRead) << c->to_string();
+    EXPECT_EQ(pk.var, rd->var);
+    EXPECT_EQ(pk.acquire, rd->acquire);
+    EXPECT_EQ(pk.nonatomic, rd->nonatomic);
+    for (Value v : {Value{0}, Value{1}}) {
+      expect_peek_matches(rd->next(v), regs, depth - 1);
+    }
+  } else {
+    auto* up = std::get_if<UpdateStep>(&*s);
+    ASSERT_NE(up, nullptr);
+    ASSERT_EQ(pk.kind, PeekKind::kUpdate) << c->to_string();
+    EXPECT_EQ(pk.var, up->var);
+    EXPECT_EQ(pk.value, up->new_value);
+    if (up->captures) write_reg(regs, up->capture_reg, 3);
+    expect_peek_matches(up->next, std::move(regs), depth - 1);
+  }
+}
+
+}  // namespace
+
+TEST(PeekStep, LockStepWithStepOnSpinLoopProgram) {
+  // Peterson-style: labels, a while with a short-circuit && guard mixing an
+  // acquiring shared read with a register compare, and a capturing swap.
+  const ComPtr spin = while_do(
+      binary(BinOp::kAnd, binary(BinOp::kEq, shared_acq(0), constant(1)),
+             binary(BinOp::kEq, shared(1), reg(0))),
+      labeled(4, reg_assign(1, binary(BinOp::kAdd, reg(1), constant(1)))));
+  const ComPtr prog = seq(
+      {labeled(1, assign(0, constant(1))),
+       labeled(2, assign_rel(1, binary(BinOp::kAdd, shared(0), constant(1)))),
+       labeled(3, spin),
+       labeled(5, swap_into(2, 0, binary(BinOp::kAdd, reg(1), shared(1))))});
+  expect_peek_matches(prog, RegFile{0, 0, 0}, 12);
+}
+
+TEST(PeekStep, LockStepWithStepOnNonatomicAndFoldQuirks) {
+  // fold() passes `nonzero && E` through as E itself (not coerced to a
+  // boolean), so `x := (2 && 7)` writes 7; the peek must reproduce that.
+  const ComPtr prog = seq(
+      {assign(0, binary(BinOp::kAnd, constant(2), constant(7))),
+       assign_na(1, binary(BinOp::kOr, shared_na(2), constant(0))),
+       if_then_else(binary(BinOp::kOr, reg(0), shared(3)),
+                    swap(4, unary(UnOp::kMinus, constant(2))), skip()),
+       assign(5, binary(BinOp::kOr, reg(1), constant(5)))});
+  expect_peek_matches(prog, RegFile{0, 2}, 12);
+}
+
 // --- Builder sugar ---------------------------------------------------------------
 
 TEST(Builder, HandlesAndOperators) {

@@ -151,10 +151,10 @@ TEST(WakeupTreeInsert, NewBranchThenExactSubsume) {
   WakeupTree tree;
   const WakeupSequence v = {mem(1, c11::ActionKind::kWrX, 0),
                             mem(2, c11::ActionKind::kWrX, 0)};
-  WakeupTree::Node* branch = nullptr;
+  WakeupTree::NodeId branch = WakeupTree::kNil;
   EXPECT_EQ(tree.insert(v, &branch), WakeupTree::Insert::kNewBranch);
-  ASSERT_NE(branch, nullptr);
-  EXPECT_EQ(branch->step.thread, 1u);
+  ASSERT_NE(branch, WakeupTree::kNil);
+  EXPECT_EQ(tree.node(branch).step.thread, 1u);
   EXPECT_EQ(tree.node_count(), 2u);
 
   // Same sequence again: covered by the existing branch, nothing added.
@@ -171,7 +171,7 @@ TEST(WakeupTreeInsert, EquivalentReorderingIsSubsumed) {
                              mem(2, c11::ActionKind::kWrX, 1)};
   const WakeupSequence v2 = {mem(2, c11::ActionKind::kWrX, 1),
                              mem(1, c11::ActionKind::kWrX, 0)};
-  WakeupTree::Node* branch = nullptr;
+  WakeupTree::NodeId branch = WakeupTree::kNil;
   EXPECT_EQ(tree.insert(v1, &branch), WakeupTree::Insert::kNewBranch);
   EXPECT_EQ(tree.insert(v2, nullptr), WakeupTree::Insert::kSubsumed);
   EXPECT_EQ(tree.node_count(), 2u);
@@ -187,9 +187,11 @@ TEST(WakeupTreeInsert, ConflictingOrdersBothKept) {
                              mem(1, c11::ActionKind::kWrX, 0)};
   EXPECT_EQ(tree.insert(v1, nullptr), WakeupTree::Insert::kNewBranch);
   EXPECT_EQ(tree.insert(v2, nullptr), WakeupTree::Insert::kNewBranch);
-  ASSERT_EQ(tree.branches().size(), 2u);
-  EXPECT_EQ(tree.branches()[0]->step.thread, 1u);  // insertion order kept
-  EXPECT_EQ(tree.branches()[1]->step.thread, 2u);
+  ASSERT_EQ(tree.branch_count(), 2u);
+  const WakeupTree::NodeId b1 = tree.first_branch();
+  const WakeupTree::NodeId b2 = tree.node(b1).next_sibling;
+  EXPECT_EQ(tree.node(b1).step.thread, 1u);  // insertion order kept
+  EXPECT_EQ(tree.node(b2).step.thread, 2u);
   EXPECT_EQ(tree.node_count(), 4u);
 }
 
@@ -217,8 +219,14 @@ TEST(WakeupTreeInsert, DivergingSuffixExtendsBelowSharedPrefix) {
                              mem(2, c11::ActionKind::kWrX, 0)};
   EXPECT_EQ(tree.insert(v1, nullptr), WakeupTree::Insert::kNewBranch);
   EXPECT_EQ(tree.insert(v2, nullptr), WakeupTree::Insert::kExtended);
-  ASSERT_EQ(tree.branches().size(), 1u);
-  EXPECT_EQ(tree.branches()[0]->children.size(), 2u);
+  ASSERT_EQ(tree.branch_count(), 1u);
+  const WakeupTree::NodeId root = tree.first_branch();
+  std::size_t children = 0;
+  for (WakeupTree::NodeId c = tree.node(root).first_child;
+       c != WakeupTree::kNil; c = tree.node(c).next_sibling) {
+    ++children;
+  }
+  EXPECT_EQ(children, 2u);
 }
 
 TEST(WakeupTreeInsert, ExecutedStepSubsumes) {
@@ -251,7 +259,7 @@ TEST(WakeupTreeInsert, WildcardAndConcreteInstanceStayDistinctBranches) {
   concrete.observed = {0, 0};
   EXPECT_EQ(tree.insert({concrete}, nullptr),
             WakeupTree::Insert::kNewBranch);
-  EXPECT_EQ(tree.branches().size(), 2u);
+  EXPECT_EQ(tree.branch_count(), 2u);
   // Wildcards do subsume equal wildcards.
   EXPECT_EQ(tree.insert({wild}, nullptr), WakeupTree::Insert::kSubsumed);
 }
@@ -260,14 +268,14 @@ TEST(WakeupTreeTake, DetachesSubtreeAndLeavesTakenMarker) {
   WakeupTree tree;
   const WakeupSequence v = {mem(1, c11::ActionKind::kWrX, 0),
                             mem(2, c11::ActionKind::kWrX, 0)};
-  WakeupTree::Node* branch = nullptr;
+  WakeupTree::NodeId branch = WakeupTree::kNil;
   EXPECT_EQ(tree.insert(v, &branch), WakeupTree::Insert::kNewBranch);
 
-  auto subtree = tree.take(branch);
-  ASSERT_EQ(subtree.size(), 1u);
-  EXPECT_EQ(subtree[0]->step.thread, 2u);
-  EXPECT_TRUE(branch->taken);
-  EXPECT_TRUE(branch->children.empty());
+  const WakeupTree subtree = tree.take(branch);
+  ASSERT_EQ(subtree.branch_count(), 1u);
+  EXPECT_EQ(subtree.node(subtree.first_branch()).step.thread, 2u);
+  EXPECT_TRUE(tree.node(branch).taken);
+  EXPECT_EQ(tree.node(branch).first_child, WakeupTree::kNil);
 
   // Anything the taken branch weakly prefixes is covered by the detached
   // subtree's exploration.

@@ -3,62 +3,164 @@
 
 Compares a freshly produced BENCH_*.json (bench/bench_report.hpp format)
 against the checked-in baseline and fails when a gated metric regresses by
-more than the threshold (default 30%, per the perf acceptance bar: the
-litmus-catalogue states/sec under every POR mode must not quietly decay).
+more than its threshold.
 
-Absolute states/sec varies with the host, so the threshold is deliberately
-loose — this is a smoke gate against large regressions (an accidental
-de-incrementalisation of the hot path), not a microbenchmark tribunal.
-Update the baseline by copying a Release-build BENCH_mc_scaling.json from
-CI (or a comparable machine) into bench/baseline/ when the engine gets
-intentionally faster.
+Two kinds of gates:
+
+  * higher-is-better (default; e.g. states_per_sec): fails when the
+    current value drops more than `--threshold` below baseline.
+  * lower-is-better (suffix `:lower`; e.g. peak_seen_bytes): fails when
+    the current value *grows* more than the metric's threshold above
+    baseline. Memory is far less host-noisy than throughput, so
+    lower-is-better gates default to a tighter threshold
+    (--lower-threshold, 10%).
+
+Absolute states/sec varies with the host, so the throughput threshold is
+deliberately loose — this is a smoke gate against large regressions (an
+accidental de-incrementalisation of the hot path), not a microbenchmark
+tribunal. Update the baseline by copying a Release-build
+BENCH_mc_scaling.json from CI (or a comparable machine) into
+bench/baseline/ when the engine gets intentionally faster or leaner.
 
 Usage:
   check_bench_regression.py --current build/BENCH_mc_scaling.json \
-      --baseline bench/baseline/BENCH_mc_scaling.json [--threshold 0.30]
+      --baseline bench/baseline/BENCH_mc_scaling.json \
+      [--gate states_per_sec --gate peak_seen_bytes:lower] \
+      [--threshold 0.30] [--lower-threshold 0.10]
+
+  check_bench_regression.py --self-test   # fixture-based sanity check
 """
 
 import argparse
 import json
 import sys
+import tempfile
 
-GATED_METRIC = "states_per_sec"
+DEFAULT_GATES = ["states_per_sec", "peak_seen_bytes:lower"]
+
+
+def parse_gate(spec):
+    """'metric' or 'metric:lower' -> (metric, lower_is_better)."""
+    if spec.endswith(":lower"):
+        return spec[: -len(":lower")], True
+    return spec, False
+
+
+def check(current, baseline, gates, threshold, lower_threshold, out=sys.stdout):
+    """Returns (compared, failures) over all gates and benchmarks."""
+    failures = []
+    compared = 0
+    for spec in gates:
+        metric, lower = parse_gate(spec)
+        limit = lower_threshold if lower else threshold
+        for name, base_metrics in sorted(baseline.items()):
+            if metric not in base_metrics:
+                continue
+            cur_metrics = current.get(name)
+            if cur_metrics is None or metric not in cur_metrics:
+                failures.append(f"{name}: {metric} missing from current results")
+                continue
+            base = base_metrics[metric]
+            cur = cur_metrics[metric]
+            ratio = cur / base if base > 0 else float("inf")
+            compared += 1
+            status = "OK"
+            if lower:
+                if ratio > 1.0 + limit:
+                    status = "REGRESSION"
+                    failures.append(
+                        f"{name}: {metric} {cur:,.0f} vs baseline {base:,.0f} "
+                        f"({ratio:.2f}x, limit {1.0 + limit:.2f}x)")
+            else:
+                if ratio < 1.0 - limit:
+                    status = "REGRESSION"
+                    failures.append(
+                        f"{name}: {metric} {cur:,.0f} vs baseline {base:,.0f} "
+                        f"({ratio:.2f}x, limit {1.0 - limit:.2f}x)")
+            print(f"{status:>10}  {name}.{metric}: {cur:,.0f} vs {base:,.0f} "
+                  f"({ratio:.2f}x)", file=out)
+    return compared, failures
+
+
+def self_test() -> int:
+    """Exercises both gate directions against an inline fixture."""
+    baseline = {
+        "bench/2": {"states_per_sec": 100000.0, "peak_seen_bytes": 1000000.0},
+        "bench/3": {"states_per_sec": 200000.0, "peak_seen_bytes": 2000000.0},
+    }
+    cases = [
+        # (name, current, expect_failures)
+        ("all-ok", {
+            "bench/2": {"states_per_sec": 95000.0, "peak_seen_bytes": 1050000.0},
+            "bench/3": {"states_per_sec": 210000.0, "peak_seen_bytes": 1900000.0},
+        }, 0),
+        ("throughput-regression", {
+            "bench/2": {"states_per_sec": 60000.0, "peak_seen_bytes": 1000000.0},
+            "bench/3": {"states_per_sec": 200000.0, "peak_seen_bytes": 2000000.0},
+        }, 1),
+        ("memory-regression", {
+            "bench/2": {"states_per_sec": 100000.0, "peak_seen_bytes": 1200000.0},
+            "bench/3": {"states_per_sec": 200000.0, "peak_seen_bytes": 2000000.0},
+        }, 1),
+        # Memory improving massively must NOT trip the lower-is-better gate.
+        ("memory-improvement", {
+            "bench/2": {"states_per_sec": 100000.0, "peak_seen_bytes": 50000.0},
+            "bench/3": {"states_per_sec": 200000.0, "peak_seen_bytes": 40000.0},
+        }, 0),
+        ("missing-benchmark", {
+            "bench/2": {"states_per_sec": 100000.0, "peak_seen_bytes": 1000000.0},
+        }, 2),  # missing from both gates
+    ]
+    ok = True
+    sink = tempfile.TemporaryFile(mode="w+")
+    for name, current, expect in cases:
+        compared, failures = check(current, baseline, DEFAULT_GATES,
+                                   threshold=0.30, lower_threshold=0.10,
+                                   out=sink)
+        got = len(failures)
+        status = "ok" if got == expect else "FAIL"
+        if got != expect:
+            ok = False
+        print(f"self-test {status}: {name} "
+              f"(compared={compared}, failures={got}, expected={expect})")
+    if not ok:
+        print("self-test FAILED", file=sys.stderr)
+        return 1
+    print("self-test passed")
+    return 0
 
 
 def main() -> int:
     ap = argparse.ArgumentParser()
-    ap.add_argument("--current", required=True)
-    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current")
+    ap.add_argument("--baseline")
+    ap.add_argument("--gate", action="append", default=None,
+                    help="metric to gate; append ':lower' for "
+                         "lower-is-better (repeatable; default: "
+                         + " ".join(DEFAULT_GATES) + ")")
     ap.add_argument("--threshold", type=float, default=0.30,
-                    help="maximum tolerated relative regression (0.30 = 30%)")
+                    help="maximum tolerated relative regression for "
+                         "higher-is-better gates (0.30 = 30%%)")
+    ap.add_argument("--lower-threshold", type=float, default=0.10,
+                    help="maximum tolerated relative growth for "
+                         "lower-is-better gates (0.10 = 10%%)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in fixture check and exit")
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.current or not args.baseline:
+        ap.error("--current and --baseline are required (or --self-test)")
 
     with open(args.current) as f:
         current = json.load(f)["benchmarks"]
     with open(args.baseline) as f:
         baseline = json.load(f)["benchmarks"]
 
-    failures = []
-    compared = 0
-    for name, base_metrics in sorted(baseline.items()):
-        if GATED_METRIC not in base_metrics:
-            continue
-        cur_metrics = current.get(name)
-        if cur_metrics is None or GATED_METRIC not in cur_metrics:
-            failures.append(f"{name}: missing from current results")
-            continue
-        base = base_metrics[GATED_METRIC]
-        cur = cur_metrics[GATED_METRIC]
-        ratio = cur / base if base > 0 else float("inf")
-        compared += 1
-        status = "OK"
-        if ratio < 1.0 - args.threshold:
-            status = "REGRESSION"
-            failures.append(
-                f"{name}: {GATED_METRIC} {cur:,.0f} vs baseline {base:,.0f} "
-                f"({ratio:.2f}x, limit {1.0 - args.threshold:.2f}x)")
-        print(f"{status:>10}  {name}: {cur:,.0f} vs {base:,.0f} "
-              f"({ratio:.2f}x)")
+    gates = args.gate if args.gate else DEFAULT_GATES
+    compared, failures = check(current, baseline, gates, args.threshold,
+                               args.lower_threshold)
 
     if compared == 0:
         print("error: no gated benchmarks in common", file=sys.stderr)
@@ -68,7 +170,7 @@ def main() -> int:
         for f_ in failures:
             print(f"  {f_}", file=sys.stderr)
         return 1
-    print(f"\nBench regression gate passed ({compared} benchmarks).")
+    print(f"\nBench regression gate passed ({compared} comparisons).")
     return 0
 
 
