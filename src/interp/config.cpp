@@ -442,14 +442,20 @@ CanonicalEventId canonical_event_id(const c11::Execution& exec, EventId e) {
 }
 
 std::vector<CanonicalEventId> canonical_event_ids(const c11::Execution& exec) {
-  std::vector<CanonicalEventId> out(exec.size());
-  std::vector<std::uint32_t> rank(
-      static_cast<std::size_t>(exec.max_thread()) + 1, 0);
+  std::vector<CanonicalEventId> out;
+  canonical_event_ids(exec, out);
+  return out;
+}
+
+void canonical_event_ids(const c11::Execution& exec,
+                         std::vector<CanonicalEventId>& out) {
+  out.resize(exec.size());
+  thread_local std::vector<std::uint32_t> rank;
+  rank.assign(static_cast<std::size_t>(exec.max_thread()) + 1, 0);
   for (EventId e = 0; e < exec.size(); ++e) {
     const c11::ThreadId t = exec.event(e).tid;
     out[e] = {t, rank[t]++};
   }
-  return out;
 }
 
 EventId resolve_canonical_event(const c11::Execution& exec,

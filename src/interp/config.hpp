@@ -205,6 +205,12 @@ struct CanonicalEventId {
 [[nodiscard]] std::vector<CanonicalEventId> canonical_event_ids(
     const c11::Execution& exec);
 
+/// As above into a caller-owned buffer (resized to exec.size()) — the
+/// step-signature layer canonicalizes every enumerated transition's
+/// observed write once per expanded node, so the scratch must be reusable.
+void canonical_event_ids(const c11::Execution& exec,
+                         std::vector<CanonicalEventId>& out);
+
 /// The tag carrying canonical id `cid` in `exec`, or kNoEvent if the
 /// thread has fewer events than cid.index+1 (the event has not been
 /// replayed yet in this frame).

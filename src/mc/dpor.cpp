@@ -122,6 +122,7 @@ struct Engine {
   std::atomic<std::size_t> transitions{0};
   std::atomic<std::size_t> merged{0};
   std::atomic<std::size_t> finals{0};
+  std::atomic<std::size_t> complete_traces{0};
   std::atomic<std::size_t> por_pruned{0};
   std::atomic<std::size_t> backtracks{0};
   std::atomic<std::size_t> sleep_blocked{0};
@@ -195,10 +196,10 @@ void prepare_node(Node& n, const ExploreOptions& options) {
   if (options.pre_execution) {
     n.pe_steps = interp::pe_successors(
         n.config, interp::value_domain(*n.config.program), options.step);
-    sigs_of(n.pe_steps, n.sigs);
+    sigs_of(n.pe_steps, n.config.exec, n.sigs);
   } else {
     interp::enumerate_steps(n.config, options.step, n.steps);
-    sigs_of(n.steps, n.sigs);
+    sigs_of(n.steps, n.config.exec, n.sigs);
   }
   for (const auto& s : n.sigs) {
     if (n.enabled.empty() || n.enabled.back() != s.thread) {
@@ -411,7 +412,7 @@ void expand_item(Engine& eng, std::size_t me, const Item& item) {
       view.silent = sig.silent;
       if (!sig.silent) {
         view.event = static_cast<c11::EventId>(child_config.exec.size() - 1);
-        view.observed = sig.observed;
+        view.observed = in_step.observed;  // frame tag (sig is canonical)
         view.action = child_config.exec.event(view.event).action;
       }
       view.loop_unfold = in_step.loop_unfold;
@@ -436,6 +437,9 @@ void expand_item(Engine& eng, std::size_t me, const Item& item) {
 
     const InsertResult ins = eng.seen.insert(child->config.fingerprint());
     child->redundant = n.redundant || !ins.inserted;
+    if (child->config.terminated()) {
+      eng.complete_traces.fetch_add(1, std::memory_order_relaxed);
+    }
     if (ins.inserted) {
       const std::size_t states =
           eng.states.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -560,6 +564,7 @@ ExploreResult explore_dpor(const interp::Config& start,
     res.stats.por_pruned = eng.por_pruned.load();
     res.stats.backtracks = eng.backtracks.load();
     res.stats.sleep_blocked = eng.sleep_blocked.load();
+    res.stats.complete_traces = eng.complete_traces.load();
     res.stats.redundant_transitions = eng.redundant.load();
     res.stats.truncated = eng.truncated.load();
     res.stats.peak_seen_bytes = eng.seen.bytes();
@@ -581,6 +586,7 @@ ExploreResult explore_dpor(const interp::Config& start,
   }
   if (root->config.terminated()) {
     eng.finals.store(1);
+    eng.complete_traces.store(1);
     if (visitor.on_final && !visitor.on_final(root->config)) {
       return finish(/*root_aborted=*/true);
     }

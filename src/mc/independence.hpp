@@ -7,7 +7,16 @@
 // action kind / variable / values and the observed write (the read source,
 // or the mo insertion point for writes). The new event's own tag is
 // deliberately excluded — it shifts when an independent step of another
-// thread is appended first, while the signature stays stable.
+// thread is appended first, while the signature stays stable. The observed
+// write is named by its *canonical* event id (thread, sb-position —
+// interp::CanonicalEventId), which is invariant under any reordering of
+// independent steps: signatures of the same Mazurkiewicz step compare
+// equal across frames of equivalent executions, so sleep sets, wakeup
+// steps and race-reversal bookkeeping can be exchanged between spines
+// without per-frame tag translation. This keys exploration on *reads-from
+// choices*: two enabled instances of one thread's command reading from
+// different writes are different signatures, hence different equivalence
+// classes everywhere in the reduction stack.
 //
 // Two signatures are independent iff executing them in either order from
 // any state where both are enabled yields isomorphic configurations
@@ -48,6 +57,13 @@
 
 namespace rc11::mc {
 
+/// "No observed write" sentinel. The default CanonicalEventId {0, 0} is a
+/// real event (the initialising write of the first variable), so silent
+/// steps and steps without an observed write carry an index no thread can
+/// reach instead.
+inline constexpr interp::CanonicalEventId kNoCanonicalObserved{
+    0, 0xffffffffu};
+
 /// Stable cross-state identity of a transition (see file comment).
 struct StepSig {
   c11::ThreadId thread = 0;
@@ -56,17 +72,19 @@ struct StepSig {
   c11::VarId var = 0;
   c11::Value rval = 0;
   c11::Value wval = 0;
-  c11::EventId observed = c11::kNoEvent;
+  interp::CanonicalEventId observed = kNoCanonicalObserved;
 
   auto operator<=>(const StepSig&) const = default;
 };
 
-namespace detail {
-
-// ConfigStep and Step expose the same identity fields; one extraction
-// keeps the materialized and incremental paths' signatures identical.
+/// Builds a signature from a step and the canonical ids of the frame it
+/// was enumerated in (interp::canonical_event_ids of the *source*
+/// configuration — the observed write exists there by construction).
+/// ConfigStep and Step expose the same identity fields; one extraction
+/// keeps the materialized and incremental paths' signatures identical.
 template <typename S>
-[[nodiscard]] StepSig sig_of_impl(const S& s) {
+[[nodiscard]] StepSig sig_of(
+    const S& s, const std::vector<interp::CanonicalEventId>& cids) {
   StepSig sig;
   sig.thread = s.thread;
   sig.silent = s.silent;
@@ -75,20 +93,9 @@ template <typename S>
     sig.var = s.action.var;
     sig.rval = s.action.rval;
     sig.wval = s.action.wval;
-    sig.observed = s.observed;
+    if (s.observed != c11::kNoEvent) sig.observed = cids[s.observed];
   }
   return sig;
-}
-
-}  // namespace detail
-
-[[nodiscard]] inline StepSig sig_of(const interp::ConfigStep& s) {
-  return detail::sig_of_impl(s);
-}
-
-/// Same identity for the incremental engine's signature-only steps.
-[[nodiscard]] inline StepSig sig_of(const interp::Step& s) {
-  return detail::sig_of_impl(s);
 }
 
 [[nodiscard]] inline bool is_read_kind(c11::ActionKind k) {
@@ -111,11 +118,17 @@ template <typename S>
 /// Fills `sigs` with the signature of every step in `steps` (cleared
 /// first) — the one definition of step-signature construction that every
 /// explorer and both DPOR engines (source-set and optimal) consume.
+/// `exec` is the execution the steps were enumerated from; its canonical
+/// ids are computed once (O(events), reusable scratch) and shared by all
+/// signatures of the frame.
 template <typename StepVec>
-inline void sigs_of(const StepVec& steps, std::vector<StepSig>& sigs) {
+inline void sigs_of(const StepVec& steps, const c11::Execution& exec,
+                    std::vector<StepSig>& sigs) {
+  thread_local std::vector<interp::CanonicalEventId> cids;
+  interp::canonical_event_ids(exec, cids);
   sigs.clear();
   sigs.reserve(steps.size());
-  for (const auto& s : steps) sigs.push_back(sig_of(s));
+  for (const auto& s : steps) sigs.push_back(sig_of(s, cids));
 }
 
 // --- Trace happens-before over step signatures -------------------------------

@@ -9,9 +9,9 @@
 #include <mutex>
 #include <optional>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 
+#include "lang/command.hpp"
 #include "mc/independence.hpp"
 #include "mc/wakeup.hpp"
 #include "util/arena.hpp"
@@ -73,12 +73,18 @@ struct Node {
   /// `executed`. Weak: registering a child must not extend its lifetime
   /// (the engine frees subtrees as their items drain). Used to *graft* a
   /// branch's prescribed continuation into the child that claimed its
-  /// first step (a wildcard sibling runs every instance of its thread's
-  /// command, so a concrete branch can find its step already taken).
+  /// first step — demand re-targeting: free expansion, sibling-instance
+  /// branching and prescribed branches race on the shared node, so a
+  /// branch can find its first step already executed.
   std::vector<util::PoolWeakRef<Node>> claimed;
   /// Transition signatures asleep on arrival. Immutable after
   /// construction.
   SleepSet sleep;
+  /// Some thread is permanently stuck here (see has_doomed_thread):
+  /// no final state exists below. Set once at creation; a doomed node
+  /// still executes its prescribed wakeup branches (their dead prefixes
+  /// carry race-reversal demands) but never opens new sibling classes.
+  bool doomed = false;
   /// Wakeup tree: pending branches to execute plus taken markers for the
   /// branches already handed to children (subsumption targets).
   WakeupTree wut;
@@ -123,20 +129,7 @@ struct Engine {
   util::WorkDeques<Item> deques;
   std::vector<WorkerStats> worker_stats;
 
-  AdaptiveSeenSet seen;  ///< unique states; also keys the sleep store
-
-  /// Sleep set each visited configuration was first explored with
-  /// (Godefroid's state-caching rule, keyed by StateId). A *sibling
-  /// data-instance* child whose configuration was already visited with a
-  /// stored sleep set no stronger than its own is merged instead of
-  /// re-expanded: isomorphic configurations have the same Mazurkiewicz
-  /// class of extensions, so the earlier occurrence's subtree already
-  /// covers everything this one could reach (minus what the stored sleep
-  /// pruned — which the subset check guarantees is covered elsewhere).
-  /// Prescribed reversal steps are never merged: they carry wakeup
-  /// guidance that must execute. Guarded by sleep_store_mu.
-  std::mutex sleep_store_mu;
-  std::unordered_map<StateId, SleepSet> sleep_store;
+  AdaptiveSeenSet seen;  ///< unique-state accounting only (tree search)
 
   std::atomic<std::size_t> pending{0};
   std::atomic<bool> stop{false};
@@ -144,6 +137,7 @@ struct Engine {
   std::atomic<std::size_t> transitions{0};
   std::atomic<std::size_t> merged{0};
   std::atomic<std::size_t> finals{0};
+  std::atomic<std::size_t> complete_traces{0};
   std::atomic<std::size_t> por_pruned{0};
   std::atomic<std::size_t> backtracks{0};
   std::atomic<std::size_t> sleep_blocked{0};
@@ -199,6 +193,7 @@ void pooled_dispose(Node* p) {
   p->executed.clear();
   p->claimed.clear();
   p->sleep.clear();
+  p->doomed = false;
   p->wut.clear();
   p->ready = false;
   p->pending_grafts.clear();
@@ -217,10 +212,10 @@ void prepare_node(Node& n, const ExploreOptions& options) {
   if (options.pre_execution) {
     n.pe_steps = interp::pe_successors(
         n.config, interp::value_domain(*n.config.program), options.step);
-    sigs_of(n.pe_steps, n.sigs);
+    sigs_of(n.pe_steps, n.config.exec, n.sigs);
   } else {
     interp::enumerate_steps(n.config, options.step, n.steps);
-    sigs_of(n.steps, n.sigs);
+    sigs_of(n.steps, n.config.exec, n.sigs);
   }
   for (const auto& s : n.sigs) {
     if (n.enabled.empty() || n.enabled.back() != s.thread) {
@@ -313,8 +308,10 @@ bool insert_sequence_locked(Engine& eng, std::size_t me,
   thread_local std::vector<std::size_t> wi;
   weak_initials(v, wi);
   for (const std::size_t j : wi) {
-    const auto sig = resolve_sig(v[j], target->config.exec);
-    if (sig && sleep_contains(target->sleep, *sig)) return false;
+    // Signatures are canonical, so sleep membership is plain equality —
+    // a sleeping weak initial means the subtree that put it to sleep
+    // already covers [target.v].
+    if (sleep_contains(target->sleep, v[j].sig)) return false;
   }
 
   WakeupTree::NodeId branch = WakeupTree::kNil;
@@ -324,16 +321,19 @@ bool insert_sequence_locked(Engine& eng, std::size_t me,
                  static_cast<void*>(target.get()), target->depth, v.size(),
                  static_cast<int>(ins));
     for (const auto& ws : v) {
-      std::fprintf(stderr, " [t%u %s k=%d var=%u%s]", ws.thread,
-                   ws.silent ? "tau" : "mem", static_cast<int>(ws.action.kind),
-                   ws.action.var, ws.any_data ? " *" : "");
+      std::fprintf(stderr, " [t%u %s k=%d var=%u obs=(%u,%d)%s]",
+                   ws.sig.thread, ws.sig.silent ? "tau" : "mem",
+                   static_cast<int>(ws.sig.kind), ws.sig.var,
+                   ws.sig.observed.thread,
+                   static_cast<int>(ws.sig.observed.index),
+                   ws.speculative ? " ?" : "");
     }
     std::fprintf(stderr, "\n");
   }
   if (ins == WakeupTree::Insert::kSubsumed) return false;
   if (ins == WakeupTree::Insert::kNewBranch) {
     push_item(eng, me,
-              Item{target, branch, target->wut.node(branch).step.thread});
+              Item{target, branch, target->wut.node(branch).step.sig.thread});
   }
   return true;
 }
@@ -390,10 +390,13 @@ void leaf_race_reversals(Engine& eng, std::size_t me, const NodePtr& leaf) {
   const auto hb = [&](std::size_t i, std::size_t k) {
     return nodes[k]->hb_row[i] != 0;
   };
-  // One canonical-id pass resolves every wakeup step built below (the
-  // leaf config holds all spine events).
-  const std::vector<interp::CanonicalEventId> cids =
-      interp::canonical_event_ids(n.config.exec);
+  // Canonical ids of the leaf frame, for naming speculative candidate
+  // writes. The base steps reuse their cached in_sig — canonical ids are
+  // frame-invariant, so a signature built at the source frame is already
+  // the right name in the reversed one. Computed lazily: only races whose
+  // racing step observed the raced event itself need candidates.
+  thread_local std::vector<interp::CanonicalEventId> cids;
+  bool cids_ready = false;
 
   for (std::size_t k = 2; k <= d; ++k) {
     const StepSig& t_sig = sig_at(k);
@@ -409,34 +412,287 @@ void leaf_race_reversals(Engine& eng, std::size_t me, const NodePtr& leaf) {
 
       // v = notdep(e_i, E).e_k: the whole-trace suffix of steps not
       // happening-after e_i (everything happening-after e_k is
-      // automatically excluded: e_i ->hb e_k), then e_k itself — as an
-      // exact step when it replays without e_i, as a thread wildcard
-      // when it observed e_i's own event (the datum does not exist in
-      // the reversed frame). The leaf config holds every spine event, so
-      // one execution resolves the whole sequence canonically.
+      // automatically excluded: e_i ->hb e_k), then e_k itself. The base
+      // steps' observed writes are all present in the reversed frame
+      // (an absent one would be an intermediate hb link, contradicting
+      // directness), so their cached signatures replay as-is.
       WakeupSequence v;
+      thread_local std::vector<c11::EventId> v_events;
+      v_events.clear();
       for (std::size_t l = i + 1; l <= d; ++l) {
         if (l == k || hb(i, l)) continue;
-        v.push_back(make_wakeup_step(nodes[l]->in_step, cids));
+        v.push_back(WakeupStep{nodes[l]->in_sig,
+                               nodes[l]->in_step.loop_unfold, false});
+        if (!nodes[l]->in_sig.silent) {
+          v_events.push_back(
+              static_cast<c11::EventId>(nodes[l]->config.exec.size() - 1));
+        }
       }
+
+      const auto do_insert = [&](WakeupSequence seq) {
+        // Parsimonious mode prunes to the dependent core, with every
+        // signature that can ever be *asleep below the insertion target*
+        // as an extra demand: the target's own sleep set plus all its
+        // enabled instances (executed siblings enter a branch child's
+        // sleep through its prefix snapshot, and every sibling ever
+        // executed there is one of the target's enabled instances — so
+        // this covers siblings that execute *after* this insertion too;
+        // the prescribed part of a branch is guided, never expands
+        // siblings, and therefore adds no sleepers of its own). Both
+        // vectors are immutable once the target is prepared, so no lock.
+        if (eng.parsimonious) {
+          const Node* tgt = nodes[i - 1];
+          thread_local SleepSet demands;
+          demands = tgt->sleep;
+          demands.insert(demands.end(), tgt->sigs.begin(), tgt->sigs.end());
+          std::sort(demands.begin(), demands.end());
+          prune_to_dependent_core(seq, demands);
+        }
+        if (eng.debug) {
+          std::fprintf(stderr, "race (%zu,%zu) at leaf d=%zu:\n", i, k, d);
+        }
+        if (insert_sequence(eng, me, nodes[i]->parent, seq)) {
+          eng.backtracks.fetch_add(1, std::memory_order_relaxed);
+        }
+      };
+
       const interp::Step& t_step = nodes[k]->in_step;
       const c11::EventId raced_event = static_cast<c11::EventId>(
           nodes[i]->config.exec.size() - 1);  // e_i is non-silent (dependent)
-      if (t_step.observed != c11::kNoEvent && t_step.observed == raced_event) {
-        v.push_back(make_wildcard_step(t_step));
-      } else {
-        v.push_back(make_wakeup_step(t_step, cids));
+      if (t_step.observed == c11::kNoEvent || t_step.observed != raced_event) {
+        v.push_back(WakeupStep{t_sig, t_step.loop_unfold, false});
+        do_insert(std::move(v));
+        continue;
       }
-      if (eng.parsimonious) prune_to_dependent_core(v);
 
-      if (eng.debug) {
-        std::fprintf(stderr, "race (%zu,%zu) at leaf d=%zu:\n", i, k, d);
+      // The racing step observed the raced event itself, so its exact
+      // signature does not exist in the reversed frame. Enumerate one
+      // *speculative* candidate per same-variable write present there:
+      // the writes of the prefix E_{<i} (initialising writes included)
+      // plus the writes v itself appends. For reads and RMWs the value
+      // read is re-targeted to the candidate write (an RMW's written
+      // value is computed before the read, so it stays); for writes the
+      // candidate is the mo insertion point. The candidate set is a
+      // superset of the instances actually enabled at the branch end —
+      // observability only restricts it — so unmatched candidates drop
+      // silently at execution time, while every instance the retired
+      // thread-wildcard would have run is covered by some candidate.
+      const c11::Execution& exec = n.config.exec;
+      if (!cids_ready) {
+        interp::canonical_event_ids(exec, cids);
+        cids_ready = true;
       }
-      if (insert_sequence(eng, me, nodes[i]->parent, v)) {
-        eng.backtracks.fetch_add(1, std::memory_order_relaxed);
-      }
+      // Own-write coherence filter: the racing thread's accesses always
+      // come sb-after its own writes present at the branch end (the
+      // target prefix plus v), and coherence forbids reading — or, for a
+      // write, being mo-inserted — behind an own write (fr/mo against sb
+      // u hb). A candidate mo-before one of those writes therefore never
+      // matches an instance anywhere below the target: inserting it only
+      // grows branches whose execution is guaranteed to die, so skip it
+      // here. mo between two existing events never changes (insertion is
+      // append-only), so the leaf execution's mo answers for every frame.
+      thread_local std::vector<c11::EventId> own_writes;
+      own_writes.clear();
+      const auto note_own_write = [&](c11::EventId ev) {
+        const c11::Event& oe = exec.event(ev);
+        if (oe.tid == t_sig.thread && oe.action.is_write() &&
+            oe.action.var == t_sig.var) {
+          own_writes.push_back(ev);
+        }
+      };
+      const auto add_candidate = [&](c11::EventId w) {
+        const c11::Action& wa = exec.event(w).action;
+        if (!wa.is_write() || wa.var != t_sig.var) return;
+        for (const c11::EventId ow : own_writes) {
+          if (exec.mo().contains(w, ow)) return;
+        }
+        StepSig cs = t_sig;
+        cs.observed = cids[w];
+        if (is_read_kind(cs.kind) || cs.kind == c11::ActionKind::kUpdRA) {
+          cs.rval = wa.wrval();
+        }
+        WakeupSequence seq = v;
+        seq.push_back(WakeupStep{cs, t_step.loop_unfold, true});
+        do_insert(std::move(seq));
+      };
+      const c11::EventId prefix_end =
+          static_cast<c11::EventId>(nodes[i - 1]->config.exec.size());
+      for (c11::EventId w = 0; w < prefix_end; ++w) note_own_write(w);
+      for (const c11::EventId w : v_events) note_own_write(w);
+      for (c11::EventId w = 0; w < prefix_end; ++w) add_candidate(w);
+      for (const c11::EventId w : v_events) add_candidate(w);
     }
   }
+}
+
+// --- Doomed-thread detection -------------------------------------------------
+//
+// A sleeping signature leaves a sleep set only when a dependent step
+// executes. With exploration keyed on reads-from choices, the classical
+// never-blocks argument for wakeup trees has a hole: a race reversal can
+// demand a class in which a previously executed sibling's *other
+// instance* (same command, different observed write) sleeps with no
+// dependent step anywhere in the class — on the source trace the sleeping
+// thread's continuation was excluded by happens-before, but the demanded
+// reads-from change removes exactly the chain that excluded it. Below
+// such a node every execution keeps the thread enabled-and-asleep
+// forever: no final state exists there, every path eventually dies in
+// the sleep filter, and the whole subtree re-explores classes the
+// sleeping instances' sibling subtrees already cover. The helpers below
+// detect this *doom* as soon as it is syntactically certain, so the
+// engine stops scheduling the subtree instead of running it into the
+// ground.
+
+/// True iff evaluating `e` may read shared variable `var` (conservative:
+/// every syntactically present operand counts, reachable or not).
+bool expr_may_read(const lang::ExprPtr& e, c11::VarId var) {
+  if (!e) return false;
+  if (e->kind == lang::ExprKind::kVar && e->var == var) return true;
+  return expr_may_read(e->lhs, var) || expr_may_read(e->rhs, var);
+}
+
+/// True iff some execution of command `c` may perform an access dependent
+/// with an access of `var`: when the stuck access is a read
+/// (`stuck_is_read`), only writes and updates conflict; otherwise every
+/// same-variable access does (mc/independence.hpp rules). Conservative:
+/// both if-branches and loop bodies count as reachable regardless of
+/// guard values.
+bool com_may_conflict(const lang::ComPtr& c, c11::VarId var,
+                      bool stuck_is_read) {
+  if (!c) return false;
+  switch (c->kind) {
+    case lang::ComKind::kSkip:
+      return false;
+    case lang::ComKind::kAssign:
+    case lang::ComKind::kSwap:
+      if (c->var == var) return true;
+      return !stuck_is_read && expr_may_read(c->expr, var);
+    case lang::ComKind::kRegAssign:
+      return !stuck_is_read && expr_may_read(c->expr, var);
+    case lang::ComKind::kSeq:
+      return com_may_conflict(c->c1, var, stuck_is_read) ||
+             com_may_conflict(c->c2, var, stuck_is_read);
+    case lang::ComKind::kIf:
+      return (!stuck_is_read && expr_may_read(c->expr, var)) ||
+             com_may_conflict(c->c1, var, stuck_is_read) ||
+             com_may_conflict(c->c2, var, stuck_is_read);
+    case lang::ComKind::kWhile:
+      return (!stuck_is_read && expr_may_read(c->expr, var)) ||
+             com_may_conflict(c->c1, var, stuck_is_read);
+    case lang::ComKind::kLabel:
+      return com_may_conflict(c->c1, var, stuck_is_read);
+  }
+  return true;  // future command kinds: assume conflicting
+}
+
+/// One permanently-stuck-thread candidate: all instances of one thread's
+/// command share variable and kind, so one (var, is-read) pair describes
+/// them.
+struct Stuck {
+  c11::ThreadId thread = 0;
+  c11::VarId var = 0;
+  bool is_read = false;
+  bool silent = false;
+};
+
+/// Fixpoint over the stuck/active partition: a stuck thread whose
+/// variable some active thread may still conflict on becomes active
+/// itself (a wakeup makes its whole remaining program reachable).
+/// Returns true iff a thread is left stuck at the fixpoint — stuck
+/// forever. A stuck *silent* step can never leave: silent steps are
+/// independent of everything, so nothing ever removes one from a sleep
+/// set. `config` supplies the active threads' remaining programs.
+bool stuck_forever(const interp::Config& config, std::vector<Stuck>& stuck,
+                   std::vector<c11::ThreadId>& active) {
+  if (stuck.empty()) return false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t j = 0; j < stuck.size(); ++j) {
+      const Stuck& s = stuck[j];
+      if (s.silent) continue;
+      bool wakeable = false;
+      for (const c11::ThreadId u : active) {
+        if (com_may_conflict(config.continuation(u), s.var, s.is_read)) {
+          wakeable = true;
+          break;
+        }
+      }
+      if (!wakeable) continue;
+      active.push_back(s.thread);
+      stuck.erase(stuck.begin() + static_cast<std::ptrdiff_t>(j));
+      --j;
+      changed = true;
+    }
+  }
+  return !stuck.empty();
+}
+
+Stuck stuck_of(const StepSig& s) {
+  return Stuck{s.thread, s.var, is_read_kind(s.kind), s.silent};
+}
+
+/// True iff some thread of `n` is *permanently stuck*: it has enabled
+/// instances, all of them asleep, and no thread that can still move —
+/// transitively, counting threads the movers may wake — can ever perform
+/// an access dependent with them.
+bool has_doomed_thread(const Node& n) {
+  thread_local std::vector<Stuck> stuck;
+  thread_local std::vector<c11::ThreadId> active;
+  stuck.clear();
+  active.clear();
+  for (std::size_t i = 0; i < n.sigs.size();) {
+    const c11::ThreadId t = n.sigs[i].thread;  // sigs sorted by thread
+    bool awake = false;
+    for (; i < n.sigs.size() && n.sigs[i].thread == t; ++i) {
+      if (!sleep_contains(n.sleep, n.sigs[i])) awake = true;
+    }
+    if (awake) {
+      active.push_back(t);
+    } else {
+      stuck.push_back(stuck_of(n.sigs[i - 1]));
+    }
+  }
+  return stuck_forever(n.config, stuck, active);
+}
+
+/// True iff the sibling class opened by executing instance `j` at `n`
+/// *now* would be doomed from its very first node: every other thread
+/// whose enabled instances are all independent of the instance and all
+/// already asleep or claimed at `n` (`claimed` — the executed-sibling
+/// registry snapshot; they arrive asleep in the child through the prefix)
+/// is permanently stuck by the may-conflict fixpoint. The instance's own
+/// thread is conservatively active with its pre-step continuation (a
+/// superset of the post-step one for wakeup purposes), so a false
+/// negative only delays the verdict to the child's own doom check.
+bool sibling_class_doomed(const Node& n, const std::vector<StepSig>& claimed,
+                          std::size_t j) {
+  const StepSig& sib = n.sigs[j];
+  thread_local std::vector<Stuck> stuck;
+  thread_local std::vector<c11::ThreadId> active;
+  stuck.clear();
+  active.clear();
+  for (std::size_t i = 0; i < n.sigs.size();) {
+    const c11::ThreadId t = n.sigs[i].thread;
+    bool arrives_awake = t == sib.thread;
+    for (; i < n.sigs.size() && n.sigs[i].thread == t; ++i) {
+      const StepSig& s = n.sigs[i];
+      if (arrives_awake) continue;
+      // Dependent instances refresh in the child (new observed-write
+      // choices appear awake); independent ones carry over with their
+      // asleep/claimed status.
+      if (!independent(s, sib) ||
+          (!sleep_contains(n.sleep, s) && !contains(claimed, s))) {
+        arrives_awake = true;
+      }
+    }
+    if (arrives_awake) {
+      active.push_back(t);
+    } else {
+      stuck.push_back(stuck_of(n.sigs[i - 1]));
+    }
+  }
+  return stuck_forever(n.config, stuck, active);
 }
 
 /// Executes one transition (step index `i`) of `self` into the
@@ -444,12 +700,10 @@ void leaf_race_reversals(Engine& eng, std::size_t me, const NodePtr& leaf) {
 /// running the race-reversal pass and scheduling the child: along its
 /// inherited wakeup subtree when non-empty, by free thread choice
 /// otherwise. `prefix` is the executed-sibling snapshot taken when the
-/// step was claimed. `sibling` marks a sibling data-instance expansion,
-/// which is eligible for the stateful sleep-store merge (Engine comment).
-/// Returns false when the search must stop.
+/// step was claimed. Returns false when the search must stop.
 bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
                   std::size_t i, NodePtr child, WakeupTree subtree,
-                  SleepSet prefix, bool sibling = false) {
+                  SleepSet prefix) {
   Node& n = *self;
   const bool pe = eng.options.pre_execution;
   const StepSig sig = n.sigs[i];
@@ -458,10 +712,11 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
   if (n.redundant) eng.redundant.fetch_add(1, std::memory_order_relaxed);
   if (eng.debug) {
     std::fprintf(stderr,
-                 "exec n=%p d=%u t%u k=%d var=%u obs=%d subtree=%zu\n",
-                 static_cast<void*>(&n), n.depth, sig.thread,
-                 static_cast<int>(sig.kind), sig.var,
-                 sig.silent ? -1 : static_cast<int>(sig.observed),
+                 "exec n=%p c=%p d=%u t%u k=%d var=%u obs=(%u,%d) subtree=%zu\n",
+                 static_cast<void*>(&n), static_cast<void*>(child.get()),
+                 n.depth, sig.thread, static_cast<int>(sig.kind), sig.var,
+                 sig.observed.thread,
+                 sig.silent ? -1 : static_cast<int>(sig.observed.index),
                  subtree.branch_count());
   }
 
@@ -487,7 +742,7 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
     view.silent = sig.silent;
     if (!sig.silent) {
       view.event = static_cast<c11::EventId>(child_config.exec.size() - 1);
-      view.observed = sig.observed;
+      view.observed = in_step.observed;  // frame tag (sig is canonical)
       view.action = child_config.exec.event(view.event).action;
     }
     view.loop_unfold = in_step.loop_unfold;
@@ -512,6 +767,9 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
 
   const InsertResult ins = eng.seen.insert(child->config.fingerprint());
   child->redundant = n.redundant || !ins.inserted;
+  if (child->config.terminated()) {
+    eng.complete_traces.fetch_add(1, std::memory_order_relaxed);
+  }
   if (ins.inserted) {
     const std::size_t states =
         eng.states.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -558,26 +816,10 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
   if (pruned > 0) {
     eng.por_pruned.fetch_add(pruned, std::memory_order_relaxed);
   }
-
-  {
-    // State-caching sleep store (see Engine::sleep_store): publish the
-    // context this configuration is explored with; merge an already-seen
-    // sibling instance whose stored context is no stronger than its own.
-    std::lock_guard lock(eng.sleep_store_mu);
-    auto [it, fresh] = eng.sleep_store.try_emplace(ins.id, child->sleep);
-    if (!fresh) {
-      if (sibling && is_subset(it->second, child->sleep)) {
-        return true;  // the earlier occurrence's subtree covers this one
-      }
-      // Re-explored with an incomparable context: keep the weakest seen
-      // so later merge checks stay sound (the stored set only shrinks).
-      // Merging is restricted to sibling data-instances: a prescribed
-      // reversal step carries demands that target THIS spine's ancestors;
-      // an earlier occurrence explored before those demands existed and
-      // will never re-detect them, so merging it away loses executions
-      // (the fuzz differential oracle catches exactly this).
-      it->second = intersection(it->second, child->sleep);
-    }
+  child->doomed = pruned > 0 && has_doomed_thread(*child);
+  if (child->doomed && eng.debug) {
+    std::fprintf(stderr, "DOOMED at depth %u:\n%s", child->depth,
+                 spine_trace(child.get()).to_string().c_str());
   }
 
   bool guided = false;
@@ -594,7 +836,7 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
       for (WakeupTree::NodeId b = child->wut.first_branch();
            b != WakeupTree::kNil; b = child->wut.node(b).next_sibling) {
         ++eng.worker_stats[me].enqueued;
-        push_item(eng, me, Item{child, b, child->wut.node(b).step.thread});
+        push_item(eng, me, Item{child, b, child->wut.node(b).step.sig.thread});
       }
     }
     child->ready = true;
@@ -618,6 +860,14 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
     if (eng.debug) {
       std::fprintf(stderr, "BLOCKED at depth %u:\n%s", child->depth,
                    spine_trace(child.get()).to_string().c_str());
+      for (const StepSig& s : child->sigs) {
+        std::fprintf(stderr,
+                     "  asleep: t%u silent=%d k=%d var=%u rv=%d wv=%d "
+                     "obs=(%u,%u)\n",
+                     s.thread, s.silent ? 1 : 0, static_cast<int>(s.kind),
+                     s.var, s.rval, s.wval, s.observed.thread,
+                     s.observed.index);
+      }
     }
   }
 
@@ -631,6 +881,16 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
     return true;
   }
 
+  if (child->doomed) {
+    // A thread sleeps on every one of its instances and nothing can ever
+    // wake it (see the doomed-thread block above): the subtree holds no
+    // final state and only re-explores classes covered by the sleeping
+    // instances' sibling subtrees. Stop here, keeping the prefix's
+    // race-reversal demands exactly as a blocked leaf would.
+    leaf_race_reversals(eng, me, child);
+    return true;
+  }
+
   const c11::ThreadId first = pick_first(*child);
   if (first != 0) {
     ++eng.worker_stats[me].enqueued;
@@ -639,12 +899,16 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
   return true;
 }
 
-/// The wakeup form of step i at n, for either semantics.
+/// The loop-unfold marker of step i at n, for either semantics.
+bool loop_unfold_at(const Engine& eng, const Node& n, std::size_t i) {
+  return eng.options.pre_execution ? n.pe_steps[i].loop_unfold
+                                   : n.steps[i].loop_unfold;
+}
+
+/// The wakeup form of step i at n: its (canonically named) signature plus
+/// the unfold marker. Never speculative — the step is enabled here.
 WakeupStep wakeup_step_at(const Engine& eng, const Node& n, std::size_t i) {
-  if (eng.options.pre_execution) {
-    return make_wakeup_step(n.pe_steps[i], n.config.exec);
-  }
-  return make_wakeup_step(n.steps[i], n.config.exec);
+  return WakeupStep{n.sigs[i], loop_unfold_at(eng, n, i), false};
 }
 
 /// Expands a free-scheduling item: runs every awake transition of the
@@ -678,7 +942,9 @@ void expand_free(Engine& eng, std::size_t me, const NodePtr& node,
 }
 
 /// Expands a wakeup-branch item: executes exactly the prescribed step and
-/// hands the branch's subtree to the child.
+/// hands the branch's subtree to the child. Steps are keyed on the full
+/// signature — reads-from choice included — so a branch prescribes one
+/// Mazurkiewicz class, not a thread.
 void expand_branch(Engine& eng, std::size_t me, const NodePtr& node,
                    WakeupTree::NodeId branch) {
   Node& n = *node;
@@ -686,33 +952,23 @@ void expand_branch(Engine& eng, std::size_t me, const NodePtr& node,
   SleepSet prefix;
   WakeupTree subtree;
   NodePtr child = acquire_node(eng);
-  NodePtr claimant;  ///< child that already owns the prescribed step
+  NodePtr claimant;  ///< child the branch's continuation re-targets into
+  /// Sequences to graft into `claimant` (i == kNoStep graft cases).
+  thread_local std::vector<WakeupSequence> paths;
+  paths.clear();
   {
     std::lock_guard lock(n.mu);
     if (n.wut.node(branch).taken) return;  // defensive double-schedule guard
     const WakeupStep bstep = n.wut.node(branch).step;
-    if (bstep.any_data) {
-      // Wildcard: run every enabled transition of the racing thread (the
-      // value/observed-write choices are the data nondeterminism the
-      // reversal must fully explore). Wildcards are always sequence
-      // tails, so there is no subtree to hand down — expand_free does
-      // exactly this, including the executed-prefix bookkeeping.
-      const c11::ThreadId q = bstep.thread;
-      (void)n.wut.take(branch);
-      if (has_awake_step(n, q)) {
-        push_item(eng, me, Item{node, WakeupTree::kNil, q});
-      }
-      return;
-    }
     i = eng.options.pre_execution
-            ? find_wakeup_step(bstep, n.config.exec, n.pe_steps)
-            : find_wakeup_step(bstep, n.config.exec, n.steps);
+            ? find_wakeup_step(bstep, n.sigs, n.pe_steps)
+            : find_wakeup_step(bstep, n.sigs, n.steps);
     if (i != kNoStep && contains(n.executed, n.sigs[i])) {
-      // A sibling item already claimed exactly this step (a wildcard
-      // branch runs every instance of its thread's command, so a
-      // concrete branch for one instance can find its step taken). The
-      // claiming execution owns the step's subtree; this branch's
-      // prescribed continuation, if any, is grafted into it below.
+      // A sibling item already claimed exactly this step (a speculative
+      // candidate and a free-scheduled or exact branch can name the same
+      // signature). The claiming execution owns the step's subtree; this
+      // branch's prescribed continuation, if any, is grafted into it
+      // below.
       for (std::size_t e = 0; e < n.executed.size(); ++e) {
         if (n.executed[e] == n.sigs[i]) {
           claimant = n.claimed[e].lock();
@@ -720,14 +976,27 @@ void expand_branch(Engine& eng, std::size_t me, const NodePtr& node,
         }
       }
       subtree = n.wut.take(branch);
+      subtree.collect_paths(paths);
       i = kNoStep;
     } else if (i == kNoStep) {
-      // The prescribed step does not exist here — cannot happen for a
-      // correctly inserted reversal. Fall back conservatively: drop the
-      // branch and schedule every thread with awake transitions,
-      // degrading this node to full local expansion (race detection
-      // below keeps coverage complete).
       (void)n.wut.take(branch);
+      if (bstep.speculative) {
+        // A race-reversal candidate whose observed write is not actually
+        // observable at this frame (shadowed by a newer same-variable
+        // write, or the speculated mo position is unavailable). The
+        // candidate set was a superset of the enabled instances by
+        // construction; the enabled ones were inserted alongside, so
+        // dropping this one loses nothing.
+        return;
+      }
+      // A non-speculative prescribed step does not exist here — cannot
+      // happen for a correctly inserted reversal of a direct race (the
+      // exact step's observed write is always present in the reversed
+      // frame; absence would imply an intermediate hb chain, making the
+      // race non-direct). Fall back conservatively: drop the branch and
+      // schedule every thread with awake transitions, degrading this
+      // node to full local expansion (race detection below keeps
+      // coverage complete).
       for (const c11::ThreadId q : n.enabled) {
         if (has_awake_step(n, q)) {
           push_item(eng, me, Item{node, WakeupTree::kNil, q});
@@ -735,74 +1004,57 @@ void expand_branch(Engine& eng, std::size_t me, const NodePtr& node,
       }
       return;
     } else {
+      subtree = n.wut.take(branch);
       prefix.assign(n.executed.begin(), n.executed.end());
       n.executed.push_back(n.sigs[i]);
       n.claimed.push_back(child.weak());
-      subtree = n.wut.take(branch);
     }
   }
 
   if (i == kNoStep) {
-    // Graft the orphaned continuation into the claimant's wakeup tree
-    // (as full sequences — insert rebuilds the sharing and schedules any
+    // Graft the branch's sequences into the claimant's wakeup tree (as
+    // full sequences — insert rebuilds the sharing and schedules any
     // fresh toplevel branch). An expired claimant finished exploring its
-    // whole subtree freely, which covers every maximal trace below the
-    // step — the guidance is moot.
-    if (claimant && !subtree.empty()) {
-      thread_local std::vector<WakeupSequence> paths;
-      subtree.collect_paths(paths);
+    // whole subtree freely, which covers every maximal trace below its
+    // step — the demand is moot there.
+    if (claimant) {
       for (const WakeupSequence& v : paths) {
         (void)insert_sequence(eng, me, claimant, v);
       }
     }
     return;
   }
-  // Scheduling is thread-granular, exactly as in the source-set engine:
-  // the prescribed step fixes the *order*, but the thread's other enabled
-  // instances (which write a read observes, where a write lands in mo)
-  // are sibling Mazurkiewicz classes that no race reversal will ever
-  // demand — they must branch here or be lost (the fuzz oracle catches
-  // exactly this on branching programs). Each sibling inherits the
-  // *dependent core* of the prescribed continuation: the dependence
-  // chains into the reversed racing steps are just as valid after the
-  // altered data choice (canonical ids keep them resolvable) and steer
-  // the sibling out of the sleep filter's way, while the independent
-  // remainder is left free so a covered sibling is not force-marched
-  // through a whole redundant execution.
   const c11::ThreadId thread = n.sigs[i].thread;
-  WakeupTree guidance;
-  {
-    thread_local std::vector<WakeupSequence> paths;
-    subtree.collect_paths(paths);
-    for (WakeupSequence v : paths) {
-      prune_to_dependent_core(v);
-      if (!v.empty()) (void)guidance.insert(v, nullptr);
-    }
-  }
   if (!execute_step(eng, me, node, i, std::move(child), std::move(subtree),
                     std::move(prefix))) {
     return;
   }
+  // The prescribed step is one data instance of its thread's command; the
+  // other enabled instances (different observed write / mo position) are
+  // sibling Mazurkiewicz classes that a *shadowed* race (raced write
+  // hb-covered by a newer one) never re-demands — they must branch here
+  // or be lost (the fuzz oracle catches exactly this on branching
+  // programs). Each is inserted as a single-step wakeup sequence:
+  // insertion-time subsumption drops the ones already covered by taken
+  // branches or the sleep filter, and race reversal below the survivors
+  // re-detects whatever continuations they need. A doomed node opens no
+  // new classes (every sibling instance leads to the same continuations
+  // with the same permanently stuck sleepers), and neither does a class
+  // that would arrive doomed given the siblings claimed by now — both
+  // hold no final state below.
+  if (n.doomed) return;
+  thread_local std::vector<StepSig> claimed_now;
+  {
+    std::lock_guard lock(n.mu);
+    claimed_now = n.executed;
+  }
   for (std::size_t j = 0; j < n.sigs.size(); ++j) {
-    if (n.sigs[j].thread != thread) continue;
+    if (n.sigs[j].thread != thread || j == i) continue;
     if (eng.stop.load(std::memory_order_acquire)) return;
-    const StepSig& sib = n.sigs[j];
-    if (sleep_contains(n.sleep, sib)) continue;
-    SleepSet sib_prefix;
-    NodePtr sib_child = acquire_node(eng);
-    {
-      std::lock_guard lock(n.mu);
-      if (contains(n.executed, sib)) continue;  // incl. the prescribed step
-      sib_prefix.assign(n.executed.begin(), n.executed.end());
-      n.executed.push_back(sib);
-      n.claimed.push_back(sib_child.weak());
-      n.wut.add_executed(wakeup_step_at(eng, n, j));
-    }
-    if (!execute_step(eng, me, node, j, std::move(sib_child),
-                      WakeupTree(guidance), std::move(sib_prefix),
-                      /*sibling=*/true)) {
-      return;
-    }
+    if (sleep_contains(n.sleep, n.sigs[j])) continue;
+    if (sibling_class_doomed(n, claimed_now, j)) continue;
+    const WakeupSequence sib{wakeup_step_at(eng, n, j)};
+    (void)insert_sequence(eng, me, node, sib);
   }
 }
 
@@ -859,6 +1111,7 @@ ExploreResult explore_optimal(const interp::Config& start,
     res.stats.por_pruned = eng.por_pruned.load();
     res.stats.backtracks = eng.backtracks.load();
     res.stats.sleep_blocked = eng.sleep_blocked.load();
+    res.stats.complete_traces = eng.complete_traces.load();
     res.stats.redundant_transitions = eng.redundant.load();
     res.stats.truncated = eng.truncated.load();
     res.stats.peak_seen_bytes = eng.seen.bytes();
@@ -881,6 +1134,7 @@ ExploreResult explore_optimal(const interp::Config& start,
   }
   if (root->config.terminated()) {
     eng.finals.store(1);
+    eng.complete_traces.store(1);
     if (visitor.on_final && !visitor.on_final(root->config)) {
       return finish(/*root_aborted=*/true);
     }

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <functional>
 #include <mutex>
@@ -22,8 +23,14 @@ namespace rc11::mc {
 namespace {
 
 struct WorkItem {
-  interp::Config config;
   StateId id = kNoState;
+  /// Step indices root -> this state. Items carry the path instead of a
+  /// materialized Config: the owning worker usually pops its own children
+  /// while its cursor still sits on the parent (one apply_step), and only
+  /// a genuine deque steal — or a pop after the cursor wandered into a
+  /// different subtree — replays the unshared suffix. This removes the
+  /// per-transition Config copy from the expansion hot path.
+  std::vector<std::uint32_t> path;
   SleepSet sleep;        ///< kSleepSets mode only
   bool revisit = false;  ///< re-expansion after a sleep-set intersection
 };
@@ -39,6 +46,7 @@ struct ParallelRun {
 
   ExploreOptions options;
   bool por_sleep;
+  const lang::Program* program = nullptr;  ///< set by run_parallel
   AdaptiveSeenSet seen;
   util::WorkDeques<WorkItem> deques;
   std::vector<WorkerStats> worker_stats;
@@ -93,22 +101,60 @@ void push_local(ParallelRun& run, std::size_t me, WorkItem item) {
   run.deques.push_local(me, std::move(item));
 }
 
+/// Per-worker exploration cursor: one Config stepped in place along `path`,
+/// with one undo token per level so backtracking never re-derives a prefix.
+struct Cursor {
+  interp::Config config;
+  std::vector<std::uint32_t> path;
+  std::vector<interp::StepUndo> undos;
+};
+
+/// Moves `cur` to the state `item` denotes: undo back to the longest common
+/// prefix of the two paths, then replay the item's suffix. Deterministic
+/// step enumeration guarantees the recorded indices select the same
+/// transitions the pushing worker took (the property reconstruct_trace
+/// already relies on). Local LIFO pops hit the one-level fast case; a steal
+/// replays from the root the first time and shares prefixes afterwards.
+void position(ParallelRun& run, Cursor& cur, const WorkItem& item) {
+  std::size_t k = 0;
+  while (k < cur.path.size() && k < item.path.size() &&
+         cur.path[k] == item.path[k]) {
+    ++k;
+  }
+  while (cur.path.size() > k) {
+    interp::undo_step(cur.config, cur.undos.back());
+    cur.undos.pop_back();
+    cur.path.pop_back();
+  }
+  thread_local std::vector<interp::Step> steps;
+  for (std::size_t d = k; d < item.path.size(); ++d) {
+    interp::enumerate_steps(cur.config, run.options.step, steps);
+    const std::uint32_t i = item.path[d];
+    assert(i < steps.size());
+    cur.undos.emplace_back();
+    (void)interp::apply_step(cur.config, steps[i], run.options.step,
+                             cur.undos.back());
+    cur.path.push_back(i);
+  }
+}
+
 /// Expands one configuration: callbacks, then dedup-insert every successor
 /// (recording its parent edge) and push the fresh ones locally. In sleep
 /// mode, transitions slept on are pruned and each pushed item carries its
 /// successor sleep set.
 ///
-/// The hot path steps the item's configuration *in place* (apply_step /
-/// undo_step): a successor is applied, fingerprinted, and undone unless it
-/// is fresh — in which case the one Config copy of this transition is taken
-/// for the deque push (the frontier handoff point; the copy carries the
-/// warm incremental cache, so the stealing worker re-enumerates without
-/// rebuilding closures). Visitors observing transitions (on_transition
-/// materializes a ConfigStep per edge) fall back to the copying oracle
-/// path.
-void process(ParallelRun& run, std::size_t me, WorkItem item) {
+/// The hot path steps the worker's cursor configuration *in place*
+/// (apply_step / undo_step): a successor is applied, fingerprinted, and
+/// undone; fresh states are pushed as path items (parent path + step
+/// index) with no Config attached, so the handoff itself copies nothing.
+/// The popping worker re-derives the state via position() — one apply in
+/// the LIFO common case, a suffix replay after an actual deque steal.
+/// Visitors observing transitions (on_transition materializes a ConfigStep
+/// per edge) fall back to the copying oracle path.
+void process(ParallelRun& run, std::size_t me, Cursor& cur, WorkItem item) {
   WorkerStats& ws = run.worker_stats[me];
   ++ws.processed;
+  position(run, cur, item);
   if (!item.revisit) {
     if (run.states.fetch_add(1, std::memory_order_relaxed) >=
         run.options.max_states) {
@@ -116,31 +162,40 @@ void process(ParallelRun& run, std::size_t me, WorkItem item) {
       run.stop.store(true);
       return;
     }
-    if (run.on_state && !run.on_state(item.config)) {
+    if (run.on_state && !run.on_state(cur.config)) {
       run.record_hit(item.id);
       return;
     }
-    if (item.config.terminated()) {
+    if (cur.config.terminated()) {
       run.finals.fetch_add(1, std::memory_order_relaxed);
-      if (run.on_final && !run.on_final(item.config)) {
+      if (run.on_final && !run.on_final(cur.config)) {
         run.record_hit(item.id);
         return;
       }
     }
   }
 
+  // Child items extend this item's path by one step index.
+  const auto child_item = [&](StateId id, std::size_t step_index) {
+    WorkItem w;
+    w.id = id;
+    w.path = item.path;
+    w.path.push_back(static_cast<std::uint32_t>(step_index));
+    return w;
+  };
+
   if (run.on_transition) {
     // Materialized fallback: the callback observes ConfigStep.next.
-    auto steps = interp::successors(item.config, run.options.step);
+    auto steps = interp::successors(cur.config, run.options.step);
     std::vector<StepSig> sigs;
-    if (run.por_sleep) sigs_of(steps, sigs);
+    if (run.por_sleep) sigs_of(steps, cur.config.exec, sigs);
     for (std::size_t i = 0; i < steps.size(); ++i) {
       if (run.por_sleep && sleep_contains(item.sleep, sigs[i])) {
         run.por_pruned.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       run.transitions.fetch_add(1, std::memory_order_relaxed);
-      if (!run.on_transition(item.config, steps[i])) {
+      if (!run.on_transition(cur.config, steps[i])) {
         run.record_hit(item.id, static_cast<std::int64_t>(i));
         return;
       }
@@ -154,7 +209,7 @@ void process(ParallelRun& run, std::size_t me, WorkItem item) {
           continue;
         }
         ++ws.enqueued;
-        push_local(run, me, WorkItem{std::move(steps[i].next), ins.id});
+        push_local(run, me, child_item(ins.id, i));
         continue;
       }
       SleepSet succ_sleep = successor_sleep(item.sleep, sigs, i);
@@ -166,8 +221,9 @@ void process(ParallelRun& run, std::size_t me, WorkItem item) {
       if (ins.inserted) {
         run.sleep_store[shard][ins.id] = succ_sleep;
         ++ws.enqueued;
-        push_local(run, me, WorkItem{std::move(steps[i].next), ins.id,
-                                     std::move(succ_sleep)});
+        WorkItem w = child_item(ins.id, i);
+        w.sleep = std::move(succ_sleep);
+        push_local(run, me, std::move(w));
         continue;
       }
       SleepSet& stored = run.sleep_store[shard][ins.id];
@@ -178,8 +234,10 @@ void process(ParallelRun& run, std::size_t me, WorkItem item) {
       }
       stored = intersection(stored, succ_sleep);
       ++ws.enqueued;
-      push_local(run, me, WorkItem{std::move(steps[i].next), ins.id, stored,
-                                   /*revisit=*/true});
+      WorkItem w = child_item(ins.id, i);
+      w.sleep = stored;
+      w.revisit = true;
+      push_local(run, me, std::move(w));
     }
     return;
   }
@@ -188,17 +246,17 @@ void process(ParallelRun& run, std::size_t me, WorkItem item) {
   thread_local std::vector<interp::Step> steps;
   thread_local std::vector<StepSig> sigs;
   thread_local interp::StepUndo undo;
-  interp::enumerate_steps(item.config, run.options.step, steps);
+  interp::enumerate_steps(cur.config, run.options.step, steps);
   sigs.clear();
-  if (run.por_sleep) sigs_of(steps, sigs);
+  if (run.por_sleep) sigs_of(steps, cur.config.exec, sigs);
   for (std::size_t i = 0; i < steps.size(); ++i) {
     if (run.por_sleep && sleep_contains(item.sleep, sigs[i])) {
       run.por_pruned.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     run.transitions.fetch_add(1, std::memory_order_relaxed);
-    (void)interp::apply_step(item.config, steps[i], run.options.step, undo);
-    const util::Fingerprint fp = item.config.fingerprint();
+    (void)interp::apply_step(cur.config, steps[i], run.options.step, undo);
+    const util::Fingerprint fp = cur.config.fingerprint();
     if (!run.por_sleep) {
       const InsertResult ins =
           run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
@@ -207,9 +265,9 @@ void process(ParallelRun& run, std::size_t me, WorkItem item) {
         ++ws.merged;
       } else {
         ++ws.enqueued;
-        push_local(run, me, WorkItem{item.config, ins.id});
+        push_local(run, me, child_item(ins.id, i));
       }
-      interp::undo_step(item.config, undo);
+      interp::undo_step(cur.config, undo);
       continue;
     }
     SleepSet succ_sleep = successor_sleep(item.sleep, sigs, i);
@@ -222,8 +280,9 @@ void process(ParallelRun& run, std::size_t me, WorkItem item) {
       if (ins.inserted) {
         run.sleep_store[shard][ins.id] = succ_sleep;
         ++ws.enqueued;
-        push_local(run, me,
-                   WorkItem{item.config, ins.id, std::move(succ_sleep)});
+        WorkItem w = child_item(ins.id, i);
+        w.sleep = std::move(succ_sleep);
+        push_local(run, me, std::move(w));
       } else {
         SleepSet& stored = run.sleep_store[shard][ins.id];
         if (is_subset(stored, succ_sleep)) {
@@ -235,18 +294,21 @@ void process(ParallelRun& run, std::size_t me, WorkItem item) {
           // shrinks on every re-expansion, so the run terminates.
           stored = intersection(stored, succ_sleep);
           ++ws.enqueued;
-          push_local(run, me,
-                     WorkItem{item.config, ins.id, stored, /*revisit=*/true});
+          WorkItem w = child_item(ins.id, i);
+          w.sleep = stored;
+          w.revisit = true;
+          push_local(run, me, std::move(w));
         }
       }
     }
-    interp::undo_step(item.config, undo);
+    interp::undo_step(cur.config, undo);
   }
 }
 
 void worker_loop(ParallelRun& run, std::size_t me) {
   constexpr int kYieldRounds = 64;
   int idle_rounds = 0;
+  Cursor cur{interp::initial_config(*run.program)};
   while (true) {
     if (run.stop.load(std::memory_order_acquire)) return;
     std::optional<WorkItem> item = run.deques.pop_local(me);
@@ -266,13 +328,14 @@ void worker_loop(ParallelRun& run, std::size_t me) {
       continue;
     }
     idle_rounds = 0;
-    process(run, me, *std::move(item));
+    process(run, me, cur, *std::move(item));
     run.pending.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
 
 ExploreStats run_parallel(const lang::Program& program, ParallelRun& run) {
   const std::size_t workers = run.deques.worker_count();
+  run.program = &program;
   interp::Config start = interp::initial_config(program);
   const util::Fingerprint root_fp = start.fingerprint();
   const InsertResult root = run.seen.insert(root_fp);
@@ -281,7 +344,7 @@ ExploreStats run_parallel(const lang::Program& program, ParallelRun& run) {
         root_fp.shard_bits() & (ParallelRun::kSleepShards - 1);
     run.sleep_store[shard][root.id] = {};
   }
-  push_local(run, 0, WorkItem{std::move(start), root.id});
+  push_local(run, 0, WorkItem{root.id});
 
   {
     util::ThreadPool pool(workers);

@@ -14,6 +14,7 @@ std::string ExploreStats::to_string() const {
   if (por_pruned > 0) os << " por_pruned=" << por_pruned;
   if (backtracks > 0) os << " backtracks=" << backtracks;
   if (sleep_blocked > 0) os << " sleep_blocked=" << sleep_blocked;
+  if (complete_traces > 0) os << " complete_traces=" << complete_traces;
   if (redundant_transitions > 0) {
     os << " redundant_transitions=" << redundant_transitions;
   }

@@ -59,6 +59,16 @@ struct ExploreStats {
   /// engines; the optimal wakeup-tree modes keep it at zero by
   /// construction (tests/test_dpor.cpp asserts this on the catalogue).
   std::size_t sleep_blocked = 0;
+  /// Maximal traces the tree-shaped DPOR engines ran to completion
+  /// (terminated leaves; duplicate final *states* included — this counts
+  /// explored interleavings, not unique outcomes like `finals`). The
+  /// optimality theorem speaks in this currency: the wakeup-tree modes
+  /// complete at most one trace per Mazurkiewicz class, so their count
+  /// never exceeds stateless source-set DPOR's on the same program. Raw
+  /// `transitions` obeys no such bound — two optimal runs covering the
+  /// same classes can differ in how their representatives share
+  /// prefixes. Zero under the deduplicating graph explorers.
+  std::size_t complete_traces = 0;
   /// Transitions executed from a configuration that — itself or via an
   /// ancestor on its spine — had already been visited when reached: the
   /// re-explored shared suffixes of the tree-shaped DPOR engines. The

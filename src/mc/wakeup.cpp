@@ -4,132 +4,30 @@
 
 namespace rc11::mc {
 
-namespace {
-
-template <typename S>
-WakeupStep make_wakeup_step_impl(const S& s, const c11::Execution& exec) {
-  WakeupStep w;
-  w.thread = s.thread;
-  w.silent = s.silent;
-  w.loop_unfold = s.loop_unfold;
-  if (!s.silent) {
-    w.action = s.action;
-    if (s.observed != c11::kNoEvent) {
-      w.has_observed = true;
-      w.observed = interp::canonical_event_id(exec, s.observed);
-    }
-  }
-  return w;
-}
-
-template <typename S>
-bool matches_step(const WakeupStep& w, const S& s, c11::EventId observed) {
-  if (s.thread != w.thread || s.silent != w.silent ||
-      s.loop_unfold != w.loop_unfold) {
-    return false;
-  }
-  if (w.silent) return true;
-  return s.action.kind == w.action.kind && s.action.var == w.action.var &&
-         s.action.rval == w.action.rval && s.action.wval == w.action.wval &&
-         s.observed == observed;
-}
-
-template <typename S>
-std::size_t find_wakeup_step_impl(const WakeupStep& w,
-                                  const c11::Execution& exec,
-                                  const std::vector<S>& steps) {
-  if (w.any_data) return kNoStep;  // wildcards expand whole threads
-  c11::EventId observed = c11::kNoEvent;
-  if (w.has_observed) {
-    observed = interp::resolve_canonical_event(exec, w.observed);
-    if (observed == c11::kNoEvent) return kNoStep;
-  }
-  for (std::size_t i = 0; i < steps.size(); ++i) {
-    if (matches_step(w, steps[i], observed)) return i;
-  }
-  return kNoStep;
-}
-
-}  // namespace
-
-WakeupStep make_wakeup_step(const interp::Step& s,
-                            const c11::Execution& exec) {
-  return make_wakeup_step_impl(s, exec);
-}
-
-WakeupStep make_wakeup_step(
-    const interp::Step& s,
-    const std::vector<interp::CanonicalEventId>& cids) {
-  WakeupStep w;
-  w.thread = s.thread;
-  w.silent = s.silent;
-  w.loop_unfold = s.loop_unfold;
-  if (!s.silent) {
-    w.action = s.action;
-    if (s.observed != c11::kNoEvent) {
-      w.has_observed = true;
-      w.observed = cids[s.observed];
-    }
-  }
-  return w;
-}
-
-WakeupStep make_wakeup_step(const interp::ConfigStep& s,
-                            const c11::Execution& exec) {
-  return make_wakeup_step_impl(s, exec);
-}
-
-WakeupStep make_wildcard_step(const interp::Step& s) {
-  WakeupStep w;
-  w.thread = s.thread;
-  w.silent = s.silent;
-  w.loop_unfold = s.loop_unfold;
-  w.any_data = true;
-  if (!s.silent) {
-    w.action.kind = s.action.kind;
-    w.action.var = s.action.var;
-  }
-  return w;
-}
-
-std::optional<StepSig> resolve_sig(const WakeupStep& w,
-                                   const c11::Execution& exec) {
-  if (w.any_data) return std::nullopt;  // no single concrete signature
-  StepSig sig = w.base_sig();
-  if (w.has_observed) {
-    const c11::EventId observed =
-        interp::resolve_canonical_event(exec, w.observed);
-    if (observed == c11::kNoEvent) return std::nullopt;
-    sig.observed = observed;
-  }
-  return sig;
-}
-
-std::size_t find_wakeup_step(const WakeupStep& w, const c11::Execution& exec,
-                             const std::vector<interp::Step>& steps) {
-  return find_wakeup_step_impl(w, exec, steps);
-}
-
-std::size_t find_wakeup_step(const WakeupStep& w, const c11::Execution& exec,
-                             const std::vector<interp::ConfigStep>& steps) {
-  return find_wakeup_step_impl(w, exec, steps);
-}
-
 void weak_initials(const WakeupSequence& v, std::vector<std::size_t>& out) {
   weak_initial_indices(
-      v.size(), [&](std::size_t j) { return v[j].base_sig(); }, out);
+      v.size(), [&](std::size_t j) -> const StepSig& { return v[j].sig; },
+      out);
 }
 
-void prune_to_dependent_core(WakeupSequence& v) {
+void prune_to_dependent_core(WakeupSequence& v, const SleepSet& demands) {
   if (v.size() < 2) return;
-  // core[j] <=> v[j] has a dependence path (within v) to the final step.
-  // Backward induction: the path's intermediate steps are marked before
-  // their predecessors are examined. Dependence predecessors of core
-  // steps are themselves core (p dep j, j -> t gives p -> j -> t), so the
-  // pruned sequence keeps every step needed for executability.
+  // core[j] <=> v[j] has a dependence path (within v) to a *seed*: the
+  // final step t, or a step whose signature is asleep at the insertion
+  // target (a demand — see header). Backward induction: the path's
+  // intermediate steps are marked before their predecessors are
+  // examined. Dependence predecessors of core steps are themselves core
+  // (p dep j, j -> s gives p -> j -> s), so the pruned sequence keeps
+  // every step needed for executability.
   std::vector<char> core(v.size(), 0);
   core.back() = 1;
+  if (!demands.empty()) {
+    for (std::size_t j = 0; j + 1 < v.size(); ++j) {
+      if (sleep_contains(demands, v[j].sig)) core[j] = 1;
+    }
+  }
   for (std::size_t j = v.size() - 1; j-- > 0;) {
+    if (core[j] != 0) continue;
     for (std::size_t k = j + 1; k < v.size(); ++k) {
       if (core[k] != 0 && dependent(v[j], v[k])) {
         core[j] = 1;
@@ -142,6 +40,11 @@ void prune_to_dependent_core(WakeupSequence& v) {
     if (core[j] != 0) v[out++] = std::move(v[j]);
   }
   v.resize(out);
+}
+
+void prune_to_dependent_core(WakeupSequence& v) {
+  static const SleepSet kNoDemands;
+  prune_to_dependent_core(v, kNoDemands);
 }
 
 WakeupTree::NodeId WakeupTree::alloc(const WakeupStep& s) {
@@ -198,14 +101,13 @@ WakeupTree::Insert WakeupTree::insert(const WakeupSequence& v,
 
   // The occurrence of `step` in `r` that is a weak initial, or kNoStep.
   // Equal steps share a thread (hence are mutually dependent), so only
-  // the first equal occurrence can be a weak initial. Wildcards match
-  // only wildcards: letting a wildcard child swallow a concrete-instance
-  // sequence would drop the sequence's *continuation* guidance (coverage
-  // would survive via recursive reversal, but the freed exploration
-  // wanders and re-blocks — measurably worse on IRIW-shaped programs);
-  // the overlap between a wildcard branch and a concrete sibling is
-  // resolved at execution time instead, by retiring a leaf branch whose
-  // exact step a sibling already claimed.
+  // the first equal occurrence can be a weak initial. Equality is on the
+  // full signature (observed write included, canonically named), so two
+  // instances of one thread's command reading from different writes are
+  // distinct steps and never subsume each other — the overlap between a
+  // speculative candidate and an executed exact step of the same
+  // signature is instead resolved at execution time, by grafting a
+  // branch's continuation into the child that already claimed its step.
   const auto weak_initial_match = [](const WakeupSequence& r,
                                      const WakeupStep& step) -> std::size_t {
     for (std::size_t j = 0; j < r.size(); ++j) {

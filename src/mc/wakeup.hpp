@@ -15,12 +15,16 @@
 // the sleep filter: this is what removes the sleep-set-blocked redundancy
 // of stateless source-set DPOR.
 //
-// Steps are frame-independent: a step's observed write is named by its
-// *canonical* event id (thread, sb-position — interp::CanonicalEventId),
-// which is invariant under reordering of independent steps, so a sequence
+// A wakeup step *is* a step signature (mc/independence.hpp StepSig) plus
+// scheduling metadata. Signatures name their observed write by canonical
+// event id (thread, sb-position — interp::CanonicalEventId), which is
+// invariant under reordering of independent steps, so a sequence
 // extracted from one explored trace resolves against any
-// Mazurkiewicz-equivalent prefix (the tags themselves shift when the
-// raced step e is removed from the schedule).
+// Mazurkiewicz-equivalent prefix by plain signature equality — no
+// per-frame tag translation. Exploration is thereby keyed on *reads-from
+// choices*: two instances of one thread's command observing different
+// writes are distinct wakeup steps, distinct branches, distinct
+// equivalence classes.
 //
 // Invariants (documented in src/mc/README.md, exercised by
 // tests/test_wakeup.cpp):
@@ -42,7 +46,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "interp/config.hpp"
@@ -50,44 +53,34 @@
 
 namespace rc11::mc {
 
-/// One step of a wakeup sequence, with the observed write named
-/// canonically (frame-independent; see file comment).
+/// One step of a wakeup sequence (see file comment).
 ///
 /// The final element of a reversal sequence is the racing step itself.
 /// When that step observed the raced event e directly (read from it, or
-/// inserted into mo right after it), no exact step can replay once e is
-/// scheduled away — the datum it observed does not exist yet in the
-/// reversed frame. Such a step is inserted as a *wildcard* (`any_data`):
-/// the racing thread's command with the kind and variable fixed but the
-/// value / observed-write choice free, executed as "every enabled
-/// transition of the thread" (the wakeup analogue of the classic
-/// algorithm appending the racing *process* rather than a step).
+/// inserted into mo right after it), its exact signature cannot replay
+/// once e is scheduled away — the datum it observed does not exist in the
+/// reversed frame. Race reversal then enumerates one *speculative*
+/// candidate per same-variable write present in that frame: the thread's
+/// command with the observed write (and, for reads/RMWs, the value read)
+/// re-targeted per candidate. The candidate set is a superset of the
+/// instances actually enabled there (observability only restricts it), so
+/// candidates that turn out unobservable are dropped silently at
+/// execution time — `speculative` marks exactly the steps allowed to do
+/// that.
 struct WakeupStep {
-  c11::ThreadId thread = 0;
-  bool silent = true;
+  StepSig sig{};
   bool loop_unfold = false;
-  bool any_data = false;  ///< wildcard; only ever the last element
-  c11::Action action{};   ///< zeroed for silent steps; values zeroed for
-                          ///< wildcards
-  bool has_observed = false;
-  interp::CanonicalEventId observed{};
+  /// Race-reversal candidate whose enabledness was not established by an
+  /// explored trace; dropped (not conservatively expanded) when absent at
+  /// the target frame.
+  bool speculative = false;
 
-  [[nodiscard]] bool operator==(const WakeupStep&) const = default;
-
-  /// Signature for independence queries only (observed is left at
-  /// kNoEvent, which the relation never looks at; a wildcard's kind/var
-  /// make it conflict with exactly what any of its instances would).
-  [[nodiscard]] StepSig base_sig() const {
-    StepSig sig;
-    sig.thread = thread;
-    sig.silent = silent;
-    if (!silent) {
-      sig.kind = action.kind;
-      sig.var = action.var;
-      sig.rval = action.rval;
-      sig.wval = action.wval;
-    }
-    return sig;
+  /// Identity is the Mazurkiewicz step: signature + loop-unfold marker.
+  /// `speculative` is execution advice, not identity — a speculative
+  /// candidate and an executed exact step of equal signature are the same
+  /// step for subsumption.
+  [[nodiscard]] bool operator==(const WakeupStep& o) const {
+    return sig == o.sig && loop_unfold == o.loop_unfold;
   }
 };
 
@@ -95,53 +88,28 @@ using WakeupSequence = std::vector<WakeupStep>;
 
 [[nodiscard]] inline bool independent(const WakeupStep& a,
                                       const WakeupStep& b) {
-  return independent(a.base_sig(), b.base_sig());
+  return independent(a.sig, b.sig);
 }
 
 [[nodiscard]] inline bool dependent(const WakeupStep& a, const WakeupStep& b) {
   return !independent(a, b);
 }
 
-/// Builds the frame-independent form of an executed/enumerable step.
-/// `exec` must contain the step's observed event (any configuration at or
-/// after the step's source frame works — tags are append-only).
-[[nodiscard]] WakeupStep make_wakeup_step(const interp::Step& s,
-                                          const c11::Execution& exec);
-
-/// As above with the frame's canonical ids precomputed
-/// (interp::canonical_event_ids) — the per-maximal-execution race
-/// reversal builds many steps of one frame.
-[[nodiscard]] WakeupStep make_wakeup_step(
-    const interp::Step& s, const std::vector<interp::CanonicalEventId>& cids);
-
-/// Same for the pre-execution semantics' materialized steps.
-[[nodiscard]] WakeupStep make_wakeup_step(const interp::ConfigStep& s,
-                                          const c11::Execution& exec);
-
-/// The wildcard form of `s` (see WakeupStep::any_data): thread, kind and
-/// variable are kept, values and the observed write are freed.
-[[nodiscard]] WakeupStep make_wildcard_step(const interp::Step& s);
-
-/// The signature `w` would carry among `exec`'s enumerated transitions
-/// (observed resolved to this frame's tag), or nullopt when the observed
-/// event does not exist here yet — in which case no transition of this
-/// frame can match `w`.
-[[nodiscard]] std::optional<StepSig> resolve_sig(const WakeupStep& w,
-                                                 const c11::Execution& exec);
-
 inline constexpr std::size_t kNoStep = static_cast<std::size_t>(-1);
 
 /// Index into `steps` of the transition matching `w` at a frame whose
-/// execution is `exec`, or kNoStep. Matches thread, silence, loop_unfold,
-/// action and the resolved observed event.
-[[nodiscard]] std::size_t find_wakeup_step(
-    const WakeupStep& w, const c11::Execution& exec,
-    const std::vector<interp::Step>& steps);
-
-/// Pre-execution variant.
-[[nodiscard]] std::size_t find_wakeup_step(
-    const WakeupStep& w, const c11::Execution& exec,
-    const std::vector<interp::ConfigStep>& steps);
+/// signatures are `sigs` (parallel to `steps`), or kNoStep. Signatures
+/// carry canonical observed ids, so this is plain equality — no execution
+/// needed.
+template <typename S>
+[[nodiscard]] std::size_t find_wakeup_step(const WakeupStep& w,
+                                           const std::vector<StepSig>& sigs,
+                                           const std::vector<S>& steps) {
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    if (sigs[i] == w.sig && steps[i].loop_unfold == w.loop_unfold) return i;
+  }
+  return kNoStep;
+}
 
 /// Indices of the weak initials WI(v): steps with no dependent
 /// predecessor in v. Every weak initial is its thread's first step in v.
@@ -154,6 +122,25 @@ void weak_initials(const WakeupSequence& v, std::vector<std::size_t>& out);
 /// core, so the pruned sequence stays executable, and its first step is a
 /// weak initial of the full v.
 void prune_to_dependent_core(WakeupSequence& v);
+
+/// Demand re-targeting variant: additionally keeps any step whose
+/// signature can be asleep below the insertion target (`demands` — the
+/// target node's sleep set plus all its enabled instances; the guided
+/// part of a branch never expands siblings, so nothing else ever enters
+/// the sleep sets along it), plus the dependence closure into those
+/// steps. A sleeping signature occurring in v stays asleep below the
+/// target until the branch's execution consumes it; dropping its
+/// occurrence as "independent of t" leaves it permanently asleep along
+/// the branch, and when the program's residual enabled steps are exactly
+/// those, the execution dies sleep-blocked — the parsimonious residue the
+/// full (unpruned) sequence never exhibits. Re-demanding those
+/// occurrences restores the full sequence's behaviour exactly where the
+/// sleep filter can see the difference, and nowhere else. Because every
+/// per-thread subsequence of v starts at that thread's instance at the
+/// target frame, the demand set also pins the first step v takes on any
+/// thread that could sleep there — the step whose execution advances the
+/// thread past its sleeping instance.
+void prune_to_dependent_core(WakeupSequence& v, const SleepSet& demands);
 
 /// The ordered tree (see file comment). Not thread-safe: callers guard it
 /// with the owning exploration node's mutex.
@@ -229,8 +216,9 @@ class WakeupTree {
   WakeupTree take(NodeId branch);
 
   /// All root-to-leaf paths, as plain sequences — used to graft an
-  /// orphaned branch's continuation into another node's tree. `out` is
-  /// cleared first.
+  /// orphaned branch's continuation into another node's tree (demand
+  /// re-targeting: insert rebuilds the sharing in the claimant's tree and
+  /// schedules any fresh toplevel branch). `out` is cleared first.
   void collect_paths(std::vector<WakeupSequence>& out) const;
 
   /// Keeps the node storage (capacity reuse for pooled exploration

@@ -483,6 +483,176 @@ TEST(DporReduction, IndependentWritersCollapseToOneTraceClass) {
   }
 }
 
+// --- RMW-nondeterminism family ------------------------------------------------
+//
+// Programs whose nondeterminism flows through RMW *data* values rather
+// than thread schedules alone: bounded test-and-set lock-acquisition
+// loops, an emulated fetch-add race (acquire read + swap of read+1), and
+// locations with >= 3 RMW writers. PR 5's thread-deterministic optimality
+// argument did not cover these — exploration keyed on reads-from choices
+// must never start a sleep-doomed execution here either, and all twelve
+// mode x parallelism combinations must agree on verdict, outcome set, and
+// final-state fingerprints.
+
+constexpr int kRmwLoopBound = 2;  ///< bounds the TAS retry loops
+
+constexpr const char* kRmwFamily[] = {
+    R"(litmus rmw_tas_lock
+var l = 0
+var c = 0
+thread 1 { r := l.swap(1); while (r != 0) { r := l.swap(1); } c := 1; l :=R 0; }
+thread 2 { r := l.swap(1); while (r != 0) { r := l.swap(1); } c := 2; l :=R 0; }
+thread 3 { r := l.swap(1); while (r != 0) { r := l.swap(1); } c := 3; l :=R 0; }
+exists (c == 1)
+)",
+    R"(litmus rmw_fadd_race
+var x = 0
+thread 1 { r := x@A; x.swap(r + 1); }
+thread 2 { r := x@A; x.swap(r + 1); }
+thread 3 { r := x@A; x.swap(r + 1); }
+exists (x == 3)
+)",
+    R"(litmus rmw_three_swappers
+var x = 0
+thread 1 { r := x.swap(1); s := x@A; }
+thread 2 { r := x.swap(2); s := x@A; }
+thread 3 { r := x.swap(3); s := x@A; }
+exists (1:r == 3 && x == 1)
+)",
+    R"(litmus rmw_swap_chain
+var x = 0
+var y = 0
+thread 1 { r := x.swap(1); y := r + 1; }
+thread 2 { s := y.swap(2); x := s; }
+thread 3 { t := x.swap(3); u := y.swap(4); }
+exists (x == 0 && y == 2)
+)",
+};
+
+ExploreOptions rmw_seq_options(PorMode por) {
+  ExploreOptions o = seq_options(por);
+  o.step.loop_bound = kRmwLoopBound;
+  return o;
+}
+
+ParallelOptions rmw_par_options(PorMode por) {
+  ParallelOptions o = par_options(por);
+  o.explore.step.loop_bound = kRmwLoopBound;
+  return o;
+}
+
+TEST(RmwNondeterminism, AllModesAgreeOnVerdictOutcomesAndFinals) {
+  for (const char* source : kRmwFamily) {
+    const auto parsed = lang::parse_litmus(source);
+    const auto& p = parsed.program;
+    const bool expect_verdict =
+        check_reachable(p, parsed.condition, rmw_seq_options(PorMode::kNone))
+            .reachable;
+    const auto expect_finals =
+        collect_final_executions(p, rmw_seq_options(PorMode::kNone));
+    const auto expect_outcomes =
+        enumerate_outcomes(p, rmw_seq_options(PorMode::kNone)).outcomes;
+    ASSERT_FALSE(expect_finals.empty()) << parsed.name;
+    for (const Mode& m : kModes) {
+      if (m.parallel) {
+        EXPECT_EQ(
+            check_reachable_parallel(p, parsed.condition, rmw_par_options(m.por))
+                .reachable,
+            expect_verdict)
+            << parsed.name << " under " << m.name;
+        EXPECT_EQ(collect_final_executions_parallel(p, rmw_par_options(m.por)),
+                  expect_finals)
+            << parsed.name << " under " << m.name;
+        EXPECT_EQ(enumerate_outcomes_parallel(p, rmw_par_options(m.por)).outcomes,
+                  expect_outcomes)
+            << parsed.name << " under " << m.name;
+      } else {
+        EXPECT_EQ(
+            check_reachable(p, parsed.condition, rmw_seq_options(m.por))
+                .reachable,
+            expect_verdict)
+            << parsed.name << " under " << m.name;
+        EXPECT_EQ(collect_final_executions(p, rmw_seq_options(m.por)),
+                  expect_finals)
+            << parsed.name << " under " << m.name;
+        EXPECT_EQ(enumerate_outcomes(p, rmw_seq_options(m.por)).outcomes,
+                  expect_outcomes)
+            << parsed.name << " under " << m.name;
+      }
+    }
+  }
+}
+
+TEST(RmwNondeterminism, ZeroSleepBlockedForOptimalModes) {
+  // The tentpole acceptance bar on the RMW family: no execution ever
+  // starts only to die in the sleep filter — sequentially and in
+  // parallel, for both optimal flavours.
+  for (const char* source : kRmwFamily) {
+    const auto parsed = lang::parse_litmus(source);
+    for (PorMode por : {PorMode::kOptimal, PorMode::kOptimalParsimonious}) {
+      const auto seq = explore(parsed.program, rmw_seq_options(por), {});
+      EXPECT_EQ(seq.stats.sleep_blocked, 0u)
+          << parsed.name << " under sequential " << por_mode_name(por);
+      const auto par =
+          enumerate_outcomes_parallel(parsed.program, rmw_par_options(por));
+      EXPECT_EQ(par.stats.sleep_blocked, 0u)
+          << parsed.name << " under parallel " << por_mode_name(por);
+    }
+  }
+}
+
+TEST(RmwNondeterminism, ParallelSiblingMergeKeepsAllExecutions) {
+  // Regression pin for the first-writer-wins sleep_store.try_emplace merge
+  // the optimal engine's parallel path used to carry: when two workers
+  // reached the same shared node, the later sibling's (smaller) pruning
+  // context was silently dropped, which showed up as sleep-blocked
+  // restarts — 20 sequential / 26 parallel on rmw_tas_lock under the
+  // parsimonious flavour — and, for prescribed wakeup subtrees, lost
+  // executions. With exploration keyed on reads-from choices the store is
+  // gone; repeated parallel runs (work-stealing varies the arrival order)
+  // must stay at zero sleep_blocked with the full final-state set.
+  const auto parsed = lang::parse_litmus(kRmwFamily[0]);  // rmw_tas_lock
+  const auto expect =
+      collect_final_executions(parsed.program, rmw_seq_options(PorMode::kNone));
+  for (int round = 0; round < 4; ++round) {
+    for (PorMode por : {PorMode::kOptimal, PorMode::kOptimalParsimonious}) {
+      const auto stats =
+          enumerate_outcomes_parallel(parsed.program, rmw_par_options(por))
+              .stats;
+      EXPECT_EQ(stats.sleep_blocked, 0u)
+          << "round " << round << " under " << por_mode_name(por);
+      EXPECT_EQ(
+          collect_final_executions_parallel(parsed.program, rmw_par_options(por)),
+          expect)
+          << "round " << round << " under " << por_mode_name(por);
+    }
+    // The non-optimal parallel explorer still carries a per-state sleep
+    // store; its intersect-and-revisit merge (never first-writer-wins)
+    // must keep the same final set on the same workload.
+    EXPECT_EQ(collect_final_executions_parallel(
+                  parsed.program, rmw_par_options(PorMode::kSleepSets)),
+              expect)
+        << "round " << round << " under sleep sets";
+  }
+}
+
+TEST(RmwNondeterminism, OptimalTransitionsStayBelowSourceSets) {
+  // On the whole family the wakeup-tree engines visit strictly fewer
+  // transitions than stateless source-set DPOR (8490 vs 15748 on the TAS
+  // lock at loop_bound 2) — the reads-from keying pays for itself exactly
+  // where RMW data nondeterminism used to force sleep-blocked restarts.
+  for (const char* source : kRmwFamily) {
+    const auto parsed = lang::parse_litmus(source);
+    const auto src =
+        explore(parsed.program, rmw_seq_options(PorMode::kSourceSets), {});
+    for (PorMode por : {PorMode::kOptimal, PorMode::kOptimalParsimonious}) {
+      const auto opt = explore(parsed.program, rmw_seq_options(por), {});
+      EXPECT_LE(opt.stats.transitions, src.stats.transitions)
+          << parsed.name << " under " << por_mode_name(por);
+    }
+  }
+}
+
 TEST(DporReduction, ConflictingWritersStillCoverAllFinals) {
   // Same-variable writers conflict pairwise: DPOR must backtrack into
   // every order (3! mo outcomes of the writes are all distinct).

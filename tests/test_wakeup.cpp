@@ -1,9 +1,9 @@
 // Unit tests of the wakeup-tree subsystem (mc/wakeup.hpp): canonical
-// event identity, frame-independent step resolution, weak initials,
-// parsimonious dependent-core pruning, and the ordered-tree insertion /
-// subsumption / take invariants documented in src/mc/README.md. The
-// engine-level guarantees (optimality, oracle agreement) live in
-// tests/test_dpor.cpp.
+// event identity, signature-based step resolution (reads-from keying),
+// weak initials, parsimonious dependent-core pruning, and the
+// ordered-tree insertion / subsumption / take invariants documented in
+// src/mc/README.md. The engine-level guarantees (optimality, oracle
+// agreement) live in tests/test_dpor.cpp.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,18 +17,23 @@ namespace {
 // --- Step helpers -------------------------------------------------------------
 
 WakeupStep mem(c11::ThreadId t, c11::ActionKind kind, c11::VarId var,
-               c11::Value rval = 0, c11::Value wval = 0) {
+               c11::Value rval = 0, c11::Value wval = 0,
+               interp::CanonicalEventId observed = kNoCanonicalObserved) {
   WakeupStep w;
-  w.thread = t;
-  w.silent = false;
-  w.action = {kind, var, rval, wval};
+  w.sig.thread = t;
+  w.sig.silent = false;
+  w.sig.kind = kind;
+  w.sig.var = var;
+  w.sig.rval = rval;
+  w.sig.wval = wval;
+  w.sig.observed = observed;
   return w;
 }
 
 WakeupStep silent(c11::ThreadId t) {
   WakeupStep w;
-  w.thread = t;
-  w.silent = true;
+  w.sig.thread = t;
+  w.sig.silent = true;
   return w;
 }
 
@@ -90,6 +95,16 @@ TEST(CanonicalEvents, RoundTripAndFrameIndependence) {
   EXPECT_NE(w1, w2);  // tags shift with the interleaving...
   EXPECT_EQ(interp::canonical_event_id(c1.exec, w1),
             interp::canonical_event_id(c2.exec, w2));  // ...canonical ids don't
+
+  // The bulk enumeration agrees with the per-event scan, per frame.
+  for (const interp::Config* c : {&c1, &c2}) {
+    std::vector<interp::CanonicalEventId> cids;
+    interp::canonical_event_ids(c->exec, cids);
+    ASSERT_EQ(cids.size(), static_cast<std::size_t>(c->exec.size()));
+    for (c11::EventId e = 0; e < c->exec.size(); ++e) {
+      EXPECT_EQ(cids[e], interp::canonical_event_id(c->exec, e));
+    }
+  }
 }
 
 TEST(CanonicalEvents, UnreplayedEventResolvesToNoEvent) {
@@ -100,6 +115,19 @@ TEST(CanonicalEvents, UnreplayedEventResolvesToNoEvent) {
   const interp::Config c = interp::initial_config(p);
   // Thread 1's first event does not exist in the initial frame.
   EXPECT_EQ(interp::resolve_canonical_event(c.exec, {1, 0}), c11::kNoEvent);
+}
+
+TEST(CanonicalEvents, SentinelIsNoRealEvent) {
+  // The "no observed write" sentinel must never equal a real canonical
+  // id — in particular not {0, 0}, the initialising write of variable 0.
+  lang::ProgramBuilder b;
+  auto x = b.var("x", 0);
+  b.thread({lang::assign(x, 1)});
+  const lang::Program p = std::move(b).build();
+  const interp::Config c = interp::initial_config(p);
+  for (c11::EventId e = 0; e < c.exec.size(); ++e) {
+    EXPECT_NE(interp::canonical_event_id(c.exec, e), kNoCanonicalObserved);
+  }
 }
 
 // --- Weak initials and the dependent core -------------------------------------
@@ -125,10 +153,10 @@ TEST(WakeupSequences, DependentCorePruning) {
                       mem(3, c11::ActionKind::kWrX, 0)};
   prune_to_dependent_core(v);
   ASSERT_EQ(v.size(), 3u);
-  EXPECT_EQ(v[0].thread, 1u);
-  EXPECT_EQ(v[1].thread, 3u);
-  EXPECT_TRUE(v[1].silent);
-  EXPECT_EQ(v[2].thread, 3u);
+  EXPECT_EQ(v[0].sig.thread, 1u);
+  EXPECT_EQ(v[1].sig.thread, 3u);
+  EXPECT_TRUE(v[1].sig.silent);
+  EXPECT_EQ(v[2].sig.thread, 3u);
 }
 
 TEST(WakeupSequences, CorePredecessorsStayExecutable) {
@@ -140,9 +168,9 @@ TEST(WakeupSequences, CorePredecessorsStayExecutable) {
                       mem(3, c11::ActionKind::kWrX, 0)};  // t
   prune_to_dependent_core(v);
   ASSERT_EQ(v.size(), 3u);  // a and b kept (a->b->?): b rd x conflicts t wr x
-  EXPECT_EQ(v[0].thread, 1u);
-  EXPECT_EQ(v[1].thread, 2u);
-  EXPECT_EQ(v[2].thread, 3u);
+  EXPECT_EQ(v[0].sig.thread, 1u);
+  EXPECT_EQ(v[1].sig.thread, 2u);
+  EXPECT_EQ(v[2].sig.thread, 3u);
 }
 
 // --- Tree insertion / subsumption ---------------------------------------------
@@ -154,7 +182,7 @@ TEST(WakeupTreeInsert, NewBranchThenExactSubsume) {
   WakeupTree::NodeId branch = WakeupTree::kNil;
   EXPECT_EQ(tree.insert(v, &branch), WakeupTree::Insert::kNewBranch);
   ASSERT_NE(branch, WakeupTree::kNil);
-  EXPECT_EQ(tree.node(branch).step.thread, 1u);
+  EXPECT_EQ(tree.node(branch).step.sig.thread, 1u);
   EXPECT_EQ(tree.node_count(), 2u);
 
   // Same sequence again: covered by the existing branch, nothing added.
@@ -190,8 +218,8 @@ TEST(WakeupTreeInsert, ConflictingOrdersBothKept) {
   ASSERT_EQ(tree.branch_count(), 2u);
   const WakeupTree::NodeId b1 = tree.first_branch();
   const WakeupTree::NodeId b2 = tree.node(b1).next_sibling;
-  EXPECT_EQ(tree.node(b1).step.thread, 1u);  // insertion order kept
-  EXPECT_EQ(tree.node(b2).step.thread, 2u);
+  EXPECT_EQ(tree.node(b1).step.sig.thread, 1u);  // insertion order kept
+  EXPECT_EQ(tree.node(b2).step.sig.thread, 2u);
   EXPECT_EQ(tree.node_count(), 4u);
 }
 
@@ -243,26 +271,73 @@ TEST(WakeupTreeInsert, ExecutedStepSubsumes) {
   EXPECT_EQ(tree.insert(v2, nullptr), WakeupTree::Insert::kNewBranch);
 }
 
-TEST(WakeupTreeInsert, WildcardAndConcreteInstanceStayDistinctBranches) {
-  // A wildcard branch and a concrete-instance sequence of the same
-  // command do NOT subsume each other at insertion: the concrete
-  // sequence may carry continuation guidance the wildcard lacks, and one
-  // instance never covers the command's other data choices. The overlap
-  // is resolved at execution time (a leaf branch whose exact step a
-  // sibling already claimed is retired without exploring anything).
+// --- Reads-from keying --------------------------------------------------------
+
+TEST(WakeupTreeInsert, ObservedWriteInstancesAreDistinctBranches) {
+  // Two instances of one thread's read observing different writes are
+  // different Mazurkiewicz classes: neither subsumes the other, both
+  // branches coexist.
   WakeupTree tree;
-  WakeupStep wild = mem(1, c11::ActionKind::kRdX, 0);
-  wild.any_data = true;
-  EXPECT_EQ(tree.insert({wild}, nullptr), WakeupTree::Insert::kNewBranch);
-  WakeupStep concrete = mem(1, c11::ActionKind::kRdX, 0, /*rval=*/1);
-  concrete.has_observed = true;
-  concrete.observed = {0, 0};
-  EXPECT_EQ(tree.insert({concrete}, nullptr),
-            WakeupTree::Insert::kNewBranch);
+  const WakeupStep r0 =
+      mem(1, c11::ActionKind::kRdX, 0, /*rval=*/0, 0, {0, 0});
+  const WakeupStep r1 =
+      mem(1, c11::ActionKind::kRdX, 0, /*rval=*/1, 0, {2, 0});
+  EXPECT_EQ(tree.insert({r0}, nullptr), WakeupTree::Insert::kNewBranch);
+  EXPECT_EQ(tree.insert({r1}, nullptr), WakeupTree::Insert::kNewBranch);
   EXPECT_EQ(tree.branch_count(), 2u);
-  // Wildcards do subsume equal wildcards.
-  EXPECT_EQ(tree.insert({wild}, nullptr), WakeupTree::Insert::kSubsumed);
+  // Each instance does subsume an equal re-insertion of itself.
+  EXPECT_EQ(tree.insert({r0}, nullptr), WakeupTree::Insert::kSubsumed);
+  EXPECT_EQ(tree.insert({r1}, nullptr), WakeupTree::Insert::kSubsumed);
 }
+
+TEST(WakeupTreeInsert, SpeculativeFlagIsNotIdentity) {
+  // `speculative` is execution advice: a speculative candidate and an
+  // executed exact step of equal signature are the same wakeup step for
+  // subsumption, in both directions.
+  WakeupStep exact = mem(1, c11::ActionKind::kRdX, 0, /*rval=*/1, 0, {2, 0});
+  WakeupStep spec = exact;
+  spec.speculative = true;
+  EXPECT_TRUE(exact == spec);
+
+  WakeupTree tree;
+  (void)tree.add_executed(exact);
+  EXPECT_EQ(tree.insert({spec}, nullptr), WakeupTree::Insert::kSubsumed);
+
+  WakeupTree tree2;
+  EXPECT_EQ(tree2.insert({spec}, nullptr), WakeupTree::Insert::kNewBranch);
+  EXPECT_EQ(tree2.insert({exact}, nullptr), WakeupTree::Insert::kSubsumed);
+}
+
+TEST(WakeupSteps, FindWakeupStepMatchesOnObservedWrite) {
+  // find_wakeup_step resolves by full-signature equality against the
+  // frame's signature vector — reads-from choice included — so the right
+  // instance is selected and an absent (speculative) instance reports
+  // kNoStep.
+  struct FakeStep {
+    bool loop_unfold = false;
+  };
+  const std::vector<StepSig> sigs = {
+      mem(1, c11::ActionKind::kRdX, 0, 0, 0, {0, 0}).sig,
+      mem(1, c11::ActionKind::kRdX, 0, 1, 0, {2, 0}).sig,
+      mem(2, c11::ActionKind::kWrX, 0, 0, 1).sig,
+  };
+  const std::vector<FakeStep> steps(sigs.size());
+
+  const WakeupStep w1 = mem(1, c11::ActionKind::kRdX, 0, 1, 0, {2, 0});
+  EXPECT_EQ(find_wakeup_step(w1, sigs, steps), 1u);
+
+  WakeupStep unobservable = mem(1, c11::ActionKind::kRdX, 0, 2, 0, {2, 1});
+  unobservable.speculative = true;
+  EXPECT_EQ(find_wakeup_step(unobservable, sigs, steps), kNoStep);
+
+  // The unfold marker participates: a loop-unfolding instance of an
+  // otherwise-equal signature is a different step.
+  WakeupStep unfolding = w1;
+  unfolding.loop_unfold = true;
+  EXPECT_EQ(find_wakeup_step(unfolding, sigs, steps), kNoStep);
+}
+
+// --- Take / detach and demand re-targeting ------------------------------------
 
 TEST(WakeupTreeTake, DetachesSubtreeAndLeavesTakenMarker) {
   WakeupTree tree;
@@ -273,7 +348,7 @@ TEST(WakeupTreeTake, DetachesSubtreeAndLeavesTakenMarker) {
 
   const WakeupTree subtree = tree.take(branch);
   ASSERT_EQ(subtree.branch_count(), 1u);
-  EXPECT_EQ(subtree.node(subtree.first_branch()).step.thread, 2u);
+  EXPECT_EQ(subtree.node(subtree.first_branch()).step.sig.thread, 2u);
   EXPECT_TRUE(tree.node(branch).taken);
   EXPECT_EQ(tree.node(branch).first_child, WakeupTree::kNil);
 
@@ -282,6 +357,47 @@ TEST(WakeupTreeTake, DetachesSubtreeAndLeavesTakenMarker) {
   const WakeupSequence v2 = {mem(1, c11::ActionKind::kWrX, 0),
                              mem(3, c11::ActionKind::kWrX, 0)};
   EXPECT_EQ(tree.insert(v2, nullptr), WakeupTree::Insert::kSubsumed);
+}
+
+TEST(WakeupTreeTake, CollectPathsGraftsOrphanedContinuation) {
+  // Demand re-targeting: when a branch's first step was already claimed
+  // by a sibling execution, the branch's subtree is collected as full
+  // sequences and re-inserted into the claimant's tree. collect_paths
+  // must enumerate every root-to-leaf path of the detached subtree, and
+  // insert must rebuild the sharing there.
+  WakeupTree tree;
+  const WakeupStep head = mem(1, c11::ActionKind::kWrX, 0);
+  const WakeupSequence v1 = {head, mem(2, c11::ActionKind::kWrX, 0),
+                             mem(3, c11::ActionKind::kWrX, 0)};
+  const WakeupSequence v2 = {head, mem(3, c11::ActionKind::kWrX, 0),
+                             mem(2, c11::ActionKind::kWrX, 0)};
+  WakeupTree::NodeId branch = WakeupTree::kNil;
+  EXPECT_EQ(tree.insert(v1, &branch), WakeupTree::Insert::kNewBranch);
+  EXPECT_EQ(tree.insert(v2, nullptr), WakeupTree::Insert::kExtended);
+
+  // The head step is "claimed elsewhere": detach its continuation.
+  const WakeupTree subtree = tree.take(branch);
+  std::vector<WakeupSequence> paths;
+  subtree.collect_paths(paths);
+  ASSERT_EQ(paths.size(), 2u);
+  ASSERT_EQ(paths[0].size(), 2u);
+  EXPECT_EQ(paths[0][0].sig.thread, 2u);
+  EXPECT_EQ(paths[0][1].sig.thread, 3u);
+  ASSERT_EQ(paths[1].size(), 2u);
+  EXPECT_EQ(paths[1][0].sig.thread, 3u);
+  EXPECT_EQ(paths[1][1].sig.thread, 2u);
+
+  // Re-insert into the claimant's (fresh) tree: the two conflicting
+  // orders stay distinct branches there.
+  WakeupTree claimant;
+  for (const WakeupSequence& p : paths) {
+    EXPECT_EQ(claimant.insert(p, nullptr), WakeupTree::Insert::kNewBranch);
+  }
+  EXPECT_EQ(claimant.branch_count(), 2u);
+  // A duplicate graft (a second orphaned branch carrying the same
+  // demand) is subsumed, not duplicated.
+  EXPECT_EQ(claimant.insert(paths[0], nullptr),
+            WakeupTree::Insert::kSubsumed);
 }
 
 }  // namespace

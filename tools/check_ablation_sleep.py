@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Gate: optimal modes report sleep_blocked == 0 in the ablation JSON.
+
+Reads a google-benchmark JSON produced by
+`bench_mc_scaling --benchmark_filter=por_litmus_catalog` and fails when any
+optimal-mode series (label "optimal" / "optimal-parsimonious") reports a
+nonzero sleep_blocked counter — the wakeup-tree engine keyed on reads-from
+choices must never start an execution the sleep filter kills, on any
+catalogue program. Missing optimal series also fail: a filter typo must
+not pass the gate vacuously.
+
+Usage: check_ablation_sleep.py build/por_ablation.json
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <por_ablation.json>", file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+
+    checked = []
+    bad = []
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        label = b.get("label", "")
+        if "optimal" not in label:
+            continue
+        blocked = b.get("sleep_blocked")
+        checked.append(label)
+        if blocked != 0:
+            bad.append(f"{b.get('name', '?')} ({label}): "
+                       f"sleep_blocked={blocked}")
+
+    if not checked:
+        print("error: no optimal-mode series in ablation JSON "
+              "(wrong file or benchmark filter?)", file=sys.stderr)
+        return 2
+    if bad:
+        print("sleep_blocked gate FAILED:", file=sys.stderr)
+        for line in bad:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"sleep_blocked == 0 for optimal modes: {', '.join(checked)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,18 +47,29 @@ def parse_gate(spec):
 
 
 def check(current, baseline, gates, threshold, lower_threshold, out=sys.stdout):
-    """Returns (compared, failures) over all gates and benchmarks."""
+    """Returns (compared, failures, skipped) over all gates and benchmarks.
+
+    A series present on only one side (baseline entry gone from the current
+    run, or a freshly added benchmark the baseline has never seen) is
+    *skipped*, not failed: new bench modes and counters land before the
+    baseline refresh does. The caller decides whether skips are fatal
+    (--strict).
+    """
     failures = []
+    skipped = []
     compared = 0
     for spec in gates:
         metric, lower = parse_gate(spec)
         limit = lower_threshold if lower else threshold
+        for name in sorted(current):
+            if name not in baseline and metric in current[name]:
+                skipped.append(f"{name}: {metric} has no baseline entry")
         for name, base_metrics in sorted(baseline.items()):
             if metric not in base_metrics:
                 continue
             cur_metrics = current.get(name)
             if cur_metrics is None or metric not in cur_metrics:
-                failures.append(f"{name}: {metric} missing from current results")
+                skipped.append(f"{name}: {metric} missing from current results")
                 continue
             base = base_metrics[metric]
             cur = cur_metrics[metric]
@@ -79,7 +90,7 @@ def check(current, baseline, gates, threshold, lower_threshold, out=sys.stdout):
                         f"({ratio:.2f}x, limit {1.0 - limit:.2f}x)")
             print(f"{status:>10}  {name}.{metric}: {cur:,.0f} vs {base:,.0f} "
                   f"({ratio:.2f}x)", file=out)
-    return compared, failures
+    return compared, failures, skipped
 
 
 def self_test() -> int:
@@ -107,22 +118,37 @@ def self_test() -> int:
             "bench/2": {"states_per_sec": 100000.0, "peak_seen_bytes": 50000.0},
             "bench/3": {"states_per_sec": 200000.0, "peak_seen_bytes": 40000.0},
         }, 0),
+        # A baseline series gone from the current run is a warn-and-skip,
+        # never an implicit failure (fatal only under --strict).
         ("missing-benchmark", {
             "bench/2": {"states_per_sec": 100000.0, "peak_seen_bytes": 1000000.0},
-        }, 2),  # missing from both gates
+        }, 0, 2),  # skipped by both gates
+        # A freshly added series without a baseline entry must not fail
+        # the gate before the baseline refresh lands.
+        ("new-series-no-baseline", {
+            "bench/2": {"states_per_sec": 100000.0, "peak_seen_bytes": 1000000.0},
+            "bench/3": {"states_per_sec": 200000.0, "peak_seen_bytes": 2000000.0},
+            "bench/new-mode/4": {"states_per_sec": 300000.0,
+                                 "peak_seen_bytes": 900000.0},
+        }, 0, 2),  # skipped by both gates
     ]
     ok = True
     sink = tempfile.TemporaryFile(mode="w+")
-    for name, current, expect in cases:
-        compared, failures = check(current, baseline, DEFAULT_GATES,
-                                   threshold=0.30, lower_threshold=0.10,
-                                   out=sink)
+    for name, current, expect, *rest in cases:
+        expect_skipped = rest[0] if rest else 0
+        compared, failures, skipped = check(current, baseline, DEFAULT_GATES,
+                                            threshold=0.30,
+                                            lower_threshold=0.10,
+                                            out=sink)
         got = len(failures)
-        status = "ok" if got == expect else "FAIL"
-        if got != expect:
+        got_skipped = len(skipped)
+        status = "ok" if (got, got_skipped) == (expect, expect_skipped) \
+            else "FAIL"
+        if status == "FAIL":
             ok = False
         print(f"self-test {status}: {name} "
-              f"(compared={compared}, failures={got}, expected={expect})")
+              f"(compared={compared}, failures={got}, expected={expect}, "
+              f"skipped={got_skipped}, expected_skipped={expect_skipped})")
     if not ok:
         print("self-test FAILED", file=sys.stderr)
         return 1
@@ -144,6 +170,9 @@ def main() -> int:
     ap.add_argument("--lower-threshold", type=float, default=0.10,
                     help="maximum tolerated relative growth for "
                          "lower-is-better gates (0.10 = 10%%)")
+    ap.add_argument("--strict", action="store_true",
+                    help="treat series without a matching baseline/current "
+                         "entry as failures instead of warn-and-skip")
     ap.add_argument("--self-test", action="store_true",
                     help="run the built-in fixture check and exit")
     args = ap.parse_args()
@@ -159,10 +188,14 @@ def main() -> int:
         baseline = json.load(f)["benchmarks"]
 
     gates = args.gate if args.gate else DEFAULT_GATES
-    compared, failures = check(current, baseline, gates, args.threshold,
-                               args.lower_threshold)
+    compared, failures, skipped = check(current, baseline, gates,
+                                        args.threshold, args.lower_threshold)
 
-    if compared == 0:
+    for s in skipped:
+        print(f"warning: skipped {s}", file=sys.stderr)
+    if args.strict and skipped:
+        failures = failures + [f"(strict) {s}" for s in skipped]
+    if compared == 0 and not skipped:
         print("error: no gated benchmarks in common", file=sys.stderr)
         return 2
     if failures:
@@ -170,7 +203,8 @@ def main() -> int:
         for f_ in failures:
             print(f"  {f_}", file=sys.stderr)
         return 1
-    print(f"\nBench regression gate passed ({compared} comparisons).")
+    print(f"\nBench regression gate passed ({compared} comparisons, "
+          f"{len(skipped)} skipped).")
     return 0
 
 
