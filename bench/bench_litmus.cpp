@@ -18,6 +18,8 @@ void run_litmus(benchmark::State& state, const litmus::Test& test,
   std::size_t states = 0;
   std::size_t transitions = 0;
   std::size_t outcomes = 0;
+  std::size_t reused = 0;
+  std::size_t recomputed = 0;
   bool pass = true;
   for (auto _ : state) {
     const mc::ReachabilityResult r =
@@ -27,12 +29,17 @@ void run_litmus(benchmark::State& state, const litmus::Test& test,
     states = o.stats.states;
     transitions = o.stats.transitions;
     outcomes = o.outcomes.size();
+    reused = o.stats.enum_threads_reused;
+    recomputed = o.stats.enum_threads_recomputed;
     pass = r.reachable ==
            (test.expected == litmus::Expectation::kAllowed);
   }
   state.counters["states"] = static_cast<double>(states);
   state.counters["transitions"] = static_cast<double>(transitions);
   state.counters["outcomes"] = static_cast<double>(outcomes);
+  state.counters["enum_threads_reused"] = static_cast<double>(reused);
+  state.counters["enum_threads_recomputed"] =
+      static_cast<double>(recomputed);
   state.counters["pass"] = pass ? 1 : 0;
 }
 

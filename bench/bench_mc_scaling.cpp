@@ -128,9 +128,10 @@ void por_litmus_catalog(benchmark::State& state) {
   mc::ExploreOptions opts;
   opts.por = kPorModes[mode];
   std::size_t states = 0, transitions = 0, pruned = 0, backtracks = 0;
-  std::size_t blocked = 0, redundant = 0;
+  std::size_t blocked = 0, redundant = 0, reused = 0, recomputed = 0;
   for (auto _ : state) {
     states = transitions = pruned = backtracks = blocked = redundant = 0;
+    reused = recomputed = 0;
     for (const auto& test : litmus::catalog()) {
       const auto parsed = lang::parse_litmus(test.source);
       const mc::ExploreResult r = mc::explore(parsed.program, opts, {});
@@ -140,6 +141,8 @@ void por_litmus_catalog(benchmark::State& state) {
       backtracks += r.stats.backtracks;
       blocked += r.stats.sleep_blocked;
       redundant += r.stats.redundant_transitions;
+      reused += r.stats.enum_threads_reused;
+      recomputed += r.stats.enum_threads_recomputed;
     }
   }
   state.SetLabel(mc::por_mode_name(opts.por));
@@ -149,6 +152,9 @@ void por_litmus_catalog(benchmark::State& state) {
   state.counters["backtracks"] = static_cast<double>(backtracks);
   state.counters["sleep_blocked"] = static_cast<double>(blocked);
   state.counters["redundant_transitions"] = static_cast<double>(redundant);
+  state.counters["enum_threads_reused"] = static_cast<double>(reused);
+  state.counters["enum_threads_recomputed"] =
+      static_cast<double>(recomputed);
 }
 BENCHMARK(por_litmus_catalog)->DenseRange(0, 5)->Unit(
     benchmark::kMillisecond);
@@ -170,19 +176,25 @@ void litmus_catalog_throughput(benchmark::State& state) {
   mc::ExploreOptions opts;
   opts.por = kPorModes[mode];
   std::size_t states = 0, transitions = 0, peak = 0;
+  std::size_t reused = 0, recomputed = 0;
   for (auto _ : state) {
-    states = transitions = peak = 0;
+    states = transitions = peak = reused = recomputed = 0;
     for (const lang::Program& p : programs) {
       const mc::ExploreResult r = mc::explore(p, opts, {});
       states += r.stats.states;
       transitions += r.stats.transitions;
       peak += r.stats.peak_seen_bytes;
+      reused += r.stats.enum_threads_reused;
+      recomputed += r.stats.enum_threads_recomputed;
     }
   }
   state.SetLabel(mc::por_mode_name(opts.por));
   state.counters["states"] = static_cast<double>(states);
   state.counters["transitions"] = static_cast<double>(transitions);
   state.counters["peak_seen_bytes"] = static_cast<double>(peak);
+  state.counters["enum_threads_reused"] = static_cast<double>(reused);
+  state.counters["enum_threads_recomputed"] =
+      static_cast<double>(recomputed);
 }
 BENCHMARK(litmus_catalog_throughput)->DenseRange(0, 5)->Unit(
     benchmark::kMillisecond);

@@ -24,7 +24,6 @@ EventId Execution::append_event_core(ThreadId tid, const Action& a) {
   events_.push_back(Event{e, tid, a});
 
   const std::size_t n = events_.size();
-  sb_.resize(n);
   rf_.resize(n);
   mo_.resize(n);
   inits_.resize(n);
@@ -32,14 +31,11 @@ EventId Execution::append_event_core(ThreadId tid, const Action& a) {
   reads_.resize(n);
   updates_.resize(n);
 
-  // sb := sb u ({e' in D | tid(e') in {tid(e), 0}} x {e}).
-  // Initialising writes are not sb-ordered amongst themselves.
-  if (tid != kInitThread) {
-    for (EventId p = 0; p < e; ++p) {
-      const ThreadId pt = events_[p].tid;
-      if (pt == tid || pt == kInitThread) sb_.add(p, e);
-    }
-  }
+  // sb := sb u ({e' in D | tid(e') in {tid(e), 0}} x {e}) — structurally
+  // determined by the event sequence, so the materialized relation is just
+  // marked stale here instead of paying an O(n) edge scan per append (the
+  // exploration hot path never reads it; see sb()).
+  sb_stale_ = true;
 
   if (tid == kInitThread) inits_.set(e);
   if (a.is_write()) writes_.set(e);
@@ -53,6 +49,20 @@ EventId Execution::append_event_core(ThreadId tid, const Action& a) {
 EventId Execution::add_event(ThreadId tid, const Action& a) {
   invalidate_cache();
   return append_event_core(tid, a);
+}
+
+void Execution::materialize_sb() const {
+  const std::size_t n = events_.size();
+  sb_ = util::Relation(n);
+  for (EventId e = 0; e < n; ++e) {
+    const ThreadId tid = events_[e].tid;
+    if (tid == kInitThread) continue;
+    for (EventId p = 0; p < e; ++p) {
+      const ThreadId pt = events_[p].tid;
+      if (pt == tid || pt == kInitThread) sb_.add(p, e);
+    }
+  }
+  sb_stale_ = false;
 }
 
 void Execution::add_rf(EventId w, EventId r) {
@@ -168,14 +178,14 @@ Execution Execution::restrict(const util::Bitset& keep) const {
       }
     }
   };
-  restrict_relation(sb_, out.sb_);
+  restrict_relation(sb(), out.sb_);
   restrict_relation(rf_, out.rf_);
   restrict_relation(mo_, out.mo_);
   return out;
 }
 
 util::Bitset Execution::sbrf_prefix(const util::Bitset& seed) const {
-  util::Relation sbrf = sb_;
+  util::Relation sbrf = sb();
   sbrf |= rf_;
   const util::Relation pred = sbrf.inverse();
   util::Bitset closed = seed;
@@ -258,7 +268,7 @@ void canonical_words(const std::vector<Event>& events,
 std::vector<std::uint64_t> Execution::canonical_key() const {
   std::vector<std::uint64_t> key;
   key.reserve(events_.size() * 3 + 8);
-  canonical_words(events_, sb_, rf_, mo_,
+  canonical_words(events_, sb(), rf_, mo_,
                   [&](std::uint64_t w) { key.push_back(w); });
   return key;
 }
@@ -437,6 +447,9 @@ void Execution::ensure_cache() {
   c.cid = compute_cids();
   compute_fp_lanes(c.fp_a, c.fp_b);
   c.valid = true;
+  // A rebuild means some raw mutation bypassed push/pop: every step-cache
+  // entry minted under the previous epoch is stale.
+  ++cache_epoch_;
 }
 
 const util::Relation& Execution::cached_hb() {
@@ -481,6 +494,15 @@ const util::Bitset& Execution::cached_var_writes(VarId x) {
   return cache_.var_writes[x];
 }
 
+void Execution::reserve_cache_threads(ThreadId count) {
+  ensure_cache();
+  const std::size_t want = static_cast<std::size_t>(count) + 1;
+  if (cache_.encountered.size() < want) {
+    cache_.encountered.resize(want, util::Bitset(events_.size()));
+    cache_.thread_events.resize(want, util::Bitset(events_.size()));
+  }
+}
+
 EventId Execution::push_event(ThreadId tid, const Action& a, EventId w,
                               UndoToken& tok) {
   assert(tid != kInitThread);
@@ -502,6 +524,7 @@ EventId Execution::push_event(ThreadId tid, const Action& a, EventId w,
   const bool is_rd = a.is_read();
   const bool is_wr = a.is_write();
   const VarId x = a.var;
+  bump_var_versions(a);
 
   // --- Snapshots over the old universe (pre-append) -----------------------
   assert(w < n_old && events_[w].is_write() && events_[w].var() == x);
@@ -674,13 +697,14 @@ void Execution::pop_event(const UndoToken& tok) {
   assert(n > 0 && tok.event == n - 1);
   const std::size_t n_new = n - 1;
 
+  bump_var_versions(events_[tok.event].action);
   c.fp_a -= tok.fp_delta_a;
   c.fp_b -= tok.fp_delta_b;
   if (tok.covered_added) c.covered.reset(tok.observed);
   c.encountered[tok.tid].subtract(tok.ew_delta);
 
   events_.pop_back();
-  sb_.resize(n_new);
+  sb_stale_ = true;
   rf_.resize(n_new);
   mo_.resize(n_new);
   inits_.resize(n_new);

@@ -59,7 +59,16 @@ class Execution {
 
   // --- Primitive relations ------------------------------------------------
 
-  [[nodiscard]] const util::Relation& sb() const { return sb_; }
+  /// sb is structurally determined by the event sequence (initialising
+  /// writes before every non-init event, same-thread events by position),
+  /// so the hot append/pop path never maintains it — the materialized
+  /// relation is rebuilt here on first access after a mutation. Every
+  /// consumer (derived-relation rebuilds, canonical keys, axiom checks,
+  /// pretty-printers) is a cold path.
+  [[nodiscard]] const util::Relation& sb() const {
+    if (sb_stale_) materialize_sb();
+    return sb_;
+  }
   [[nodiscard]] const util::Relation& rf() const { return rf_; }
   [[nodiscard]] const util::Relation& mo() const { return mo_; }
 
@@ -131,6 +140,49 @@ class Execution {
   [[nodiscard]] const util::Bitset& cached_covered();
   [[nodiscard]] const util::Bitset& cached_thread_events(ThreadId t);
   [[nodiscard]] const util::Bitset& cached_var_writes(VarId x);
+
+  /// Grows the cached per-thread vectors (encountered / thread_events) so
+  /// every thread id up to `count` inclusive is materialised. References
+  /// returned by cached_encountered / cached_thread_events alias vector
+  /// elements; callers that hold such references across further cached_*
+  /// calls (the step-enumeration loop) reserve the full program width up
+  /// front so a lazy first-touch grow can never reallocate under them.
+  void reserve_cache_threads(ThreadId count);
+
+  /// Number of thread slots currently materialised in the cache — lets
+  /// callers assert (debug builds) that no reallocation happened while
+  /// they held references into the cached per-thread vectors.
+  [[nodiscard]] std::size_t cached_thread_count() const {
+    return cache_.encountered.size();
+  }
+
+  // --- Step-cache version counters ------------------------------------------
+  //
+  // Monotonic counters consumed by the interp-layer step-enumeration cache
+  // (interp::Config::StepCache). A thread's enumerated transitions on
+  // variable x depend only on writes(x), their mo rows, the covered set
+  // restricted to x, and the thread's own encountered set — all of which
+  // can change only when a write or update on x is pushed or popped. Both
+  // directions bump the counters: restoring a version on pop would let a
+  // *different* write pushed after the undo reproduce a previously seen
+  // version number and false-validate a stale cache entry, so the streams
+  // only ever move forward.
+
+  /// Bumped on every push or pop of a write/update on x.
+  [[nodiscard]] std::uint64_t var_write_version(VarId x) const {
+    return x < var_write_ver_.size() ? var_write_ver_[x] : 0;
+  }
+
+  /// Bumped on every push or pop of an update on x (the only operations
+  /// that change the covered set).
+  [[nodiscard]] std::uint64_t var_cover_version(VarId x) const {
+    return x < var_cover_ver_.size() ? var_cover_ver_[x] : 0;
+  }
+
+  /// Bumped on every from-scratch cache rebuild (ensure_cache after a raw
+  /// mutation such as add_mo / clear_rf). Any step-cache entry minted under
+  /// an older epoch is stale regardless of its per-variable versions.
+  [[nodiscard]] std::uint64_t cache_epoch() const { return cache_epoch_; }
 
   /// Adds an rf edge w -> r. Caller guarantees var/value agreement.
   void add_rf(EventId w, EventId r);
@@ -221,10 +273,10 @@ class Execution {
   /// counts) on top.
   void fingerprint_into(util::FingerprintHasher& h) const;
 
-  /// Structural equality on raw tags (not canonical).
+  /// Structural equality on raw tags (not canonical). sb is derived from
+  /// the event sequence, so comparing the events covers it.
   [[nodiscard]] bool operator==(const Execution& o) const {
-    return events_ == o.events_ && sb_ == o.sb_ && rf_ == o.rf_ &&
-           mo_ == o.mo_;
+    return events_ == o.events_ && rf_ == o.rf_ && mo_ == o.mo_;
   }
 
  private:
@@ -234,6 +286,21 @@ class Execution {
 
   void invalidate_cache() { cache_.valid = false; }
 
+  /// Advances the per-variable version streams for a pushed or popped
+  /// event with action `a` (no-op for reads: a read changes only the
+  /// acting thread's encountered set, which its own enumeration never
+  /// caches across).
+  void bump_var_versions(const Action& a) {
+    if (!a.is_write()) return;
+    const VarId x = a.var;
+    if (var_write_ver_.size() <= x) var_write_ver_.resize(x + 1, 0);
+    ++var_write_ver_[x];
+    if (a.is_update()) {
+      if (var_cover_ver_.size() <= x) var_cover_ver_.resize(x + 1, 0);
+      ++var_cover_ver_[x];
+    }
+  }
+
   /// From-scratch fingerprint lanes (the commutative fact sums).
   void compute_fp_lanes(std::uint64_t& a, std::uint64_t& b) const;
 
@@ -242,8 +309,16 @@ class Execution {
   /// with the same assignment.
   [[nodiscard]] std::vector<std::uint64_t> compute_cids() const;
 
+  /// Rebuilds sb_ from the event sequence (cold; see sb()).
+  void materialize_sb() const;
+
   std::vector<Event> events_;
-  util::Relation sb_, rf_, mo_;
+  /// Lazily materialized program order (mutable: sb() is const and rebuilds
+  /// on demand; sound under the one-owner-per-Execution discipline the
+  /// cache already relies on).
+  mutable util::Relation sb_;
+  mutable bool sb_stale_ = false;
+  util::Relation rf_, mo_;
   util::Bitset inits_, writes_, reads_, updates_;
   ThreadId max_thread_ = 0;
   std::size_t var_count_ = 0;
@@ -265,6 +340,15 @@ class Execution {
     std::uint64_t fp_b = 0;
   };
   Cache cache_;
+
+  /// Step-cache version streams (see the public accessors above). Stored
+  /// outside Cache: they survive cache rebuilds and are never truncated on
+  /// pop_event — monotonicity is what makes version equality a sound
+  /// freshness test. Copied with the Execution, so a forked configuration
+  /// continues its own stream and comparisons never cross streams.
+  std::uint64_t cache_epoch_ = 0;
+  std::vector<std::uint64_t> var_write_ver_;
+  std::vector<std::uint64_t> var_cover_ver_;
 };
 
 }  // namespace rc11::c11

@@ -38,12 +38,72 @@ using lang::Value;
 /// pc value reported for a terminated / unlabeled continuation.
 inline constexpr int kDonePc = 0;
 
+struct Step;
+
+/// Per-thread cache of enumerated transitions (see enumerate_steps). One
+/// apply_step changes the acting thread's continuation plus a bounded
+/// observability delta, so most threads' enabled-transition lists are
+/// identical between sibling nodes. Each entry keeps the thread's Step
+/// slice together with the inputs that produced it; invalidation is
+/// hybrid:
+///
+///  * eager dirty bits for thread-local state — apply_step / undo_step
+///    clear `valid` for every thread whose continuation, registers or
+///    unfold count they touch (the acting thread and any tau-compressed
+///    thread);
+///  * lazy version equality for memory observability — an entry whose
+///    cached peek is a memory access on x records the Execution's
+///    cache_epoch / var_write_version(x) / var_cover_version(x); any
+///    push or pop of a write on x advances those monotonic streams, so a
+///    stale entry fails the equality test at the next enumerate_steps
+///    without anyone having to find it eagerly.
+///
+/// The cache is derived state: it never feeds fingerprints or canonical
+/// keys, and copying a Config forks the version streams together with the
+/// Execution, so entries stay comparable within their own copy.
+struct StepCache {
+  struct Entry {
+    bool valid = false;   ///< false = dirty or never enumerated
+    bool memory = false;  ///< cached peek was a read/write/update
+    c11::VarId var = 0;   ///< peeked variable, when memory
+    std::uint64_t epoch = 0;      ///< exec.cache_epoch() at enumeration
+    std::uint64_t write_ver = 0;  ///< exec.var_write_version(var)
+    std::uint64_t cover_ver = 0;  ///< exec.var_cover_version(var)
+    std::uint32_t begin = 0;      ///< this thread's slice in `steps`
+    std::uint32_t end = 0;
+  };
+  std::vector<Entry> entries;  ///< entry of thread t at [t-1]
+  /// All threads' slices concatenated in thread-ascending order — exactly
+  /// the last enumerate_steps output. Flat storage keeps Config copies
+  /// cheap (two trivially-copyable vector assigns that reuse capacity in
+  /// pooled DPOR nodes, instead of one heap allocation per thread).
+  std::vector<Step> steps;
+  int loop_bound = -1;         ///< StepOptions the entries were built under
+  bool opts_seen = false;
+
+  /// Marks thread t's entry for re-enumeration (no-op if the thread has
+  /// never been enumerated).
+  void mark_dirty(ThreadId t) {
+    if (t >= 1 && t <= entries.size()) entries[t - 1].valid = false;
+  }
+  void invalidate() {
+    for (auto& e : entries) e.valid = false;
+  }
+};
+
 struct Config {
   const Program* program = nullptr;
   std::vector<ComPtr> cont;       ///< continuation of thread t at [t-1]
   std::vector<RegFile> regs;      ///< register file of thread t at [t-1]
   std::vector<int> unfoldings;    ///< while-unfold count of thread t
   Execution exec;
+  StepCache step_cache;           ///< derived; excluded from key/fingerprint
+  /// True iff every thread's silent/register steps are drained (tau-normal
+  /// form). Lets apply_step's compression pass drain only the acting
+  /// thread: silent steps depend solely on the thread's own continuation
+  /// and registers, and an apply changes no other thread's. Derived state,
+  /// excluded from key/fingerprint.
+  bool tau_normal = false;
 
   [[nodiscard]] std::size_t thread_count() const { return cont.size(); }
 
@@ -150,14 +210,39 @@ struct StepUndo {
     RegFile regs;
   };
   std::vector<ThreadSnapshot> saved;
+
+  /// Config::tau_normal before the apply; undo restores it (an apply can
+  /// both establish the form — the initial full drain — and destroy it —
+  /// a step taken without compression).
+  bool prev_tau_normal = false;
 };
 
 /// Appends every enabled transition of c to `out` (cleared first), in the
 /// same order as successors(). Builds the Execution's incremental cache on
-/// first use (hence the mutable Config reference); the Config is otherwise
-/// unchanged.
+/// first use (hence the mutable Config reference) and maintains
+/// c.step_cache: only threads whose cached entry is dirty (thread-local
+/// change) or version-stale (observability change on the peeked variable)
+/// are re-enumerated; clean threads' slices are spliced from the cache in
+/// thread-ascending order, preserving the exact successors() order.
 void enumerate_steps(Config& c, const StepOptions& opts,
                      std::vector<Step>& out);
+
+/// As enumerate_steps, but always re-enumerates every thread and never
+/// reads or writes c.step_cache — the from-scratch differential oracle for
+/// the cached path (tests/test_stepcache.cpp).
+void enumerate_steps_uncached(Config& c, const StepOptions& opts,
+                              std::vector<Step>& out);
+
+/// Thread-local tallies of enumerate_steps cache behaviour: one tick per
+/// (call, thread) pair, `reused` when the cached slice was spliced,
+/// `recomputed` when the thread was re-enumerated. Engines snapshot the
+/// counters around a search and report the deltas as
+/// ExploreStats::enum_threads_{reused,recomputed}.
+struct StepEnumCounters {
+  std::uint64_t reused = 0;
+  std::uint64_t recomputed = 0;
+};
+[[nodiscard]] StepEnumCounters& step_enum_counters();
 
 /// Applies one enumerated step to c in place (including tau compression
 /// when opts.tau_compress is set, mirroring successors()). Returns the

@@ -128,6 +128,8 @@ struct Engine {
   std::atomic<std::size_t> sleep_blocked{0};
   std::atomic<std::size_t> redundant{0};
   std::atomic<std::size_t> max_depth{1};
+  std::atomic<std::size_t> enum_reused{0};
+  std::atomic<std::size_t> enum_recomputed{0};
   std::atomic<bool> truncated{false};
 
   std::mutex abort_mutex;
@@ -511,7 +513,18 @@ void expand_item(Engine& eng, std::size_t me, const Item& item) {
   }
 }
 
-void worker_loop(Engine& eng, std::size_t me) {
+/// Adds this thread's step-enumeration counter movement since `base` to
+/// the engine totals (the counters are thread_local, so each thread's
+/// delta is flushed by the thread itself).
+void flush_enum_counters(Engine& eng, const interp::StepEnumCounters& base) {
+  const interp::StepEnumCounters& ec = interp::step_enum_counters();
+  eng.enum_reused.fetch_add(ec.reused - base.reused,
+                            std::memory_order_relaxed);
+  eng.enum_recomputed.fetch_add(ec.recomputed - base.recomputed,
+                                std::memory_order_relaxed);
+}
+
+void worker_loop_impl(Engine& eng, std::size_t me) {
   constexpr int kYieldRounds = 64;
   int idle_rounds = 0;
   while (true) {
@@ -536,6 +549,12 @@ void worker_loop(Engine& eng, std::size_t me) {
     expand_item(eng, me, *item);
     eng.pending.fetch_sub(1, std::memory_order_acq_rel);
   }
+}
+
+void worker_loop(Engine& eng, std::size_t me) {
+  const interp::StepEnumCounters enum_base = interp::step_enum_counters();
+  worker_loop_impl(eng, me);
+  flush_enum_counters(eng, enum_base);
 }
 
 }  // namespace
@@ -566,6 +585,8 @@ ExploreResult explore_dpor(const interp::Config& start,
     res.stats.sleep_blocked = eng.sleep_blocked.load();
     res.stats.complete_traces = eng.complete_traces.load();
     res.stats.redundant_transitions = eng.redundant.load();
+    res.stats.enum_threads_reused = eng.enum_reused.load();
+    res.stats.enum_threads_recomputed = eng.enum_recomputed.load();
     res.stats.truncated = eng.truncated.load();
     res.stats.peak_seen_bytes = eng.seen.bytes();
     {
@@ -591,7 +612,13 @@ ExploreResult explore_dpor(const interp::Config& start,
       return finish(/*root_aborted=*/true);
     }
   }
-  prepare_node(*root, eng.options);
+  {
+    // Root preparation runs on the calling thread, before any worker
+    // snapshots its own counter base.
+    const interp::StepEnumCounters enum_base = interp::step_enum_counters();
+    prepare_node(*root, eng.options);
+    flush_enum_counters(eng, enum_base);
+  }
   const c11::ThreadId first = pick_first(*root);
   if (first != 0) {
     root->scheduled.push_back(first);

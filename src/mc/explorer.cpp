@@ -211,6 +211,7 @@ ExploreResult explore_incremental(const interp::Config& start,
   ExploreResult result;
   SeenSet seen;
   std::unordered_map<StateId, SleepSet> sleep_store;
+  const interp::StepEnumCounters enum_base = interp::step_enum_counters();
 
   interp::Config cur = start;  // the spine configuration
 
@@ -243,6 +244,10 @@ ExploreResult explore_incremental(const interp::Config& start,
   };
 
   auto finish_stats = [&] {
+    const interp::StepEnumCounters& ec = interp::step_enum_counters();
+    result.stats.enum_threads_reused = ec.reused - enum_base.reused;
+    result.stats.enum_threads_recomputed =
+        ec.recomputed - enum_base.recomputed;
     result.stats.peak_seen_bytes = options.dedup ? seen.bytes() : 0;
     for (const auto& [id, sleep] : sleep_store) {
       (void)id;

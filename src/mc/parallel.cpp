@@ -69,6 +69,8 @@ struct ParallelRun {
   std::atomic<std::size_t> merged{0};
   std::atomic<std::size_t> finals{0};
   std::atomic<std::size_t> por_pruned{0};
+  std::atomic<std::size_t> enum_reused{0};
+  std::atomic<std::size_t> enum_recomputed{0};
   std::atomic<bool> truncated{false};
 
   /// First violating / witnessing state, for trace reconstruction. When
@@ -308,16 +310,28 @@ void process(ParallelRun& run, std::size_t me, Cursor& cur, WorkItem item) {
 void worker_loop(ParallelRun& run, std::size_t me) {
   constexpr int kYieldRounds = 64;
   int idle_rounds = 0;
+  // Step-enumeration counters are thread_local: snapshot on entry, flush
+  // the delta to the run totals on every exit path.
+  const interp::StepEnumCounters enum_base = interp::step_enum_counters();
+  const auto flush_enum = [&] {
+    const interp::StepEnumCounters& ec = interp::step_enum_counters();
+    run.enum_reused.fetch_add(ec.reused - enum_base.reused,
+                              std::memory_order_relaxed);
+    run.enum_recomputed.fetch_add(ec.recomputed - enum_base.recomputed,
+                                  std::memory_order_relaxed);
+  };
   Cursor cur{interp::initial_config(*run.program)};
   while (true) {
-    if (run.stop.load(std::memory_order_acquire)) return;
+    if (run.stop.load(std::memory_order_acquire)) return flush_enum();
     std::optional<WorkItem> item = run.deques.pop_local(me);
     if (!item) {
       item = run.deques.steal(me);
       if (item) ++run.worker_stats[me].steals;
     }
     if (!item) {
-      if (run.pending.load(std::memory_order_acquire) == 0) return;
+      if (run.pending.load(std::memory_order_acquire) == 0) {
+        return flush_enum();
+      }
       // Back off while other workers drain a narrow frontier: a few
       // yields, then short sleeps, so idle workers do not burn cores.
       if (++idle_rounds <= kYieldRounds) {
@@ -360,6 +374,8 @@ ExploreStats run_parallel(const lang::Program& program, ParallelRun& run) {
   stats.merged = run.merged.load();
   stats.finals = run.finals.load();
   stats.por_pruned = run.por_pruned.load();
+  stats.enum_threads_reused = run.enum_reused.load();
+  stats.enum_threads_recomputed = run.enum_recomputed.load();
   stats.truncated = run.truncated.load();
   stats.peak_seen_bytes = run.seen.bytes();
   return stats;

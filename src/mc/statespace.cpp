@@ -18,6 +18,10 @@ std::string ExploreStats::to_string() const {
   if (redundant_transitions > 0) {
     os << " redundant_transitions=" << redundant_transitions;
   }
+  if (enum_threads_reused + enum_threads_recomputed > 0) {
+    os << " enum_reused=" << enum_threads_reused
+       << " enum_recomputed=" << enum_threads_recomputed;
+  }
   if (truncated) os << " (TRUNCATED)";
   return os.str();
 }

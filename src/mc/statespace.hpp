@@ -75,6 +75,13 @@ struct ExploreStats {
   /// deduplicating graph explorers merge duplicates instead of
   /// re-expanding them, so they always report zero here.
   std::size_t redundant_transitions = 0;
+  /// Step-enumeration cache behaviour (interp::enumerate_steps): per
+  /// (enumeration, thread) pair, whether the thread's cached transition
+  /// slice was spliced (`reused`) or had to be re-enumerated
+  /// (`recomputed`). Deterministic for the sequential engines; on the
+  /// catalogue reused should dominate (the cache is the point).
+  std::size_t enum_threads_reused = 0;
+  std::size_t enum_threads_recomputed = 0;
   bool truncated = false;       ///< hit max_states
 
   [[nodiscard]] std::string to_string() const;

@@ -26,6 +26,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -172,6 +173,136 @@ TEST(Incremental, FuzzSweepAgreesWithOracleOn200Programs) {
     walk_program(p, /*budget=*/80, tag);
     if (::testing::Test::HasFatalFailure()) return;
   }
+}
+
+/// Steps of thread t within an enumeration, in order.
+std::vector<interp::Step> steps_of(const std::vector<interp::Step>& steps,
+                                   interp::ThreadId t) {
+  std::vector<interp::Step> out;
+  for (const interp::Step& s : steps) {
+    if (s.thread == t) out.push_back(s);
+  }
+  return out;
+}
+
+// Adversarial step-cache invalidation: three threads racing on two
+// variables, arranged so that a stale cached slice would be *wrong in
+// both directions* after another thread's step:
+//
+//   thread 1 { x.swap(1); y := 1; }   (covers a write on x, then makes a
+//                                      new write observable on y)
+//   thread 2 { x := 2; }              (cached slice: placements on x)
+//   thread 3 { r0 := y; }             (cached slice: reads on y)
+//
+// Applying thread 1's update covers init(x): thread 2's cached write
+// placements still offer init(x) — serving them would fabricate a
+// transition that violates atomicity (a write slipped between an update
+// and the write it reads from). Applying thread 1's y := 1 then makes a
+// new write observable to thread 3: its cached read slice would *miss* a
+// transition. Neither thread 2 nor thread 3 is touched by either apply,
+// so eager dirty bits alone cannot catch this — only the per-variable
+// version counters can. The test asserts both recoveries, plus the
+// precise reuse/recompute split (the *untouched* variable's thread keeps
+// its slice: invalidation must be lazy but not indiscriminate).
+TEST(Incremental, StaleCacheCatchesCoveredAndNewlyObservableWrites) {
+  const auto parsed = lang::parse_litmus(R"(litmus ADV
+var x = 0
+var y = 0
+thread 1 { x.swap(1); y := 1; }
+thread 2 { x := 2; }
+thread 3 { r0 := y; }
+)");
+  interp::Config c = interp::initial_config(parsed.program);
+  const interp::StepOptions opts;  // no tau compression: one step at a time
+
+  std::vector<interp::Step> steps;
+  interp::enumerate_steps(c, opts, steps);
+
+  // Root: thread 1 updates on top of init(x); thread 2 places its write
+  // after init(x); thread 3 reads init(y).
+  const auto t1_root = steps_of(steps, 1);
+  ASSERT_EQ(t1_root.size(), 1u);
+  const c11::EventId init_x = t1_root[0].observed;
+  ASSERT_EQ(steps_of(steps, 2).size(), 1u);
+  ASSERT_EQ(steps_of(steps, 2)[0].observed, init_x);
+  ASSERT_EQ(steps_of(steps, 3).size(), 1u);
+
+  // Apply thread 1's update. Thread 2's cached slice is now stale: the
+  // update covers init(x).
+  interp::StepUndo undo_upd;
+  const c11::EventId upd_ev = interp::apply_step(c, t1_root[0], opts, undo_upd);
+  ASSERT_NE(upd_ev, c11::kNoEvent);
+
+  const interp::StepEnumCounters before1 = interp::step_enum_counters();
+  interp::enumerate_steps(c, opts, steps);
+  const interp::StepEnumCounters after1 = interp::step_enum_counters();
+  {
+    std::vector<interp::Step> oracle;
+    interp::enumerate_steps_uncached(c, opts, oracle);
+    ASSERT_EQ(steps.size(), oracle.size());
+  }
+  // Thread 2 must have been re-enumerated (write version on x moved), and
+  // its only placement is after the update — init(x) is covered.
+  const auto t2_after_upd = steps_of(steps, 2);
+  ASSERT_EQ(t2_after_upd.size(), 1u);
+  EXPECT_EQ(t2_after_upd[0].observed, upd_ev);
+  // Thread 3 peeks y, untouched by the update: its slice was reused.
+  // Recomputed: thread 1 (eager dirty bit) + thread 2 (version-stale).
+  EXPECT_EQ(after1.recomputed - before1.recomputed, 2u);
+  EXPECT_EQ(after1.reused - before1.reused, 1u);
+
+  // Walk thread 1 through its silent steps (no tau compression here)
+  // until its y := 1 write is at the head. Silent applies dirty only
+  // thread 1, so threads 2 and 3 keep their slices across this stretch.
+  std::vector<std::unique_ptr<interp::StepUndo>> silent_undos;
+  auto t1_wr = steps_of(steps, 1);
+  while (!t1_wr.empty() && t1_wr[0].silent) {
+    auto u = std::make_unique<interp::StepUndo>();
+    interp::apply_step(c, t1_wr[0], opts, *u);
+    silent_undos.push_back(std::move(u));
+    interp::enumerate_steps(c, opts, steps);
+    t1_wr = steps_of(steps, 1);
+  }
+  ASSERT_EQ(t1_wr.size(), 1u);
+  ASSERT_FALSE(t1_wr[0].silent);
+  interp::StepUndo undo_wr;
+  const c11::EventId wr_ev = interp::apply_step(c, t1_wr[0], opts, undo_wr);
+  ASSERT_NE(wr_ev, c11::kNoEvent);
+
+  const interp::StepEnumCounters before2 = interp::step_enum_counters();
+  interp::enumerate_steps(c, opts, steps);
+  const interp::StepEnumCounters after2 = interp::step_enum_counters();
+  {
+    std::vector<interp::Step> oracle;
+    interp::enumerate_steps_uncached(c, opts, oracle);
+    ASSERT_EQ(steps.size(), oracle.size());
+  }
+  // Thread 3 now has two reads (init(y) and the new write) — a stale
+  // slice would have kept one.
+  const auto t3_after_wr = steps_of(steps, 3);
+  ASSERT_EQ(t3_after_wr.size(), 2u);
+  EXPECT_TRUE(t3_after_wr[0].observed == wr_ev ||
+              t3_after_wr[1].observed == wr_ev);
+  // Thread 2 peeks x, untouched by the y-write: reused. Recomputed:
+  // thread 1 (eager) + thread 3 (version-stale).
+  EXPECT_EQ(after2.recomputed - before2.recomputed, 2u);
+  EXPECT_EQ(after2.reused - before2.reused, 1u);
+
+  // Unwind and re-check: pops rewind nothing silently — the version
+  // streams advance monotonically, so the entries minted above are stale
+  // again and the root enumeration matches the oracle.
+  interp::undo_step(c, undo_wr);
+  for (auto it = silent_undos.rbegin(); it != silent_undos.rend(); ++it) {
+    interp::undo_step(c, **it);
+  }
+  interp::undo_step(c, undo_upd);
+  interp::enumerate_steps(c, opts, steps);
+  std::vector<interp::Step> oracle;
+  interp::enumerate_steps_uncached(c, opts, oracle);
+  ASSERT_EQ(steps.size(), oracle.size());
+  ASSERT_EQ(steps_of(steps, 2).size(), 1u);
+  EXPECT_EQ(steps_of(steps, 2)[0].observed, init_x);
+  EXPECT_EQ(steps_of(steps, 3).size(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,209 @@
+// Differential oracle for the per-thread step-enumeration cache.
+//
+// interp::enumerate_steps maintains Config::step_cache: one apply_step
+// changes the acting thread's continuation plus a bounded observability
+// delta, so most threads' enabled-transition slices are spliced from the
+// cache instead of re-enumerated. Correctness rests on the invalidation
+// contract (eager dirty bits for thread-local changes, lazy per-variable
+// version equality for observability changes — see src/mc/README.md), and
+// the from-scratch path is kept alive as enumerate_steps_uncached.
+//
+// This test walks the transition tree of every litmus-catalogue program
+// and a >= 200-program fuzz sweep (RC11_FUZZ_SEED replay), in both tau
+// modes, and asserts at every node:
+//
+//   * cached enumeration == uncached enumeration, order included (the
+//     slices are spliced in thread-ascending order, so a coherent cache
+//     reproduces the successors() order exactly);
+//   * an immediate re-enumeration reuses every thread's slice (no
+//     spurious invalidation) and returns the identical list;
+//   * after each apply -> subtree -> undo round-trip, the cache still
+//     agrees with the uncached oracle (undo restores continuations,
+//     registers and the Execution, and the version counters make any
+//     surviving entry either still-correct or detectably stale);
+//   * a whole-tree exploration reuses more thread slices than it
+//     recomputes (the cache pays for itself on the catalogue).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "interp/config.hpp"
+#include "lang/generator.hpp"
+#include "lang/parser.hpp"
+#include "litmus/catalog.hpp"
+#include "mc/explorer.hpp"
+
+namespace rc11 {
+namespace {
+
+void expect_steps_equal(const std::vector<interp::Step>& got,
+                        const std::vector<interp::Step>& want,
+                        const std::string& tag) {
+  ASSERT_EQ(got.size(), want.size()) << tag;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].thread, want[i].thread) << tag << " step " << i;
+    ASSERT_EQ(got[i].silent, want[i].silent) << tag << " step " << i;
+    ASSERT_EQ(got[i].loop_unfold, want[i].loop_unfold) << tag << " step " << i;
+    if (!got[i].silent) {
+      ASSERT_EQ(got[i].observed, want[i].observed) << tag << " step " << i;
+      ASSERT_EQ(got[i].action, want[i].action) << tag << " step " << i;
+    }
+  }
+}
+
+/// Asserts the cached enumeration against the uncached oracle at c, then
+/// re-enumerates and asserts every thread's slice was reused (a coherent
+/// cache never invalidates entries between back-to-back enumerations with
+/// no intervening mutation).
+void check_node(interp::Config& c, const interp::StepOptions& opts,
+                std::vector<interp::Step>& cached, const std::string& tag) {
+  std::vector<interp::Step> oracle;
+  interp::enumerate_steps(c, opts, cached);
+  interp::enumerate_steps_uncached(c, opts, oracle);
+  expect_steps_equal(cached, oracle, tag);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  const interp::StepEnumCounters before = interp::step_enum_counters();
+  std::vector<interp::Step> again;
+  interp::enumerate_steps(c, opts, again);
+  const interp::StepEnumCounters after = interp::step_enum_counters();
+  expect_steps_equal(again, cached, tag + " re-enumeration");
+  ASSERT_EQ(after.recomputed, before.recomputed)
+      << tag << ": immediate re-enumeration recomputed a thread";
+  ASSERT_EQ(after.reused, before.reused + c.thread_count())
+      << tag << ": immediate re-enumeration did not reuse every thread";
+}
+
+/// Walks the transition tree depth-first through the cached enumerator,
+/// cross-checking against enumerate_steps_uncached at every node and after
+/// every undo. `budget` caps the visited node count.
+void walk(interp::Config& c, const interp::StepOptions& opts,
+          std::size_t& budget, const std::string& tag) {
+  if (budget == 0) return;
+  --budget;
+
+  std::vector<interp::Step> steps;
+  check_node(c, opts, steps, tag);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  interp::StepUndo undo;
+  for (const interp::Step& s : steps) {
+    interp::apply_step(c, s, opts, undo);
+    walk(c, opts, budget, tag);
+    interp::undo_step(c, undo);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // Apply -> undo round-trip: whatever mix of dirty bits and version
+    // bumps the cycle left behind, enumeration must still match the
+    // oracle (and the result must equal the pre-apply list, since undo
+    // restored the configuration exactly).
+    std::vector<interp::Step> after_undo;
+    check_node(c, opts, after_undo, tag + " after undo");
+    if (::testing::Test::HasFatalFailure()) return;
+    expect_steps_equal(after_undo, steps, tag + " after undo");
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+void walk_program(const lang::Program& p, std::size_t budget,
+                  const std::string& tag) {
+  for (const bool tau : {false, true}) {
+    interp::StepOptions opts;
+    opts.loop_bound = 2;
+    opts.tau_compress = tau;
+    interp::Config c = interp::initial_config(p);
+    std::size_t b = budget;
+    walk(c, opts, b, tag + (tau ? " [tau]" : " [plain]"));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(StepCache, LitmusCatalogueAgreesWithUncachedOracle) {
+  for (const auto& test : litmus::catalog()) {
+    const auto parsed = lang::parse_litmus(test.source);
+    walk_program(parsed.program, /*budget=*/200, test.name);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+std::uint32_t fuzz_seed_base() {
+  if (const char* env = std::getenv("RC11_FUZZ_SEED")) {
+    return static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  return 0x5CA1E;  // fixed default: failures reproduce across runs
+}
+
+TEST(StepCache, FuzzSweepAgreesWithUncachedOracleOn200Programs) {
+  const std::uint32_t base = fuzz_seed_base();
+  constexpr std::uint32_t kPrograms = 200;
+  for (std::uint32_t i = 0; i < kPrograms; ++i) {
+    const std::uint32_t seed = base + i;
+    lang::GeneratorOptions o;
+    o.seed = seed;
+    o.threads = 2 + static_cast<int>(i % 2);
+    o.vars = 2;
+    o.max_value = 1;
+    o.stmts_per_thread = 2;
+    o.allow_nonatomic = (i % 3) == 1;
+    const lang::Program p = generate_program(o);
+    const std::string tag =
+        "replay with RC11_FUZZ_SEED=" + std::to_string(seed) + "\n" +
+        p.to_string();
+    walk_program(p, /*budget=*/60, tag);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// A loop-bound change invalidates the whole cache (entries are keyed on
+// the options they were built under): the same config enumerated under a
+// tighter bound must drop the now-disabled unfold steps, not splice them.
+TEST(StepCache, LoopBoundChangeInvalidatesEntries) {
+  const auto parsed = lang::parse_litmus(R"(litmus LB
+var x = 0
+thread 1 { while (x == 0) { x := 1; } }
+thread 2 { x := 2; }
+)");
+  interp::Config c = interp::initial_config(parsed.program);
+
+  interp::StepOptions loose;
+  loose.loop_bound = 2;
+  std::vector<interp::Step> under_loose;
+  interp::enumerate_steps(c, loose, under_loose);
+
+  interp::StepOptions tight;
+  tight.loop_bound = 0;
+  std::vector<interp::Step> under_tight, oracle;
+  interp::enumerate_steps(c, tight, under_tight);
+  interp::enumerate_steps_uncached(c, tight, oracle);
+  expect_steps_equal(under_tight, oracle, "tightened loop bound");
+
+  // And back: the cache re-keys again rather than serving the tight list.
+  std::vector<interp::Step> again;
+  interp::enumerate_steps(c, loose, again);
+  expect_steps_equal(again, under_loose, "restored loop bound");
+}
+
+// Whole-tree efficacy: exploring the full catalogue under source-set DPOR
+// must reuse more thread slices than it recomputes — the cache is the
+// point, and the counters are deterministic for the sequential engines.
+TEST(StepCache, CatalogueExplorationReusesMoreThanItRecomputes) {
+  std::size_t reused = 0, recomputed = 0;
+  for (const auto& test : litmus::catalog()) {
+    const auto parsed = lang::parse_litmus(test.source);
+    mc::ExploreOptions opts;
+    opts.step.loop_bound = 2;
+    opts.step.tau_compress = true;
+    opts.por = mc::PorMode::kSourceSetsSleep;
+    const mc::ExploreResult r = mc::explore(parsed.program, opts, {});
+    reused += r.stats.enum_threads_reused;
+    recomputed += r.stats.enum_threads_recomputed;
+  }
+  EXPECT_GT(reused, recomputed)
+      << "step cache recomputed more thread slices than it reused on the "
+         "litmus catalogue";
+}
+
+}  // namespace
+}  // namespace rc11

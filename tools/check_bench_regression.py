@@ -36,7 +36,20 @@ import json
 import sys
 import tempfile
 
-DEFAULT_GATES = ["states_per_sec", "peak_seen_bytes:lower"]
+DEFAULT_GATES = [
+    "states_per_sec",
+    "peak_seen_bytes:lower",
+    # Step-enumeration cache efficacy (interp::enumerate_steps). Both
+    # counters are deterministic for the sequential engines, so unlike the
+    # throughput gates these fire on *behavioural* drift: reused dropping
+    # or recomputed growing means the cache stopped paying for itself
+    # (an over-eager invalidation, a version counter bumped on the wrong
+    # stream), long before the wall-clock gate could notice on a noisy
+    # host. Thresholds still apply — intentional exploration-shape changes
+    # move both counters and land with a baseline refresh.
+    "enum_threads_reused",
+    "enum_threads_recomputed:lower",
+]
 
 
 def parse_gate(spec):
@@ -132,11 +145,48 @@ def self_test() -> int:
                                  "peak_seen_bytes": 900000.0},
         }, 0, 2),  # skipped by both gates
     ]
+    # Deterministic step-enumeration cache counters: reused is gated
+    # higher-is-better, recomputed lower-is-better. These fixtures pin the
+    # gate *directions* — a flipped sign would silently wave regressions
+    # through.
+    counter_baseline = {
+        "catalog/2/source": {"enum_threads_reused": 14000.0,
+                             "enum_threads_recomputed": 6000.0},
+    }
+    counter_cases = [
+        ("counters-ok", {
+            "catalog/2/source": {"enum_threads_reused": 14000.0,
+                                 "enum_threads_recomputed": 6000.0},
+        }, 0),
+        # The cache reusing far fewer slices is a regression even when
+        # wall-clock noise hides it.
+        ("cache-efficacy-regression", {
+            "catalog/2/source": {"enum_threads_reused": 8000.0,
+                                 "enum_threads_recomputed": 6000.0},
+        }, 1),
+        # Over-eager invalidation shows up as recomputed growth.
+        ("over-eager-invalidation", {
+            "catalog/2/source": {"enum_threads_reused": 14000.0,
+                                 "enum_threads_recomputed": 7500.0},
+        }, 1),
+        # Recomputed *shrinking* (a better cache) must not trip the
+        # lower-is-better gate.
+        ("cache-improvement", {
+            "catalog/2/source": {"enum_threads_reused": 15000.0,
+                                 "enum_threads_recomputed": 3000.0},
+        }, 0),
+    ]
+
     ok = True
     sink = tempfile.TemporaryFile(mode="w+")
-    for name, current, expect, *rest in cases:
+    all_cases = (
+        [(n, cur, baseline, *rest) for (n, cur, *rest) in cases] +
+        [(n, cur, counter_baseline, *rest) for (n, cur, *rest) in
+         counter_cases])
+    for name, current, case_baseline, expect, *rest in all_cases:
         expect_skipped = rest[0] if rest else 0
-        compared, failures, skipped = check(current, baseline, DEFAULT_GATES,
+        compared, failures, skipped = check(current, case_baseline,
+                                            DEFAULT_GATES,
                                             threshold=0.30,
                                             lower_threshold=0.10,
                                             out=sink)
