@@ -3,11 +3,20 @@
 // execution (or the full outcome set) and the Graphviz rendering of a
 // final execution.
 //
+// With --import <file|dir>, runs herd-style .litmus tests (a single file
+// or every *.litmus in a directory) instead of the built-in catalogue;
+// --json <path> additionally writes a machine-readable report (one entry
+// per test: name, POR mode, full-exploration sleep_blocked, pass) for
+// tools/check_ablation_sleep.py.
+//
 //   ./litmus_tour [--test NAME] [--show NAME] [--source NAME]
+//                 [--import PATH] [--json PATH]
 //                 [--por none|sleep|source|source-sleep|optimal|
 //                        optimal-parsimonious]
+#include <fstream>
 #include <iostream>
 
+#include "litmus/import.hpp"
 #include "rc11/rc11.hpp"
 
 using namespace rc11;
@@ -20,6 +29,8 @@ int main(int argc, char** argv) {
   cli.option("por", "none",
              "partial-order reduction: none|sleep|source|source-sleep|"
              "optimal|optimal-parsimonious");
+  cli.option("import", "", "run herd-style .litmus tests from this file/dir");
+  cli.option("json", "", "write a JSON report of the run to this path");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage("litmus_tour");
     return 1;
@@ -70,7 +81,16 @@ int main(int argc, char** argv) {
   }
 
   std::vector<litmus::RunResult> results;
-  if (const std::string name = cli.get("test"); !name.empty()) {
+  if (const std::string path = cli.get("import"); !path.empty()) {
+    try {
+      for (const litmus::ImportedTest& t : litmus::import_path(path)) {
+        results.push_back(litmus::run_test(litmus::to_test(t), opts));
+      }
+    } catch (const litmus::ImportError& e) {
+      std::cerr << "import error: " << e.what() << "\n";
+      return 1;
+    }
+  } else if (const std::string name = cli.get("test"); !name.empty()) {
     results.push_back(litmus::run_test(litmus::find_test(name), opts));
   } else {
     results = litmus::run_all(opts);
@@ -78,7 +98,26 @@ int main(int argc, char** argv) {
   std::cout << litmus::format_table(results);
   bool all_pass = true;
   for (const auto& r : results) all_pass = all_pass && r.pass;
-  std::cout << (all_pass ? "\nall tests match the RAR model\n"
+
+  if (const std::string json = cli.get("json"); !json.empty()) {
+    std::ofstream out(json);
+    out << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const litmus::RunResult& r = results[i];
+      out << "  {\"name\": \"" << r.name << "\", \"label\": \""
+          << mc::por_mode_name(opts.por) << "\", \"sleep_blocked\": "
+          << r.outcome_stats.sleep_blocked << ", \"pass\": "
+          << (r.pass ? "true" : "false") << "}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    if (!out) {
+      std::cerr << "cannot write " << json << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << (all_pass ? "\nall tests match the model\n"
                          : "\nMISMATCHES FOUND\n");
   return all_pass ? 0 : 1;
 }

@@ -48,6 +48,20 @@ std::string to_string(ActionKind k) {
       return "rdNA";
     case ActionKind::kWrNA:
       return "wrNA";
+    case ActionKind::kRdSC:
+      return "rdSC";
+    case ActionKind::kWrSC:
+      return "wrSC";
+    case ActionKind::kUpdSC:
+      return "updSC";
+    case ActionKind::kFenceAcq:
+      return "fenceA";
+    case ActionKind::kFenceRel:
+      return "fenceR";
+    case ActionKind::kFenceAR:
+      return "fenceAR";
+    case ActionKind::kFenceSC:
+      return "fenceSC";
   }
   return "?";
 }
@@ -59,13 +73,22 @@ std::string to_string(const Action& a, const VarTable* vars) {
     case ActionKind::kRdX:
     case ActionKind::kRdA:
     case ActionKind::kRdNA:
+    case ActionKind::kRdSC:
       return util::cat(to_string(a.kind), "(", x, ", ", a.rval, ")");
     case ActionKind::kWrX:
     case ActionKind::kWrR:
     case ActionKind::kWrNA:
+    case ActionKind::kWrSC:
       return util::cat(to_string(a.kind), "(", x, ", ", a.wval, ")");
     case ActionKind::kUpdRA:
-      return util::cat("updRA(", x, ", ", a.rval, ", ", a.wval, ")");
+    case ActionKind::kUpdSC:
+      return util::cat(to_string(a.kind), "(", x, ", ", a.rval, ", ", a.wval,
+                       ")");
+    case ActionKind::kFenceAcq:
+    case ActionKind::kFenceRel:
+    case ActionKind::kFenceAR:
+    case ActionKind::kFenceSC:
+      return to_string(a.kind);
   }
   return "?";
 }

@@ -23,13 +23,20 @@ using ThreadId = std::uint32_t;
 inline constexpr ThreadId kInitThread = 0;
 
 enum class ActionKind : std::uint8_t {
-  kRdX,    ///< relaxed read rd(x,n)
-  kRdA,    ///< acquiring read rdA(x,n)
-  kWrX,    ///< relaxed write wr(x,n)
-  kWrR,    ///< releasing write wrR(x,n)
-  kUpdRA,  ///< release-acquire update updRA(x,m,n)
-  kRdNA,   ///< non-atomic read (extension; see c11/races.hpp)
-  kWrNA,   ///< non-atomic write (extension)
+  kRdX,       ///< relaxed read rd(x,n)
+  kRdA,       ///< acquiring read rdA(x,n)
+  kWrX,       ///< relaxed write wr(x,n)
+  kWrR,       ///< releasing write wrR(x,n)
+  kUpdRA,     ///< release-acquire update updRA(x,m,n)
+  kRdNA,      ///< non-atomic read (extension; see c11/races.hpp)
+  kWrNA,      ///< non-atomic write (extension)
+  kRdSC,      ///< SC read rdSC(x,n) (full-RC11 extension)
+  kWrSC,      ///< SC write wrSC(x,n)
+  kUpdSC,     ///< SC update updSC(x,m,n)
+  kFenceAcq,  ///< acquire fence
+  kFenceRel,  ///< release fence
+  kFenceAR,   ///< acq-rel fence
+  kFenceSC,   ///< SC fence
 };
 
 /// One memory action. For reads `rval` is the value read; for writes `wval`
@@ -61,21 +68,44 @@ struct Action {
   static Action wr_na(VarId x, Value n) {
     return {ActionKind::kWrNA, x, 0, n};
   }
+  static Action rd_sc(VarId x, Value n) {
+    return {ActionKind::kRdSC, x, n, 0};
+  }
+  static Action wr_sc(VarId x, Value n) {
+    return {ActionKind::kWrSC, x, 0, n};
+  }
+  static Action upd_sc(VarId x, Value m, Value n) {
+    return {ActionKind::kUpdSC, x, m, n};
+  }
+  static Action fence_acq() {
+    return {ActionKind::kFenceAcq, 0, 0, 0};
+  }
+  static Action fence_rel() {
+    return {ActionKind::kFenceRel, 0, 0, 0};
+  }
+  static Action fence_ar() {
+    return {ActionKind::kFenceAR, 0, 0, 0};
+  }
+  static Action fence_sc() {
+    return {ActionKind::kFenceSC, 0, 0, 0};
+  }
 
   /// Membership in Rd (updates and non-atomic reads included).
   [[nodiscard]] bool is_read() const {
     return kind == ActionKind::kRdX || kind == ActionKind::kRdA ||
-           kind == ActionKind::kUpdRA || kind == ActionKind::kRdNA;
+           kind == ActionKind::kUpdRA || kind == ActionKind::kRdNA ||
+           kind == ActionKind::kRdSC || kind == ActionKind::kUpdSC;
   }
 
   /// Membership in Wr (updates and non-atomic writes included).
   [[nodiscard]] bool is_write() const {
     return kind == ActionKind::kWrX || kind == ActionKind::kWrR ||
-           kind == ActionKind::kUpdRA || kind == ActionKind::kWrNA;
+           kind == ActionKind::kUpdRA || kind == ActionKind::kWrNA ||
+           kind == ActionKind::kWrSC || kind == ActionKind::kUpdSC;
   }
 
   [[nodiscard]] bool is_update() const {
-    return kind == ActionKind::kUpdRA;
+    return kind == ActionKind::kUpdRA || kind == ActionKind::kUpdSC;
   }
 
   /// Non-atomic accesses participate in data-race detection and never
@@ -84,14 +114,47 @@ struct Action {
     return kind == ActionKind::kRdNA || kind == ActionKind::kWrNA;
   }
 
-  /// Membership in RdA (acquiring side of sw).
+  /// Membership in RdA (acquiring side of sw). SC reads are >= acq.
   [[nodiscard]] bool is_acquire() const {
-    return kind == ActionKind::kRdA || kind == ActionKind::kUpdRA;
+    return kind == ActionKind::kRdA || kind == ActionKind::kUpdRA ||
+           kind == ActionKind::kRdSC || kind == ActionKind::kUpdSC;
   }
 
-  /// Membership in WrR (releasing side of sw).
+  /// Membership in WrR (releasing side of sw). SC writes are >= rel.
   [[nodiscard]] bool is_release() const {
-    return kind == ActionKind::kWrR || kind == ActionKind::kUpdRA;
+    return kind == ActionKind::kWrR || kind == ActionKind::kUpdRA ||
+           kind == ActionKind::kWrSC || kind == ActionKind::kUpdSC;
+  }
+
+  /// Fences: no location, no value; synchronise through sb-adjacent
+  /// atomic accesses and participate in psc (SC fences).
+  [[nodiscard]] bool is_fence() const {
+    return kind == ActionKind::kFenceAcq || kind == ActionKind::kFenceRel ||
+           kind == ActionKind::kFenceAR || kind == ActionKind::kFenceSC;
+  }
+
+  /// Fences ordered >= acq (acquire side of fence-mediated sw).
+  [[nodiscard]] bool is_acquire_fence() const {
+    return kind == ActionKind::kFenceAcq || kind == ActionKind::kFenceAR ||
+           kind == ActionKind::kFenceSC;
+  }
+
+  /// Fences ordered >= rel (release side of fence-mediated sw).
+  [[nodiscard]] bool is_release_fence() const {
+    return kind == ActionKind::kFenceRel || kind == ActionKind::kFenceAR ||
+           kind == ActionKind::kFenceSC;
+  }
+
+  /// Membership in E^sc (SC accesses and SC fences) for psc.
+  [[nodiscard]] bool is_sc() const {
+    return kind == ActionKind::kRdSC || kind == ActionKind::kWrSC ||
+           kind == ActionKind::kUpdSC || kind == ActionKind::kFenceSC;
+  }
+
+  /// Atomic accesses (not fences, not non-atomics): the set through which
+  /// fence-mediated sw edges pass.
+  [[nodiscard]] bool is_atomic_access() const {
+    return !is_fence() && !is_nonatomic();
   }
 
   /// rdval(a): only meaningful when is_read().

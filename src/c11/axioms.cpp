@@ -16,6 +16,8 @@ std::string to_string(Axiom a) {
       return "NoThinAir";
     case Axiom::kCoherence:
       return "Coherence";
+    case Axiom::kSc:
+      return "Sc";
   }
   return "?";
 }
@@ -120,6 +122,10 @@ bool check_coherence(const Execution& ex, const DerivedRelations& d) {
   return hb_ecoopt.is_irreflexive() && d.eco.is_irreflexive();
 }
 
+bool check_sc(const Execution& ex, const DerivedRelations& d) {
+  return compute_psc(ex, d).is_acyclic();
+}
+
 ValidityReport check_validity(const Execution& ex) {
   return check_validity(ex, compute_derived(ex));
 }
@@ -132,6 +138,7 @@ ValidityReport check_validity(const Execution& ex,
   if (!check_rf_complete(ex)) report.violated.push_back(Axiom::kRfComplete);
   if (!check_no_thin_air(ex)) report.violated.push_back(Axiom::kNoThinAir);
   if (!check_coherence(ex, d)) report.violated.push_back(Axiom::kCoherence);
+  if (!check_sc(ex, d)) report.violated.push_back(Axiom::kSc);
   return report;
 }
 

@@ -28,6 +28,7 @@ enum class Axiom : std::uint8_t {
   kRfComplete,
   kNoThinAir,
   kCoherence,
+  kSc,
 };
 
 std::string to_string(Axiom a);
@@ -49,7 +50,11 @@ struct ValidityReport {
 [[nodiscard]] bool check_coherence(const Execution& ex,
                                    const DerivedRelations& d);
 
-/// Checks all five axioms.
+/// Sc: psc is acyclic (RC11). Trivially true without SC events, so the
+/// RAR fragment is unaffected.
+[[nodiscard]] bool check_sc(const Execution& ex, const DerivedRelations& d);
+
+/// Checks all six axioms.
 [[nodiscard]] ValidityReport check_validity(const Execution& ex);
 [[nodiscard]] ValidityReport check_validity(const Execution& ex,
                                             const DerivedRelations& d);

@@ -42,6 +42,15 @@ struct DerivedRelations {
 /// Computes all derived relations in one pass (sharing intermediates).
 [[nodiscard]] DerivedRelations compute_derived(const Execution& ex);
 
+/// RC11 partial-SC order psc = psc_base u psc_f over SC events/fences:
+///   scb      = sb u sb|!=loc;hb;sb|!=loc u hb|loc u mo u fr
+///   psc_base = ([E^sc] u [F^sc];hb?) ; scb ; ([E^sc] u hb?;[F^sc])
+///   psc_f    = [F^sc] ; (hb u hb;eco;hb) ; [F^sc]
+/// The Sc axiom (Lahav et al., RC11) requires psc to be acyclic. Empty
+/// when the execution has no SC events.
+[[nodiscard]] util::Relation compute_psc(const Execution& ex,
+                                         const DerivedRelations& d);
+
 /// The closed form of eco (Lemma C.9): under update atomicity,
 ///   eco = rf u mo u fr u (mo;rf) u (fr;rf).
 /// Exposed so tests can confirm the lemma on enumerated executions.

@@ -32,6 +32,8 @@ struct Event {
   [[nodiscard]] bool is_update() const { return action.is_update(); }
   [[nodiscard]] bool is_acquire() const { return action.is_acquire(); }
   [[nodiscard]] bool is_release() const { return action.is_release(); }
+  [[nodiscard]] bool is_fence() const { return action.is_fence(); }
+  [[nodiscard]] bool is_sc() const { return action.is_sc(); }
 
   /// Initialising events belong to thread 0 (IWr, Section 3.1).
   [[nodiscard]] bool is_init() const { return tid == kInitThread; }

@@ -2,20 +2,25 @@
 
 #include <cassert>
 
+#include "c11/axioms.hpp"
+
 namespace rc11::c11 {
 
 namespace {
 
-bool is_read_action(const Action& a) {
-  return a.kind == ActionKind::kRdX || a.kind == ActionKind::kRdA ||
-         a.kind == ActionKind::kRdNA;
+/// With SC events present the successor must additionally satisfy the Sc
+/// axiom (psc acyclic); RAR-fragment states skip the derived recompute.
+bool sc_consistent(const Execution& ex) {
+  bool any_sc = false;
+  for (const Event& e : ex.events()) {
+    if (e.is_sc()) {
+      any_sc = true;
+      break;
+    }
+  }
+  if (!any_sc) return true;
+  return check_sc(ex, compute_derived(ex));
 }
-
-bool is_write_action(const Action& a) {
-  return a.kind == ActionKind::kWrX || a.kind == ActionKind::kWrR ||
-         a.kind == ActionKind::kWrNA;
-}
-
 
 }  // namespace
 
@@ -26,36 +31,33 @@ std::optional<RaStep> ra_step(const Execution& ex, EventId w, ThreadId tid,
 
 std::optional<RaStep> ra_step(const Execution& ex, const DerivedRelations& d,
                               EventId w, ThreadId tid, const Action& a) {
+  if (a.is_fence()) {
+    // Fence rule: no observation premises; callers pass w = kNoEvent.
+    if (w != kNoEvent) return std::nullopt;
+    RaStep step = apply_fence(ex, tid, a);
+    if (!sc_consistent(step.next)) return std::nullopt;
+    return step;
+  }
+
   if (w >= ex.size() || !ex.event(w).is_write()) return std::nullopt;
   if (ex.event(w).var() != a.var) return std::nullopt;
 
   const util::Bitset ow = observable_writes(ex, d, tid);
   if (!ow.test(w)) return std::nullopt;
 
-  if (is_read_action(a)) {
-    // Read rule: wrval(w) = n.
+  if (a.is_read()) {
+    // Read/RMW rule: wrval(w) = n (resp. m).
     if (ex.event(w).wrval() != a.rdval()) return std::nullopt;
-    if (a.kind == ActionKind::kRdNA) {
-      return apply_read_na(ex, tid, a.var, w);
-    }
-    return apply_read(ex, tid, a.var, a.kind == ActionKind::kRdA, w);
+  }
+  if (a.is_write()) {
+    // Write/RMW rule: w uncovered.
+    const util::Bitset cw = covered_writes(ex);
+    if (cw.test(w)) return std::nullopt;
   }
 
-  const util::Bitset cw = covered_writes(ex);
-  if (cw.test(w)) return std::nullopt;  // Write/RMW need w uncovered
-
-  if (is_write_action(a)) {
-    if (a.kind == ActionKind::kWrNA) {
-      return apply_write_na(ex, tid, a.var, a.wrval(), w);
-    }
-    return apply_write(ex, tid, a.var, a.wrval(),
-                       a.kind == ActionKind::kWrR, w);
-  }
-
-  assert(a.kind == ActionKind::kUpdRA);
-  // RMW rule: wrval(w) = m.
-  if (ex.event(w).wrval() != a.rdval()) return std::nullopt;
-  return apply_update(ex, tid, a.var, a.wrval(), w);
+  RaStep step = apply_action(ex, tid, a, w);
+  if (!sc_consistent(step.next)) return std::nullopt;
+  return step;
 }
 
 std::vector<ReadOption> read_options(const Execution& ex,
@@ -153,6 +155,30 @@ RaStep apply_update(const Execution& ex, ThreadId t, VarId x, Value new_value,
   step.event = step.next.add_event(t, Action::upd(x, m, new_value));
   step.next.add_rf(w, step.event);
   step.next.mo_insert_after(w, step.event);
+  return step;
+}
+
+RaStep apply_fence(const Execution& ex, ThreadId t, const Action& a) {
+  assert(a.is_fence());
+  RaStep step;
+  step.next = ex;
+  step.event = step.next.add_event(t, a);
+  return step;
+}
+
+RaStep apply_action(const Execution& ex, ThreadId t, const Action& a,
+                    EventId w) {
+  if (a.is_fence()) {
+    assert(w == kNoEvent);
+    return apply_fence(ex, t, a);
+  }
+  assert(w < ex.size() && ex.event(w).var() == a.var);
+  RaStep step;
+  step.next = ex;
+  step.observed = w;
+  step.event = step.next.add_event(t, a);
+  if (a.is_read()) step.next.add_rf(w, step.event);
+  if (a.is_write()) step.next.mo_insert_after(w, step.event);
   return step;
 }
 

@@ -85,4 +85,16 @@ struct ReadOption {
 [[nodiscard]] RaStep apply_write_na(const Execution& ex, ThreadId t, VarId x,
                                     Value value, EventId w);
 
+/// Fence rule (full-RC11 extension): appends the fence event with no rf/mo
+/// edges. `a` must be a fence action.
+[[nodiscard]] RaStep apply_fence(const Execution& ex, ThreadId t,
+                                 const Action& a);
+
+/// Generic successor builder: appends (t, a) observing w, adding rf for
+/// reads and mo-insertion for writes as the kind dictates (fences pass
+/// w = kNoEvent). Covers the SC kinds the specialised appliers above
+/// predate; premises must have been established by the caller.
+[[nodiscard]] RaStep apply_action(const Execution& ex, ThreadId t,
+                                  const Action& a, EventId w);
+
 }  // namespace rc11::c11

@@ -30,6 +30,7 @@ EventId Execution::append_event_core(ThreadId tid, const Action& a) {
   writes_.resize(n);
   reads_.resize(n);
   updates_.resize(n);
+  fences_.resize(n);
 
   // sb := sb u ({e' in D | tid(e') in {tid(e), 0}} x {e}) — structurally
   // determined by the event sequence, so the materialized relation is just
@@ -41,8 +42,11 @@ EventId Execution::append_event_core(ThreadId tid, const Action& a) {
   if (a.is_write()) writes_.set(e);
   if (a.is_read()) reads_.set(e);
   if (a.is_update()) updates_.set(e);
+  if (a.is_fence()) fences_.set(e);
   max_thread_ = std::max(max_thread_, tid);
-  var_count_ = std::max(var_count_, static_cast<std::size_t>(a.var) + 1);
+  if (!a.is_fence()) {
+    var_count_ = std::max(var_count_, static_cast<std::size_t>(a.var) + 1);
+  }
   return e;
 }
 
@@ -159,6 +163,7 @@ Execution Execution::restrict(const util::Bitset& keep) const {
   out.writes_ = util::Bitset(n);
   out.reads_ = util::Bitset(n);
   out.updates_ = util::Bitset(n);
+  out.fences_ = util::Bitset(n);
   for (EventId e = 0; e < events_.size(); ++e) {
     if (remap[e] == kNoEvent) continue;
     const Event& ev = events_[e];
@@ -166,9 +171,12 @@ Execution Execution::restrict(const util::Bitset& keep) const {
     if (ev.is_write()) out.writes_.set(remap[e]);
     if (ev.is_read()) out.reads_.set(remap[e]);
     if (ev.is_update()) out.updates_.set(remap[e]);
+    if (ev.is_fence()) out.fences_.set(remap[e]);
     out.max_thread_ = std::max(out.max_thread_, ev.tid);
-    out.var_count_ =
-        std::max(out.var_count_, static_cast<std::size_t>(ev.var()) + 1);
+    if (!ev.is_fence()) {
+      out.var_count_ =
+          std::max(out.var_count_, static_cast<std::size_t>(ev.var()) + 1);
+    }
   }
   auto restrict_relation = [&](const util::Relation& src,
                                util::Relation& dst) {
@@ -523,12 +531,20 @@ EventId Execution::push_event(ThreadId tid, const Action& a, EventId w,
 
   const bool is_rd = a.is_read();
   const bool is_wr = a.is_write();
+  const bool is_fence = a.is_fence();
   const VarId x = a.var;
   bump_var_versions(a);
 
   // --- Snapshots over the old universe (pre-append) -----------------------
-  assert(w < n_old && events_[w].is_write() && events_[w].var() == x);
-  s.after = mo_.row(w);  // mo[w] — also the fr successors of a read of w
+  if (is_fence) {
+    // Fences observe nothing: no mo neighbourhood, no rf edge.
+    assert(w == kNoEvent);
+    s.after.resize(n_old);
+    s.after.clear();
+  } else {
+    assert(w < n_old && events_[w].is_write() && events_[w].var() == x);
+    s.after = mo_.row(w);  // mo[w] — also the fr successors of a read of w
+  }
   s.before.resize(n_old);
   s.before.clear();
   s.readers.resize(n_old);
@@ -615,15 +631,47 @@ EventId Execution::push_event(ThreadId tid, const Action& a, EventId w,
   }
 
   // --- hb: every new edge points into e, so only e's column grows ----------
+  //
+  // Fence-mediated sw keeps the invariant: an sw edge's target is always
+  // the acquiring read (pushed after its rf source) or an acquire fence
+  // (pushed after the reads it covers), so every new sw edge points into e
+  // here too. Release-side sources of a write w' are w' itself (when
+  // releasing) and every release fence sb-before w' (same thread, earlier
+  // tag); their hb columns are frozen once pushed, so gathering them now is
+  // order-independent.
   s.hbcol.resize(n);
   s.hbcol.clear();
   s.preds.for_each([&](std::size_t p) {
     s.hbcol.set(p);
     s.hbcol |= c.hb.column_view(p);
   });
-  if (is_rd && events_[w].is_release() && a.is_acquire()) {
-    s.hbcol.set(w);
-    s.hbcol |= c.hb.column_view(w);
+  const auto gather_release_side = [&](EventId wsrc) {
+    const Event& ws = events_[wsrc];
+    if (ws.action.is_nonatomic()) return;  // NA accesses never synchronise
+    if (ws.is_release()) {
+      s.hbcol.set(wsrc);
+      s.hbcol |= c.hb.column_view(wsrc);
+    }
+    fences_.for_each([&](std::size_t f) {
+      if (f < wsrc && events_[f].tid == ws.tid &&
+          events_[f].action.is_release_fence()) {
+        s.hbcol.set(f);
+        s.hbcol |= c.hb.column_view(f);
+      }
+    });
+  };
+  if (is_rd && !a.is_nonatomic() && a.is_acquire()) {
+    gather_release_side(w);
+  }
+  if (is_fence && a.is_acquire_fence()) {
+    // sw edges into the new acquire fence from the release side of every
+    // atomic read sb-before it in its thread.
+    s.preds.for_each([&](std::size_t r) {
+      const Event& er = events_[r];
+      if (er.tid != tid || !er.is_read() || er.action.is_nonatomic()) return;
+      const EventId wsrc = rf_source(static_cast<EventId>(r));
+      if (wsrc != kNoEvent) gather_release_side(wsrc);
+    });
   }
   c.hb.add_to_column(e, s.hbcol);
 
@@ -638,9 +686,10 @@ EventId Execution::push_event(ThreadId tid, const Action& a, EventId w,
   if (is_wr) {
     s.din |= s.before;
     s.din |= s.readers;
-  } else {
+  } else if (is_rd) {
     s.din.set(w);
   }
+  // Fences have no eco edges: D_in and mo[w] stay empty.
   s.ecocol.resize(n);
   s.ecocol.clear();
   s.din.for_each([&](std::size_t d) {
@@ -711,6 +760,7 @@ void Execution::pop_event(const UndoToken& tok) {
   writes_.resize(n_new);
   reads_.resize(n_new);
   updates_.resize(n_new);
+  fences_.resize(n_new);
 
   c.hb.resize(n_new);
   c.eco.resize(n_new);

@@ -40,10 +40,11 @@ class Execution {
   /// All initialising writes I_sigma = D n IWr.
   [[nodiscard]] const util::Bitset& init_writes() const { return inits_; }
 
-  /// Wr n D, Rd n D, U n D as index sets.
+  /// Wr n D, Rd n D, U n D, F n D as index sets.
   [[nodiscard]] const util::Bitset& writes() const { return writes_; }
   [[nodiscard]] const util::Bitset& reads() const { return reads_; }
   [[nodiscard]] const util::Bitset& updates() const { return updates_; }
+  [[nodiscard]] const util::Bitset& fences() const { return fences_; }
 
   /// Writes (including updates) on variable x.
   [[nodiscard]] util::Bitset writes_on(VarId x) const;
@@ -119,7 +120,9 @@ class Execution {
 
   /// Appends event (tid, a) observing write `w` and adds its rf/mo edges:
   /// reads add rf(w, e); writes insert e immediately after w in mo;
-  /// updates do both (Figure 3). Premises (w observable, uncovered for
+  /// updates do both (Figure 3). Fences observe nothing — pass
+  /// w = kNoEvent; they add no rf/mo edges but may gain hb in-edges via
+  /// fence-mediated synchronisation. Premises (w observable, uncovered for
   /// writes/updates, value agreement) must have been established by the
   /// caller via the cached queries below. tid must not be kInitThread.
   EventId push_event(ThreadId tid, const Action& a, EventId w,
@@ -319,7 +322,7 @@ class Execution {
   mutable util::Relation sb_;
   mutable bool sb_stale_ = false;
   util::Relation rf_, mo_;
-  util::Bitset inits_, writes_, reads_, updates_;
+  util::Bitset inits_, writes_, reads_, updates_, fences_;
   ThreadId max_thread_ = 0;
   std::size_t var_count_ = 0;
 

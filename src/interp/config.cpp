@@ -4,6 +4,7 @@
 #include <cassert>
 #include <sstream>
 
+#include "c11/axioms.hpp"
 #include "c11/derived.hpp"
 #include "c11/observability.hpp"
 
@@ -54,6 +55,9 @@ Config initial_config(const Program& p) {
     c.regs.emplace_back(p.reg_count(), 0);
     c.unfoldings.push_back(0);
   }
+  const lang::ScFeatures feats = lang::scan_sc_features(p);
+  c.has_sc = feats.has_sc;
+  c.has_sc_fence = feats.has_sc_fence;
   return c;
 }
 
@@ -92,6 +96,28 @@ void write_register(RegFile& file, lang::RegId r, Value v) {
 /// search, so they must remain visible transitions. Everything else that is
 /// silent commutes with all other threads' steps because it touches no
 /// shared state.
+c11::Action fence_action(lang::FenceMode m) {
+  switch (m) {
+    case lang::FenceMode::kAcquire:
+      return c11::Action::fence_acq();
+    case lang::FenceMode::kRelease:
+      return c11::Action::fence_rel();
+    case lang::FenceMode::kAcqRel:
+      return c11::Action::fence_ar();
+    case lang::FenceMode::kSeqCst:
+      return c11::Action::fence_sc();
+  }
+  return c11::Action::fence_sc();
+}
+
+/// Sc-axiom filter for SC programs: a candidate push is enabled only if the
+/// successor's psc stays acyclic. (Every psc constituent restricts exactly
+/// to sb u rf-downward-closed prefixes, so per-step filtering is complete:
+/// any Sc-consistent full execution is reachable through filtered steps.)
+bool sc_push_ok(const c11::Execution& next) {
+  return c11::check_sc(next, c11::compute_derived(next));
+}
+
 void apply_tau_compression(Config& c) {
   bool changed = true;
   while (changed) {
@@ -165,14 +191,32 @@ std::vector<ConfigStep> successors(const Config& c, const StepOptions& opts) {
       continue;
     }
 
+    if (auto* fe = std::get_if<lang::FenceStep>(&*s)) {
+      // Fence rule: exactly one successor, no observed write. Fences alone
+      // never close a psc cycle (a just-pushed fence has no outgoing hb),
+      // so no Sc filter is needed.
+      c11::RaStep ra = c11::apply_fence(c.exec, t, fence_action(fe->mode));
+      ConfigStep step;
+      step.next = advance_thread(c, t, fe->next);
+      step.next.exec = std::move(ra.next);
+      step.thread = t;
+      step.silent = false;
+      step.event = ra.event;
+      step.action = step.next.exec.event(ra.event).action;
+      finish(std::move(step));
+      continue;
+    }
+
     if (auto* rd = std::get_if<lang::ReadStep>(&*s)) {
       for (const c11::ReadOption& opt :
            c11::read_options(c.exec, derived, t, rd->var)) {
-        c11::RaStep ra =
-            rd->nonatomic
-                ? c11::apply_read_na(c.exec, t, rd->var, opt.write)
-                : c11::apply_read(c.exec, t, rd->var, rd->acquire,
-                                  opt.write);
+        const c11::Action a =
+            rd->sc          ? c11::Action::rd_sc(rd->var, opt.value)
+            : rd->nonatomic ? c11::Action::rd_na(rd->var, opt.value)
+            : rd->acquire   ? c11::Action::rd_acq(rd->var, opt.value)
+                            : c11::Action::rd(rd->var, opt.value);
+        c11::RaStep ra = c11::apply_action(c.exec, t, a, opt.write);
+        if (c.has_sc && !sc_push_ok(ra.next)) continue;
         ConfigStep step;
         step.next = advance_thread(c, t, rd->next(opt.value));
         step.next.exec = std::move(ra.next);
@@ -188,11 +232,13 @@ std::vector<ConfigStep> successors(const Config& c, const StepOptions& opts) {
 
     if (auto* wr = std::get_if<lang::WriteStep>(&*s)) {
       for (EventId w : c11::write_options(c.exec, derived, t, wr->var)) {
-        c11::RaStep ra =
-            wr->nonatomic
-                ? c11::apply_write_na(c.exec, t, wr->var, wr->value, w)
-                : c11::apply_write(c.exec, t, wr->var, wr->value,
-                                   wr->release, w);
+        const c11::Action a =
+            wr->sc          ? c11::Action::wr_sc(wr->var, wr->value)
+            : wr->nonatomic ? c11::Action::wr_na(wr->var, wr->value)
+            : wr->release   ? c11::Action::wr_rel(wr->var, wr->value)
+                            : c11::Action::wr(wr->var, wr->value);
+        c11::RaStep ra = c11::apply_action(c.exec, t, a, w);
+        if (c.has_sc && !sc_push_ok(ra.next)) continue;
         ConfigStep step;
         step.next = advance_thread(c, t, wr->next);
         step.next.exec = std::move(ra.next);
@@ -209,8 +255,11 @@ std::vector<ConfigStep> successors(const Config& c, const StepOptions& opts) {
     auto* up = std::get_if<lang::UpdateStep>(&*s);
     for (const c11::ReadOption& opt :
          c11::update_options(c.exec, derived, t, up->var)) {
-      c11::RaStep ra =
-          c11::apply_update(c.exec, t, up->var, up->new_value, opt.write);
+      const c11::Action a =
+          up->sc ? c11::Action::upd_sc(up->var, opt.value, up->new_value)
+                 : c11::Action::upd(up->var, opt.value, up->new_value);
+      c11::RaStep ra = c11::apply_action(c.exec, t, a, opt.write);
+      if (c.has_sc && !sc_push_ok(ra.next)) continue;
       ConfigStep step;
       step.next = advance_thread(c, t, up->next);
       step.next.exec = std::move(ra.next);
@@ -272,6 +321,18 @@ ThreadEnumClass enumerate_thread_steps(Config& c, ThreadId t,
     out.push_back(step);
     return cls;
   }
+  if (pk.kind == lang::PeekKind::kFence) {
+    // Fence rule: always enabled, exactly one transition, no observed
+    // write. Not classified as `memory`: the transition does not depend on
+    // any variable's observability, so the cached entry can only go stale
+    // through the thread-local dirty bit.
+    Step step;
+    step.thread = t;
+    step.silent = false;
+    step.action = fence_action(pk.fence);
+    out.push_back(step);
+    return cls;
+  }
 
   // Memory steps: the observable / covered sets come from the
   // incrementally maintained cache — no closures.
@@ -289,9 +350,10 @@ ThreadEnumClass enumerate_thread_steps(Config& c, ThreadId t,
       step.silent = false;
       step.observed = static_cast<EventId>(w);
       const Value v = ex.event(static_cast<EventId>(w)).wrval();
-      step.action = pk.nonatomic ? c11::Action::rd_na(pk.var, v)
-                    : pk.acquire ? c11::Action::rd_acq(pk.var, v)
-                                 : c11::Action::rd(pk.var, v);
+      step.action = pk.sc          ? c11::Action::rd_sc(pk.var, v)
+                    : pk.nonatomic ? c11::Action::rd_na(pk.var, v)
+                    : pk.acquire   ? c11::Action::rd_acq(pk.var, v)
+                                   : c11::Action::rd(pk.var, v);
       out.push_back(step);
     });
     return cls;
@@ -305,9 +367,10 @@ ThreadEnumClass enumerate_thread_steps(Config& c, ThreadId t,
       step.thread = t;
       step.silent = false;
       step.observed = static_cast<EventId>(w);
-      step.action = pk.nonatomic ? c11::Action::wr_na(pk.var, pk.value)
-                    : pk.release ? c11::Action::wr_rel(pk.var, pk.value)
-                                 : c11::Action::wr(pk.var, pk.value);
+      step.action = pk.sc          ? c11::Action::wr_sc(pk.var, pk.value)
+                    : pk.nonatomic ? c11::Action::wr_na(pk.var, pk.value)
+                    : pk.release   ? c11::Action::wr_rel(pk.var, pk.value)
+                                   : c11::Action::wr(pk.var, pk.value);
       out.push_back(step);
     });
     return cls;
@@ -321,11 +384,34 @@ ThreadEnumClass enumerate_thread_steps(Config& c, ThreadId t,
     step.thread = t;
     step.silent = false;
     step.observed = static_cast<EventId>(w);
-    step.action = c11::Action::upd(
-        pk.var, ex.event(static_cast<EventId>(w)).wrval(), pk.value);
+    const Value m = ex.event(static_cast<EventId>(w)).wrval();
+    step.action = pk.sc ? c11::Action::upd_sc(pk.var, m, pk.value)
+                        : c11::Action::upd(pk.var, m, pk.value);
     out.push_back(step);
   });
   return cls;
+}
+
+/// Drops every enumerated memory step whose push would violate the Sc
+/// axiom. Only runs for SC programs; fences are skipped (a just-pushed
+/// fence has no outgoing hb, so it never closes a psc cycle). Runs as a
+/// separate pass after enumeration: the trial pushes mutate the
+/// Execution's incremental cache, which the enumeration loop holds
+/// references into.
+void filter_sc_steps(Config& c, std::vector<Step>& out) {
+  c11::Execution& ex = c.exec;
+  thread_local c11::Execution::UndoToken tok;
+  std::size_t kept = 0;
+  for (Step& s : out) {
+    bool ok = true;
+    if (!s.silent && !s.action.is_fence()) {
+      ex.push_event(s.thread, s.action, s.observed, tok);
+      ok = c11::check_sc(ex, c11::compute_derived(ex));
+      ex.pop_event(tok);
+    }
+    if (ok) out[kept++] = s;
+  }
+  out.resize(kept);
 }
 
 }  // namespace
@@ -344,10 +430,19 @@ void enumerate_steps_uncached(Config& c, const StepOptions& opts,
   for (ThreadId t = 1; t <= c.thread_count(); ++t) {
     enumerate_thread_steps(c, t, opts, out);
   }
+  if (c.has_sc) filter_sc_steps(c, out);
 }
 
 void enumerate_steps(Config& c, const StepOptions& opts,
                      std::vector<Step>& out) {
+  if (c.has_sc) {
+    // The Sc filter couples a thread's enabled set to every other thread's
+    // events (a push anywhere can complete a psc cycle through old SC
+    // fences), so the per-thread step cache's locality assumption fails —
+    // bypass it entirely for SC programs.
+    enumerate_steps_uncached(c, opts, out);
+    return;
+  }
   out.clear();
   c11::Execution& ex = c.exec;
   ex.ensure_cache();
@@ -469,6 +564,9 @@ EventId apply_step_impl(Config& c, const Step& s, const StepOptions& opts,
   } else if (auto* wr = std::get_if<lang::WriteStep>(&*sv)) {
     c.cont[t - 1] = wr->next;
     event = c.exec.push_event(t, s.action, s.observed, tok);
+  } else if (auto* fe = std::get_if<lang::FenceStep>(&*sv)) {
+    c.cont[t - 1] = fe->next;
+    event = c.exec.push_event(t, s.action, c11::kNoEvent, tok);
   } else {
     auto* up = std::get_if<lang::UpdateStep>(&*sv);
     assert(up != nullptr);

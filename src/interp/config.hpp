@@ -104,6 +104,16 @@ struct Config {
   /// and registers, and an apply changes no other thread's. Derived state,
   /// excluded from key/fingerprint.
   bool tau_normal = false;
+  /// Static program scan (set once by initial_config; lang::scan_sc_features).
+  /// With `has_sc`, every enumerated memory step is psc-filtered — an
+  /// enabled transition must keep the Sc axiom satisfiable — and the step
+  /// cache is bypassed: the psc constraint couples enabledness across
+  /// threads, breaking the cache's thread-locality assumption.
+  bool has_sc = false;
+  /// An SC *fence* occurs in the program: SC fences let any two cross-thread
+  /// memory accesses interact through psc_f, so the independence relation
+  /// degrades to thread-disjointness only (mc/independence.hpp).
+  bool has_sc_fence = false;
 
   [[nodiscard]] std::size_t thread_count() const { return cont.size(); }
 

@@ -146,13 +146,28 @@ std::vector<ConfigStep> pe_successors(const Config& c,
       continue;
     }
 
+    if (auto* fe = std::get_if<lang::FenceStep>(&*s)) {
+      ConfigStep step = base(fe->next);
+      const c11::Action a =
+          fe->mode == lang::FenceMode::kAcquire   ? c11::Action::fence_acq()
+          : fe->mode == lang::FenceMode::kRelease ? c11::Action::fence_rel()
+          : fe->mode == lang::FenceMode::kAcqRel  ? c11::Action::fence_ar()
+                                                  : c11::Action::fence_sc();
+      step.event = step.next.exec.add_event(t, a);
+      step.silent = false;
+      step.action = a;
+      push(std::move(step));
+      continue;
+    }
+
     if (auto* rd = std::get_if<lang::ReadStep>(&*s)) {
       for (Value v : domain) {
         ConfigStep step = base(rd->next(v));
         const c11::Action a =
-            rd->nonatomic ? c11::Action::rd_na(rd->var, v)
-            : rd->acquire ? c11::Action::rd_acq(rd->var, v)
-                          : c11::Action::rd(rd->var, v);
+            rd->sc          ? c11::Action::rd_sc(rd->var, v)
+            : rd->nonatomic ? c11::Action::rd_na(rd->var, v)
+            : rd->acquire   ? c11::Action::rd_acq(rd->var, v)
+                            : c11::Action::rd(rd->var, v);
         step.event = step.next.exec.add_event(t, a);
         step.silent = false;
         step.action = a;
@@ -164,9 +179,10 @@ std::vector<ConfigStep> pe_successors(const Config& c,
     if (auto* wr = std::get_if<lang::WriteStep>(&*s)) {
       ConfigStep step = base(wr->next);
       const c11::Action a =
-          wr->nonatomic ? c11::Action::wr_na(wr->var, wr->value)
-          : wr->release ? c11::Action::wr_rel(wr->var, wr->value)
-                        : c11::Action::wr(wr->var, wr->value);
+          wr->sc          ? c11::Action::wr_sc(wr->var, wr->value)
+          : wr->nonatomic ? c11::Action::wr_na(wr->var, wr->value)
+          : wr->release   ? c11::Action::wr_rel(wr->var, wr->value)
+                          : c11::Action::wr(wr->var, wr->value);
       step.event = step.next.exec.add_event(t, a);
       step.silent = false;
       step.action = a;
@@ -177,7 +193,9 @@ std::vector<ConfigStep> pe_successors(const Config& c,
     auto* up = std::get_if<lang::UpdateStep>(&*s);
     for (Value v : domain) {
       ConfigStep step = base(up->next);
-      const c11::Action a = c11::Action::upd(up->var, v, up->new_value);
+      const c11::Action a =
+          up->sc ? c11::Action::upd_sc(up->var, v, up->new_value)
+                 : c11::Action::upd(up->var, v, up->new_value);
       step.event = step.next.exec.add_event(t, a);
       step.silent = false;
       step.action = a;

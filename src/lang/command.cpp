@@ -49,6 +49,15 @@ ComPtr assign_na(VarId x, ExprPtr e) {
   return make(std::move(c));
 }
 
+ComPtr assign_sc(VarId x, ExprPtr e) {
+  Com c;
+  c.kind = ComKind::kAssign;
+  c.var = x;
+  c.sc = true;
+  c.expr = std::move(e);
+  return make(std::move(c));
+}
+
 ComPtr reg_assign(RegId r, ExprPtr e) {
   Com c;
   c.kind = ComKind::kRegAssign;
@@ -65,6 +74,15 @@ ComPtr swap(VarId x, ExprPtr n) {
   return make(std::move(c));
 }
 
+ComPtr swap_sc(VarId x, ExprPtr n) {
+  Com c;
+  c.kind = ComKind::kSwap;
+  c.var = x;
+  c.sc = true;
+  c.expr = std::move(n);
+  return make(std::move(c));
+}
+
 ComPtr swap_into(RegId r, VarId x, ExprPtr n) {
   Com c;
   c.kind = ComKind::kSwap;
@@ -72,6 +90,24 @@ ComPtr swap_into(RegId r, VarId x, ExprPtr n) {
   c.reg = r;
   c.captures = true;
   c.expr = std::move(n);
+  return make(std::move(c));
+}
+
+ComPtr swap_sc_into(RegId r, VarId x, ExprPtr n) {
+  Com c;
+  c.kind = ComKind::kSwap;
+  c.var = x;
+  c.reg = r;
+  c.captures = true;
+  c.sc = true;
+  c.expr = std::move(n);
+  return make(std::move(c));
+}
+
+ComPtr fence(FenceMode mode) {
+  Com c;
+  c.kind = ComKind::kFence;
+  c.fence = mode;
   return make(std::move(c));
 }
 
@@ -165,6 +201,8 @@ Step seq_wrap(Step s, const ComPtr& c2) {
     up->next = seq(up->next, c2);
   } else if (auto* rw = std::get_if<RegWriteStep>(&s)) {
     rw->next = seq(rw->next, c2);
+  } else if (auto* fe = std::get_if<FenceStep>(&s)) {
+    fe->next = seq(fe->next, c2);
   }
   return s;
 }
@@ -191,6 +229,8 @@ Step label_wrap(Step s, int l) {
     up->next = label_rewrap(l, up->next);
   } else if (auto* rw = std::get_if<RegWriteStep>(&s)) {
     rw->next = label_rewrap(l, rw->next);
+  } else if (auto* fe = std::get_if<FenceStep>(&s)) {
+    fe->next = label_rewrap(l, fe->next);
   }
   return s;
 }
@@ -216,23 +256,23 @@ std::optional<Step> step(const ComPtr& c, const RegFile& regs) {
         // Figure 2 first rule: x := E --a--> x := E' via eval(E, a, E').
         const Com& node = *c;
         return ReadStep{pending->var, pending->acquire, pending->nonatomic,
-                        [e, node](Value v) {
+                        pending->sc, [e, node](Value v) {
                           Com c2 = node;
                           c2.expr = substitute_leftmost(e, v);
                           return std::make_shared<const Com>(std::move(c2));
                         }};
       }
-      // fv(E) = {}: emit wr(x,[[E]]) or wrR(x,[[E]]).
+      // fv(E) = {}: emit wr(x,[[E]]) or wrR(x,[[E]]) or wrSC(x,[[E]]).
       return WriteStep{c->var, eval_closed(e), c->release, c->nonatomic,
-                       skip()};
+                       c->sc, skip()};
     }
 
     case ComKind::kRegAssign: {
       const ExprPtr e = fold(resolve_registers(c->expr, regs));
       if (auto pending = next_read(e)) {
         const RegId r = c->reg;
-        return ReadStep{pending->var, pending->acquire,
-                        pending->nonatomic, [e, r](Value v) {
+        return ReadStep{pending->var, pending->acquire, pending->nonatomic,
+                        pending->sc, [e, r](Value v) {
                           return reg_assign(r, substitute_leftmost(e, v));
                         }};
       }
@@ -246,14 +286,15 @@ std::optional<Step> step(const ComPtr& c, const RegFile& regs) {
       const ExprPtr e = fold(resolve_registers(c->expr, regs));
       if (auto pending = next_read(e)) {
         const Com& node = *c;
-        return ReadStep{pending->var, pending->acquire,
-                        pending->nonatomic, [e, node](Value v) {
+        return ReadStep{pending->var, pending->acquire, pending->nonatomic,
+                        pending->sc, [e, node](Value v) {
                           Com c2 = node;
                           c2.expr = substitute_leftmost(e, v);
                           return std::make_shared<const Com>(std::move(c2));
                         }};
       }
-      return UpdateStep{c->var, eval_closed(e), c->captures, c->reg, skip()};
+      return UpdateStep{c->var, eval_closed(e), c->captures, c->reg, c->sc,
+                        skip()};
     }
 
     case ComKind::kSeq: {
@@ -269,8 +310,8 @@ std::optional<Step> step(const ComPtr& c, const RegFile& regs) {
       if (auto pending = next_read(b)) {
         const ComPtr c1 = c->c1;
         const ComPtr c2 = c->c2;
-        return ReadStep{pending->var, pending->acquire,
-                        pending->nonatomic, [b, c1, c2](Value v) {
+        return ReadStep{pending->var, pending->acquire, pending->nonatomic,
+                        pending->sc, [b, c1, c2](Value v) {
                           return if_then_else(substitute_leftmost(b, v), c1,
                                               c2);
                         }};
@@ -283,6 +324,9 @@ std::optional<Step> step(const ComPtr& c, const RegFile& regs) {
       // while B do C --lambda--> if B then (C ; while B do C) else skip.
       return SilentStep{
           if_then_else(c->expr, seq(c->c1, make(Com{*c})), skip())};
+
+    case ComKind::kFence:
+      return FenceStep{c->fence, skip()};
   }
   return std::nullopt;
 }
@@ -311,7 +355,7 @@ PeekEval peek_eval(const ExprPtr& e, const RegFile& regs) {
     case ExprKind::kVar: {
       PeekEval out;
       out.read = true;
-      out.pending = {e->var, e->acquire, e->nonatomic};
+      out.pending = {e->var, e->acquire, e->nonatomic, e->sc};
       return out;
     }
     case ExprKind::kUnary: {
@@ -346,6 +390,7 @@ StepPeek peek_read(const PeekEval& ev) {
   out.var = ev.pending.var;
   out.acquire = ev.pending.acquire;
   out.nonatomic = ev.pending.nonatomic;
+  out.sc = ev.pending.sc;
   return out;
 }
 
@@ -370,6 +415,7 @@ StepPeek peek_step(const ComPtr& c, const RegFile& regs) {
       out.value = ev.value;
       out.release = c->release;
       out.nonatomic = c->nonatomic;
+      out.sc = c->sc;
       return out;
     }
 
@@ -388,6 +434,7 @@ StepPeek peek_step(const ComPtr& c, const RegFile& regs) {
       out.kind = PeekKind::kUpdate;
       out.var = c->var;
       out.value = ev.value;
+      out.sc = c->sc;
       return out;
     }
 
@@ -414,6 +461,13 @@ StepPeek peek_step(const ComPtr& c, const RegFile& regs) {
       out.loop_unfold = true;
       return out;
     }
+
+    case ComKind::kFence: {
+      StepPeek out;
+      out.kind = PeekKind::kFence;
+      out.fence = c->fence;
+      return out;
+    }
   }
   return {};
 }
@@ -425,7 +479,10 @@ std::string Com::to_string(const c11::VarTable* vars) const {
     case ComKind::kAssign: {
       const std::string x =
           vars != nullptr ? vars->name(var) : util::cat("v", var);
-      const char* op = release ? " :=R " : nonatomic ? " :=NA " : " := ";
+      const char* op = sc          ? " :=SC "
+                       : release   ? " :=R "
+                       : nonatomic ? " :=NA "
+                                   : " := ";
       return util::cat(x, op, expr->to_string(vars));
     }
     case ComKind::kRegAssign:
@@ -433,8 +490,8 @@ std::string Com::to_string(const c11::VarTable* vars) const {
     case ComKind::kSwap: {
       const std::string x =
           vars != nullptr ? vars->name(var) : util::cat("v", var);
-      const std::string call =
-          util::cat(x, ".swap(", expr->to_string(vars), ")RA");
+      const std::string call = util::cat(x, ".swap(", expr->to_string(vars),
+                                         sc ? ")SC" : ")RA");
       return captures ? util::cat("r", reg, " := ", call) : call;
     }
     case ComKind::kSeq:
@@ -448,6 +505,18 @@ std::string Com::to_string(const c11::VarTable* vars) const {
                        c1->to_string(vars), "}");
     case ComKind::kLabel:
       return util::cat(label, ": ", c1->to_string(vars));
+    case ComKind::kFence:
+      switch (fence) {
+        case FenceMode::kAcquire:
+          return "fence_acq";
+        case FenceMode::kRelease:
+          return "fence_rel";
+        case FenceMode::kAcqRel:
+          return "fence_ar";
+        case FenceMode::kSeqCst:
+          return "fence_sc";
+      }
+      return "fence_sc";
   }
   return "?";
 }
@@ -460,8 +529,8 @@ std::uint64_t structural_hash(const ComPtr& c) {
     case ComKind::kSkip:
       break;
     case ComKind::kAssign:
-      h = util::mix64(h ^ (static_cast<std::uint64_t>(c->var) << 2 |
-                           (c->release ? 2u : 0u) |
+      h = util::mix64(h ^ (static_cast<std::uint64_t>(c->var) << 3 |
+                           (c->sc ? 4u : 0u) | (c->release ? 2u : 0u) |
                            (c->nonatomic ? 1u : 0u)));
       h = util::mix64(h + structural_hash(c->expr));
       break;
@@ -471,7 +540,7 @@ std::uint64_t structural_hash(const ComPtr& c) {
       break;
     case ComKind::kSwap:
       h = util::mix64(h ^ (static_cast<std::uint64_t>(c->var) << 2 |
-                           (c->captures ? 1u : 0u)));
+                           (c->sc ? 2u : 0u) | (c->captures ? 1u : 0u)));
       h = util::mix64(h ^ c->reg);
       h = util::mix64(h + structural_hash(c->expr));
       break;
@@ -491,6 +560,9 @@ std::uint64_t structural_hash(const ComPtr& c) {
     case ComKind::kLabel:
       h = util::mix64(h ^ static_cast<std::uint64_t>(c->label));
       h = util::mix64(h + structural_hash(c->c1));
+      break;
+    case ComKind::kFence:
+      h = util::mix64(h ^ (static_cast<std::uint64_t>(c->fence) + 29));
       break;
   }
   if (h == 0) h = 1;  // 0 is the memo's "unset" sentinel

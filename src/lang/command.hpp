@@ -56,7 +56,11 @@ enum class ComKind : std::uint8_t {
   kIf,         ///< if B then C1 else C2
   kWhile,      ///< while B do C
   kLabel,      ///< `l: C` — pc marker, transparent to stepping
+  kFence,      ///< fence(acq|rel|ar|sc) (full-RC11 extension)
 };
+
+/// Fence strength for ComKind::kFence (full-RC11 extension).
+enum class FenceMode : std::uint8_t { kAcquire, kRelease, kAcqRel, kSeqCst };
 
 class Com;
 using ComPtr = std::shared_ptr<const Com>;
@@ -85,6 +89,8 @@ class Com {
   VarId var = 0;           // kAssign, kSwap
   bool release = false;    // kAssign: x :=^R E
   bool nonatomic = false;  // kAssign: x :=^NA E (extension)
+  bool sc = false;         // kAssign: x :=^SC E / kSwap: x.swap(n)^SC
+  FenceMode fence = FenceMode::kSeqCst;  // kFence
   RegId reg = 0;          // kRegAssign, kSwap capture target
   bool captures = false;  // kSwap: store old value into `reg`
   ExprPtr expr;           // kAssign/kRegAssign RHS, kSwap new value,
@@ -107,9 +113,13 @@ class Com {
 [[nodiscard]] ComPtr assign(VarId x, ExprPtr e);        ///< x := E
 [[nodiscard]] ComPtr assign_rel(VarId x, ExprPtr e);    ///< x :=^R E
 [[nodiscard]] ComPtr assign_na(VarId x, ExprPtr e);     ///< x :=^NA E
+[[nodiscard]] ComPtr assign_sc(VarId x, ExprPtr e);     ///< x :=^SC E
 [[nodiscard]] ComPtr reg_assign(RegId r, ExprPtr e);    ///< r := E
 [[nodiscard]] ComPtr swap(VarId x, ExprPtr n);          ///< x.swap(n)^RA
+[[nodiscard]] ComPtr swap_sc(VarId x, ExprPtr n);       ///< x.swap(n)^SC
 [[nodiscard]] ComPtr swap_into(RegId r, VarId x, ExprPtr n);
+[[nodiscard]] ComPtr swap_sc_into(RegId r, VarId x, ExprPtr n);
+[[nodiscard]] ComPtr fence(FenceMode mode);             ///< fence(mode)
 [[nodiscard]] ComPtr seq(ComPtr c1, ComPtr c2);
 [[nodiscard]] ComPtr seq(const std::vector<ComPtr>& cs);
 [[nodiscard]] ComPtr if_then_else(ExprPtr b, ComPtr c1, ComPtr c2);
@@ -135,6 +145,7 @@ struct WriteStep {
   Value value = 0;
   bool release = false;
   bool nonatomic = false;
+  bool sc = false;
   ComPtr next;
 };
 
@@ -145,15 +156,18 @@ struct ReadStep {
   VarId var = 0;
   bool acquire = false;
   bool nonatomic = false;
+  bool sc = false;
   std::function<ComPtr(Value)> next;
 };
 
-/// updRA(x,_,n): continuation may capture the value read into a register.
+/// updRA(x,_,n) / updSC(x,_,n): continuation may capture the value read
+/// into a register.
 struct UpdateStep {
   VarId var = 0;
   Value new_value = 0;
   bool captures = false;
   RegId capture_reg = 0;
+  bool sc = false;
   ComPtr next;
 };
 
@@ -164,8 +178,14 @@ struct RegWriteStep {
   ComPtr next;
 };
 
-using Step =
-    std::variant<SilentStep, WriteStep, ReadStep, UpdateStep, RegWriteStep>;
+/// Memory fence (full-RC11 extension): no location, no value.
+struct FenceStep {
+  FenceMode mode = FenceMode::kSeqCst;
+  ComPtr next;
+};
+
+using Step = std::variant<SilentStep, WriteStep, ReadStep, UpdateStep,
+                          RegWriteStep, FenceStep>;
 
 /// The single enabled step of C (nullopt iff C is skip, i.e. terminated).
 [[nodiscard]] std::optional<Step> step(const ComPtr& c, const RegFile& regs);
@@ -189,6 +209,7 @@ enum class PeekKind : std::uint8_t {
   kRead,      ///< ReadStep
   kWrite,     ///< WriteStep
   kUpdate,    ///< UpdateStep
+  kFence,     ///< FenceStep
 };
 
 struct StepPeek {
@@ -199,6 +220,8 @@ struct StepPeek {
   bool acquire = false;      ///< kRead
   bool release = false;      ///< kWrite
   bool nonatomic = false;    ///< kRead/kWrite
+  bool sc = false;           ///< kRead/kWrite/kUpdate
+  FenceMode fence = FenceMode::kSeqCst;  ///< kFence
 };
 
 [[nodiscard]] StepPeek peek_step(const ComPtr& c, const RegFile& regs);

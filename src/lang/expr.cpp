@@ -48,6 +48,14 @@ ExprPtr shared_na(VarId x) {
   return make(std::move(e));
 }
 
+ExprPtr shared_sc(VarId x) {
+  Expr e;
+  e.kind = ExprKind::kVar;
+  e.var = x;
+  e.sc = true;
+  return make(std::move(e));
+}
+
 ExprPtr reg(RegId r) {
   Expr e;
   e.kind = ExprKind::kReg;
@@ -213,7 +221,7 @@ std::optional<PendingRead> next_read(const ExprPtr& e) {
     case ExprKind::kReg:
       return std::nullopt;
     case ExprKind::kVar:
-      return PendingRead{e->var, e->acquire, e->nonatomic};
+      return PendingRead{e->var, e->acquire, e->nonatomic, e->sc};
     case ExprKind::kUnary:
       return next_read(e->lhs);
     case ExprKind::kBinary:
@@ -325,6 +333,7 @@ std::string Expr::to_string(const c11::VarTable* vars) const {
     case ExprKind::kVar: {
       std::string name =
           vars != nullptr ? vars->name(var) : util::cat("v", var);
+      if (sc) return util::cat(name, "^SC");
       if (acquire) return util::cat(name, "^A");
       if (nonatomic) return util::cat(name, "^NA");
       return name;
@@ -349,8 +358,8 @@ std::uint64_t structural_hash(const ExprPtr& e) {
       h = util::mix64(h ^ static_cast<std::uint64_t>(e->value));
       break;
     case ExprKind::kVar:
-      h = util::mix64(h ^ (static_cast<std::uint64_t>(e->var) << 2 |
-                           (e->acquire ? 2u : 0u) |
+      h = util::mix64(h ^ (static_cast<std::uint64_t>(e->var) << 3 |
+                           (e->sc ? 4u : 0u) | (e->acquire ? 2u : 0u) |
                            (e->nonatomic ? 1u : 0u)));
       break;
     case ExprKind::kReg:

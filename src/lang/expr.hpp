@@ -68,6 +68,7 @@ class Expr {
   VarId var = 0;           // kVar
   bool acquire = false;    // kVar: x^A
   bool nonatomic = false;  // kVar: x^NA (extension; see c11/races.hpp)
+  bool sc = false;         // kVar: x^SC (full-RC11 extension)
   RegId reg = 0;          // kReg
   UnOp un_op = UnOp::kNot;
   BinOp bin_op = BinOp::kAdd;
@@ -85,6 +86,7 @@ class Expr {
 [[nodiscard]] ExprPtr shared(VarId x);      ///< relaxed read of x
 [[nodiscard]] ExprPtr shared_acq(VarId x);  ///< acquiring read of x
 [[nodiscard]] ExprPtr shared_na(VarId x);   ///< non-atomic read of x
+[[nodiscard]] ExprPtr shared_sc(VarId x);   ///< SC read of x
 [[nodiscard]] ExprPtr reg(RegId r);
 [[nodiscard]] ExprPtr unary(UnOp op, ExprPtr e);
 [[nodiscard]] ExprPtr binary(BinOp op, ExprPtr l, ExprPtr r);
@@ -113,6 +115,7 @@ struct PendingRead {
   VarId var = 0;
   bool acquire = false;
   bool nonatomic = false;
+  bool sc = false;
 };
 
 /// Leftmost shared read of E, or nullopt when E is register/constant-only.

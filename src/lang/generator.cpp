@@ -40,19 +40,34 @@ class Generator {
   VarId pick_var() { return static_cast<VarId>(pick(options_.vars)); }
 
   ExprPtr read_expr(VarId x) {
-    const int mode = pick(4);
+    const int mode = pick(options_.allow_sc ? 5 : 4);
     if (options_.allow_acquire && mode == 0) return shared_acq(x);
     if (options_.allow_nonatomic && mode == 1) return shared_na(x);
+    if (options_.allow_sc && mode == 4) return shared_sc(x);
     return shared(x);
   }
 
   ComPtr write_stmt() {
     const VarId x = pick_var();
     const Value v = pick_value();
-    const int mode = pick(4);
+    const int mode = pick(options_.allow_sc ? 5 : 4);
     if (options_.allow_release && mode == 0) return assign_rel(x, constant(v));
     if (options_.allow_nonatomic && mode == 1) return assign_na(x, constant(v));
+    if (options_.allow_sc && mode == 4) return assign_sc(x, constant(v));
     return assign(x, constant(v));
+  }
+
+  ComPtr fence_stmt() {
+    switch (pick(4)) {
+      case 0:
+        return fence(FenceMode::kAcquire);
+      case 1:
+        return fence(FenceMode::kRelease);
+      case 2:
+        return fence(FenceMode::kAcqRel);
+      default:
+        return fence(FenceMode::kSeqCst);
+    }
   }
 
   ComPtr read_stmt(int thread) {
@@ -64,12 +79,14 @@ class Generator {
   ComPtr swap_stmt(int thread) {
     const VarId x = pick_var();
     const Value v = pick_value();
+    const bool sc = options_.allow_sc && pick(3) == 2;
     if (pick(2) == 0) {
       const RegId r = program_.declare_reg(
           util::cat("t", thread + 1, "r", reg_counter_++));
-      return swap_into(r, x, constant(v));
+      return sc ? swap_sc_into(r, x, constant(v))
+                : swap_into(r, x, constant(v));
     }
-    return swap(x, constant(v));
+    return sc ? swap_sc(x, constant(v)) : swap(x, constant(v));
   }
 
   ComPtr if_stmt(int thread, int depth) {
@@ -80,6 +97,10 @@ class Generator {
   }
 
   ComPtr statement(int thread, int depth) {
+    // Fences ride a low-probability side channel so fence-enabled sweeps
+    // still generate mostly accesses (a fence-only thread explores
+    // nothing interesting).
+    if (options_.allow_fences && pick(5) == 0) return fence_stmt();
     const int choices = 2 + (options_.allow_swap ? 1 : 0) +
                         (options_.allow_if && depth < 1 ? 1 : 0);
     switch (pick(choices)) {

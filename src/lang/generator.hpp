@@ -25,6 +25,8 @@ struct GeneratorOptions {
   bool allow_nonatomic = false;  ///< NA accesses (race-prone!)
   bool allow_release = true;     ///< releasing writes
   bool allow_acquire = true;     ///< acquiring reads
+  bool allow_sc = false;         ///< SC reads, writes and RMWs
+  bool allow_fences = false;     ///< acq/rel/acq_rel/SC fences as statements
 };
 
 /// Generates a loop-free program; every register the program reads into is

@@ -70,9 +70,10 @@ class Lexer {
       return;
     }
     // Multi-character symbols, longest first.
-    static const char* kSymbols[] = {":=NA", ":=R", ":=",  "==", "!=",
-                                     "<=",   ">=",  "&&",  "||", "@NA",
-                                     "@A",   "^NA", "^A"};
+    static const char* kSymbols[] = {":=SC", ":=NA", ":=R", ":=",  "==",
+                                     "!=",   "<=",   ">=",  "&&",  "||",
+                                     "@SC",  "@NA",  "@A",  "^SC", "^NA",
+                                     "^A"};
     for (const char* s : kSymbols) {
       const std::size_t len = std::string(s).size();
       if (src_.compare(pos_, len, s) == 0) {
@@ -195,25 +196,33 @@ class Parser {
       expect_symbol(")");
       return while_do(std::move(guard), parse_block(p));
     }
+    if (auto mode = peek_fence_mode()) {
+      lex_.next();
+      expect_symbol(";");
+      return fence(*mode);
+    }
     // Assignment or swap: starts with an identifier.
     const std::string target = expect(TokKind::kIdent).text;
     if (peek_symbol(".")) {
-      // x.swap(e);
+      // x.swap(e);  (optional RA/SC mode suffix after the close paren)
       lex_.next();
       expect_ident("swap");
       expect_symbol("(");
       ExprPtr val = parse_expr(p);
       expect_symbol(")");
+      const bool sc_swap = parse_swap_suffix();
       expect_symbol(";");
       if (!p.vars().contains(target)) {
         fail(util::cat("swap target '", target, "' is not a shared variable"));
       }
-      return swap(p.vars().lookup(target), std::move(val));
+      const VarId x = p.vars().lookup(target);
+      return sc_swap ? swap_sc(x, std::move(val)) : swap(x, std::move(val));
     }
     const bool release = peek_symbol(":=R");
     const bool nonatomic = peek_symbol(":=NA");
-    if (!release && !nonatomic && !peek_symbol(":=")) {
-      fail("expected :=, :=R or :=NA");
+    const bool sc = peek_symbol(":=SC");
+    if (!release && !nonatomic && !sc && !peek_symbol(":=")) {
+      fail("expected :=, :=R, :=NA or :=SC");
     }
     lex_.next();
 
@@ -235,6 +244,7 @@ class Parser {
           expect_symbol("(");
           ExprPtr val = parse_expr(p);
           expect_symbol(")");
+          const bool sc_swap = parse_swap_suffix();
           expect_symbol(";");
           if (!p.vars().contains(rhs_ident)) {
             fail(util::cat("swap target '", rhs_ident,
@@ -243,8 +253,10 @@ class Parser {
           if (p.vars().contains(target)) {
             fail("swap result must be captured into a register");
           }
-          return swap_into(p.declare_reg(target),
-                           p.vars().lookup(rhs_ident), std::move(val));
+          const RegId r = p.declare_reg(target);
+          const VarId x = p.vars().lookup(rhs_ident);
+          return sc_swap ? swap_sc_into(r, x, std::move(val))
+                         : swap_into(r, x, std::move(val));
         }
       }
     }
@@ -253,11 +265,12 @@ class Parser {
     expect_symbol(";");
     if (p.vars().contains(target)) {
       const VarId x = p.vars().lookup(target);
+      if (sc) return assign_sc(x, std::move(rhs));
       if (nonatomic) return assign_na(x, std::move(rhs));
       return release ? assign_rel(x, std::move(rhs))
                      : assign(x, std::move(rhs));
     }
-    if (release || nonatomic) {
+    if (release || nonatomic || sc) {
       fail("access annotation on a register assignment");
     }
     return reg_assign(p.declare_reg(target), std::move(rhs));
@@ -356,13 +369,15 @@ class Parser {
     const Token t = expect(TokKind::kIdent);
     const bool acquire = peek_symbol("@A") || peek_symbol("^A");
     const bool nonatomic = peek_symbol("@NA") || peek_symbol("^NA");
-    if (acquire || nonatomic) lex_.next();
+    const bool sc = peek_symbol("@SC") || peek_symbol("^SC");
+    if (acquire || nonatomic || sc) lex_.next();
     if (p.vars().contains(t.text)) {
       const VarId x = p.vars().lookup(t.text);
+      if (sc) return shared_sc(x);
       if (nonatomic) return shared_na(x);
       return acquire ? shared_acq(x) : shared(x);
     }
-    if (acquire || nonatomic) {
+    if (acquire || nonatomic || sc) {
       fail(util::cat("access annotation on register '", t.text, "'"));
     }
     return reg(p.declare_reg(t.text));
@@ -438,6 +453,30 @@ class Parser {
     }
     const Value v = expect_int();
     return negative ? -v : v;
+  }
+
+  // --- Fence / swap-mode helpers ---------------------------------------------
+
+  /// Fence statement keyword, if the next token is one.
+  [[nodiscard]] std::optional<FenceMode> peek_fence_mode() const {
+    if (lex_.peek().kind != TokKind::kIdent) return std::nullopt;
+    const std::string& s = lex_.peek().text;
+    if (s == "fence_acq") return FenceMode::kAcquire;
+    if (s == "fence_rel") return FenceMode::kRelease;
+    if (s == "fence_ar") return FenceMode::kAcqRel;
+    if (s == "fence_sc") return FenceMode::kSeqCst;
+    return std::nullopt;
+  }
+
+  /// Optional mode suffix after `x.swap(e)`: `RA` (default) or `SC`.
+  /// Returns true for an SC swap.
+  bool parse_swap_suffix() {
+    if (peek_ident("SC")) {
+      lex_.next();
+      return true;
+    }
+    if (peek_ident("RA")) lex_.next();
+    return false;
   }
 
   // --- Token helpers ----------------------------------------------------------

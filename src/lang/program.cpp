@@ -45,6 +45,45 @@ std::string Program::to_string() const {
 }
 
 namespace {
+
+void scan_expr(const ExprPtr& e, ScFeatures& out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kVar && e->sc) out.has_sc = true;
+  scan_expr(e->lhs, out);
+  scan_expr(e->rhs, out);
+}
+
+void scan_com(const ComPtr& c, ScFeatures& out) {
+  if (c == nullptr) return;
+  if (c->kind == ComKind::kFence) {
+    out.has_fence = true;
+    if (c->fence == FenceMode::kSeqCst) {
+      out.has_sc = true;
+      out.has_sc_fence = true;
+    }
+    return;
+  }
+  if (c->sc) out.has_sc = true;
+  scan_expr(c->expr, out);
+  scan_com(c->c1, out);
+  scan_com(c->c2, out);
+}
+
+}  // namespace
+
+ScFeatures scan_sc_features(const ComPtr& c) {
+  ScFeatures out;
+  scan_com(c, out);
+  return out;
+}
+
+ScFeatures scan_sc_features(const Program& p) {
+  ScFeatures out;
+  for (ThreadId t = 1; t <= p.thread_count(); ++t) scan_com(p.thread(t), out);
+  return out;
+}
+
+namespace {
 CondPtr make(Cond c) { return std::make_shared<const Cond>(std::move(c)); }
 }  // namespace
 

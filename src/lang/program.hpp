@@ -61,6 +61,22 @@ class Program {
   std::vector<ComPtr> threads_;
 };
 
+// --- SC feature scan --------------------------------------------------------
+
+/// Static summary of the full-RC11 features a program uses. The interpreter
+/// consults it once per exploration: programs with any SC feature need psc
+/// filtering of candidate steps (and bypass the per-thread step cache, whose
+/// thread-locality assumption the global psc constraint breaks); the
+/// independence relation additionally couples everything to SC fences.
+struct ScFeatures {
+  bool has_sc = false;        ///< any SC access, SC swap, or SC fence
+  bool has_sc_fence = false;  ///< an SC fence specifically
+  bool has_fence = false;     ///< any fence, of any strength
+};
+
+[[nodiscard]] ScFeatures scan_sc_features(const ComPtr& c);
+[[nodiscard]] ScFeatures scan_sc_features(const Program& p);
+
 // --- Final-state conditions (litmus `exists` / `forbidden` clauses) ---------
 
 enum class CondKind : std::uint8_t {

@@ -1,0 +1,100 @@
+// Herd-style `.litmus` importer: the third differential oracle's front
+// door. Published C11/RC11 litmus tests are written in herd's C format;
+// this module parses a (straight-line) subset of it and *transpiles* each
+// test into the repo's own textual litmus format (lang/parser.hpp), so the
+// whole existing stack — sequential/parallel explorers under every POR
+// mode, the axiomatic enumerator, the race checker — runs imported tests
+// unmodified via litmus::run_test.
+//
+// Accepted shape (comments `(* .. *)` and `// ..` anywhere):
+//
+//   C NAME                          (also "RC11 NAME")
+//   { x = 0; y = 0; }               (init block; entries optional)
+//   P0 (atomic_int* x, ...) {       (parameter list optional)
+//     atomic_store_explicit(x, 1, memory_order_release);
+//     r0 = atomic_load_explicit(y, memory_order_acquire);
+//     atomic_thread_fence(memory_order_seq_cst);
+//     r1 = atomic_exchange_explicit(x, 2, memory_order_seq_cst);
+//     x = 1;                        (plain = non-atomic write)
+//     r2 = x;                       (plain = non-atomic read)
+//   }
+//   P1 { ... }
+//   exists (0:r0 = 1 /\ [x] = 2)    (herd connectives /\ \/ ~ ; "~exists"
+//                                    or "forbidden" flips the expectation)
+//
+// Memory orders: stores take relaxed/release/seq_cst, loads take
+// relaxed/acquire/seq_cst, exchanges acq_rel/seq_cst, fences
+// acquire/release/acq_rel/seq_cst; `atomic_store`/`atomic_load`/
+// `atomic_exchange` without `_explicit` default to seq_cst. Shared
+// variables may be written `x`, `*x` or `[x]`. Stored values are integer
+// literals or registers. Threads must be named P0, P1, ... consecutively;
+// herd's 0-based `Pn:reg` condition atoms map to the repo's 1-based
+// thread ids.
+//
+// Every diagnostic carries the origin and 1-based line number
+// ("file.litmus:12: ..."); tests/test_litmus_import.cpp locks that in.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "litmus/catalog.hpp"
+
+namespace rc11::litmus {
+
+/// Syntax/semantic error in a herd-style source, with "origin:line:" in
+/// what().
+class ImportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Memory order of an imported instruction (kNA = plain/non-atomic).
+enum class ImportMo : std::uint8_t { kNA, kRlx, kAcq, kRel, kAcqRel, kSC };
+
+/// One straight-line instruction of an imported thread.
+struct ImportInstr {
+  enum class Op : std::uint8_t { kStore, kLoad, kExchange, kFence };
+  Op op = Op::kStore;
+  std::string var;    ///< shared location (store/load/exchange)
+  std::string reg;    ///< destination register (load; optional on exchange)
+  std::string value;  ///< stored value: integer literal or register name
+  ImportMo mo = ImportMo::kRlx;
+};
+
+/// A parsed herd-style test plus its transpilation.
+struct ImportedTest {
+  std::string name;
+  std::vector<std::pair<std::string, long>> init;  ///< shared vars, in order
+  std::vector<std::vector<ImportInstr>> threads;   ///< P0, P1, ...
+  std::string condition_herd;      ///< canonical herd syntax ("true" if none)
+  std::string condition_internal;  ///< same condition in lang/parser syntax
+  Expectation expected = Expectation::kAllowed;
+  std::string source;  ///< transpiled internal litmus source (parse_litmus-ready)
+};
+
+/// Parses one herd-style test. `origin` names the source in diagnostics.
+[[nodiscard]] ImportedTest import_litmus(const std::string& text,
+                                         const std::string& origin = "<litmus>");
+
+/// Reads and parses one `.litmus` file. Throws ImportError (also on I/O).
+[[nodiscard]] ImportedTest import_file(const std::string& path);
+
+/// Imports a single file, or every `*.litmus` under a directory
+/// (lexicographic order — stable corpus enumeration).
+[[nodiscard]] std::vector<ImportedTest> import_path(const std::string& path);
+
+/// Pretty-prints back to canonical herd-style text. Round trip is exact:
+/// import_litmus(export_litmus(t)) transpiles to the identical internal
+/// source (tests/test_litmus_import.cpp checks config-fingerprint
+/// equality of the re-parsed programs).
+[[nodiscard]] std::string export_litmus(const ImportedTest& t);
+
+/// Wraps an imported test as a catalogue entry so litmus::run_test /
+/// run_all-style drivers consume it unchanged.
+[[nodiscard]] Test to_test(const ImportedTest& t);
+
+}  // namespace rc11::litmus

@@ -29,6 +29,7 @@ RunResult run_test(const Test& test, mc::ExploreOptions options) {
 
   const mc::OutcomeResult outcomes =
       mc::enumerate_outcomes(parsed.program, options);
+  result.outcome_stats = outcomes.stats;
   result.distinct_outcomes = outcomes.outcomes.size();
   return result;
 }

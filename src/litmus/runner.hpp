@@ -16,6 +16,9 @@ struct RunResult {
   bool observed_reachable = false;
   bool pass = false;
   mc::ExploreStats stats;
+  /// Stats of the full outcome enumeration (reachability may stop early on
+  /// a witness; gates on counters like sleep_blocked need the full run).
+  mc::ExploreStats outcome_stats;
   std::size_t distinct_outcomes = 0;  ///< distinct final observations
 
   [[nodiscard]] std::string to_string() const;

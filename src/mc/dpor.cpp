@@ -198,10 +198,10 @@ void prepare_node(Node& n, const ExploreOptions& options) {
   if (options.pre_execution) {
     n.pe_steps = interp::pe_successors(
         n.config, interp::value_domain(*n.config.program), options.step);
-    sigs_of(n.pe_steps, n.config.exec, n.sigs);
+    sigs_of(n.pe_steps, n.config.exec, n.sigs, n.config.has_sc_fence);
   } else {
     interp::enumerate_steps(n.config, options.step, n.steps);
-    sigs_of(n.steps, n.config.exec, n.sigs);
+    sigs_of(n.steps, n.config.exec, n.sigs, n.config.has_sc_fence);
   }
   for (const auto& s : n.sigs) {
     if (n.enabled.empty() || n.enabled.back() != s.thread) {

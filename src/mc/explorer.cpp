@@ -87,7 +87,7 @@ ExploreResult explore_materialized(const interp::Config& start,
 
   auto prepare_frame = [&](MatFrame& f) {
     f.steps = expand(f.config, options);
-    if (por) sigs_of(f.steps, f.config.exec, f.sigs);
+    if (por) sigs_of(f.steps, f.config.exec, f.sigs, f.config.has_sc_fence);
   };
 
   std::vector<MatFrame> stack;
@@ -261,7 +261,7 @@ ExploreResult explore_incremental(const interp::Config& start,
     f.next_step = 0;
     f.sigs.clear();
     interp::enumerate_steps(cur, options.step, f.steps);
-    if (por) sigs_of(f.steps, cur.exec, f.sigs);
+    if (por) sigs_of(f.steps, cur.exec, f.sigs, cur.has_sc_fence);
   };
 
   {

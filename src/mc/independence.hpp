@@ -40,8 +40,28 @@
 //                               accesses; updRA counts as both read and
 //                               write, so RMWs conflict with every
 //                               same-variable access — this is the
-//                               RMW-ordering clause; the RAR fragment has
-//                               no fences, so there is no fence clause).
+//                               RMW-ordering clause).
+//
+// Full-RC11 clauses (fences and SC accesses), applied before the
+// same-variable rules above:
+//
+//   * fence vs fence         -> independent unless both are SC fences
+//                               (two SC fences are psc_f-related through
+//                               hb u hb;eco;hb, so their relative order
+//                               matters to the Sc axiom);
+//   * fence vs access        -> dependent (conservative: an acquire-side
+//                               fence synchronises with release-side
+//                               writes, a release-side fence qualifies
+//                               later writes, and an SC fence couples to
+//                               everything through psc);
+//   * both accesses SC       -> dependent even on different variables
+//                               (psc_base orders all SC accesses: pushing
+//                               one can disable the other's Sc premise);
+//   * program has SC fence   -> all cross-thread access pairs dependent
+//                               (`sc_coupled` signature flag: with an SC
+//                               fence in the program, any push can create
+//                               a psc_f edge between old fences through
+//                               hb;eco;hb, so enabledness is global).
 //
 // Dependence is an over-approximation of true conflict, which is the safe
 // direction for every reduction built on it. tests/test_dpor.cpp
@@ -68,6 +88,9 @@ inline constexpr interp::CanonicalEventId kNoCanonicalObserved{
 struct StepSig {
   c11::ThreadId thread = 0;
   bool silent = true;
+  /// The enclosing program contains an SC fence (uniform across a run;
+  /// set on non-silent signatures only). See the file comment.
+  bool sc_coupled = false;
   c11::ActionKind kind = c11::ActionKind::kWrX;
   c11::VarId var = 0;
   c11::Value rval = 0;
@@ -83,12 +106,14 @@ struct StepSig {
 /// ConfigStep and Step expose the same identity fields; one extraction
 /// keeps the materialized and incremental paths' signatures identical.
 template <typename S>
-[[nodiscard]] StepSig sig_of(
-    const S& s, const std::vector<interp::CanonicalEventId>& cids) {
+[[nodiscard]] StepSig sig_of(const S& s,
+                             const std::vector<interp::CanonicalEventId>& cids,
+                             bool sc_coupled = false) {
   StepSig sig;
   sig.thread = s.thread;
   sig.silent = s.silent;
   if (!s.silent) {
+    sig.sc_coupled = sc_coupled;
     sig.kind = s.action.kind;
     sig.var = s.action.var;
     sig.rval = s.action.rval;
@@ -100,13 +125,37 @@ template <typename S>
 
 [[nodiscard]] inline bool is_read_kind(c11::ActionKind k) {
   return k == c11::ActionKind::kRdX || k == c11::ActionKind::kRdA ||
-         k == c11::ActionKind::kRdNA;
+         k == c11::ActionKind::kRdNA || k == c11::ActionKind::kRdSC;
 }
 
-/// Syntactic independence (sufficient for commutation in the RA semantics).
+[[nodiscard]] inline bool is_update_kind(c11::ActionKind k) {
+  return k == c11::ActionKind::kUpdRA || k == c11::ActionKind::kUpdSC;
+}
+
+[[nodiscard]] inline bool is_fence_kind(c11::ActionKind k) {
+  return k == c11::ActionKind::kFenceAcq || k == c11::ActionKind::kFenceRel ||
+         k == c11::ActionKind::kFenceAR || k == c11::ActionKind::kFenceSC;
+}
+
+[[nodiscard]] inline bool is_sc_kind(c11::ActionKind k) {
+  return k == c11::ActionKind::kRdSC || k == c11::ActionKind::kWrSC ||
+         k == c11::ActionKind::kUpdSC || k == c11::ActionKind::kFenceSC;
+}
+
+/// Syntactic independence (sufficient for commutation in the RC11
+/// semantics; see the file comment for the clause-by-clause rationale).
 [[nodiscard]] inline bool independent(const StepSig& a, const StepSig& b) {
   if (a.thread == b.thread) return false;
   if (a.silent || b.silent) return true;
+  const bool af = is_fence_kind(a.kind);
+  const bool bf = is_fence_kind(b.kind);
+  if (af && bf) {
+    return !(a.kind == c11::ActionKind::kFenceSC &&
+             b.kind == c11::ActionKind::kFenceSC);
+  }
+  if (af || bf) return false;
+  if (a.sc_coupled || b.sc_coupled) return false;
+  if (is_sc_kind(a.kind) && is_sc_kind(b.kind)) return false;
   if (a.var != b.var) return true;
   return is_read_kind(a.kind) && is_read_kind(b.kind);
 }
@@ -123,12 +172,12 @@ template <typename S>
 /// signatures of the frame.
 template <typename StepVec>
 inline void sigs_of(const StepVec& steps, const c11::Execution& exec,
-                    std::vector<StepSig>& sigs) {
+                    std::vector<StepSig>& sigs, bool sc_coupled = false) {
   thread_local std::vector<interp::CanonicalEventId> cids;
   interp::canonical_event_ids(exec, cids);
   sigs.clear();
   sigs.reserve(steps.size());
-  for (const auto& s : steps) sigs.push_back(sig_of(s, cids));
+  for (const auto& s : steps) sigs.push_back(sig_of(s, cids, sc_coupled));
 }
 
 // --- Trace happens-before over step signatures -------------------------------

@@ -214,10 +214,10 @@ void prepare_node(Node& n, const ExploreOptions& options) {
   if (options.pre_execution) {
     n.pe_steps = interp::pe_successors(
         n.config, interp::value_domain(*n.config.program), options.step);
-    sigs_of(n.pe_steps, n.config.exec, n.sigs);
+    sigs_of(n.pe_steps, n.config.exec, n.sigs, n.config.has_sc_fence);
   } else {
     interp::enumerate_steps(n.config, options.step, n.steps);
-    sigs_of(n.steps, n.config.exec, n.sigs);
+    sigs_of(n.steps, n.config.exec, n.sigs, n.config.has_sc_fence);
   }
   for (const auto& s : n.sigs) {
     if (n.enabled.empty() || n.enabled.back() != s.thread) {
@@ -510,7 +510,7 @@ void leaf_race_reversals(Engine& eng, std::size_t me, const NodePtr& leaf) {
         }
         StepSig cs = t_sig;
         cs.observed = cids[w];
-        if (is_read_kind(cs.kind) || cs.kind == c11::ActionKind::kUpdRA) {
+        if (is_read_kind(cs.kind) || is_update_kind(cs.kind)) {
           cs.rval = wa.wrval();
         }
         WakeupSequence seq = v;

@@ -190,7 +190,7 @@ void process(ParallelRun& run, std::size_t me, Cursor& cur, WorkItem item) {
     // Materialized fallback: the callback observes ConfigStep.next.
     auto steps = interp::successors(cur.config, run.options.step);
     std::vector<StepSig> sigs;
-    if (run.por_sleep) sigs_of(steps, cur.config.exec, sigs);
+    if (run.por_sleep) sigs_of(steps, cur.config.exec, sigs, cur.config.has_sc_fence);
     for (std::size_t i = 0; i < steps.size(); ++i) {
       if (run.por_sleep && sleep_contains(item.sleep, sigs[i])) {
         run.por_pruned.fetch_add(1, std::memory_order_relaxed);
@@ -250,7 +250,7 @@ void process(ParallelRun& run, std::size_t me, Cursor& cur, WorkItem item) {
   thread_local interp::StepUndo undo;
   interp::enumerate_steps(cur.config, run.options.step, steps);
   sigs.clear();
-  if (run.por_sleep) sigs_of(steps, cur.config.exec, sigs);
+  if (run.por_sleep) sigs_of(steps, cur.config.exec, sigs, cur.config.has_sc_fence);
   for (std::size_t i = 0; i < steps.size(); ++i) {
     if (run.por_sleep && sleep_contains(item.sleep, sigs[i])) {
       run.por_pruned.fetch_add(1, std::memory_order_relaxed);

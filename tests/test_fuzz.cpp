@@ -145,10 +145,13 @@ INSTANTIATE_TEST_SUITE_P(Seeds, WideFuzzTest, ::testing::Range(100u, 110u));
 // POR bugs are silently missed executions, so the source-set DPOR layer is
 // cross-checked against full exploration on a family of >= 200 generated
 // programs per run (2-4 threads, mixed relaxed/release/acquire orders,
-// RMWs, and non-atomic accesses on a third of the seeds; the RAR fragment
-// has no fences). Outcome sets, final-execution fingerprints and race
-// verdicts must coincide in every mode; a failing seed prints as
-// "replay with RC11_FUZZ_SEED=<N>" together with the program text.
+// RMWs, non-atomic accesses on a third of the seeds, SC accesses on a
+// fifth, and acq/rel/SC fences on a seventh — the full-RC11 surface, so
+// the fence/SC independence clauses and the per-step psc filter face the
+// same differential oracle as the classic clauses). Outcome sets,
+// final-execution fingerprints and race verdicts must coincide in every
+// mode; a failing seed prints as "replay with RC11_FUZZ_SEED=<N>"
+// together with the program text.
 
 std::uint32_t fuzz_seed_base() {
   if (const char* env = std::getenv("RC11_FUZZ_SEED")) {
@@ -173,6 +176,8 @@ TEST(DporFuzz, DporAgreesWithFullExplorationOn200Programs) {
     o.max_value = 1;
     o.stmts_per_thread = o.threads == 2 ? 3 : 2;
     o.allow_nonatomic = (i % 3) == 1;
+    o.allow_sc = (i % 5) == 2;
+    o.allow_fences = (i % 7) == 3;
     const lang::Program p = generate_program(o);
     const std::string tag =
         "replay with RC11_FUZZ_SEED=" + std::to_string(seed) + "\n" +
@@ -251,6 +256,40 @@ TEST(DporFuzz, DporAgreesWithFullExplorationOn200Programs) {
   }
 }
 
+// --- SC/fence-enabled metatheory fuzzing -------------------------------------
+//
+// The SC story rests on two claims the conformance corpus can only spot-
+// check: the per-step psc filter is sound (every reachable state stays
+// valid under the Sc axiom) and complete (no RC11-consistent execution is
+// operationally lost). The axiomatic enumerator validates both across
+// generated programs with SC accesses and the full fence surface.
+
+class ScFuzzTest : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  lang::Program program() {
+    lang::GeneratorOptions o = small_options(GetParam());
+    o.allow_sc = true;
+    o.allow_fences = true;
+    return generate_program(o);
+  }
+};
+
+TEST_P(ScFuzzTest, Soundness) {
+  const lang::Program p = program();
+  const axiomatic::SoundnessResult r = axiomatic::check_soundness(p);
+  EXPECT_TRUE(r.sound) << p.to_string() << "violated: " << r.violation;
+}
+
+TEST_P(ScFuzzTest, Completeness) {
+  const lang::Program p = program();
+  const axiomatic::CompletenessResult r = axiomatic::check_completeness(p);
+  EXPECT_TRUE(r.equivalent())
+      << p.to_string() << "op=" << r.operational_count
+      << " ax=" << r.axiomatic_count;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScFuzzTest, ::testing::Range(200u, 216u));
+
 // --- Generator sanity -------------------------------------------------------------
 
 TEST(Generator, DeterministicInSeed) {
@@ -267,6 +306,33 @@ TEST(Generator, DifferentSeedsDiffer) {
     texts.insert(generate_program(small_options(s)).to_string());
   }
   EXPECT_GT(texts.size(), 1u);
+}
+
+TEST(Generator, EmitsScAndFencesWhenAllowed) {
+  // Across a handful of seeds the SC/fence-enabled generator must actually
+  // produce SC accesses and fences (scan_sc_features is the same scan the
+  // interpreter keys its psc filtering and cache bypass on).
+  bool saw_sc = false;
+  bool saw_fence = false;
+  for (std::uint32_t s = 0; s < 16 && !(saw_sc && saw_fence); ++s) {
+    lang::GeneratorOptions o = small_options(s);
+    o.allow_sc = true;
+    o.allow_fences = true;
+    o.stmts_per_thread = 4;
+    const lang::ScFeatures f =
+        lang::scan_sc_features(generate_program(o));
+    saw_sc = saw_sc || f.has_sc;
+    saw_fence = saw_fence || f.has_fence;
+  }
+  EXPECT_TRUE(saw_sc);
+  EXPECT_TRUE(saw_fence);
+  // And with the flags off, never.
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    const lang::ScFeatures f =
+        lang::scan_sc_features(generate_program(small_options(s)));
+    EXPECT_FALSE(f.has_sc);
+    EXPECT_FALSE(f.has_fence);
+  }
 }
 
 TEST(Generator, RespectsFeatureFlags) {

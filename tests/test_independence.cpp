@@ -1,0 +1,176 @@
+// Adversarial unit tests for the independence relation's full-RC11
+// clauses (mc/independence.hpp): fences never commute with accesses,
+// SC-SC access pairs are dependent even across variables, fence/fence
+// pairs commute exactly when RC11 says so (everything except SC/SC),
+// and the `sc_coupled` flag makes every cross-thread access pair
+// dependent once the program contains an SC fence. The differential
+// validation (every POR mode vs. full enumeration) lives in
+// tests/test_dpor.cpp and tests/test_conformance.cpp; these tests pin
+// the individual clauses so a regression names the exact rule it broke.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "interp/config.hpp"
+#include "lang/parser.hpp"
+#include "mc/independence.hpp"
+
+namespace rc11::mc {
+namespace {
+
+using c11::ActionKind;
+
+StepSig access(c11::ThreadId t, ActionKind k, c11::VarId var = 0,
+               bool sc_coupled = false) {
+  StepSig s;
+  s.thread = t;
+  s.silent = false;
+  s.kind = k;
+  s.var = var;
+  s.sc_coupled = sc_coupled;
+  return s;
+}
+
+StepSig silent(c11::ThreadId t) {
+  StepSig s;
+  s.thread = t;
+  return s;
+}
+
+constexpr ActionKind kFences[] = {ActionKind::kFenceAcq, ActionKind::kFenceRel,
+                                  ActionKind::kFenceAR, ActionKind::kFenceSC};
+constexpr ActionKind kAccesses[] = {
+    ActionKind::kRdX,  ActionKind::kRdA,  ActionKind::kRdNA,
+    ActionKind::kRdSC, ActionKind::kWrX,  ActionKind::kWrR,
+    ActionKind::kWrNA, ActionKind::kWrSC, ActionKind::kUpdRA,
+    ActionKind::kUpdSC};
+constexpr ActionKind kScAccesses[] = {ActionKind::kRdSC, ActionKind::kWrSC,
+                                      ActionKind::kUpdSC};
+
+TEST(Independence, SameThreadAlwaysDependent) {
+  EXPECT_TRUE(dependent(access(1, ActionKind::kRdX, 0),
+                        access(1, ActionKind::kRdX, 1)));
+  EXPECT_TRUE(dependent(silent(1), silent(1)));
+}
+
+TEST(Independence, SilentStepsCommuteWithEverything) {
+  for (const ActionKind k : kAccesses) {
+    EXPECT_TRUE(independent(silent(1), access(2, k))) << c11::to_string(k);
+  }
+  for (const ActionKind f : kFences) {
+    EXPECT_TRUE(independent(silent(1), access(2, f))) << c11::to_string(f);
+  }
+}
+
+TEST(Independence, FencesNeverCommuteWithAccesses) {
+  // Conservative clause: any fence is dependent with any cross-thread
+  // access — same variable or not (an SC fence couples through psc, an
+  // acquire/release fence through fence-mediated sw).
+  for (const ActionKind f : kFences) {
+    for (const ActionKind a : kAccesses) {
+      EXPECT_TRUE(dependent(access(1, f), access(2, a, 0)))
+          << c11::to_string(f) << " vs " << c11::to_string(a);
+      EXPECT_TRUE(dependent(access(1, f), access(2, a, 3)))
+          << c11::to_string(f) << " vs " << c11::to_string(a)
+          << " (different var)";
+    }
+  }
+}
+
+TEST(Independence, FenceFencePairsIndependentUnlessBothSC) {
+  for (const ActionKind f : kFences) {
+    for (const ActionKind g : kFences) {
+      const bool both_sc = f == ActionKind::kFenceSC &&
+                           g == ActionKind::kFenceSC;
+      EXPECT_EQ(dependent(access(1, f), access(2, g)), both_sc)
+          << c11::to_string(f) << " vs " << c11::to_string(g);
+    }
+  }
+}
+
+TEST(Independence, ScScWritePairsAlwaysDependent) {
+  // Same variable and different variables alike: psc_base orders all SC
+  // accesses, so pushing one SC write can disable the other.
+  EXPECT_TRUE(dependent(access(1, ActionKind::kWrSC, 0),
+                        access(2, ActionKind::kWrSC, 0)));
+  EXPECT_TRUE(dependent(access(1, ActionKind::kWrSC, 0),
+                        access(2, ActionKind::kWrSC, 5)));
+}
+
+TEST(Independence, AllScScAccessPairsDependent) {
+  for (const ActionKind a : kScAccesses) {
+    for (const ActionKind b : kScAccesses) {
+      EXPECT_TRUE(dependent(access(1, a, 0), access(2, b, 7)))
+          << c11::to_string(a) << " vs " << c11::to_string(b);
+    }
+  }
+}
+
+TEST(Independence, ScReadsOfDifferentVarsFromNonScAreIndependent) {
+  // One SC access against a non-SC access on a different variable
+  // commutes (psc edges incident to a single new SC event cannot close a
+  // cycle among old events when no SC fence exists).
+  EXPECT_TRUE(independent(access(1, ActionKind::kRdSC, 0),
+                          access(2, ActionKind::kWrX, 1)));
+  EXPECT_TRUE(independent(access(1, ActionKind::kWrSC, 0),
+                          access(2, ActionKind::kRdA, 1)));
+}
+
+TEST(Independence, ScCoupledMakesAllAccessPairsDependent) {
+  // With an SC fence in the program, any access push can create psc_f
+  // edges between old fences (hb;eco;hb), so even plain reads of
+  // different variables stop commuting.
+  EXPECT_TRUE(dependent(access(1, ActionKind::kRdX, 0, true),
+                        access(2, ActionKind::kRdX, 1, true)));
+  EXPECT_TRUE(dependent(access(1, ActionKind::kWrX, 0, true),
+                        access(2, ActionKind::kWrX, 1, false)));
+  // Without the flag the same pairs commute.
+  EXPECT_TRUE(independent(access(1, ActionKind::kRdX, 0),
+                          access(2, ActionKind::kRdX, 1)));
+  EXPECT_TRUE(independent(access(1, ActionKind::kWrX, 0),
+                          access(2, ActionKind::kWrX, 1)));
+}
+
+TEST(Independence, ClassicalClausesStillHold) {
+  // Different variables commute; same-variable read pairs commute;
+  // same-variable read/write and write/write conflict; RMWs conflict
+  // with every same-variable access.
+  EXPECT_TRUE(independent(access(1, ActionKind::kWrX, 0),
+                          access(2, ActionKind::kWrX, 1)));
+  EXPECT_TRUE(independent(access(1, ActionKind::kRdX, 0),
+                          access(2, ActionKind::kRdA, 0)));
+  EXPECT_TRUE(dependent(access(1, ActionKind::kRdX, 0),
+                        access(2, ActionKind::kWrX, 0)));
+  EXPECT_TRUE(dependent(access(1, ActionKind::kWrX, 0),
+                        access(2, ActionKind::kWrR, 0)));
+  EXPECT_TRUE(dependent(access(1, ActionKind::kUpdRA, 0),
+                        access(2, ActionKind::kRdX, 0)));
+}
+
+// --- sc_coupled plumbing -----------------------------------------------------
+
+TEST(Independence, SigsOfTagsSignaturesWhenProgramHasScFence) {
+  const lang::ParsedLitmus parsed = lang::parse_litmus(
+      "litmus f\n"
+      "var x = 0\n"
+      "thread 1 { x := 1; fence_sc; }\n"
+      "thread 2 { r0 := x; }\n");
+  interp::Config c = interp::initial_config(parsed.program);
+  ASSERT_TRUE(c.has_sc_fence);
+
+  std::vector<interp::Step> steps;
+  interp::enumerate_steps(c, {}, steps);
+  ASSERT_FALSE(steps.empty());
+
+  std::vector<StepSig> sigs;
+  sigs_of(steps, c.exec, sigs, c.has_sc_fence);
+  for (const StepSig& s : sigs) {
+    if (!s.silent) EXPECT_TRUE(s.sc_coupled);
+  }
+  // The same steps without the flag: untagged.
+  sigs_of(steps, c.exec, sigs);
+  for (const StepSig& s : sigs) EXPECT_FALSE(s.sc_coupled);
+}
+
+}  // namespace
+}  // namespace rc11::mc

@@ -1,52 +1,89 @@
 #!/usr/bin/env python3
-"""Gate: optimal modes report sleep_blocked == 0 in the ablation JSON.
+"""Gate: optimal modes report sleep_blocked == 0 in every input report.
 
-Reads a google-benchmark JSON produced by
-`bench_mc_scaling --benchmark_filter=por_litmus_catalog` and fails when any
-optimal-mode series (label "optimal" / "optimal-parsimonious") reports a
-nonzero sleep_blocked counter — the wakeup-tree engine keyed on reads-from
-choices must never start an execution the sleep filter kills, on any
-catalogue program. Missing optimal series also fail: a filter typo must
-not pass the gate vacuously.
+Accepts one or more JSON reports, any mix of two schemas:
 
-Usage: check_ablation_sleep.py build/por_ablation.json
+* google-benchmark JSON produced by
+  `bench_mc_scaling --benchmark_filter=por_litmus_catalog` — an object
+  with a "benchmarks" list; optimal-mode series are identified by an
+  "optimal" substring in their label;
+* litmus_tour corpus reports produced by
+  `litmus_tour --import tests/corpus --por optimal --json out.json` — a
+  plain list of {"name", "label", "sleep_blocked", "pass"} entries, one
+  per imported .litmus test.
+
+The gate fails when any optimal-mode entry reports a nonzero
+sleep_blocked counter — the wakeup-tree engine keyed on reads-from
+choices must never start an execution the sleep filter kills, on the
+catalogue bench and on the conformance corpus alike — or when a corpus
+entry reports pass == false. An input with no optimal-mode entries also
+fails: a filter typo must not pass the gate vacuously.
+
+Usage: check_ablation_sleep.py build/por_ablation.json [corpus.json ...]
 """
 
 import json
 import sys
 
 
-def main() -> int:
-    if len(sys.argv) != 2:
-        print(f"usage: {sys.argv[0]} <por_ablation.json>", file=sys.stderr)
-        return 2
-    with open(sys.argv[1]) as f:
-        data = json.load(f)
-
-    checked = []
-    bad = []
+def check_benchmark(path, data, checked, bad):
     for b in data.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
             continue
         label = b.get("label", "")
         if "optimal" not in label:
             continue
-        blocked = b.get("sleep_blocked")
         checked.append(label)
+        blocked = b.get("sleep_blocked")
         if blocked != 0:
-            bad.append(f"{b.get('name', '?')} ({label}): "
+            bad.append(f"{path}: {b.get('name', '?')} ({label}): "
                        f"sleep_blocked={blocked}")
 
-    if not checked:
-        print("error: no optimal-mode series in ablation JSON "
-              "(wrong file or benchmark filter?)", file=sys.stderr)
+
+def check_corpus(path, data, checked, bad):
+    for e in data:
+        label = e.get("label", "")
+        name = e.get("name", "?")
+        if not e.get("pass", False):
+            bad.append(f"{path}: corpus test {name} ({label}): FAILED")
+        if "optimal" not in label:
+            continue
+        checked.append(label)
+        blocked = e.get("sleep_blocked")
+        if blocked != 0:
+            bad.append(f"{path}: corpus test {name} ({label}): "
+                       f"sleep_blocked={blocked}")
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(f"usage: {sys.argv[0]} <report.json> [report.json ...]",
+              file=sys.stderr)
         return 2
+
+    checked = []
+    bad = []
+    for path in sys.argv[1:]:
+        with open(path) as f:
+            data = json.load(f)
+        before = len(checked)
+        if isinstance(data, list):
+            check_corpus(path, data, checked, bad)
+        else:
+            check_benchmark(path, data, checked, bad)
+        if len(checked) == before:
+            print(f"error: no optimal-mode entries in {path} "
+                  "(wrong file or benchmark filter?)", file=sys.stderr)
+            return 2
+
     if bad:
         print("sleep_blocked gate FAILED:", file=sys.stderr)
         for line in bad:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print(f"sleep_blocked == 0 for optimal modes: {', '.join(checked)}")
+    labels = sorted(set(checked))
+    print(f"sleep_blocked == 0 for optimal modes across {len(checked)} "
+          f"entries: {', '.join(labels)}")
     return 0
 
 
