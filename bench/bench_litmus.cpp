@@ -4,6 +4,7 @@
 // states, transitions and distinct outcomes.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
 #include "rc11/rc11.hpp"
 
 using namespace rc11;
@@ -41,6 +42,16 @@ void run_litmus(benchmark::State& state, const litmus::Test& test,
   state.counters["enum_threads_recomputed"] =
       static_cast<double>(recomputed);
   state.counters["pass"] = pass ? 1 : 0;
+
+  // One untimed telemetry-enabled pass: the timed loop above stays
+  // telemetry-off; the phase profile rides along in BENCH_litmus.json.
+  obs::Telemetry tel;
+  mc::ExploreOptions topts = opts;
+  topts.telemetry = &tel;
+  const mc::OutcomeResult profiled =
+      mc::enumerate_outcomes(parsed.program, topts);
+  benchmark::DoNotOptimize(profiled.outcomes.size());
+  rc11bench::record_phase_counters(state, tel.profile());
 }
 
 // One series per catalogue entry under full exploration (the paper's
@@ -60,7 +71,5 @@ const int register_all = [] {
 }();
 
 }  // namespace
-
-#include "bench_report.hpp"
 
 RC11_BENCH_MAIN("litmus")

@@ -7,6 +7,7 @@
 //  * sleep-set partial-order reduction ON vs OFF over the litmus catalogue.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
 #include "rc11/rc11.hpp"
 
 using namespace rc11;
@@ -155,6 +156,17 @@ void por_litmus_catalog(benchmark::State& state) {
   state.counters["enum_threads_reused"] = static_cast<double>(reused);
   state.counters["enum_threads_recomputed"] =
       static_cast<double>(recomputed);
+
+  // Untimed telemetry pass: where each mode's node cost actually goes
+  // (phase_share_* counters; the timed loop stays telemetry-off).
+  obs::Telemetry tel;
+  mc::ExploreOptions topts = opts;
+  topts.telemetry = &tel;
+  for (const auto& test : litmus::catalog()) {
+    const auto parsed = lang::parse_litmus(test.source);
+    (void)mc::explore(parsed.program, topts, {});
+  }
+  rc11bench::record_phase_counters(state, tel.profile());
 }
 BENCHMARK(por_litmus_catalog)->DenseRange(0, 5)->Unit(
     benchmark::kMillisecond);
@@ -195,8 +207,58 @@ void litmus_catalog_throughput(benchmark::State& state) {
   state.counters["enum_threads_reused"] = static_cast<double>(reused);
   state.counters["enum_threads_recomputed"] =
       static_cast<double>(recomputed);
+
+  // Untimed telemetry pass over the same hoisted programs; the CI-gated
+  // states_per_sec above never sees a bound WorkerScope.
+  obs::Telemetry tel;
+  mc::ExploreOptions topts = opts;
+  topts.telemetry = &tel;
+  for (const lang::Program& p : programs) {
+    (void)mc::explore(p, topts, {});
+  }
+  rc11bench::record_phase_counters(state, tel.profile());
 }
 BENCHMARK(litmus_catalog_throughput)->DenseRange(0, 5)->Unit(
+    benchmark::kMillisecond);
+
+void parallel_catalog_workers(benchmark::State& state) {
+  // The work-stealing explorer over the whole catalogue. The per-worker
+  // counters (w<k>_processed / w<k>_steals / ...) expose the steal rate
+  // and load balance that the aggregated totals hide; summed across the
+  // catalogue so one JSON entry per worker covers the whole run.
+  std::vector<lang::Program> programs;
+  for (const auto& test : litmus::catalog()) {
+    programs.push_back(lang::parse_litmus(test.source).program);
+  }
+  mc::ParallelOptions opts;
+  opts.workers = static_cast<std::size_t>(state.range(0));
+  std::size_t states = 0, transitions = 0;
+  std::vector<mc::WorkerStats> workers;
+  for (auto _ : state) {
+    states = transitions = 0;
+    workers.assign(opts.workers, mc::WorkerStats{});
+    for (const lang::Program& p : programs) {
+      mc::ParallelRunInfo info;
+      const mc::OutcomeResult r =
+          mc::enumerate_outcomes_parallel(p, opts, &info);
+      states += r.stats.states;
+      transitions += r.stats.transitions;
+      for (std::size_t k = 0; k < info.workers.size(); ++k) {
+        const mc::WorkerStats& w = info.workers[k];
+        workers[k].processed += w.processed;
+        workers[k].enqueued += w.enqueued;
+        workers[k].steals += w.steals;
+        workers[k].merged += w.merged;
+        workers[k].enum_reused += w.enum_reused;
+        workers[k].enum_recomputed += w.enum_recomputed;
+      }
+    }
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["transitions"] = static_cast<double>(transitions);
+  rc11bench::record_worker_counters(state, workers);
+}
+BENCHMARK(parallel_catalog_workers)->Arg(2)->Arg(4)->Unit(
     benchmark::kMillisecond);
 
 void peterson_bound_scaling(benchmark::State& state) {
@@ -214,7 +276,5 @@ BENCHMARK(peterson_bound_scaling)->DenseRange(0, 3)->Unit(
     benchmark::kMillisecond);
 
 }  // namespace
-
-#include "bench_report.hpp"
 
 RC11_BENCH_MAIN("mc_scaling")

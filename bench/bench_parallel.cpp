@@ -2,9 +2,11 @@
 // checker vs. the sequential one on Peterson and on litmus programs.
 // On a single-core host this measures overhead rather than speedup; the
 // counters confirm both explorers visit the same number of states and
-// report how much work moved between workers (steals).
+// report, per worker, how much work each did and how much moved between
+// workers (w<k>_processed / w<k>_steals / ...).
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
 #include "rc11/rc11.hpp"
 
 using namespace rc11;
@@ -34,8 +36,9 @@ void parallel_peterson(benchmark::State& state) {
   std::size_t states = 0;
   std::size_t steals = 0;
   bool holds = false;
+  mc::ParallelRunInfo info;
   for (auto _ : state) {
-    mc::ParallelRunInfo info;
+    info = mc::ParallelRunInfo{};
     const mc::InvariantResult r = mc::check_invariant_parallel(
         p, vcgen::mutual_exclusion(), opts, &info);
     states = r.stats.states;
@@ -46,6 +49,15 @@ void parallel_peterson(benchmark::State& state) {
   state.counters["states"] = static_cast<double>(states);
   state.counters["steals"] = static_cast<double>(steals);
   state.counters["holds"] = holds ? 1 : 0;
+  rc11bench::record_worker_counters(state, info.workers);
+
+  // Untimed telemetry pass: per-phase cost of the work-stealing explorer
+  // (the timed loop stays telemetry-off).
+  obs::Telemetry tel;
+  mc::ParallelOptions topts = opts;
+  topts.explore.telemetry = &tel;
+  (void)mc::check_invariant_parallel(p, vcgen::mutual_exclusion(), topts);
+  rc11bench::record_phase_counters(state, tel.profile());
 }
 BENCHMARK(parallel_peterson)->Arg(1)->Arg(2)->Arg(4)->Unit(
     benchmark::kMillisecond);
@@ -56,18 +68,19 @@ void parallel_reachability(benchmark::State& state) {
   mc::ParallelOptions opts;
   opts.workers = static_cast<std::size_t>(state.range(0));
   bool reachable = false;
+  mc::ParallelRunInfo info;
   for (auto _ : state) {
+    info = mc::ParallelRunInfo{};
     const mc::ReachabilityResult r = mc::check_reachable_parallel(
-        parsed.program, parsed.condition, opts);
+        parsed.program, parsed.condition, opts, &info);
     reachable = r.reachable;
   }
   state.counters["reachable"] = reachable ? 1 : 0;
+  rc11bench::record_worker_counters(state, info.workers);
 }
 BENCHMARK(parallel_reachability)->Arg(1)->Arg(2)->Arg(4)->Unit(
     benchmark::kMillisecond);
 
 }  // namespace
-
-#include "bench_report.hpp"
 
 RC11_BENCH_MAIN("parallel")

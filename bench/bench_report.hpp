@@ -18,9 +18,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
+
+#include "mc/statespace.hpp"
+#include "obs/telemetry.hpp"
 
 namespace rc11bench {
 
@@ -32,6 +37,45 @@ inline std::map<std::string, std::map<std::string, double>>& registry() {
 inline void record(const std::string& bench, const std::string& key,
                    double value) {
   registry()[bench][key] = value;
+}
+
+/// Attaches a run's phase profile to the benchmark's user counters as
+/// phase_ns_<name> (exclusive nanoseconds) and phase_share_<name>
+/// (fraction of instrumented time, disjoint by construction). Benches
+/// call this after one *untimed* telemetry-enabled pass so the timed
+/// loop stays telemetry-off; no-op for an empty profile.
+inline void record_phase_counters(benchmark::State& state,
+                                  const rc11::obs::PhaseProfile& profile) {
+  if (profile.empty()) return;
+  for (std::size_t i = 0; i < rc11::obs::kPhaseCount; ++i) {
+    const auto p = static_cast<rc11::obs::Phase>(i);
+    const rc11::obs::PhaseProfile::Entry& e = profile[p];
+    if (e.count == 0) continue;
+    const std::string name = rc11::obs::phase_name(p);
+    state.counters["phase_ns_" + name] =
+        static_cast<double>(e.ns);
+    state.counters["phase_share_" + name] = profile.share(p);
+  }
+}
+
+/// Emits one w<k>_<field> counter per worker of a parallel run so
+/// steal-rate / load-balance regressions are visible in BENCH_*.json,
+/// not just in the aggregated totals.
+inline void record_worker_counters(
+    benchmark::State& state,
+    const std::vector<rc11::mc::WorkerStats>& workers) {
+  for (std::size_t k = 0; k < workers.size(); ++k) {
+    const rc11::mc::WorkerStats& w = workers[k];
+    const std::string pre = "w" + std::to_string(k) + "_";
+    state.counters[pre + "processed"] = static_cast<double>(w.processed);
+    state.counters[pre + "enqueued"] = static_cast<double>(w.enqueued);
+    state.counters[pre + "steals"] = static_cast<double>(w.steals);
+    state.counters[pre + "merged"] = static_cast<double>(w.merged);
+    state.counters[pre + "enum_reused"] =
+        static_cast<double>(w.enum_reused);
+    state.counters[pre + "enum_recomputed"] =
+        static_cast<double>(w.enum_recomputed);
+  }
 }
 
 /// Console output plus registry capture.

@@ -11,12 +11,14 @@
 //
 //   ./litmus_tour [--test NAME] [--show NAME] [--source NAME]
 //                 [--import PATH] [--json PATH]
+//                 [--telemetry PATH] [--trace-out PATH] [--progress[=ms]]
 //                 [--por none|sleep|source|source-sleep|optimal|
 //                        optimal-parsimonious]
 #include <fstream>
 #include <iostream>
 
 #include "litmus/import.hpp"
+#include "obs/telemetry_cli.hpp"
 #include "rc11/rc11.hpp"
 
 using namespace rc11;
@@ -31,6 +33,7 @@ int main(int argc, char** argv) {
              "optimal|optimal-parsimonious");
   cli.option("import", "", "run herd-style .litmus tests from this file/dir");
   cli.option("json", "", "write a JSON report of the run to this path");
+  obs::TelemetryCli::add_options(cli);
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage("litmus_tour");
     return 1;
@@ -47,6 +50,10 @@ int main(int argc, char** argv) {
     std::cerr << "unknown --por mode: " << cli.get("por") << "\n";
     return 1;
   }
+
+  obs::TelemetryCli tcli;
+  if (!tcli.init(cli)) return 1;
+  opts.telemetry = tcli.telemetry();
 
   if (const std::string name = cli.get("source"); !name.empty()) {
     std::cout << litmus::find_test(name).source << "\n";
@@ -96,6 +103,7 @@ int main(int argc, char** argv) {
     results = litmus::run_all(opts);
   }
   std::cout << litmus::format_table(results);
+  if (!tcli.finish()) return 1;
   bool all_pass = true;
   for (const auto& r : results) all_pass = all_pass && r.pass;
 

@@ -2,11 +2,14 @@
 // under the operational RAR semantics, decide the exists/forbidden clause,
 // and check data-race freedom.
 //
-//   ./run_file [--bound N] [--por MODE] [--dot] file.litmus
+//   ./run_file [--bound N] [--por MODE] [--dot]
+//              [--telemetry PATH] [--trace-out PATH] [--progress[=ms]]
+//              file.litmus
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "obs/telemetry_cli.hpp"
 #include "rc11/rc11.hpp"
 
 using namespace rc11;
@@ -18,6 +21,7 @@ int main(int argc, char** argv) {
              "partial-order reduction: none|sleep|source|source-sleep|"
              "optimal|optimal-parsimonious");
   cli.flag("dot", "dump a Graphviz rendering of one final execution");
+  obs::TelemetryCli::add_options(cli);
   if (!cli.parse(argc, argv) || cli.positional().empty()) {
     std::cerr << (cli.error().empty() ? "missing input file" : cli.error())
               << "\n"
@@ -57,6 +61,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  obs::TelemetryCli tcli;
+  if (!tcli.init(cli)) return 1;
+  opts.telemetry = tcli.telemetry();
+
   const mc::OutcomeResult outcomes =
       mc::enumerate_outcomes(parsed.program, opts);
   std::cout << "outcomes (" << outcomes.outcomes.size() << " distinct, "
@@ -93,5 +101,6 @@ int main(int argc, char** argv) {
     };
     (void)mc::explore(parsed.program, opts, v);
   }
+  if (!tcli.finish()) return 1;
   return exit_code;
 }

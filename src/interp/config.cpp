@@ -7,6 +7,7 @@
 #include "c11/axioms.hpp"
 #include "c11/derived.hpp"
 #include "c11/observability.hpp"
+#include "obs/telemetry.hpp"
 
 namespace rc11::interp {
 
@@ -34,6 +35,7 @@ std::string Config::canonical_key() const {
 }
 
 util::Fingerprint Config::fingerprint() const {
+  obs::ScopedPhase fp_phase(obs::Phase::kFingerprint);
   util::FingerprintHasher h;
   exec.fingerprint_into(h);
   h.mix(cont.size());
@@ -560,18 +562,30 @@ EventId apply_step_impl(Config& c, const Step& s, const StepOptions& opts,
     }
   } else if (auto* rd = std::get_if<lang::ReadStep>(&*sv)) {
     c.cont[t - 1] = rd->next(s.action.rdval());
-    event = c.exec.push_event(t, s.action, s.observed, tok);
+    {
+      obs::ScopedPhase push_phase(obs::Phase::kPushEvent);
+      event = c.exec.push_event(t, s.action, s.observed, tok);
+    }
   } else if (auto* wr = std::get_if<lang::WriteStep>(&*sv)) {
     c.cont[t - 1] = wr->next;
-    event = c.exec.push_event(t, s.action, s.observed, tok);
+    {
+      obs::ScopedPhase push_phase(obs::Phase::kPushEvent);
+      event = c.exec.push_event(t, s.action, s.observed, tok);
+    }
   } else if (auto* fe = std::get_if<lang::FenceStep>(&*sv)) {
     c.cont[t - 1] = fe->next;
-    event = c.exec.push_event(t, s.action, c11::kNoEvent, tok);
+    {
+      obs::ScopedPhase push_phase(obs::Phase::kPushEvent);
+      event = c.exec.push_event(t, s.action, c11::kNoEvent, tok);
+    }
   } else {
     auto* up = std::get_if<lang::UpdateStep>(&*sv);
     assert(up != nullptr);
     c.cont[t - 1] = up->next;
-    event = c.exec.push_event(t, s.action, s.observed, tok);
+    {
+      obs::ScopedPhase push_phase(obs::Phase::kPushEvent);
+      event = c.exec.push_event(t, s.action, s.observed, tok);
+    }
     if (up->captures) {
       write_register(c.regs[t - 1], up->capture_reg, s.action.rdval());
     }

@@ -89,6 +89,14 @@ bool contains(const std::vector<c11::ThreadId>& v, c11::ThreadId t) {
   return std::find(v.begin(), v.end(), t) != v.end();
 }
 
+/// Per-worker reporting counters, merged into the result with
+/// ExploreStats::operator+= when the run finishes. Owner-written without
+/// synchronization (heartbeats may sample them; monitoring only), padded so
+/// neighbouring workers don't false-share.
+struct alignas(64) WorkerTotals {
+  ExploreStats stats;
+};
+
 struct Engine {
   Engine(const ExploreOptions& opts, const Visitor& vis, std::size_t workers)
       : options(opts),
@@ -96,6 +104,7 @@ struct Engine {
         sleep_filter(opts.por == PorMode::kSourceSetsSleep),
         deques(workers),
         worker_stats(workers),
+        totals(workers),
         seen(workers) {}
 
   /// Arena-backed node pool. A released node keeps the heap buffers of its
@@ -113,6 +122,11 @@ struct Engine {
   bool sleep_filter;
   util::WorkDeques<Item> deques;
   std::vector<WorkerStats> worker_stats;
+  /// Pure-reporting counters live here, one slab per worker, written by the
+  /// owner only — no hot-path atomics. `states`, `transitions` and
+  /// `truncated` stay atomic: max_states control flow and heartbeat rates
+  /// need coherent cross-worker reads.
+  std::vector<WorkerTotals> totals;
 
   AdaptiveSeenSet seen;  ///< unique-state accounting only (tree search)
 
@@ -120,16 +134,6 @@ struct Engine {
   std::atomic<bool> stop{false};
   std::atomic<std::size_t> states{0};
   std::atomic<std::size_t> transitions{0};
-  std::atomic<std::size_t> merged{0};
-  std::atomic<std::size_t> finals{0};
-  std::atomic<std::size_t> complete_traces{0};
-  std::atomic<std::size_t> por_pruned{0};
-  std::atomic<std::size_t> backtracks{0};
-  std::atomic<std::size_t> sleep_blocked{0};
-  std::atomic<std::size_t> redundant{0};
-  std::atomic<std::size_t> max_depth{1};
-  std::atomic<std::size_t> enum_reused{0};
-  std::atomic<std::size_t> enum_recomputed{0};
   std::atomic<bool> truncated{false};
 
   std::mutex abort_mutex;
@@ -185,21 +189,16 @@ void pooled_dispose(Node* p) {
   eng.pool.release(p);
 }
 
-void max_update(std::atomic<std::size_t>& a, std::size_t v) {
-  std::size_t cur = a.load(std::memory_order_relaxed);
-  while (cur < v &&
-         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-  }
-}
-
 /// Fills steps/sigs/enabled of a freshly built node. On the RA path this
 /// only enumerates signatures (reserve + reuse, no Config copies).
 void prepare_node(Node& n, const ExploreOptions& options) {
   if (options.pre_execution) {
+    obs::ScopedPhase enum_phase(obs::Phase::kEnumerate);
     n.pe_steps = interp::pe_successors(
         n.config, interp::value_domain(*n.config.program), options.step);
     sigs_of(n.pe_steps, n.config.exec, n.sigs, n.config.has_sc_fence);
   } else {
+    obs::ScopedPhase enum_phase(obs::Phase::kEnumerate);
     interp::enumerate_steps(n.config, options.step, n.steps);
     sigs_of(n.steps, n.config.exec, n.sigs, n.config.has_sc_fence);
   }
@@ -285,7 +284,7 @@ void insert_backtrack(Engine& eng, std::size_t me, const NodePtr& target,
   for (c11::ThreadId q : initials) {
     if (has_awake_step(*target, q)) {
       target->scheduled.push_back(q);
-      eng.backtracks.fetch_add(1, std::memory_order_relaxed);
+      ++eng.totals[me].stats.backtracks;
       push_item(eng, me, Item{target, q});
       return;
     }
@@ -356,6 +355,7 @@ void race_reversals(Engine& eng, std::size_t me, const NodePtr& self,
 void expand_item(Engine& eng, std::size_t me, const Item& item) {
   Node& n = *item.node;
   ++eng.worker_stats[me].processed;
+  ExploreStats& my = eng.totals[me].stats;
   const bool pe = eng.options.pre_execution;
 
   for (std::size_t i = 0; i < n.sigs.size(); ++i) {
@@ -379,7 +379,7 @@ void expand_item(Engine& eng, std::size_t me, const Item& item) {
     }
 
     eng.transitions.fetch_add(1, std::memory_order_relaxed);
-    if (n.redundant) eng.redundant.fetch_add(1, std::memory_order_relaxed);
+    if (n.redundant) ++my.redundant_transitions;
 
     // Materialize the child configuration into a pooled node: copy-assign
     // the parent's config (reusing the recycled node's buffers, warm
@@ -398,6 +398,7 @@ void expand_item(Engine& eng, std::size_t me, const Item& item) {
       in_step.observed = ps.observed;
       child->config = std::move(n.pe_steps[i].next);
     } else {
+      obs::ScopedPhase apply_phase(obs::Phase::kApply);
       in_step = n.steps[i];
       child->config = n.config;
       // Apply-only: the child keeps this configuration; no undo needed.
@@ -429,19 +430,24 @@ void expand_item(Engine& eng, std::size_t me, const Item& item) {
       }
     }
 
-    race_reversals(eng, me, item.node, sig, child->hb_row);
+    {
+      obs::ScopedPhase race_phase(obs::Phase::kRaceDetect);
+      race_reversals(eng, me, item.node, sig, child->hb_row);
+    }
 
     child->parent = item.node;
     child->depth = n.depth + 1;
     child->in_sig = sig;
     child->in_step = in_step;
-    max_update(eng.max_depth, child->depth + 1);
+    my.max_depth = std::max<std::size_t>(my.max_depth, child->depth + 1);
 
-    const InsertResult ins = eng.seen.insert(child->config.fingerprint());
-    child->redundant = n.redundant || !ins.inserted;
-    if (child->config.terminated()) {
-      eng.complete_traces.fetch_add(1, std::memory_order_relaxed);
+    InsertResult ins;
+    {
+      obs::ScopedPhase probe_phase(obs::Phase::kSeenProbe);
+      ins = eng.seen.insert(child->config.fingerprint());
     }
+    child->redundant = n.redundant || !ins.inserted;
+    if (child->config.terminated()) ++my.complete_traces;
     if (ins.inserted) {
       const std::size_t states =
           eng.states.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -455,14 +461,14 @@ void expand_item(Engine& eng, std::size_t me, const Item& item) {
         return;
       }
       if (child->config.terminated()) {
-        eng.finals.fetch_add(1, std::memory_order_relaxed);
+        ++my.finals;
         if (eng.visitor.on_final && !eng.visitor.on_final(child->config)) {
           eng.record_abort(spine_trace(child.get()));
           return;
         }
       }
     } else {
-      eng.merged.fetch_add(1, std::memory_order_relaxed);
+      ++my.merged;
       ++eng.worker_stats[me].merged;
     }
 
@@ -490,14 +496,12 @@ void expand_item(Engine& eng, std::size_t me, const Item& item) {
       for (const StepSig& s : child->sigs) {
         if (sleep_contains(child->sleep, s)) ++pruned;
       }
-      if (pruned > 0) {
-        eng.por_pruned.fetch_add(pruned, std::memory_order_relaxed);
-      }
+      my.por_pruned += pruned;
       if (!child->sigs.empty() && pruned == child->sigs.size()) {
         // Every enabled transition is asleep: the execution dies here and
         // its prefix was wasted — the stateless-DPOR redundancy the
         // optimal wakeup-tree engine (optimal.hpp) eliminates.
-        eng.sleep_blocked.fetch_add(1, std::memory_order_relaxed);
+        ++my.sleep_blocked;
       }
     }
 
@@ -514,14 +518,40 @@ void expand_item(Engine& eng, std::size_t me, const Item& item) {
 }
 
 /// Adds this thread's step-enumeration counter movement since `base` to
-/// the engine totals (the counters are thread_local, so each thread's
-/// delta is flushed by the thread itself).
-void flush_enum_counters(Engine& eng, const interp::StepEnumCounters& base) {
+/// worker `me`'s slabs — both the per-worker WorkerStats attribution (the
+/// split survives steal handoffs; engine totals are the sum over workers)
+/// and the reporting totals merged into ExploreStats at finish.
+void flush_enum_counters(Engine& eng, std::size_t me,
+                         const interp::StepEnumCounters& base) {
   const interp::StepEnumCounters& ec = interp::step_enum_counters();
-  eng.enum_reused.fetch_add(ec.reused - base.reused,
-                            std::memory_order_relaxed);
-  eng.enum_recomputed.fetch_add(ec.recomputed - base.recomputed,
-                                std::memory_order_relaxed);
+  eng.worker_stats[me].enum_reused += ec.reused - base.reused;
+  eng.worker_stats[me].enum_recomputed += ec.recomputed - base.recomputed;
+  eng.totals[me].stats.enum_threads_reused += ec.reused - base.reused;
+  eng.totals[me].stats.enum_threads_recomputed +=
+      ec.recomputed - base.recomputed;
+}
+
+/// Progress heartbeat: the winning worker samples the engine counters. The
+/// per-worker slabs are owner-written plain fields; sampling them here is
+/// unsynchronized by design (monitoring only, no control flow depends on
+/// the values).
+void emit_heartbeat(Engine& eng) {
+  obs::ProgressSnapshot snap;
+  snap.states = eng.states.load(std::memory_order_relaxed);
+  snap.transitions = eng.transitions.load(std::memory_order_relaxed);
+  snap.frontier = eng.pending.load(std::memory_order_relaxed);
+  snap.seen_bytes = eng.seen.bytes();
+  for (const WorkerTotals& w : eng.totals) {
+    snap.finals += w.stats.finals;
+    snap.sleep_blocked += w.stats.sleep_blocked;
+    snap.redundant += w.stats.redundant_transitions;
+    snap.max_depth = std::max(snap.max_depth, w.stats.max_depth);
+  }
+  snap.workers.reserve(eng.worker_stats.size());
+  for (const WorkerStats& ws : eng.worker_stats) {
+    snap.workers.push_back({ws.processed, ws.enqueued, ws.steals, ws.merged});
+  }
+  eng.options.telemetry->emit(std::move(snap));
 }
 
 void worker_loop_impl(Engine& eng, std::size_t me) {
@@ -532,7 +562,10 @@ void worker_loop_impl(Engine& eng, std::size_t me) {
     std::optional<Item> item = eng.deques.pop_local(me);
     if (!item && eng.deques.worker_count() > 1) {
       item = eng.deques.steal(me);
-      if (item) ++eng.worker_stats[me].steals;
+      if (item) {
+        ++eng.worker_stats[me].steals;
+        obs::instant_event("steal");
+      }
     }
     if (!item) {
       if (eng.pending.load(std::memory_order_acquire) == 0) return;
@@ -548,13 +581,19 @@ void worker_loop_impl(Engine& eng, std::size_t me) {
     idle_rounds = 0;
     expand_item(eng, me, *item);
     eng.pending.fetch_sub(1, std::memory_order_acq_rel);
+    if (eng.options.telemetry != nullptr &&
+        eng.options.telemetry->heartbeat_due()) {
+      emit_heartbeat(eng);
+    }
   }
 }
 
 void worker_loop(Engine& eng, std::size_t me) {
+  obs::WorkerScope obs_scope(eng.options.telemetry,
+                             static_cast<std::uint32_t>(me));
   const interp::StepEnumCounters enum_base = interp::step_enum_counters();
   worker_loop_impl(eng, me);
-  flush_enum_counters(eng, enum_base);
+  flush_enum_counters(eng, me, enum_base);
 }
 
 }  // namespace
@@ -573,20 +612,16 @@ ExploreResult explore_dpor(const interp::Config& start,
   // programs. Returned traces therefore replay under tau_compress = true.
   eng.options.step.tau_compress = true;
 
+  obs::PhaseProfile profile_base;
+  if (options.telemetry != nullptr) profile_base = options.telemetry->profile();
+
   auto finish = [&](bool root_aborted = false) {
     ExploreResult res;
+    // Per-worker reporting slabs merge via ExploreStats::operator+=; the
+    // shared/atomic pieces are set once on the merged result afterwards.
+    for (const WorkerTotals& w : eng.totals) res.stats += w.stats;
     res.stats.states = eng.states.load();
     res.stats.transitions = eng.transitions.load();
-    res.stats.merged = eng.merged.load();
-    res.stats.finals = eng.finals.load();
-    res.stats.max_depth = eng.max_depth.load();
-    res.stats.por_pruned = eng.por_pruned.load();
-    res.stats.backtracks = eng.backtracks.load();
-    res.stats.sleep_blocked = eng.sleep_blocked.load();
-    res.stats.complete_traces = eng.complete_traces.load();
-    res.stats.redundant_transitions = eng.redundant.load();
-    res.stats.enum_threads_reused = eng.enum_reused.load();
-    res.stats.enum_threads_recomputed = eng.enum_recomputed.load();
     res.stats.truncated = eng.truncated.load();
     res.stats.peak_seen_bytes = eng.seen.bytes();
     {
@@ -595,29 +630,35 @@ ExploreResult explore_dpor(const interp::Config& start,
       res.abort_trace = std::move(eng.abort_trace);
     }
     if (worker_stats != nullptr) *worker_stats = eng.worker_stats;
+    if (options.telemetry != nullptr) {
+      res.phases = options.telemetry->profile() - profile_base;
+    }
     return res;
   };
 
   NodePtr root = acquire_node(eng);
   root->config = start;
-  (void)eng.seen.insert(root->config.fingerprint());
-  eng.states.store(1);
-  if (visitor.on_state && !visitor.on_state(root->config)) {
-    return finish(/*root_aborted=*/true);
-  }
-  if (root->config.terminated()) {
-    eng.finals.store(1);
-    eng.complete_traces.store(1);
-    if (visitor.on_final && !visitor.on_final(root->config)) {
-      return finish(/*root_aborted=*/true);
-    }
-  }
+  eng.totals[0].stats.max_depth = 1;
   {
     // Root preparation runs on the calling thread, before any worker
-    // snapshots its own counter base.
+    // snapshots its own counter base (and under its own telemetry scope,
+    // released before the workers attach theirs).
+    obs::WorkerScope obs_scope(options.telemetry, 0);
+    (void)eng.seen.insert(root->config.fingerprint());
+    eng.states.store(1);
+    if (visitor.on_state && !visitor.on_state(root->config)) {
+      return finish(/*root_aborted=*/true);
+    }
+    if (root->config.terminated()) {
+      eng.totals[0].stats.finals = 1;
+      eng.totals[0].stats.complete_traces = 1;
+      if (visitor.on_final && !visitor.on_final(root->config)) {
+        return finish(/*root_aborted=*/true);
+      }
+    }
     const interp::StepEnumCounters enum_base = interp::step_enum_counters();
     prepare_node(*root, eng.options);
-    flush_enum_counters(eng, enum_base);
+    flush_enum_counters(eng, 0, enum_base);
   }
   const c11::ThreadId first = pick_first(*root);
   if (first != 0) {

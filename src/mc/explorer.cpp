@@ -63,8 +63,21 @@ ExploreResult explore_materialized(const interp::Config& start,
     return t;
   };
 
+  std::vector<MatFrame> stack;
+
   auto visit_state = [&](const interp::Config& c) -> bool {
     ++result.stats.states;
+    if (options.telemetry != nullptr && options.telemetry->heartbeat_due()) {
+      obs::ProgressSnapshot snap;
+      snap.states = result.stats.states;
+      snap.transitions = result.stats.transitions;
+      snap.finals = result.stats.finals;
+      snap.max_depth = result.stats.max_depth;
+      snap.frontier = stack.size();
+      snap.seen_bytes = options.dedup ? seen.bytes() : 0;
+      snap.sleep_blocked = result.stats.sleep_blocked;
+      options.telemetry->emit(std::move(snap));
+    }
     if (visitor.on_state && !visitor.on_state(c)) return false;
     if (c.terminated()) {
       ++result.stats.finals;
@@ -86,15 +99,20 @@ ExploreResult explore_materialized(const interp::Config& start,
   };
 
   auto prepare_frame = [&](MatFrame& f) {
-    f.steps = expand(f.config, options);
+    {
+      obs::ScopedPhase enum_phase(obs::Phase::kEnumerate);
+      f.steps = expand(f.config, options);
+    }
     if (por) sigs_of(f.steps, f.config.exec, f.sigs, f.config.has_sc_fence);
   };
 
-  std::vector<MatFrame> stack;
   {
     MatFrame root;
     root.config = start;
-    if (options.dedup) root.id = seen.insert(root.config.fingerprint()).id;
+    if (options.dedup) {
+      obs::ScopedPhase probe_phase(obs::Phase::kSeenProbe);
+      root.id = seen.insert(root.config.fingerprint()).id;
+    }
     if (!visit_state(root.config)) {
       result.aborted = true;
       finish_stats();
@@ -132,9 +150,12 @@ ExploreResult explore_materialized(const interp::Config& start,
     if (por) frame.sleep = successor_sleep(top.sleep, top.sigs, step_index);
     bool revisit = false;
     if (options.dedup) {
-      const InsertResult ins =
-          seen.insert(step.next.fingerprint(), top.id,
-                      static_cast<std::uint32_t>(step_index));
+      InsertResult ins;
+      {
+        obs::ScopedPhase probe_phase(obs::Phase::kSeenProbe);
+        ins = seen.insert(step.next.fingerprint(), top.id,
+                          static_cast<std::uint32_t>(step_index));
+      }
       frame.id = ins.id;
       if (!ins.inserted) {
         if (!por) {
@@ -235,6 +256,17 @@ ExploreResult explore_incremental(const interp::Config& start,
 
   auto visit_state = [&](const interp::Config& c) -> bool {
     ++result.stats.states;
+    if (options.telemetry != nullptr && options.telemetry->heartbeat_due()) {
+      obs::ProgressSnapshot snap;
+      snap.states = result.stats.states;
+      snap.transitions = result.stats.transitions;
+      snap.finals = result.stats.finals;
+      snap.max_depth = result.stats.max_depth;
+      snap.frontier = depth + 1;
+      snap.seen_bytes = options.dedup ? seen.bytes() : 0;
+      snap.sleep_blocked = result.stats.sleep_blocked;
+      options.telemetry->emit(std::move(snap));
+    }
     if (visitor.on_state && !visitor.on_state(c)) return false;
     if (c.terminated()) {
       ++result.stats.finals;
@@ -260,7 +292,10 @@ ExploreResult explore_incremental(const interp::Config& start,
   auto prepare_frame = [&](SpineFrame& f) {
     f.next_step = 0;
     f.sigs.clear();
-    interp::enumerate_steps(cur, options.step, f.steps);
+    {
+      obs::ScopedPhase enum_phase(obs::Phase::kEnumerate);
+      interp::enumerate_steps(cur, options.step, f.steps);
+    }
     if (por) sigs_of(f.steps, cur.exec, f.sigs, cur.has_sc_fence);
   };
 
@@ -268,7 +303,10 @@ ExploreResult explore_incremental(const interp::Config& start,
     SpineFrame& root = frame(0);
     root.id = kNoState;
     root.sleep.clear();
-    if (options.dedup) root.id = seen.insert(cur.fingerprint()).id;
+    if (options.dedup) {
+      obs::ScopedPhase probe_phase(obs::Phase::kSeenProbe);
+      root.id = seen.insert(cur.fingerprint()).id;
+    }
     if (!visit_state(cur)) {
       result.aborted = true;
       finish_stats();
@@ -283,7 +321,10 @@ ExploreResult explore_incremental(const interp::Config& start,
     SpineFrame& top = frame(depth);
     if (top.next_step >= top.steps.size()) {
       if (depth == 0) break;
-      undo_step(cur, top.undo);
+      {
+        obs::ScopedPhase undo_phase(obs::Phase::kUndo);
+        undo_step(cur, top.undo);
+      }
       --depth;
       continue;
     }
@@ -298,8 +339,11 @@ ExploreResult explore_incremental(const interp::Config& start,
     // frame() may grow the pool and invalidate `top` — from here on the
     // current frame is re-fetched as frame(depth).
     SpineFrame& nf = frame(depth + 1);
-    (void)interp::apply_step(cur, frame(depth).steps[step_index],
-                             options.step, nf.undo);
+    {
+      obs::ScopedPhase apply_phase(obs::Phase::kApply);
+      (void)interp::apply_step(cur, frame(depth).steps[step_index],
+                               options.step, nf.undo);
+    }
 
     nf.id = kNoState;
     nf.sleep.clear();
@@ -309,19 +353,24 @@ ExploreResult explore_incremental(const interp::Config& start,
     }
     bool revisit = false;
     if (options.dedup) {
-      const InsertResult ins =
-          seen.insert(cur.fingerprint(), frame(depth).id,
-                      static_cast<std::uint32_t>(step_index));
+      InsertResult ins;
+      {
+        obs::ScopedPhase probe_phase(obs::Phase::kSeenProbe);
+        ins = seen.insert(cur.fingerprint(), frame(depth).id,
+                          static_cast<std::uint32_t>(step_index));
+      }
       nf.id = ins.id;
       if (!ins.inserted) {
         if (!por) {
           ++result.stats.merged;
+          obs::ScopedPhase undo_phase(obs::Phase::kUndo);
           undo_step(cur, nf.undo);
           continue;
         }
         SleepSet& stored = sleep_store[ins.id];
         if (is_subset(stored, nf.sleep)) {
           ++result.stats.merged;
+          obs::ScopedPhase undo_phase(obs::Phase::kUndo);
           undo_step(cur, nf.undo);
           continue;
         }
@@ -405,10 +454,23 @@ ExploreResult explore_from(const interp::Config& start,
   // the pre-execution semantics enumerates through pe_successors; both go
   // through the copying oracle path. Everything else runs on the
   // apply/undo spine.
-  if (visitor.on_transition || options.pre_execution) {
-    return explore_materialized(start, options, visitor);
+  //
+  // Telemetry: the sequential engines run under a single WorkerScope (track
+  // 0); the profile delta against the run-start baseline supports a shared
+  // Telemetry across several explorations (e.g. a litmus catalogue tour).
+  obs::PhaseProfile profile_base;
+  if (options.telemetry != nullptr) profile_base = options.telemetry->profile();
+  ExploreResult result;
+  {
+    obs::WorkerScope obs_scope(options.telemetry, 0);
+    result = visitor.on_transition || options.pre_execution
+                 ? explore_materialized(start, options, visitor)
+                 : explore_incremental(start, options, visitor);
   }
-  return explore_incremental(start, options, visitor);
+  if (options.telemetry != nullptr) {
+    result.phases = options.telemetry->profile() - profile_base;
+  }
+  return result;
 }
 
 }  // namespace rc11::mc

@@ -22,6 +22,7 @@
 #include "interp/preexec.hpp"
 #include "mc/statespace.hpp"
 #include "mc/trace.hpp"
+#include "obs/telemetry.hpp"
 
 namespace rc11::mc {
 
@@ -124,6 +125,13 @@ struct ExploreOptions {
   /// (differentially asserted in tests/test_dpor.cpp); pruned transitions
   /// are counted in stats.por_pruned and skip on_transition.
   PorMode por = PorMode::kNone;
+
+  /// Exploration telemetry (obs/telemetry.hpp): phase profiling, progress
+  /// heartbeats, Chrome-trace span recording. Null (the default) keeps
+  /// every instrumentation point a thread-local load + branch — no clock
+  /// reads — so plain-mode throughput is untouched. May be shared by
+  /// several explorations (heartbeat counters then restart per run).
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Visitor callbacks. Any callback returning false aborts the search with
@@ -143,6 +151,10 @@ struct Visitor {
 
 struct ExploreResult {
   ExploreStats stats;
+  /// Per-phase tick totals of this run; empty unless
+  /// ExploreOptions::telemetry was set (the zero-overhead contract is
+  /// pinned in tests/test_telemetry.cpp).
+  obs::PhaseProfile phases;
   bool aborted = false;
   /// DFS path to the configuration that aborted the search (the last entry
   /// is the transition *into* that configuration). Empty if not aborted or

@@ -107,6 +107,14 @@ bool contains(const std::vector<StepSig>& v, const StepSig& s) {
   return std::find(v.begin(), v.end(), s) != v.end();
 }
 
+/// Per-worker reporting counters, merged into the result with
+/// ExploreStats::operator+= when the run finishes. Owner-written without
+/// synchronization (heartbeats may sample them; monitoring only), padded so
+/// neighbouring workers don't false-share.
+struct alignas(64) WorkerTotals {
+  ExploreStats stats;
+};
+
 struct Engine {
   Engine(const ExploreOptions& opts, const Visitor& vis, std::size_t workers)
       : options(opts),
@@ -115,6 +123,7 @@ struct Engine {
         debug(std::getenv("RC11_DEBUG_WAKEUP") != nullptr),
         deques(workers),
         worker_stats(workers),
+        totals(workers),
         seen(workers) {}
 
   /// Arena-backed node pool, as in dpor.cpp (declared first so it
@@ -128,6 +137,11 @@ struct Engine {
   bool debug;  ///< RC11_DEBUG_WAKEUP: trace executions and insertions
   util::WorkDeques<Item> deques;
   std::vector<WorkerStats> worker_stats;
+  /// Pure-reporting counters live here, one slab per worker, written by the
+  /// owner only — no hot-path atomics. `states`, `transitions` and
+  /// `truncated` stay atomic: max_states control flow and heartbeat rates
+  /// need coherent cross-worker reads.
+  std::vector<WorkerTotals> totals;
 
   AdaptiveSeenSet seen;  ///< unique-state accounting only (tree search)
 
@@ -135,16 +149,6 @@ struct Engine {
   std::atomic<bool> stop{false};
   std::atomic<std::size_t> states{0};
   std::atomic<std::size_t> transitions{0};
-  std::atomic<std::size_t> merged{0};
-  std::atomic<std::size_t> finals{0};
-  std::atomic<std::size_t> complete_traces{0};
-  std::atomic<std::size_t> por_pruned{0};
-  std::atomic<std::size_t> backtracks{0};
-  std::atomic<std::size_t> sleep_blocked{0};
-  std::atomic<std::size_t> redundant{0};
-  std::atomic<std::size_t> max_depth{1};
-  std::atomic<std::size_t> enum_reused{0};
-  std::atomic<std::size_t> enum_recomputed{0};
   std::atomic<bool> truncated{false};
 
   std::mutex abort_mutex;
@@ -203,14 +207,8 @@ void pooled_dispose(Node* p) {
   eng.pool.release(p);
 }
 
-void max_update(std::atomic<std::size_t>& a, std::size_t v) {
-  std::size_t cur = a.load(std::memory_order_relaxed);
-  while (cur < v &&
-         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-  }
-}
-
 void prepare_node(Node& n, const ExploreOptions& options) {
+  obs::ScopedPhase enum_phase(obs::Phase::kEnumerate);
   if (options.pre_execution) {
     n.pe_steps = interp::pe_successors(
         n.config, interp::value_domain(*n.config.program), options.step);
@@ -307,6 +305,7 @@ void build_incoming_row(const NodePtr& self, const StepSig& t_sig,
 /// insert_sequence with target->mu already held and target ready.
 bool insert_sequence_locked(Engine& eng, std::size_t me,
                             const NodePtr& target, const WakeupSequence& v) {
+  obs::ScopedPhase insert_phase(obs::Phase::kWakeupInsert);
   thread_local std::vector<std::size_t> wi;
   weak_initials(v, wi);
   for (const std::size_t j : wi) {
@@ -371,6 +370,7 @@ bool insert_sequence(Engine& eng, std::size_t me, const NodePtr& target,
 /// re-detected at every maximal execution below it; subsumption against
 /// the tree (taken branches included) eats the duplicates.
 void leaf_race_reversals(Engine& eng, std::size_t me, const NodePtr& leaf) {
+  obs::ScopedPhase race_phase(obs::Phase::kRaceDetect);
   Node& n = *leaf;
   const std::size_t d = n.depth;
   if (d < 2) return;
@@ -454,7 +454,7 @@ void leaf_race_reversals(Engine& eng, std::size_t me, const NodePtr& leaf) {
           std::fprintf(stderr, "race (%zu,%zu) at leaf d=%zu:\n", i, k, d);
         }
         if (insert_sequence(eng, me, nodes[i]->parent, seq)) {
-          eng.backtracks.fetch_add(1, std::memory_order_relaxed);
+          ++eng.totals[me].stats.backtracks;
         }
       };
 
@@ -709,9 +709,10 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
   Node& n = *self;
   const bool pe = eng.options.pre_execution;
   const StepSig sig = n.sigs[i];
+  ExploreStats& my = eng.totals[me].stats;
 
   eng.transitions.fetch_add(1, std::memory_order_relaxed);
-  if (n.redundant) eng.redundant.fetch_add(1, std::memory_order_relaxed);
+  if (n.redundant) ++my.redundant_transitions;
   if (eng.debug) {
     std::fprintf(stderr,
                  "exec n=%p c=%p d=%u t%u k=%d var=%u obs=(%u,%d) subtree=%zu\n",
@@ -732,6 +733,7 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
     in_step.observed = ps.observed;
     child->config = std::move(n.pe_steps[i].next);
   } else {
+    obs::ScopedPhase apply_phase(obs::Phase::kApply);
     in_step = n.steps[i];
     child->config = n.config;
     (void)interp::apply_step(child->config, n.steps[i], eng.options.step);
@@ -765,12 +767,16 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
   child->depth = n.depth + 1;
   child->in_sig = sig;
   child->in_step = in_step;
-  max_update(eng.max_depth, child->depth + 1);
+  my.max_depth = std::max<std::size_t>(my.max_depth, child->depth + 1);
 
-  const InsertResult ins = eng.seen.insert(child->config.fingerprint());
+  InsertResult ins;
+  {
+    obs::ScopedPhase probe_phase(obs::Phase::kSeenProbe);
+    ins = eng.seen.insert(child->config.fingerprint());
+  }
   child->redundant = n.redundant || !ins.inserted;
   if (child->config.terminated()) {
-    eng.complete_traces.fetch_add(1, std::memory_order_relaxed);
+    ++my.complete_traces;
   }
   if (ins.inserted) {
     const std::size_t states =
@@ -785,14 +791,14 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
       return false;
     }
     if (child->config.terminated()) {
-      eng.finals.fetch_add(1, std::memory_order_relaxed);
+      ++my.finals;
       if (eng.visitor.on_final && !eng.visitor.on_final(child->config)) {
         eng.record_abort(spine_trace(child.get()));
         return false;
       }
     }
   } else {
-    eng.merged.fetch_add(1, std::memory_order_relaxed);
+    ++my.merged;
     ++eng.worker_stats[me].merged;
   }
 
@@ -816,7 +822,7 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
     if (sleep_contains(child->sleep, s)) ++pruned;
   }
   if (pruned > 0) {
-    eng.por_pruned.fetch_add(pruned, std::memory_order_relaxed);
+    my.por_pruned += pruned;
   }
   child->doomed = pruned > 0 && has_doomed_thread(*child);
   if (child->doomed && eng.debug) {
@@ -858,7 +864,7 @@ bool execute_step(Engine& eng, std::size_t me, const NodePtr& self,
     // mode never reaches this line (asserted over the catalogue);
     // defensively the trace still goes through race reversal below so no
     // coverage is lost if it ever fires.
-    eng.sleep_blocked.fetch_add(1, std::memory_order_relaxed);
+    ++my.sleep_blocked;
     if (eng.debug) {
       std::fprintf(stderr, "BLOCKED at depth %u:\n%s", child->depth,
                    spine_trace(child.get()).to_string().c_str());
@@ -1061,14 +1067,40 @@ void expand_branch(Engine& eng, std::size_t me, const NodePtr& node,
 }
 
 /// Adds this thread's step-enumeration counter movement since `base` to
-/// the engine totals (the counters are thread_local, so each thread's
-/// delta is flushed by the thread itself).
-void flush_enum_counters(Engine& eng, const interp::StepEnumCounters& base) {
+/// worker `me`'s slabs — both the per-worker WorkerStats attribution (the
+/// split survives steal handoffs; engine totals are the sum over workers)
+/// and the reporting totals merged into ExploreStats at finish.
+void flush_enum_counters(Engine& eng, std::size_t me,
+                         const interp::StepEnumCounters& base) {
   const interp::StepEnumCounters& ec = interp::step_enum_counters();
-  eng.enum_reused.fetch_add(ec.reused - base.reused,
-                            std::memory_order_relaxed);
-  eng.enum_recomputed.fetch_add(ec.recomputed - base.recomputed,
-                                std::memory_order_relaxed);
+  eng.worker_stats[me].enum_reused += ec.reused - base.reused;
+  eng.worker_stats[me].enum_recomputed += ec.recomputed - base.recomputed;
+  eng.totals[me].stats.enum_threads_reused += ec.reused - base.reused;
+  eng.totals[me].stats.enum_threads_recomputed +=
+      ec.recomputed - base.recomputed;
+}
+
+/// Progress heartbeat: the winning worker samples the engine counters. The
+/// per-worker slabs are owner-written plain fields; sampling them here is
+/// unsynchronized by design (monitoring only, no control flow depends on
+/// the values).
+void emit_heartbeat(Engine& eng) {
+  obs::ProgressSnapshot snap;
+  snap.states = eng.states.load(std::memory_order_relaxed);
+  snap.transitions = eng.transitions.load(std::memory_order_relaxed);
+  snap.frontier = eng.pending.load(std::memory_order_relaxed);
+  snap.seen_bytes = eng.seen.bytes();
+  for (const WorkerTotals& w : eng.totals) {
+    snap.finals += w.stats.finals;
+    snap.sleep_blocked += w.stats.sleep_blocked;
+    snap.redundant += w.stats.redundant_transitions;
+    snap.max_depth = std::max(snap.max_depth, w.stats.max_depth);
+  }
+  snap.workers.reserve(eng.worker_stats.size());
+  for (const WorkerStats& ws : eng.worker_stats) {
+    snap.workers.push_back({ws.processed, ws.enqueued, ws.steals, ws.merged});
+  }
+  eng.options.telemetry->emit(std::move(snap));
 }
 
 void worker_loop_impl(Engine& eng, std::size_t me) {
@@ -1079,7 +1111,10 @@ void worker_loop_impl(Engine& eng, std::size_t me) {
     std::optional<Item> item = eng.deques.pop_local(me);
     if (!item && eng.deques.worker_count() > 1) {
       item = eng.deques.steal(me);
-      if (item) ++eng.worker_stats[me].steals;
+      if (item) {
+        ++eng.worker_stats[me].steals;
+        obs::instant_event("steal");
+      }
     }
     if (!item) {
       if (eng.pending.load(std::memory_order_acquire) == 0) return;
@@ -1099,13 +1134,19 @@ void worker_loop_impl(Engine& eng, std::size_t me) {
       expand_free(eng, me, item->node, item->thread);
     }
     eng.pending.fetch_sub(1, std::memory_order_acq_rel);
+    if (eng.options.telemetry != nullptr &&
+        eng.options.telemetry->heartbeat_due()) {
+      emit_heartbeat(eng);
+    }
   }
 }
 
 void worker_loop(Engine& eng, std::size_t me) {
+  obs::WorkerScope obs_scope(eng.options.telemetry,
+                             static_cast<std::uint32_t>(me));
   const interp::StepEnumCounters enum_base = interp::step_enum_counters();
   worker_loop_impl(eng, me);
-  flush_enum_counters(eng, enum_base);
+  flush_enum_counters(eng, me, enum_base);
 }
 
 }  // namespace
@@ -1120,20 +1161,16 @@ ExploreResult explore_optimal(const interp::Config& start,
   // source-set engine (traces replay under tau_compress = true).
   eng.options.step.tau_compress = true;
 
+  obs::PhaseProfile profile_base;
+  if (options.telemetry != nullptr) profile_base = options.telemetry->profile();
+
   auto finish = [&](bool root_aborted = false) {
     ExploreResult res;
+    // Per-worker reporting slabs merge via ExploreStats::operator+=; the
+    // shared/atomic pieces are set once on the merged result afterwards.
+    for (const WorkerTotals& w : eng.totals) res.stats += w.stats;
     res.stats.states = eng.states.load();
     res.stats.transitions = eng.transitions.load();
-    res.stats.merged = eng.merged.load();
-    res.stats.finals = eng.finals.load();
-    res.stats.max_depth = eng.max_depth.load();
-    res.stats.por_pruned = eng.por_pruned.load();
-    res.stats.backtracks = eng.backtracks.load();
-    res.stats.sleep_blocked = eng.sleep_blocked.load();
-    res.stats.complete_traces = eng.complete_traces.load();
-    res.stats.redundant_transitions = eng.redundant.load();
-    res.stats.enum_threads_reused = eng.enum_reused.load();
-    res.stats.enum_threads_recomputed = eng.enum_recomputed.load();
     res.stats.truncated = eng.truncated.load();
     res.stats.peak_seen_bytes = eng.seen.bytes();
     {
@@ -1142,30 +1179,36 @@ ExploreResult explore_optimal(const interp::Config& start,
       res.abort_trace = std::move(eng.abort_trace);
     }
     if (worker_stats != nullptr) *worker_stats = eng.worker_stats;
+    if (options.telemetry != nullptr) {
+      res.phases = options.telemetry->profile() - profile_base;
+    }
     return res;
   };
 
   NodePtr root = acquire_node(eng);
   root->config = start;
   root->ready = true;  // fully initialized before any item runs
-  (void)eng.seen.insert(root->config.fingerprint());
-  eng.states.store(1);
-  if (visitor.on_state && !visitor.on_state(root->config)) {
-    return finish(/*root_aborted=*/true);
-  }
-  if (root->config.terminated()) {
-    eng.finals.store(1);
-    eng.complete_traces.store(1);
-    if (visitor.on_final && !visitor.on_final(root->config)) {
-      return finish(/*root_aborted=*/true);
-    }
-  }
+  eng.totals[0].stats.max_depth = 1;
   {
     // Root preparation runs on the calling thread, before any worker
-    // snapshots its own counter base.
+    // snapshots its own counter base (and under its own telemetry scope,
+    // released before the workers attach theirs).
+    obs::WorkerScope obs_scope(options.telemetry, 0);
+    (void)eng.seen.insert(root->config.fingerprint());
+    eng.states.store(1);
+    if (visitor.on_state && !visitor.on_state(root->config)) {
+      return finish(/*root_aborted=*/true);
+    }
+    if (root->config.terminated()) {
+      eng.totals[0].stats.finals = 1;
+      eng.totals[0].stats.complete_traces = 1;
+      if (visitor.on_final && !visitor.on_final(root->config)) {
+        return finish(/*root_aborted=*/true);
+      }
+    }
     const interp::StepEnumCounters enum_base = interp::step_enum_counters();
     prepare_node(*root, eng.options);
-    flush_enum_counters(eng, enum_base);
+    flush_enum_counters(eng, 0, enum_base);
   }
   const c11::ThreadId first = pick_first(*root);
   if (first != 0) {

@@ -1,5 +1,6 @@
 #include "mc/parallel.hpp"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cassert>
@@ -35,6 +36,14 @@ struct WorkItem {
   bool revisit = false;  ///< re-expansion after a sleep-set intersection
 };
 
+/// Per-worker reporting counters, merged into the result with
+/// ExploreStats::operator+= when the run finishes. Owner-written without
+/// synchronization (heartbeats may sample them; monitoring only), padded so
+/// neighbouring workers don't false-share.
+struct alignas(64) WorkerTotals {
+  ExploreStats stats;
+};
+
 /// Shared context of one work-stealing run.
 struct ParallelRun {
   ParallelRun(const ExploreOptions& opts, std::size_t workers)
@@ -42,7 +51,8 @@ struct ParallelRun {
         por_sleep(opts.por == PorMode::kSleepSets),
         seen(workers),
         deques(workers),
-        worker_stats(workers) {}
+        worker_stats(workers),
+        totals(workers) {}
 
   ExploreOptions options;
   bool por_sleep;
@@ -50,6 +60,11 @@ struct ParallelRun {
   AdaptiveSeenSet seen;
   util::WorkDeques<WorkItem> deques;
   std::vector<WorkerStats> worker_stats;
+  /// Pure-reporting counters live here, one slab per worker, written by the
+  /// owner only — no hot-path atomics. `states`, `transitions` and
+  /// `truncated` stay atomic: max_states control flow and heartbeat rates
+  /// need coherent cross-worker reads.
+  std::vector<WorkerTotals> totals;
 
   /// Per-state sleep sets (Godefroid's state-caching rule), sharded by the
   /// fingerprint's shard bits. The shard mutex is taken as an outer lock
@@ -66,11 +81,6 @@ struct ParallelRun {
   std::atomic<bool> stop{false};
   std::atomic<std::size_t> states{0};
   std::atomic<std::size_t> transitions{0};
-  std::atomic<std::size_t> merged{0};
-  std::atomic<std::size_t> finals{0};
-  std::atomic<std::size_t> por_pruned{0};
-  std::atomic<std::size_t> enum_reused{0};
-  std::atomic<std::size_t> enum_recomputed{0};
   std::atomic<bool> truncated{false};
 
   /// First violating / witnessing state, for trace reconstruction. When
@@ -123,17 +133,24 @@ void position(ParallelRun& run, Cursor& cur, const WorkItem& item) {
          cur.path[k] == item.path[k]) {
     ++k;
   }
-  while (cur.path.size() > k) {
-    interp::undo_step(cur.config, cur.undos.back());
-    cur.undos.pop_back();
-    cur.path.pop_back();
+  if (cur.path.size() > k) {
+    obs::ScopedPhase undo_phase(obs::Phase::kUndo);
+    while (cur.path.size() > k) {
+      interp::undo_step(cur.config, cur.undos.back());
+      cur.undos.pop_back();
+      cur.path.pop_back();
+    }
   }
   thread_local std::vector<interp::Step> steps;
   for (std::size_t d = k; d < item.path.size(); ++d) {
-    interp::enumerate_steps(cur.config, run.options.step, steps);
+    {
+      obs::ScopedPhase enum_phase(obs::Phase::kEnumerate);
+      interp::enumerate_steps(cur.config, run.options.step, steps);
+    }
     const std::uint32_t i = item.path[d];
     assert(i < steps.size());
     cur.undos.emplace_back();
+    obs::ScopedPhase apply_phase(obs::Phase::kApply);
     (void)interp::apply_step(cur.config, steps[i], run.options.step,
                              cur.undos.back());
     cur.path.push_back(i);
@@ -155,8 +172,10 @@ void position(ParallelRun& run, Cursor& cur, const WorkItem& item) {
 /// per edge) fall back to the copying oracle path.
 void process(ParallelRun& run, std::size_t me, Cursor& cur, WorkItem item) {
   WorkerStats& ws = run.worker_stats[me];
+  ExploreStats& my = run.totals[me].stats;
   ++ws.processed;
   position(run, cur, item);
+  my.max_depth = std::max<std::size_t>(my.max_depth, item.path.size() + 1);
   if (!item.revisit) {
     if (run.states.fetch_add(1, std::memory_order_relaxed) >=
         run.options.max_states) {
@@ -169,7 +188,7 @@ void process(ParallelRun& run, std::size_t me, Cursor& cur, WorkItem item) {
       return;
     }
     if (cur.config.terminated()) {
-      run.finals.fetch_add(1, std::memory_order_relaxed);
+      ++my.finals;
       if (run.on_final && !run.on_final(cur.config)) {
         run.record_hit(item.id);
         return;
@@ -188,12 +207,15 @@ void process(ParallelRun& run, std::size_t me, Cursor& cur, WorkItem item) {
 
   if (run.on_transition) {
     // Materialized fallback: the callback observes ConfigStep.next.
-    auto steps = interp::successors(cur.config, run.options.step);
+    auto steps = [&] {
+      obs::ScopedPhase enum_phase(obs::Phase::kEnumerate);
+      return interp::successors(cur.config, run.options.step);
+    }();
     std::vector<StepSig> sigs;
     if (run.por_sleep) sigs_of(steps, cur.config.exec, sigs, cur.config.has_sc_fence);
     for (std::size_t i = 0; i < steps.size(); ++i) {
       if (run.por_sleep && sleep_contains(item.sleep, sigs[i])) {
-        run.por_pruned.fetch_add(1, std::memory_order_relaxed);
+        ++my.por_pruned;
         continue;
       }
       run.transitions.fetch_add(1, std::memory_order_relaxed);
@@ -203,10 +225,13 @@ void process(ParallelRun& run, std::size_t me, Cursor& cur, WorkItem item) {
       }
       const util::Fingerprint fp = steps[i].next.fingerprint();
       if (!run.por_sleep) {
-        const InsertResult ins =
-            run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
+        InsertResult ins;
+        {
+          obs::ScopedPhase probe_phase(obs::Phase::kSeenProbe);
+          ins = run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
+        }
         if (!ins.inserted) {
-          run.merged.fetch_add(1, std::memory_order_relaxed);
+          ++my.merged;
           ++ws.merged;
           continue;
         }
@@ -218,8 +243,11 @@ void process(ParallelRun& run, std::size_t me, Cursor& cur, WorkItem item) {
       const std::size_t shard =
           fp.shard_bits() & (ParallelRun::kSleepShards - 1);
       std::lock_guard sleep_lock(run.sleep_mutexes[shard]);
-      const InsertResult ins =
-          run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
+      InsertResult ins;
+      {
+        obs::ScopedPhase probe_phase(obs::Phase::kSeenProbe);
+        ins = run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
+      }
       if (ins.inserted) {
         run.sleep_store[shard][ins.id] = succ_sleep;
         ++ws.enqueued;
@@ -230,7 +258,7 @@ void process(ParallelRun& run, std::size_t me, Cursor& cur, WorkItem item) {
       }
       SleepSet& stored = run.sleep_store[shard][ins.id];
       if (is_subset(stored, succ_sleep)) {
-        run.merged.fetch_add(1, std::memory_order_relaxed);
+        ++my.merged;
         ++ws.merged;
         continue;
       }
@@ -248,27 +276,37 @@ void process(ParallelRun& run, std::size_t me, Cursor& cur, WorkItem item) {
   thread_local std::vector<interp::Step> steps;
   thread_local std::vector<StepSig> sigs;
   thread_local interp::StepUndo undo;
-  interp::enumerate_steps(cur.config, run.options.step, steps);
+  {
+    obs::ScopedPhase enum_phase(obs::Phase::kEnumerate);
+    interp::enumerate_steps(cur.config, run.options.step, steps);
+  }
   sigs.clear();
   if (run.por_sleep) sigs_of(steps, cur.config.exec, sigs, cur.config.has_sc_fence);
   for (std::size_t i = 0; i < steps.size(); ++i) {
     if (run.por_sleep && sleep_contains(item.sleep, sigs[i])) {
-      run.por_pruned.fetch_add(1, std::memory_order_relaxed);
+      ++my.por_pruned;
       continue;
     }
     run.transitions.fetch_add(1, std::memory_order_relaxed);
-    (void)interp::apply_step(cur.config, steps[i], run.options.step, undo);
+    {
+      obs::ScopedPhase apply_phase(obs::Phase::kApply);
+      (void)interp::apply_step(cur.config, steps[i], run.options.step, undo);
+    }
     const util::Fingerprint fp = cur.config.fingerprint();
     if (!run.por_sleep) {
-      const InsertResult ins =
-          run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
+      InsertResult ins;
+      {
+        obs::ScopedPhase probe_phase(obs::Phase::kSeenProbe);
+        ins = run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
+      }
       if (!ins.inserted) {
-        run.merged.fetch_add(1, std::memory_order_relaxed);
+        ++my.merged;
         ++ws.merged;
       } else {
         ++ws.enqueued;
         push_local(run, me, child_item(ins.id, i));
       }
+      obs::ScopedPhase undo_phase(obs::Phase::kUndo);
       interp::undo_step(cur.config, undo);
       continue;
     }
@@ -277,8 +315,11 @@ void process(ParallelRun& run, std::size_t me, Cursor& cur, WorkItem item) {
       const std::size_t shard =
           fp.shard_bits() & (ParallelRun::kSleepShards - 1);
       std::lock_guard sleep_lock(run.sleep_mutexes[shard]);
-      const InsertResult ins =
-          run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
+      InsertResult ins;
+      {
+        obs::ScopedPhase probe_phase(obs::Phase::kSeenProbe);
+        ins = run.seen.insert(fp, item.id, static_cast<std::uint32_t>(i));
+      }
       if (ins.inserted) {
         run.sleep_store[shard][ins.id] = succ_sleep;
         ++ws.enqueued;
@@ -288,7 +329,7 @@ void process(ParallelRun& run, std::size_t me, Cursor& cur, WorkItem item) {
       } else {
         SleepSet& stored = run.sleep_store[shard][ins.id];
         if (is_subset(stored, succ_sleep)) {
-          run.merged.fetch_add(1, std::memory_order_relaxed);
+          ++my.merged;
           ++ws.merged;
         } else {
           // Previously pruned transitions may now be required: re-expand
@@ -303,22 +344,52 @@ void process(ParallelRun& run, std::size_t me, Cursor& cur, WorkItem item) {
         }
       }
     }
+    obs::ScopedPhase undo_phase(obs::Phase::kUndo);
     interp::undo_step(cur.config, undo);
   }
+}
+
+/// Progress heartbeat: the winning worker samples the run counters. The
+/// per-worker slabs are owner-written plain fields; sampling them here is
+/// unsynchronized by design (monitoring only, no control flow depends on
+/// the values).
+void emit_heartbeat(ParallelRun& run) {
+  obs::ProgressSnapshot snap;
+  snap.states = run.states.load(std::memory_order_relaxed);
+  snap.transitions = run.transitions.load(std::memory_order_relaxed);
+  snap.frontier = run.pending.load(std::memory_order_relaxed);
+  snap.seen_bytes = run.seen.bytes();
+  for (const WorkerTotals& w : run.totals) {
+    snap.finals += w.stats.finals;
+    snap.sleep_blocked += w.stats.sleep_blocked;
+    snap.redundant += w.stats.redundant_transitions;
+    snap.max_depth = std::max(snap.max_depth, w.stats.max_depth);
+  }
+  snap.workers.reserve(run.worker_stats.size());
+  for (const WorkerStats& ws : run.worker_stats) {
+    snap.workers.push_back({ws.processed, ws.enqueued, ws.steals, ws.merged});
+  }
+  run.options.telemetry->emit(std::move(snap));
 }
 
 void worker_loop(ParallelRun& run, std::size_t me) {
   constexpr int kYieldRounds = 64;
   int idle_rounds = 0;
+  obs::WorkerScope obs_scope(run.options.telemetry,
+                             static_cast<std::uint32_t>(me));
   // Step-enumeration counters are thread_local: snapshot on entry, flush
-  // the delta to the run totals on every exit path.
+  // the delta to worker `me`'s slabs on every exit path — both the
+  // per-worker WorkerStats attribution (the split survives steal handoffs)
+  // and the reporting totals merged into ExploreStats at finish.
   const interp::StepEnumCounters enum_base = interp::step_enum_counters();
   const auto flush_enum = [&] {
     const interp::StepEnumCounters& ec = interp::step_enum_counters();
-    run.enum_reused.fetch_add(ec.reused - enum_base.reused,
-                              std::memory_order_relaxed);
-    run.enum_recomputed.fetch_add(ec.recomputed - enum_base.recomputed,
-                                  std::memory_order_relaxed);
+    run.worker_stats[me].enum_reused += ec.reused - enum_base.reused;
+    run.worker_stats[me].enum_recomputed +=
+        ec.recomputed - enum_base.recomputed;
+    run.totals[me].stats.enum_threads_reused += ec.reused - enum_base.reused;
+    run.totals[me].stats.enum_threads_recomputed +=
+        ec.recomputed - enum_base.recomputed;
   };
   Cursor cur{interp::initial_config(*run.program)};
   while (true) {
@@ -326,7 +397,10 @@ void worker_loop(ParallelRun& run, std::size_t me) {
     std::optional<WorkItem> item = run.deques.pop_local(me);
     if (!item) {
       item = run.deques.steal(me);
-      if (item) ++run.worker_stats[me].steals;
+      if (item) {
+        ++run.worker_stats[me].steals;
+        obs::instant_event("steal");
+      }
     }
     if (!item) {
       if (run.pending.load(std::memory_order_acquire) == 0) {
@@ -344,6 +418,10 @@ void worker_loop(ParallelRun& run, std::size_t me) {
     idle_rounds = 0;
     process(run, me, cur, *std::move(item));
     run.pending.fetch_sub(1, std::memory_order_acq_rel);
+    if (run.options.telemetry != nullptr &&
+        run.options.telemetry->heartbeat_due()) {
+      emit_heartbeat(run);
+    }
   }
 }
 
@@ -369,13 +447,11 @@ ExploreStats run_parallel(const lang::Program& program, ParallelRun& run) {
   }
 
   ExploreStats stats;
+  // Per-worker reporting slabs merge via ExploreStats::operator+=; the
+  // shared/atomic pieces are set once on the merged result afterwards.
+  for (const WorkerTotals& w : run.totals) stats += w.stats;
   stats.states = run.states.load();
   stats.transitions = run.transitions.load();
-  stats.merged = run.merged.load();
-  stats.finals = run.finals.load();
-  stats.por_pruned = run.por_pruned.load();
-  stats.enum_threads_reused = run.enum_reused.load();
-  stats.enum_threads_recomputed = run.enum_recomputed.load();
   stats.truncated = run.truncated.load();
   stats.peak_seen_bytes = run.seen.bytes();
   return stats;

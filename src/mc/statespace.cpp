@@ -30,6 +30,10 @@ std::string WorkerStats::to_string() const {
   std::ostringstream os;
   os << "processed=" << processed << " enqueued=" << enqueued
      << " steals=" << steals << " merged=" << merged;
+  if (enum_reused + enum_recomputed > 0) {
+    os << " enum_reused=" << enum_reused
+       << " enum_recomputed=" << enum_recomputed;
+  }
   return os.str();
 }
 

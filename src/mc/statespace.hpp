@@ -84,6 +84,29 @@ struct ExploreStats {
   std::size_t enum_threads_recomputed = 0;
   bool truncated = false;       ///< hit max_states
 
+  /// Merges another run's (or worker's) stats into this one: counters add,
+  /// `max_depth` takes the max, `truncated` ORs. `peak_seen_bytes` adds —
+  /// correct when the operands are disjoint runs or per-worker slabs whose
+  /// shared-structure footprint is recorded on exactly one side; callers
+  /// merging workers of one run set it once on the destination afterwards.
+  ExploreStats& operator+=(const ExploreStats& o) {
+    states += o.states;
+    transitions += o.transitions;
+    merged += o.merged;
+    finals += o.finals;
+    max_depth = max_depth > o.max_depth ? max_depth : o.max_depth;
+    peak_seen_bytes += o.peak_seen_bytes;
+    por_pruned += o.por_pruned;
+    backtracks += o.backtracks;
+    sleep_blocked += o.sleep_blocked;
+    complete_traces += o.complete_traces;
+    redundant_transitions += o.redundant_transitions;
+    enum_threads_reused += o.enum_threads_reused;
+    enum_threads_recomputed += o.enum_threads_recomputed;
+    truncated = truncated || o.truncated;
+    return *this;
+  }
+
   [[nodiscard]] std::string to_string() const;
 };
 
@@ -93,6 +116,11 @@ struct WorkerStats {
   std::size_t enqueued = 0;   ///< fresh successors pushed to its own deque
   std::size_t steals = 0;     ///< items taken from another worker's deque
   std::size_t merged = 0;     ///< successors deduplicated away
+  /// Step-enumeration cache behaviour attributed to this worker (the
+  /// thread_local interp counters are flushed per worker, so the split
+  /// survives steal handoffs; tests pin sum-over-workers == engine total).
+  std::size_t enum_reused = 0;
+  std::size_t enum_recomputed = 0;
 
   [[nodiscard]] std::string to_string() const;
 };

@@ -1,0 +1,103 @@
+// CLI glue for the observability subsystem: registers the --telemetry,
+// --trace-out and --progress[=ms] options on a util::Cli and owns the
+// sink / Telemetry wiring for the binary's lifetime.
+//
+//   --telemetry=run.ndjson   NDJSON heartbeats + end-of-run phase profile
+//   --trace-out=trace.json   Chrome trace-event (Perfetto) timeline
+//   --progress[=ms]          human-readable heartbeats on stderr
+//
+// Passing any of the three turns telemetry on; heartbeats default to a
+// 1000 ms cadence when a sink exists but --progress gave no interval.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "obs/telemetry.hpp"
+#include "util/cli.hpp"
+
+namespace rc11::obs {
+
+class TelemetryCli {
+ public:
+  static util::Cli& add_options(util::Cli& cli) {
+    cli.option("telemetry", "",
+               "write NDJSON progress heartbeats and the run's phase "
+               "profile to this file");
+    cli.option("trace-out", "",
+               "write a Chrome trace-event (Perfetto) JSON timeline to "
+               "this file");
+    cli.optional_option("progress", "0", "1000",
+                        "print progress heartbeats to stderr every N ms "
+                        "(bare --progress: 1000)");
+    return cli;
+  }
+
+  /// Builds the telemetry context from the parsed options. Returns false
+  /// (with a message on stderr) when an output file cannot be opened.
+  /// telemetry() stays null when none of the three options were given.
+  bool init(const util::Cli& cli) {
+    trace_path_ = cli.get("trace-out");
+    const std::string telemetry_path = cli.get("telemetry");
+    const std::int64_t progress_ms = cli.get_int("progress");
+    if (!telemetry_path.empty()) {
+      telemetry_file_.open(telemetry_path);
+      if (!telemetry_file_) {
+        std::cerr << "cannot write " << telemetry_path << "\n";
+        return false;
+      }
+      ndjson_ = std::make_unique<NdjsonSink>(telemetry_file_);
+      sink_.add(ndjson_.get());
+    }
+    if (progress_ms > 0) {
+      tty_ = std::make_unique<TtySink>(std::cerr);
+      sink_.add(tty_.get());
+    }
+    const bool want_sink = ndjson_ != nullptr || tty_ != nullptr;
+    if (!want_sink && trace_path_.empty()) return true;  // telemetry off
+    Telemetry::Options topts;
+    topts.sink = want_sink ? &sink_ : nullptr;
+    topts.heartbeat_ns =
+        want_sink ? static_cast<std::uint64_t>(
+                        progress_ms > 0 ? progress_ms : 1000) *
+                        1'000'000ull
+                  : 0;
+    topts.trace_capacity =
+        trace_path_.empty() ? 0 : (std::size_t{1} << 16);
+    telemetry_ = std::make_unique<Telemetry>(topts);
+    return true;
+  }
+
+  /// The context to hand to ExploreOptions::telemetry; null = off.
+  [[nodiscard]] Telemetry* telemetry() { return telemetry_.get(); }
+
+  /// Emits the end-of-run phase profile to the sinks and writes the
+  /// Chrome trace. Call once, after every exploration has returned.
+  /// Returns false when the trace file cannot be written.
+  bool finish() {
+    if (telemetry_ == nullptr) return true;
+    telemetry_->finish();
+    if (!trace_path_.empty()) {
+      std::ofstream trace(trace_path_);
+      telemetry_->write_chrome_trace(trace);
+      if (!trace) {
+        std::cerr << "cannot write " << trace_path_ << "\n";
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::string trace_path_;
+  std::ofstream telemetry_file_;
+  std::unique_ptr<NdjsonSink> ndjson_;
+  std::unique_ptr<TtySink> tty_;
+  MultiSink sink_;
+  std::unique_ptr<Telemetry> telemetry_;
+};
+
+}  // namespace rc11::obs

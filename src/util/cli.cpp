@@ -18,6 +18,15 @@ Cli& Cli::flag(const std::string& name, const std::string& help) {
   return *this;
 }
 
+Cli& Cli::optional_option(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& implicit_value,
+                          const std::string& help) {
+  opts_[name] = Opt{default_value, help, /*is_flag=*/false,
+                    /*optional_value=*/true, implicit_value};
+  return *this;
+}
+
 bool Cli::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -46,6 +55,10 @@ bool Cli::parse(int argc, const char* const* argv) {
       values_[name] = has_value ? value : "true";
     } else if (has_value) {
       values_[name] = value;
+    } else if (it->second.optional_value) {
+      // Never consumes the next argv entry: an optional-value option only
+      // takes a value via --name=value.
+      values_[name] = it->second.implicit_value;
     } else if (i + 1 < argc) {
       values_[name] = argv[++i];
     } else {
@@ -78,7 +91,12 @@ std::string Cli::usage(const std::string& program) const {
   os << "usage: " << program << " [options]\n";
   for (const auto& [name, opt] : opts_) {
     os << "  --" << name;
-    if (!opt.is_flag) os << " <value> (default: " << opt.default_value << ")";
+    if (opt.optional_value) {
+      os << "[=value] (default: " << opt.default_value
+         << ", bare: " << opt.implicit_value << ")";
+    } else if (!opt.is_flag) {
+      os << " <value> (default: " << opt.default_value << ")";
+    }
     os << "\n      " << opt.help << "\n";
   }
   return os.str();

@@ -22,6 +22,15 @@ class Cli {
   /// Registers a boolean flag (default false).
   Cli& flag(const std::string& name, const std::string& help);
 
+  /// Registers an option whose value may be omitted: bare `--name` yields
+  /// `implicit_value` (unlike a valued option, it never consumes the next
+  /// argv entry), `--name=v` yields v, and an unmentioned option yields
+  /// `default_value`.
+  Cli& optional_option(const std::string& name,
+                       const std::string& default_value,
+                       const std::string& implicit_value,
+                       const std::string& help);
+
   /// Parses argv. On error (unknown option, missing value) fills error().
   /// Recognises --help and sets help_requested().
   bool parse(int argc, const char* const* argv);
@@ -44,6 +53,8 @@ class Cli {
     std::string default_value;
     std::string help;
     bool is_flag = false;
+    bool optional_value = false;  ///< bare --name allowed
+    std::string implicit_value;   ///< value a bare --name yields
   };
 
   std::map<std::string, Opt> opts_;

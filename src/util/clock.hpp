@@ -1,0 +1,47 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rc11::util {
+
+// Monotonic nanosecond clock behind a virtual interface so telemetry
+// cadence (heartbeat deadlines, sliding-window rates) can be driven by a
+// ManualClock in tests. Hot-path phase timing does NOT go through this
+// interface -- ScopedPhase reads std::chrono::steady_clock directly.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::uint64_t now_ns() = 0;
+};
+
+class SteadyClock final : public Clock {
+ public:
+  std::uint64_t now_ns() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+// Test clock: time only moves when told to.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::uint64_t start_ns = 0) : now_(start_ns) {}
+
+  std::uint64_t now_ns() override { return now_; }
+  void advance_ns(std::uint64_t delta) { now_ += delta; }
+  void set_ns(std::uint64_t t) { now_ = t; }
+
+ private:
+  std::uint64_t now_;
+};
+
+// Process-wide steady clock used when no clock is injected.
+inline Clock& steady_clock() {
+  static SteadyClock clock;
+  return clock;
+}
+
+}  // namespace rc11::util

@@ -367,6 +367,33 @@ TEST(Cli, HelpRequested) {
   EXPECT_TRUE(cli.help_requested());
 }
 
+TEST(Cli, OptionalValueOptionNeverConsumesNextArg) {
+  // Bare --progress must yield the implicit value and leave the following
+  // argument a positional (a bare optional option before a file path must
+  // not swallow the path).
+  Cli cli;
+  cli.optional_option("progress", "0", "1000", "heartbeat ms");
+  const char* argv[] = {"prog", "--progress", "file.litmus"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("progress"), 1000);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "file.litmus");
+
+  Cli cli2;
+  cli2.optional_option("progress", "0", "1000", "heartbeat ms");
+  const char* argv2[] = {"prog", "--progress=250"};
+  ASSERT_TRUE(cli2.parse(2, argv2));
+  EXPECT_EQ(cli2.get_int("progress"), 250);
+
+  Cli cli3;
+  cli3.optional_option("progress", "0", "1000", "heartbeat ms");
+  const char* argv3[] = {"prog"};
+  ASSERT_TRUE(cli3.parse(1, argv3));
+  EXPECT_EQ(cli3.get_int("progress"), 0);
+  EXPECT_NE(cli3.usage("prog").find("--progress[=value]"),
+            std::string::npos);
+}
+
 // --- ThreadPool ---------------------------------------------------------------
 
 TEST(ThreadPool, RunsAllTasks) {

@@ -5,7 +5,7 @@ Compares a freshly produced BENCH_*.json (bench/bench_report.hpp format)
 against the checked-in baseline and fails when a gated metric regresses by
 more than its threshold.
 
-Two kinds of gates:
+Three kinds of gates:
 
   * higher-is-better (default; e.g. states_per_sec): fails when the
     current value drops more than `--threshold` below baseline.
@@ -14,6 +14,15 @@ Two kinds of gates:
     baseline. Memory is far less host-noisy than throughput, so
     lower-is-better gates default to a tighter threshold
     (--lower-threshold, 10%).
+  * band (suffix `:band`; e.g. phase_share_push_event): fails when the
+    current value drifts more than `--band-threshold` from baseline in
+    *either* direction, as an absolute delta rather than a ratio. Made
+    for the phase-share counters (fractions in [0,1]) the bench binaries
+    embed from obs::PhaseProfile: a share moving from 0.26 to 0.45 means
+    the cost profile the README documents no longer holds — whether the
+    phase got faster or everything around it got slower, someone should
+    look. Ratio gates misbehave near zero shares; an absolute band does
+    not.
 
 Absolute states/sec varies with the host, so the throughput threshold is
 deliberately loose — this is a smoke gate against large regressions (an
@@ -25,8 +34,9 @@ bench/baseline/ when the engine gets intentionally faster or leaner.
 Usage:
   check_bench_regression.py --current build/BENCH_mc_scaling.json \
       --baseline bench/baseline/BENCH_mc_scaling.json \
-      [--gate states_per_sec --gate peak_seen_bytes:lower] \
-      [--threshold 0.30] [--lower-threshold 0.10]
+      [--gate states_per_sec --gate peak_seen_bytes:lower \
+       --gate phase_share_push_event:band] \
+      [--threshold 0.30] [--lower-threshold 0.10] [--band-threshold 0.15]
 
   check_bench_regression.py --self-test   # fixture-based sanity check
 """
@@ -49,17 +59,31 @@ DEFAULT_GATES = [
     # move both counters and land with a baseline refresh.
     "enum_threads_reused",
     "enum_threads_recomputed:lower",
+    # Phase-share drift bands (obs::PhaseProfile, embedded by the bench
+    # binaries as phase_share_*). The README's cost profile — push_event
+    # and Config copy/apply dominating DPOR node cost — is pinned here:
+    # shares are host-independent fractions, so a drift outside the band
+    # means the profile genuinely changed shape, not that the host is
+    # slow today.
+    "phase_share_push_event:band",
+    "phase_share_apply:band",
+    "phase_share_enumerate:band",
 ]
 
 
 def parse_gate(spec):
-    """'metric' or 'metric:lower' -> (metric, lower_is_better)."""
-    if spec.endswith(":lower"):
-        return spec[: -len(":lower")], True
-    return spec, False
+    """'metric'[':lower'|':band'] -> (metric, mode).
+
+    mode is 'higher' (default), 'lower', or 'band'.
+    """
+    for suffix in (":lower", ":band"):
+        if spec.endswith(suffix):
+            return spec[: -len(suffix)], suffix[1:]
+    return spec, "higher"
 
 
-def check(current, baseline, gates, threshold, lower_threshold, out=sys.stdout):
+def check(current, baseline, gates, threshold, lower_threshold,
+          band_threshold=0.15, out=sys.stdout):
     """Returns (compared, failures, skipped) over all gates and benchmarks.
 
     A series present on only one side (baseline entry gone from the current
@@ -72,8 +96,8 @@ def check(current, baseline, gates, threshold, lower_threshold, out=sys.stdout):
     skipped = []
     compared = 0
     for spec in gates:
-        metric, lower = parse_gate(spec)
-        limit = lower_threshold if lower else threshold
+        metric, mode = parse_gate(spec)
+        limit = lower_threshold if mode == "lower" else threshold
         for name in sorted(current):
             if name not in baseline and metric in current[name]:
                 skipped.append(f"{name}: {metric} has no baseline entry")
@@ -89,7 +113,17 @@ def check(current, baseline, gates, threshold, lower_threshold, out=sys.stdout):
             ratio = cur / base if base > 0 else float("inf")
             compared += 1
             status = "OK"
-            if lower:
+            if mode == "band":
+                delta = cur - base
+                if abs(delta) > band_threshold:
+                    status = "DRIFT"
+                    failures.append(
+                        f"{name}: {metric} {cur:.3f} vs baseline {base:.3f} "
+                        f"(delta {delta:+.3f}, band +-{band_threshold:.2f})")
+                print(f"{status:>10}  {name}.{metric}: {cur:.3f} vs "
+                      f"{base:.3f} ({delta:+.3f})", file=out)
+                continue
+            if mode == "lower":
                 if ratio > 1.0 + limit:
                     status = "REGRESSION"
                     failures.append(
@@ -176,19 +210,57 @@ def self_test() -> int:
                                  "enum_threads_recomputed": 3000.0},
         }, 0),
     ]
+    # Phase-share band gates: absolute two-sided drift detection. These
+    # fixtures pin (a) that both directions of drift fail, (b) that the
+    # band is absolute — a 2x ratio on a tiny share stays inside it, and
+    # (c) that in-band wobble passes.
+    band_baseline = {
+        "por_litmus_catalog/4/optimal": {"phase_share_push_event": 0.26,
+                                         "phase_share_apply": 0.39,
+                                         "phase_share_enumerate": 0.05},
+    }
+    band_cases = [
+        ("band-ok", {
+            "por_litmus_catalog/4/optimal": {"phase_share_push_event": 0.31,
+                                             "phase_share_apply": 0.33,
+                                             "phase_share_enumerate": 0.10},
+        }, 0),
+        # push_event exploding past the band fails (upward drift).
+        ("band-upward-drift", {
+            "por_litmus_catalog/4/optimal": {"phase_share_push_event": 0.55,
+                                             "phase_share_apply": 0.39,
+                                             "phase_share_enumerate": 0.05},
+        }, 1),
+        # apply collapsing fails too — a band gate is two-sided, unlike
+        # the ratio gates above.
+        ("band-downward-drift", {
+            "por_litmus_catalog/4/optimal": {"phase_share_push_event": 0.26,
+                                             "phase_share_apply": 0.10,
+                                             "phase_share_enumerate": 0.05},
+        }, 1),
+        # A 2x ratio on a small share stays within the absolute band: the
+        # gate must not inherit the ratio gates' near-zero pathology.
+        ("band-small-share-ratio-noise", {
+            "por_litmus_catalog/4/optimal": {"phase_share_push_event": 0.26,
+                                             "phase_share_apply": 0.39,
+                                             "phase_share_enumerate": 0.11},
+        }, 0),
+    ]
 
     ok = True
     sink = tempfile.TemporaryFile(mode="w+")
     all_cases = (
         [(n, cur, baseline, *rest) for (n, cur, *rest) in cases] +
         [(n, cur, counter_baseline, *rest) for (n, cur, *rest) in
-         counter_cases])
+         counter_cases] +
+        [(n, cur, band_baseline, *rest) for (n, cur, *rest) in band_cases])
     for name, current, case_baseline, expect, *rest in all_cases:
         expect_skipped = rest[0] if rest else 0
         compared, failures, skipped = check(current, case_baseline,
                                             DEFAULT_GATES,
                                             threshold=0.30,
                                             lower_threshold=0.10,
+                                            band_threshold=0.15,
                                             out=sink)
         got = len(failures)
         got_skipped = len(skipped)
@@ -212,7 +284,8 @@ def main() -> int:
     ap.add_argument("--baseline")
     ap.add_argument("--gate", action="append", default=None,
                     help="metric to gate; append ':lower' for "
-                         "lower-is-better (repeatable; default: "
+                         "lower-is-better or ':band' for two-sided "
+                         "absolute drift (repeatable; default: "
                          + " ".join(DEFAULT_GATES) + ")")
     ap.add_argument("--threshold", type=float, default=0.30,
                     help="maximum tolerated relative regression for "
@@ -220,6 +293,10 @@ def main() -> int:
     ap.add_argument("--lower-threshold", type=float, default=0.10,
                     help="maximum tolerated relative growth for "
                          "lower-is-better gates (0.10 = 10%%)")
+    ap.add_argument("--band-threshold", type=float, default=0.15,
+                    help="maximum tolerated absolute drift, either "
+                         "direction, for ':band' gates (0.15 = fifteen "
+                         "share points)")
     ap.add_argument("--strict", action="store_true",
                     help="treat series without a matching baseline/current "
                          "entry as failures instead of warn-and-skip")
@@ -239,7 +316,8 @@ def main() -> int:
 
     gates = args.gate if args.gate else DEFAULT_GATES
     compared, failures, skipped = check(current, baseline, gates,
-                                        args.threshold, args.lower_threshold)
+                                        args.threshold, args.lower_threshold,
+                                        args.band_threshold)
 
     for s in skipped:
         print(f"warning: skipped {s}", file=sys.stderr)
